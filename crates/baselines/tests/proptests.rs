@@ -1,0 +1,78 @@
+//! Property tests: every baseline returns exactly the brute-force frequent
+//! set with exact supports on random databases, and all baselines agree with
+//! each other on generated Quest workloads.
+
+use disc_baselines::{Gsp, PrefixSpan, PseudoPrefixSpan, Spade, Spam};
+use disc_core::{
+    BruteForce, Item, Itemset, MinSupport, Sequence, SequenceDatabase, SequentialMiner,
+};
+use proptest::prelude::*;
+
+fn arb_itemset(max_item: u32) -> impl Strategy<Value = Itemset> {
+    prop::collection::btree_set(0..max_item, 1..=3)
+        .prop_map(|s| Itemset::new(s.into_iter().map(Item)).expect("non-empty"))
+}
+
+fn arb_sequence(max_item: u32) -> impl Strategy<Value = Sequence> {
+    prop::collection::vec(arb_itemset(max_item), 1..=4).prop_map(Sequence::new)
+}
+
+fn arb_db(max_item: u32, max_rows: usize) -> impl Strategy<Value = SequenceDatabase> {
+    prop::collection::vec(arb_sequence(max_item), 1..=max_rows)
+        .prop_map(SequenceDatabase::from_sequences)
+}
+
+fn check_all(db: &SequenceDatabase, delta: u64) -> Result<(), TestCaseError> {
+    let expected = BruteForce::default().mine(db, MinSupport::Count(delta));
+    let miners: Vec<Box<dyn SequentialMiner>> = vec![
+        Box::new(PrefixSpan::default()),
+        Box::new(PseudoPrefixSpan::default()),
+        Box::new(Gsp::default()),
+        Box::new(Spade::default()),
+        Box::new(Spam::default()),
+    ];
+    for miner in miners {
+        let got = miner.mine(db, MinSupport::Count(delta));
+        let diff = got.diff(&expected);
+        prop_assert!(
+            diff.is_empty(),
+            "{} δ={}:\n{}\ndb:\n{}",
+            miner.name(),
+            delta,
+            diff.join("\n"),
+            db.to_text()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn baselines_match_brute_force(db in arb_db(5, 8), delta in 1u64..=4) {
+        check_all(&db, delta)?;
+    }
+
+    #[test]
+    fn baselines_match_on_wider_alphabet(db in arb_db(12, 10), delta in 2u64..=3) {
+        check_all(&db, delta)?;
+    }
+}
+
+#[test]
+fn baselines_agree_on_quest_workload() {
+    let db = disc_datagen::QuestConfig::paper_table11()
+        .with_ncust(80)
+        .with_nitems(60)
+        .with_pools(60, 120)
+        .with_seed(7)
+        .generate();
+    let reference = PseudoPrefixSpan::default().mine(&db, MinSupport::Fraction(0.08));
+    assert!(!reference.is_empty(), "workload should have frequent patterns");
+    for miner in disc_baselines::all_baselines() {
+        let got = miner.mine(&db, MinSupport::Fraction(0.08));
+        let diff = got.diff(&reference);
+        assert!(diff.is_empty(), "{}:\n{}", miner.name(), diff.join("\n"));
+    }
+}

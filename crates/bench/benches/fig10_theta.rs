@@ -1,0 +1,40 @@
+//! Criterion bench for **Figure 10**: mining runtime vs θ (average
+//! transactions per customer) — where Dynamic DISC-all overtakes the static
+//! variant. (Support is higher than the paper's 0.005 because δ must stay
+//! well above 2 on these criterion-sized databases — see the δ-explosion
+//! note in the workloads module.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disc_algo::{DiscAll, DynamicDiscAll};
+use disc_baselines::PseudoPrefixSpan;
+use disc_core::{MinSupport, SequentialMiner};
+use disc_datagen::QuestConfig;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_theta");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for theta in [10.0f64, 25.0, 40.0] {
+        let db = QuestConfig::paper_fig10(theta)
+            .with_ncust(500)
+            .with_seed(1)
+            .generate();
+        let miners: Vec<Box<dyn SequentialMiner>> = vec![
+            Box::new(DiscAll::default()),
+            Box::new(DynamicDiscAll::default()),
+            Box::new(PseudoPrefixSpan::default()),
+        ];
+        for miner in miners {
+            group.bench_with_input(
+                BenchmarkId::new(miner.name(), theta as u64),
+                &db,
+                |b, db| b.iter(|| miner.mine(db, MinSupport::Fraction(0.04))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for **Figure 8**: mining runtime vs database size
+//! (Table 11 workload, minsup 0.0025) — DISC-all vs PrefixSpan vs Pseudo.
+//!
+//! Criterion sizes are kept small so `cargo bench` terminates quickly; the
+//! `experiments` binary runs the paper-scale sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disc_algo::DiscAll;
+use disc_baselines::{PrefixSpan, PseudoPrefixSpan};
+use disc_bench::workloads::fig8_db;
+use disc_core::{MinSupport, SequentialMiner};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_dbsize");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for ncust in [500usize, 1_000, 2_000] {
+        let db = fig8_db(ncust, 1).generate();
+        let minsup = MinSupport::Fraction(0.01); // δ ≥ 5 even at the smallest size
+        let miners: Vec<Box<dyn SequentialMiner>> = vec![
+            Box::new(DiscAll::default()),
+            Box::new(PrefixSpan::default()),
+            Box::new(PseudoPrefixSpan::default()),
+        ];
+        for miner in miners {
+            group.bench_with_input(
+                BenchmarkId::new(miner.name(), ncust),
+                &db,
+                |b, db| b.iter(|| miner.mine(db, minsup)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for **Figure 9**: mining runtime vs minimum support on
+//! the dense slen = tlen = patlen = 8 workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disc_algo::DiscAll;
+use disc_baselines::{PrefixSpan, PseudoPrefixSpan};
+use disc_core::{MinSupport, SequentialMiner};
+use disc_datagen::QuestConfig;
+
+fn bench_fig9(c: &mut Criterion) {
+    let db = QuestConfig::paper_fig9().with_ncust(1_000).with_seed(1).generate();
+    let mut group = c.benchmark_group("fig9_minsup");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for threshold in [0.04f64, 0.02, 0.01] {
+        let miners: Vec<Box<dyn SequentialMiner>> = vec![
+            Box::new(DiscAll::default()),
+            Box::new(PrefixSpan::default()),
+            Box::new(PseudoPrefixSpan::default()),
+        ];
+        for miner in miners {
+            group.bench_with_input(
+                BenchmarkId::new(miner.name(), threshold),
+                &db,
+                |b, db| b.iter(|| miner.mine(db, MinSupport::Fraction(threshold))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the locative AVL tree against `BTreeMap<K, Vec<V>>`:
+//! the tree pays for order statistics (`select(δ)`), which the BTreeMap can
+//! only answer by linear scanning — the operation DISC performs on every
+//! iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disc_tree::LocativeAvlTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn keys(n: usize, distinct: u32, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..distinct)).collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let ks = keys(10_000, 2_000, 1);
+    c.bench_function("tree/insert_10k", |b| {
+        b.iter(|| {
+            let mut t: LocativeAvlTree<u32, u32> = LocativeAvlTree::new();
+            for (i, &k) in ks.iter().enumerate() {
+                t.insert(k, i as u32);
+            }
+            black_box(t.len())
+        })
+    });
+    c.bench_function("btreemap/insert_10k", |b| {
+        b.iter(|| {
+            let mut t: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+            for (i, &k) in ks.iter().enumerate() {
+                t.entry(k).or_default().push(i as u32);
+            }
+            black_box(t.len())
+        })
+    });
+}
+
+fn bench_select(c: &mut Criterion) {
+    let ks = keys(10_000, 2_000, 2);
+    let tree: LocativeAvlTree<u32, u32> =
+        ks.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+    let map: BTreeMap<u32, Vec<u32>> = {
+        let mut m: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (i, &k) in ks.iter().enumerate() {
+            m.entry(k).or_default().push(i as u32);
+        }
+        m
+    };
+    c.bench_function("tree/select_rank_5000", |b| {
+        b.iter(|| black_box(tree.select(black_box(5_000))))
+    });
+    c.bench_function("btreemap/select_rank_5000_by_scan", |b| {
+        b.iter(|| {
+            let mut rank = 5_000usize;
+            for (k, vs) in &map {
+                if rank < vs.len() {
+                    return black_box(Some(*k));
+                }
+                rank -= vs.len();
+            }
+            black_box(None)
+        })
+    });
+}
+
+fn bench_take_min_drain(c: &mut Criterion) {
+    let ks = keys(10_000, 2_000, 3);
+    c.bench_function("tree/drain_by_take_min", |b| {
+        b.iter(|| {
+            let mut t: LocativeAvlTree<u32, u32> =
+                ks.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+            let mut total = 0usize;
+            while let Some((_, vs)) = t.take_min() {
+                total += vs.len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_insert, bench_select, bench_take_min_drain
+}
+criterion_main!(benches);

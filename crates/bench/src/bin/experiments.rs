@@ -1,0 +1,58 @@
+//! Regenerates the DISC paper's evaluation tables and figures.
+//!
+//! ```text
+//! experiments <fig8|fig9|fig10|table12|table13|table14|all> [--smoke|--full]
+//! ```
+//!
+//! Default scale divides the paper's customer counts by ten so a full run
+//! finishes on a laptop; `--full` restores the paper's sizes; `--smoke` is
+//! the CI-sized sanity run. Raw measurements land in `target/experiments/`.
+
+use disc_bench::experiments;
+use disc_bench::workloads::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|all> [--smoke|--full]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut scale = Scale::Default;
+    let mut which: Option<String> = None;
+    for arg in &args {
+        match arg.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--full" => scale = Scale::Full,
+            "--default" => scale = Scale::Default,
+            name if !name.starts_with('-') && which.is_none() => {
+                which = Some(name.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    let which = which.unwrap_or_else(|| usage());
+    if !matches!(
+        which.as_str(),
+        "fig8" | "fig9" | "fig10" | "table12" | "table13" | "table14" | "all"
+    ) {
+        usage();
+    }
+
+    eprintln!("scale: {scale:?}");
+    match which.as_str() {
+        "fig8" => experiments::fig8(scale),
+        "fig9" => experiments::fig9(scale),
+        "fig10" => experiments::fig10(scale),
+        "table12" => experiments::table12(scale),
+        "table13" => experiments::table13(scale),
+        "table14" => experiments::table14(scale),
+        "all" => experiments::all(scale),
+        _ => usage(),
+    }
+}

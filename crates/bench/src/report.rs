@@ -1,0 +1,127 @@
+//! Table rendering (paper-style rows on stdout) and JSON persistence of
+//! measurements under `target/experiments/`.
+
+use crate::runner::Measurement;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Renders a markdown table: one row per sweep value, one column per miner.
+pub fn runtime_table(
+    param_name: &str,
+    params: &[f64],
+    miners: &[String],
+    measurements: &[Measurement],
+) -> String {
+    let mut out = String::new();
+    write!(out, "| {param_name} |").expect("string write");
+    for m in miners {
+        write!(out, " {m} (s) |").expect("string write");
+    }
+    out.push('\n');
+    write!(out, "|---|").expect("string write");
+    for _ in miners {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for &p in params {
+        write!(out, "| {} |", trim_float(p)).expect("string write");
+        for m in miners {
+            match measurements
+                .iter()
+                .find(|x| x.miner == *m && (x.param - p).abs() < 1e-12)
+            {
+                Some(x) => write!(out, " {:.3} |", x.seconds).expect("string write"),
+                None => out.push_str(" - |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an NRR table: one row per sweep value, one column per partition
+/// level ("Original", 1, 2, …), dashes for absent levels.
+pub fn nrr_table(param_name: &str, rows: &[(f64, Vec<Option<f64>>)]) -> String {
+    let width = rows.iter().map(|(_, v)| v.len()).max().unwrap_or(1);
+    let mut out = String::new();
+    write!(out, "| {param_name} | Original |").expect("string write");
+    for level in 1..width {
+        write!(out, " {level} |").expect("string write");
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in 0..width {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for (p, levels) in rows {
+        write!(out, "| {} |", trim_float(*p)).expect("string write");
+        for i in 0..width {
+            match levels.get(i).copied().flatten() {
+                Some(v) => write!(out, " {v:.4} |").expect("string write"),
+                None => out.push_str(" - |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float without trailing zeros (so thresholds print like the
+/// paper: 0.0025, 0.005, …).
+pub fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.6}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+/// Persists any serializable payload as JSON under `target/experiments/`.
+pub fn persist<T: Serialize>(name: &str, payload: &T) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(payload)?)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_table_layout() {
+        let miners = vec!["A".to_string(), "B".to_string()];
+        let measurements = vec![
+            Measurement { miner: "A".into(), param: 1.0, seconds: 0.5, patterns: 10, max_length: 3 },
+            Measurement { miner: "B".into(), param: 1.0, seconds: 1.25, patterns: 10, max_length: 3 },
+        ];
+        let t = runtime_table("n", &[1.0, 2.0], &miners, &measurements);
+        assert!(t.contains("| n | A (s) | B (s) |"));
+        assert!(t.contains("| 1 | 0.500 | 1.250 |"));
+        assert!(t.contains("| 2 | - | - |"));
+    }
+
+    #[test]
+    fn nrr_table_uses_dashes() {
+        let rows = vec![
+            (0.02, vec![Some(0.0027), Some(0.18)]),
+            (0.01, vec![Some(0.0022), Some(0.14), Some(0.92)]),
+        ];
+        let t = nrr_table("δ", &rows);
+        assert!(t.contains("| δ | Original | 1 | 2 |"));
+        assert!(t.contains("| 0.02 | 0.0027 | 0.1800 | - |"));
+        assert!(t.contains("| 0.01 | 0.0022 | 0.1400 | 0.9200 |"));
+    }
+
+    #[test]
+    fn trim_float_formats() {
+        assert_eq!(trim_float(0.0025), "0.0025");
+        assert_eq!(trim_float(10.0), "10");
+        assert_eq!(trim_float(0.02), "0.02");
+    }
+}

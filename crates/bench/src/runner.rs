@@ -1,0 +1,81 @@
+//! Timing and measurement plumbing shared by the experiment runner and the
+//! Criterion benches.
+
+use disc_core::{MiningResult, MinSupport, SequenceDatabase, SequentialMiner};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One timed mining run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Miner name.
+    pub miner: String,
+    /// The sweep parameter (customers, threshold, or θ — per experiment).
+    pub param: f64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Number of frequent sequences found.
+    pub patterns: usize,
+    /// Length of the longest frequent sequence.
+    pub max_length: usize,
+}
+
+/// Runs one miner once and records the measurement.
+pub fn measure(
+    miner: &dyn SequentialMiner,
+    db: &SequenceDatabase,
+    min_support: MinSupport,
+    param: f64,
+) -> (Measurement, MiningResult) {
+    let start = Instant::now();
+    let result = miner.mine(db, min_support);
+    let seconds = start.elapsed().as_secs_f64();
+    (
+        Measurement {
+            miner: miner.name().to_string(),
+            param,
+            seconds,
+            patterns: result.len(),
+            max_length: result.max_length(),
+        },
+        result,
+    )
+}
+
+/// Asserts two results agree, loudly — experiments double as end-to-end
+/// correctness checks.
+pub fn assert_agreement(name: &str, got: &MiningResult, reference: &MiningResult) {
+    let diff = got.diff(reference);
+    assert!(
+        diff.is_empty(),
+        "{name} disagrees with the reference result ({} lines):\n{}",
+        diff.len(),
+        diff.join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_core::BruteForce;
+
+    #[test]
+    fn measure_records_runtime_and_counts() {
+        let db = SequenceDatabase::from_parsed(&["(a)(b)", "(a)(b)"]).unwrap();
+        let (m, result) = measure(&BruteForce::default(), &db, MinSupport::Count(2), 2.0);
+        assert_eq!(m.miner, "BruteForce");
+        assert_eq!(m.patterns, 3);
+        assert_eq!(m.max_length, 2);
+        assert!(m.seconds >= 0.0);
+        assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees")]
+    fn assert_agreement_panics_on_mismatch() {
+        let db = SequenceDatabase::from_parsed(&["(a)(b)", "(a)(b)"]).unwrap();
+        let full = BruteForce::default().mine(&db, MinSupport::Count(1));
+        let partial = BruteForce::with_max_length(1).mine(&db, MinSupport::Count(1));
+        assert_agreement("test", &partial, &full);
+    }
+}

@@ -1,0 +1,166 @@
+//! Workload construction for the paper's experiments, with an in-memory
+//! cache so sweeps reuse generated databases.
+
+use disc_core::SequenceDatabase;
+use disc_datagen::QuestConfig;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Scale presets for the experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-sized: the paper's parameters with customer counts divided by
+    /// ten — finishes in minutes.
+    Default,
+    /// Quick smoke run for CI and tests: small customer counts, coarser
+    /// support grids.
+    Smoke,
+    /// The paper's sizes (50K–500K customers). Expect long runtimes.
+    Full,
+}
+
+impl Scale {
+    /// Divisor applied to the paper's customer counts.
+    pub fn ncust_divisor(self) -> usize {
+        match self {
+            Scale::Full => 1,
+            Scale::Default => 10,
+            Scale::Smoke => 100,
+        }
+    }
+}
+
+/// The Figure 8 sweep: database sizes (paper: 50K–500K customers).
+pub fn fig8_sizes(scale: Scale) -> Vec<usize> {
+    let base = [50_000usize, 100_000, 200_000, 350_000, 500_000];
+    let div = scale.ncust_divisor();
+    base.iter().map(|n| n / div).collect()
+}
+
+/// The Figure 9 / Tables 12–13 support grid (the paper's eight thresholds).
+pub fn fig9_thresholds(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Smoke => vec![0.02, 0.01, 0.005],
+        _ => vec![0.02, 0.0175, 0.015, 0.0125, 0.01, 0.0075, 0.005, 0.0025],
+    }
+}
+
+/// The Figure 10 / Table 14 θ grid (average transactions per customer).
+pub fn theta_grid(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Smoke => vec![10.0, 20.0, 30.0],
+        _ => vec![10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0],
+    }
+}
+
+/// A Figure 8 database: Table 11 parameters at a given customer count.
+pub fn fig8_db(ncust: usize, seed: u64) -> QuestConfig {
+    QuestConfig::paper_table11().with_ncust(ncust).with_seed(seed)
+}
+
+/// The Figure 9 database: slen = tlen = seq.patlen = 8. The paper's 10K
+/// customers are already laptop-sized, so `Default` matches `Full`.
+pub fn fig9_db(scale: Scale, seed: u64) -> QuestConfig {
+    let ncust = match scale {
+        Scale::Smoke => 1_000,
+        Scale::Default | Scale::Full => 10_000,
+    };
+    QuestConfig::paper_fig9().with_ncust(ncust).with_seed(seed)
+}
+
+/// A Figure 10 / Table 14 database: 50K customers, θ transactions each.
+pub fn fig10_db(theta: f64, scale: Scale, seed: u64) -> QuestConfig {
+    QuestConfig::paper_fig10(theta)
+        .with_ncust(50_000 / scale.ncust_divisor())
+        .with_seed(seed)
+}
+
+/// Process-wide workload cache keyed by configuration, with a second layer
+/// on disk (`target/workloads/*.dscdb`, the compact [`disc_core::codec`]
+/// format) so repeated harness invocations skip generation entirely.
+#[derive(Default)]
+pub struct WorkloadCache {
+    cache: Mutex<HashMap<String, Arc<SequenceDatabase>>>,
+}
+
+impl WorkloadCache {
+    /// A fresh cache.
+    pub fn new() -> WorkloadCache {
+        WorkloadCache::default()
+    }
+
+    /// Generates (or reuses) the database for a configuration.
+    pub fn get(&self, cfg: &QuestConfig) -> Arc<SequenceDatabase> {
+        let key = format!("{cfg:?}");
+        if let Some(db) = self.cache.lock().get(&key) {
+            return Arc::clone(db);
+        }
+        let db = Arc::new(self.load_or_generate(cfg, &key));
+        self.cache.lock().insert(key, Arc::clone(&db));
+        db
+    }
+
+    fn load_or_generate(&self, cfg: &QuestConfig, key: &str) -> SequenceDatabase {
+        // The generator version is part of the cache key so datagen changes
+        // invalidate cached datasets instead of silently reusing stale ones.
+        let versioned = format!("gen-v{GENERATOR_CACHE_VERSION}:{key}");
+        let path = std::path::PathBuf::from("target/workloads")
+            .join(format!("{:016x}.dscdb", fnv1a(versioned.as_bytes())));
+        if let Ok(bytes) = std::fs::read(&path) {
+            if let Ok(db) = disc_core::decode_database(&bytes) {
+                return db;
+            }
+            // Corrupt or stale cache entry: fall through and regenerate.
+        }
+        let db = cfg.generate();
+        if std::fs::create_dir_all("target/workloads").is_ok() {
+            let _ = std::fs::write(&path, disc_core::encode_database(&db));
+        }
+        db
+    }
+}
+
+/// Bump when `disc-datagen`'s sampling logic changes, so on-disk workload
+/// caches regenerate.
+const GENERATOR_CACHE_VERSION: u32 = 1;
+
+/// FNV-1a over the configuration key — cache naming only, not security.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_divide_customer_counts() {
+        assert_eq!(fig8_sizes(Scale::Full)[0], 50_000);
+        assert_eq!(fig8_sizes(Scale::Default)[0], 5_000);
+        assert_eq!(fig8_sizes(Scale::Smoke)[0], 500);
+    }
+
+    #[test]
+    fn fig9_grid_matches_paper() {
+        let grid = fig9_thresholds(Scale::Default);
+        assert_eq!(grid.len(), 8);
+        assert_eq!(grid[0], 0.02);
+        assert_eq!(grid[7], 0.0025);
+    }
+
+    #[test]
+    fn cache_returns_same_database() {
+        let cache = WorkloadCache::new();
+        let cfg = QuestConfig::paper_table11().with_ncust(50).with_nitems(30).with_pools(20, 40);
+        let a = cache.get(&cfg);
+        let b = cache.get(&cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 50);
+    }
+}

@@ -1,0 +1,220 @@
+//! A compact binary codec for sequence databases.
+//!
+//! Workload generation dominates harness start-up for the larger sweeps, so
+//! generated databases are cached on disk. The format is simple and stable:
+//!
+//! ```text
+//! magic "DSCDB1\n"
+//! varint  customer count
+//! per customer:
+//!   varint cid
+//!   varint transaction count
+//!   per transaction:
+//!     varint item count
+//!     varint first item, then varint gaps between consecutive sorted items
+//! ```
+//!
+//! LEB128 varints plus delta-encoded items keep typical Quest workloads
+//! around 2 bytes per item occurrence.
+
+use crate::database::{CustomerId, SequenceDatabase};
+use crate::item::Item;
+use crate::itemset::Itemset;
+use crate::sequence::Sequence;
+use std::fmt;
+
+const MAGIC: &[u8] = b"DSCDB1\n";
+
+/// A decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input does not start with the format magic.
+    BadMagic,
+    /// The input ended inside a value.
+    Truncated,
+    /// A varint exceeded 64 bits.
+    Overflow,
+    /// A structural invariant was violated (empty transaction, item overflow).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a DSCDB1 file"),
+            CodecError::Truncated => write!(f, "input ended inside a value"),
+            CodecError::Overflow => write!(f, "varint overflow"),
+            CodecError::Invalid(what) => write!(f, "invalid structure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(input: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = input.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError::Overflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes a database to the binary format.
+pub fn encode_database(db: &SequenceDatabase) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAGIC.len() + db.len() * 16);
+    out.extend_from_slice(MAGIC);
+    put_varint(&mut out, db.len() as u64);
+    for row in db.rows() {
+        put_varint(&mut out, row.cid.0);
+        put_varint(&mut out, row.sequence.n_transactions() as u64);
+        for set in row.sequence.itemsets() {
+            put_varint(&mut out, set.len() as u64);
+            let mut prev = 0u64;
+            for (i, item) in set.iter().enumerate() {
+                let v = u64::from(item.id());
+                if i == 0 {
+                    put_varint(&mut out, v);
+                } else {
+                    put_varint(&mut out, v - prev);
+                }
+                prev = v;
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a database from the binary format.
+pub fn decode_database(input: &[u8]) -> Result<SequenceDatabase, CodecError> {
+    if input.len() < MAGIC.len() || &input[..MAGIC.len()] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let mut pos = MAGIC.len();
+    let n_rows = get_varint(input, &mut pos)?;
+    let mut db = SequenceDatabase::new();
+    for _ in 0..n_rows {
+        let cid = get_varint(input, &mut pos)?;
+        let n_txns = get_varint(input, &mut pos)?;
+        let mut itemsets = Vec::with_capacity(n_txns as usize);
+        for _ in 0..n_txns {
+            let n_items = get_varint(input, &mut pos)?;
+            if n_items == 0 {
+                return Err(CodecError::Invalid("empty transaction"));
+            }
+            let mut items = Vec::with_capacity(n_items as usize);
+            let mut prev = 0u64;
+            for i in 0..n_items {
+                let delta = get_varint(input, &mut pos)?;
+                let v = if i == 0 { delta } else { prev + delta };
+                if v > u64::from(u32::MAX) || (i > 0 && delta == 0) {
+                    return Err(CodecError::Invalid("item id out of range or duplicate"));
+                }
+                items.push(Item(v as u32));
+                prev = v;
+            }
+            itemsets.push(Itemset::from_sorted(items));
+        }
+        db.push(CustomerId(cid), Sequence::new(itemsets));
+    }
+    if pos != input.len() {
+        return Err(CodecError::Invalid("trailing bytes"));
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> SequenceDatabase {
+        SequenceDatabase::from_parsed(&[
+            "(a,e,g)(b)(h)(f)(c)(b,f)",
+            "(b)(d,f)(e)",
+            "(b,f,g)",
+            "(f)(a,g)(b,f,h)(b,f)",
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let db = table1();
+        let bytes = encode_database(&db);
+        let back = decode_database(&bytes).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn empty_database_roundtrip() {
+        let db = SequenceDatabase::new();
+        let back = decode_database(&encode_database(&db)).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn large_item_ids_roundtrip() {
+        let db = SequenceDatabase::from_parsed(&["(0, 300, 70000)(4294967295)"]).unwrap();
+        let back = decode_database(&encode_database(&db)).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn compactness() {
+        // Delta-encoded small alphabets should stay under ~2.5 bytes/item.
+        let db = table1();
+        let total_items: usize = db.sequences().map(|s| s.length()).sum();
+        let bytes = encode_database(&db);
+        assert!(
+            bytes.len() <= MAGIC.len() + 1 + total_items * 2 + db.len() * 4,
+            "{} bytes for {} items",
+            bytes.len(),
+            total_items
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode_database(b"nope"), Err(CodecError::BadMagic));
+        let mut bytes = encode_database(&table1());
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(decode_database(&bytes), Err(CodecError::Truncated));
+        let mut extra = encode_database(&table1());
+        extra.push(0);
+        assert_eq!(
+            decode_database(&extra),
+            Err(CodecError::Invalid("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Ok(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

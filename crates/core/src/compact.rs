@@ -1,0 +1,166 @@
+//! Item-id compaction.
+//!
+//! The miners follow the paper in using **dense arrays indexed by item id**
+//! (counting arrays, frequency masks, SPAM's per-item bitmaps), which is the
+//! right layout for Quest-style catalogs but hostile to sparse id spaces —
+//! a database mentioning item `4_000_000_000` would allocate gigabytes of
+//! counters. [`ItemMapping`] bijectively remaps the items actually present
+//! onto `0..n` and translates results back, preserving the comparative
+//! order (the mapping is monotone), so mining a compacted database yields
+//! exactly the original patterns after [`ItemMapping::restore_result`].
+
+use crate::database::SequenceDatabase;
+use crate::item::Item;
+use crate::itemset::Itemset;
+use crate::result::MiningResult;
+use crate::sequence::Sequence;
+
+/// A monotone bijection between the original item ids and `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemMapping {
+    /// Sorted original ids; index = compact id.
+    originals: Vec<Item>,
+}
+
+impl ItemMapping {
+    /// Builds the mapping for a database and returns the compacted copy.
+    pub fn compact(db: &SequenceDatabase) -> (ItemMapping, SequenceDatabase) {
+        let mut originals: Vec<Item> = db
+            .sequences()
+            .flat_map(|s| s.itemsets().iter().flat_map(|set| set.iter()))
+            .collect();
+        originals.sort_unstable();
+        originals.dedup();
+        let mapping = ItemMapping { originals };
+        let compacted = SequenceDatabase::from_rows(db.rows().iter().map(|row| {
+            (
+                row.cid,
+                map_sequence(&row.sequence, |i| mapping.to_compact(i).expect("item seen")),
+            )
+        }));
+        (mapping, compacted)
+    }
+
+    /// Number of distinct items (the compact id space is `0..len`).
+    pub fn len(&self) -> usize {
+        self.originals.len()
+    }
+
+    /// True when the database had no items.
+    pub fn is_empty(&self) -> bool {
+        self.originals.is_empty()
+    }
+
+    /// Original id → compact id.
+    pub fn to_compact(&self, item: Item) -> Option<Item> {
+        self.originals
+            .binary_search(&item)
+            .ok()
+            .map(|i| Item(i as u32))
+    }
+
+    /// Compact id → original id.
+    pub fn to_original(&self, item: Item) -> Option<Item> {
+        self.originals.get(item.id() as usize).copied()
+    }
+
+    /// Is compaction a no-op (ids already dense from 0)?
+    pub fn is_identity(&self) -> bool {
+        self.originals
+            .iter()
+            .enumerate()
+            .all(|(i, item)| item.id() as usize == i)
+    }
+
+    /// Would compaction save meaningful allocation? True when the max id is
+    /// much larger than the number of distinct items.
+    pub fn is_worthwhile(&self) -> bool {
+        match self.originals.last() {
+            None => false,
+            Some(max) => (max.id() as usize) >= self.originals.len().saturating_mul(4).max(1024),
+        }
+    }
+
+    /// Translates a compact-id sequence back to original ids.
+    pub fn restore_sequence(&self, seq: &Sequence) -> Sequence {
+        map_sequence(seq, |i| self.to_original(i).expect("compact id in range"))
+    }
+
+    /// Translates a whole mining result back to original ids.
+    pub fn restore_result(&self, result: &MiningResult) -> MiningResult {
+        result
+            .iter()
+            .map(|(p, s)| (self.restore_sequence(p), s))
+            .collect()
+    }
+}
+
+fn map_sequence(seq: &Sequence, mut f: impl FnMut(Item) -> Item) -> Sequence {
+    Sequence::new(seq.itemsets().iter().map(|set| {
+        // A monotone map keeps itemsets sorted.
+        Itemset::from_sorted(set.iter().map(&mut f).collect())
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::BruteForce;
+    use crate::miner::SequentialMiner;
+    use crate::parse::parse_sequence;
+    use crate::support::MinSupport;
+
+    fn sparse_db() -> SequenceDatabase {
+        SequenceDatabase::from_parsed(&[
+            "(10, 4000000)(999999999)",
+            "(10)(4000000, 999999999)",
+            "(10)(999999999)",
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn compaction_is_monotone_and_dense() {
+        let (mapping, compacted) = ItemMapping::compact(&sparse_db());
+        assert_eq!(mapping.len(), 3);
+        assert_eq!(compacted.max_item(), Some(Item(2)));
+        assert_eq!(mapping.to_compact(Item(10)), Some(Item(0)));
+        assert_eq!(mapping.to_compact(Item(4_000_000)), Some(Item(1)));
+        assert_eq!(mapping.to_compact(Item(999_999_999)), Some(Item(2)));
+        assert_eq!(mapping.to_compact(Item(11)), None);
+        assert_eq!(mapping.to_original(Item(1)), Some(Item(4_000_000)));
+        assert!(mapping.is_worthwhile());
+        assert!(!mapping.is_identity());
+    }
+
+    #[test]
+    fn mining_commutes_with_compaction() {
+        let db = sparse_db();
+        let (mapping, compacted) = ItemMapping::compact(&db);
+        let direct = BruteForce::default().mine(&db, MinSupport::Count(2));
+        let via_compact = mapping
+            .restore_result(&BruteForce::default().mine(&compacted, MinSupport::Count(2)));
+        assert!(direct.diff(&via_compact).is_empty());
+        assert_eq!(
+            via_compact.support_of(&parse_sequence("(10)(999999999)").unwrap()),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn identity_detection() {
+        let db = SequenceDatabase::from_parsed(&["(a, b)(c)"]).unwrap();
+        let (mapping, compacted) = ItemMapping::compact(&db);
+        assert!(mapping.is_identity());
+        assert!(!mapping.is_worthwhile());
+        assert_eq!(db, compacted);
+    }
+
+    #[test]
+    fn empty_database() {
+        let (mapping, compacted) = ItemMapping::compact(&SequenceDatabase::new());
+        assert!(mapping.is_empty());
+        assert!(compacted.is_empty());
+        assert!(!mapping.is_worthwhile());
+    }
+}

@@ -1,0 +1,373 @@
+//! GSP-style **time constraints**: sliding windows and minimum/maximum gaps
+//! (Srikant & Agrawal, EDBT 1996 — the "Generalizations" half of the GSP
+//! paper, which the DISC paper's related work builds on).
+//!
+//! Transaction *times* are the 0-based transaction indices (the data model
+//! keeps transactions ordered but not timestamped; a dedicated timestamped
+//! variant would only change the `time` function). A data sequence contains
+//! a pattern `s₁ … sₘ` under constraints when there are transaction windows
+//! `[l₁, u₁], …, [lₘ, uₘ]` such that:
+//!
+//! * element `sᵢ` is contained in the **union** of the transactions in
+//!   `[lᵢ, uᵢ]`, and `time(uᵢ) − time(lᵢ) ≤ window`;
+//! * `time(lᵢ) − time(uᵢ₋₁) > min_gap` (strict, per GSP);
+//! * `time(uᵢ) − time(lᵢ₋₁) ≤ max_gap`.
+//!
+//! With no window and `min_gap = 0`, `max_gap = ∞` this degenerates to plain
+//! containment (property-tested). Containment is decided by dynamic
+//! programming over the per-element feasible windows — equivalent to GSP's
+//! forward/backward phases but easier to show correct.
+//!
+//! ## Mining under constraints
+//!
+//! `max_gap` breaks the anti-monotone property (a data sequence can contain
+//! a pattern while violating the gap for one of its subsequences), which is
+//! why GSP prunes candidates with **contiguous** subsequences only —
+//! [`contiguous_subsequences`] implements that definition, and
+//! `disc_baselines::gsp` uses it when constraints are active.
+
+use crate::itemset::Itemset;
+use crate::sequence::Sequence;
+
+/// Time constraints for containment, GSP semantics. The default is
+/// unconstrained (plain containment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimeConstraints {
+    /// Sliding window: an element may be assembled from transactions at most
+    /// this far apart. `None` = 0 (single transaction, the classic model).
+    pub window: Option<u32>,
+    /// Minimum gap (strict) between consecutive elements' windows.
+    pub min_gap: Option<u32>,
+    /// Maximum span from the start of one element's window to the end of the
+    /// next's.
+    pub max_gap: Option<u32>,
+}
+
+impl TimeConstraints {
+    /// Plain containment.
+    pub fn none() -> TimeConstraints {
+        TimeConstraints::default()
+    }
+
+    /// True when every field is unset (plain containment applies).
+    pub fn is_none(&self) -> bool {
+        self.window.is_none() && self.min_gap.is_none() && self.max_gap.is_none()
+    }
+
+    fn window(&self) -> u32 {
+        self.window.unwrap_or(0)
+    }
+
+    fn min_gap(&self) -> u32 {
+        self.min_gap.unwrap_or(0)
+    }
+}
+
+/// A feasible transaction window `[l, u]` hosting one pattern element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Window {
+    l: u32,
+    u: u32,
+}
+
+/// All minimal feasible windows for `element` in `hay`: for each end
+/// transaction `u`, the largest `l` such that `element ⊆ txns[l..=u]` within
+/// the window span (keeping `l` maximal makes gap checks the least
+/// constrained, and any feasible assignment can be normalized to maximal
+/// `l`s without violating `min_gap`/`window`; `max_gap` prefers larger `l`
+/// too, so minimal windows are complete).
+fn feasible_windows(hay: &Sequence, element: &Itemset, span: u32) -> Vec<Window> {
+    let n = hay.n_transactions();
+    let mut out = Vec::new();
+    for u in 0..n {
+        let lo = u.saturating_sub(span as usize);
+        // Walk l downward from u; first l where the union covers `element`.
+        let mut missing: Vec<_> = element.iter().collect();
+        let mut found: Option<usize> = None;
+        for l in (lo..=u).rev() {
+            missing.retain(|&item| !hay.itemset(l).contains(item));
+            if missing.is_empty() {
+                found = Some(l);
+                break;
+            }
+        }
+        if let Some(l) = found {
+            out.push(Window { l: l as u32, u: u as u32 });
+        }
+    }
+    out
+}
+
+/// Containment under time constraints (GSP §"when does a data-sequence
+/// contain a sequence").
+///
+/// ```
+/// use disc_core::{constraints::{contains_with, TimeConstraints}, parse_sequence};
+///
+/// let hay = parse_sequence("(a)(b)(c)(d)").unwrap();
+/// let pat = parse_sequence("(a)(d)").unwrap();
+/// assert!(contains_with(&hay, &pat, &TimeConstraints::none()));
+/// // a and d are 3 transactions apart: a max-gap of 2 rejects the pattern.
+/// let tight = TimeConstraints { max_gap: Some(2), ..TimeConstraints::none() };
+/// assert!(!contains_with(&hay, &pat, &tight));
+/// ```
+pub fn contains_with(hay: &Sequence, pat: &Sequence, c: &TimeConstraints) -> bool {
+    if pat.is_empty() {
+        return true;
+    }
+    if c.is_none() {
+        return crate::embed::contains(hay, pat);
+    }
+    let per_element: Vec<Vec<Window>> = pat
+        .itemsets()
+        .iter()
+        .map(|e| feasible_windows(hay, e, c.window()))
+        .collect();
+    if per_element.iter().any(Vec::is_empty) {
+        return false;
+    }
+
+    // DP: can elements i.. be placed given element i-1 sat in `prev`?
+    fn admissible(prev: Window, next: Window, c: &TimeConstraints) -> bool {
+        if next.l <= prev.u {
+            return false; // windows must advance strictly
+        }
+        if next.l - prev.u <= c.min_gap() {
+            // min_gap is strict: need l_i − u_{i−1} > min_gap. With the
+            // default min_gap = 0 this only re-states strict advancement.
+            if c.min_gap.is_some() {
+                return false;
+            }
+        }
+        if let Some(max_gap) = c.max_gap {
+            if next.u - prev.l > max_gap {
+                return false;
+            }
+        }
+        true
+    }
+
+    // Memoized on (element index, index of the previous element's window):
+    // feasibility of the suffix depends on nothing else.
+    fn place(
+        per_element: &[Vec<Window>],
+        i: usize,
+        prev: Option<(usize, Window)>,
+        c: &TimeConstraints,
+        memo: &mut std::collections::HashMap<(usize, usize), bool>,
+    ) -> bool {
+        if i == per_element.len() {
+            return true;
+        }
+        let memo_key = prev.map(|(pi, _)| (i, pi));
+        if let Some(key) = memo_key {
+            if let Some(&cached) = memo.get(&key) {
+                return cached;
+            }
+        }
+        let ok = per_element[i].iter().enumerate().any(|(wi, &w)| {
+            let admitted = match prev {
+                Some((_, p)) => admissible(p, w, c),
+                None => true,
+            };
+            admitted && place(per_element, i + 1, Some((wi, w)), c, memo)
+        });
+        if let Some(key) = memo_key {
+            memo.insert(key, ok);
+        }
+        ok
+    }
+    let mut memo = std::collections::HashMap::new();
+    place(&per_element, 0, None, c, &mut memo)
+}
+
+/// Support under time constraints, by definitional scanning.
+pub fn support_count_with(
+    db: &crate::database::SequenceDatabase,
+    pattern: &Sequence,
+    c: &TimeConstraints,
+) -> u64 {
+    db.sequences().filter(|s| contains_with(s, pattern, c)).count() as u64
+}
+
+/// The **contiguous subsequences** of a sequence (GSP's pruning set under
+/// constraints): sequences obtained by dropping an item from the first or
+/// last element, or from any element of size ≥ 2 — the drops that cannot
+/// widen a gap.
+pub fn contiguous_subsequences(seq: &Sequence) -> Vec<Sequence> {
+    let mut out = Vec::new();
+    let n = seq.n_transactions();
+    let mut flat_pos = 0usize;
+    for (t, set) in seq.itemsets().iter().enumerate() {
+        for j in 0..set.len() {
+            let droppable = t == 0 || t == n - 1 || set.len() >= 2;
+            if droppable {
+                out.push(drop_flat_at(seq, flat_pos + j));
+            }
+        }
+        flat_pos += set.len();
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Drops the `i`-th flattened element, erasing an emptied transaction.
+fn drop_flat_at(seq: &Sequence, i: usize) -> Sequence {
+    let mut flat_pos = 0usize;
+    let mut out: Vec<Itemset> = Vec::with_capacity(seq.n_transactions());
+    for set in seq.itemsets() {
+        if i < flat_pos || i >= flat_pos + set.len() {
+            out.push(set.clone());
+        } else if let Some(f) = set.filtered(|item| {
+            set.as_slice()
+                .binary_search(&item)
+                .expect("member")
+                != i - flat_pos
+        }) {
+            out.push(f);
+        }
+        flat_pos += set.len();
+    }
+    Sequence::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::contains;
+    use crate::parse::parse_sequence;
+
+    fn seq(s: &str) -> Sequence {
+        parse_sequence(s).unwrap()
+    }
+
+    #[test]
+    fn unconstrained_matches_plain_containment() {
+        let hay = seq("(a,e,g)(b)(h)(f)(c)(b,f)");
+        for pat in ["(a)(b)(b)", "(a,g)(h)(f)", "(b)(a)", "(e)(b,f)", "(a,b)"] {
+            let p = seq(pat);
+            assert_eq!(
+                contains_with(&hay, &p, &TimeConstraints::none()),
+                contains(&hay, &p),
+                "{pat}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_gap_rejects_distant_elements() {
+        let hay = seq("(a)(x)(x)(b)");
+        let pat = seq("(a)(b)");
+        assert!(contains_with(&hay, &pat, &TimeConstraints::none()));
+        let c = TimeConstraints { max_gap: Some(3), ..Default::default() };
+        assert!(contains_with(&hay, &pat, &c));
+        let c = TimeConstraints { max_gap: Some(2), ..Default::default() };
+        assert!(!contains_with(&hay, &pat, &c));
+    }
+
+    #[test]
+    fn max_gap_applies_pairwise_not_overall() {
+        // a..b gap 2, b..c gap 2, total span 4: max_gap 2 accepts.
+        let hay = seq("(a)(x)(b)(x)(c)");
+        let pat = seq("(a)(b)(c)");
+        let c = TimeConstraints { max_gap: Some(2), ..Default::default() };
+        assert!(contains_with(&hay, &pat, &c));
+        let c1 = TimeConstraints { max_gap: Some(1), ..Default::default() };
+        assert!(!contains_with(&hay, &pat, &c1));
+    }
+
+    #[test]
+    fn min_gap_forces_separation() {
+        let hay = seq("(a)(b)(x)(b)");
+        let pat = seq("(a)(b)");
+        // min_gap 1 (strict): the adjacent (b) at distance 1 fails, the
+        // later (b) at distance 3 passes.
+        let c = TimeConstraints { min_gap: Some(1), ..Default::default() };
+        assert!(contains_with(&hay, &pat, &c));
+        let c3 = TimeConstraints { min_gap: Some(3), ..Default::default() };
+        assert!(!contains_with(&hay, &pat, &c3));
+    }
+
+    #[test]
+    fn min_and_max_gap_interact() {
+        // The only b satisfying min_gap > 1 is at distance 3; max_gap 2
+        // forbids it.
+        let hay = seq("(a)(b)(x)(b)");
+        let pat = seq("(a)(b)");
+        let c = TimeConstraints { min_gap: Some(1), max_gap: Some(2), ..Default::default() };
+        assert!(!contains_with(&hay, &pat, &c));
+        let c = TimeConstraints { min_gap: Some(1), max_gap: Some(3), ..Default::default() };
+        assert!(contains_with(&hay, &pat, &c));
+    }
+
+    #[test]
+    fn sliding_window_assembles_elements_across_transactions() {
+        // (a,b) is split across adjacent transactions.
+        let hay = seq("(a)(b)(x)");
+        let pat = seq("(a,b)");
+        assert!(!contains_with(&hay, &pat, &TimeConstraints::none()));
+        let c = TimeConstraints { window: Some(1), ..Default::default() };
+        assert!(contains_with(&hay, &pat, &c));
+        // But not across a span of 2 with window 1.
+        let far = seq("(a)(x)(b)");
+        assert!(!contains_with(&far, &pat, &c));
+        let c2 = TimeConstraints { window: Some(2), ..Default::default() };
+        assert!(contains_with(&far, &pat, &c2));
+    }
+
+    #[test]
+    fn window_and_gap_together() {
+        // Element 1 = (a,b) via window over txns 0-1; element 2 = (c) at txn
+        // 3. Gap measured between windows: l2 - u1 = 3 - 1 = 2 > min_gap 1 ✓;
+        // u2 - l1 = 3 - 0 = 3 ≤ max_gap 3 ✓.
+        let hay = seq("(a)(b)(x)(c)");
+        let pat = seq("(a,b)(c)");
+        let c = TimeConstraints { window: Some(1), min_gap: Some(1), max_gap: Some(3) };
+        assert!(contains_with(&hay, &pat, &c));
+        let c_tight = TimeConstraints { window: Some(1), min_gap: Some(1), max_gap: Some(2) };
+        assert!(!contains_with(&hay, &pat, &c_tight));
+    }
+
+    #[test]
+    fn windows_must_advance() {
+        // Both elements would sit in the same transaction — not allowed:
+        // consecutive windows must be disjoint and ordered.
+        let hay = seq("(a,b)");
+        let pat = seq("(a)(b)");
+        let c = TimeConstraints { window: Some(0), ..Default::default() };
+        assert!(!contains_with(&hay, &pat, &c));
+    }
+
+    #[test]
+    fn contiguous_subsequences_definition() {
+        // <(a,b)(c)(d)>: droppable are a, b (first element), d (last), and
+        // a, b again via the size-2 rule — NOT c (interior singleton).
+        let s = seq("(a,b)(c)(d)");
+        let subs: Vec<String> = contiguous_subsequences(&s).iter().map(|x| x.to_string()).collect();
+        assert_eq!(subs, vec!["(a, b)(c)", "(a)(c)(d)", "(b)(c)(d)"]);
+    }
+
+    #[test]
+    fn contiguous_subsequences_singletons() {
+        let s = seq("(a)(b)(c)");
+        let subs: Vec<String> = contiguous_subsequences(&s).iter().map(|x| x.to_string()).collect();
+        assert_eq!(subs, vec!["(a)(b)", "(b)(c)"]);
+    }
+
+    #[test]
+    fn constrained_support_counts() {
+        let db = crate::database::SequenceDatabase::from_parsed(&[
+            "(a)(b)",
+            "(a)(x)(x)(b)",
+            "(a)(x)(b)",
+        ])
+        .unwrap();
+        let pat = seq("(a)(b)");
+        assert_eq!(support_count_with(&db, &pat, &TimeConstraints::none()), 3);
+        let c = TimeConstraints { max_gap: Some(2), ..Default::default() };
+        assert_eq!(support_count_with(&db, &pat, &c), 2);
+        let c = TimeConstraints { min_gap: Some(1), ..Default::default() };
+        assert_eq!(support_count_with(&db, &pat, &c), 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! The [`SequenceDatabase`]: a collection of customer sequences.
+
+use crate::error::ParseError;
+use crate::item::Item;
+use crate::parse::parse_sequence;
+use crate::sequence::Sequence;
+use std::fmt;
+
+/// A customer identifier. Purely informational: miners identify customers by
+/// database index; CIDs survive into output for traceability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CustomerId(pub u64);
+
+impl fmt::Display for CustomerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One database row: a customer and their transaction history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CustomerSequence {
+    /// The customer id.
+    pub cid: CustomerId,
+    /// The ordered transaction history.
+    pub sequence: Sequence,
+}
+
+/// A database of customer sequences — the input of every miner.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SequenceDatabase {
+    rows: Vec<CustomerSequence>,
+}
+
+/// Aggregate shape statistics of a database, for workload reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatabaseStats {
+    /// Number of customer sequences.
+    pub customers: usize,
+    /// Mean transactions per customer (the paper's `slen` / θ).
+    pub avg_transactions: f64,
+    /// Mean items per transaction (the paper's `tlen`).
+    pub avg_items_per_transaction: f64,
+    /// Total item occurrences.
+    pub total_items: usize,
+    /// Number of distinct items present.
+    pub distinct_items: usize,
+}
+
+impl SequenceDatabase {
+    /// An empty database.
+    pub fn new() -> SequenceDatabase {
+        SequenceDatabase::default()
+    }
+
+    /// Builds from `(cid, sequence)` pairs.
+    pub fn from_rows(rows: impl IntoIterator<Item = (CustomerId, Sequence)>) -> SequenceDatabase {
+        SequenceDatabase {
+            rows: rows
+                .into_iter()
+                .map(|(cid, sequence)| CustomerSequence { cid, sequence })
+                .collect(),
+        }
+    }
+
+    /// Builds from bare sequences, assigning CIDs 1, 2, 3, … like the paper's
+    /// tables.
+    pub fn from_sequences(seqs: impl IntoIterator<Item = Sequence>) -> SequenceDatabase {
+        SequenceDatabase {
+            rows: seqs
+                .into_iter()
+                .enumerate()
+                .map(|(i, sequence)| CustomerSequence {
+                    cid: CustomerId(i as u64 + 1),
+                    sequence,
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds from textual sequences in the paper's notation, assigning CIDs
+    /// 1, 2, 3, …
+    pub fn from_parsed(texts: &[&str]) -> Result<SequenceDatabase, ParseError> {
+        let seqs: Result<Vec<Sequence>, ParseError> =
+            texts.iter().map(|t| parse_sequence(t)).collect();
+        Ok(SequenceDatabase::from_sequences(seqs?))
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, cid: CustomerId, sequence: Sequence) {
+        self.rows.push(CustomerSequence { cid, sequence });
+    }
+
+    /// Number of customer sequences.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the database has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows, in insertion order.
+    #[inline]
+    pub fn rows(&self) -> &[CustomerSequence] {
+        &self.rows
+    }
+
+    /// The `i`-th customer's sequence.
+    #[inline]
+    pub fn sequence(&self, i: usize) -> &Sequence {
+        &self.rows[i].sequence
+    }
+
+    /// Iterates the sequences.
+    pub fn sequences(&self) -> impl Iterator<Item = &Sequence> {
+        self.rows.iter().map(|r| &r.sequence)
+    }
+
+    /// Largest item id present, if any.
+    pub fn max_item(&self) -> Option<Item> {
+        self.sequences()
+            .flat_map(|s| s.itemsets().iter().map(crate::itemset::Itemset::max_item))
+            .max()
+    }
+
+    /// Aggregate shape statistics.
+    pub fn stats(&self) -> DatabaseStats {
+        let customers = self.rows.len();
+        let total_txns: usize = self.sequences().map(Sequence::n_transactions).sum();
+        let total_items: usize = self.sequences().map(Sequence::length).sum();
+        let mut items: Vec<Item> = self
+            .sequences()
+            .flat_map(|s| s.itemsets().iter().flat_map(|set| set.iter()))
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        DatabaseStats {
+            customers,
+            avg_transactions: if customers == 0 {
+                0.0
+            } else {
+                total_txns as f64 / customers as f64
+            },
+            avg_items_per_transaction: if total_txns == 0 {
+                0.0
+            } else {
+                total_items as f64 / total_txns as f64
+            },
+            total_items,
+            distinct_items: items.len(),
+        }
+    }
+
+    /// Serializes to the line format `cid: (a, b)(c)`.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for row in &self.rows {
+            writeln!(out, "{}: {}", row.cid, row.sequence).expect("string write");
+        }
+        out
+    }
+
+    /// Parses the line format produced by [`SequenceDatabase::to_text`].
+    /// Blank lines and lines starting with `#` are skipped.
+    pub fn from_text(text: &str) -> Result<SequenceDatabase, ParseError> {
+        let mut rows = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (cid_part, seq_part) = line.split_once(':').ok_or_else(|| ParseError::BadLine {
+                line: lineno + 1,
+                reason: "missing `cid:` prefix".into(),
+            })?;
+            let cid: u64 = cid_part.trim().parse().map_err(|_| ParseError::BadLine {
+                line: lineno + 1,
+                reason: format!("bad customer id {cid_part:?}"),
+            })?;
+            rows.push((CustomerId(cid), parse_sequence(seq_part)?));
+        }
+        Ok(SequenceDatabase::from_rows(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> SequenceDatabase {
+        SequenceDatabase::from_parsed(&[
+            "(a,e,g)(b)(h)(f)(c)(b,f)",
+            "(b)(d,f)(e)",
+            "(b,f,g)",
+            "(f)(a,g)(b,f,h)(b,f)",
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_assigns_cids() {
+        let db = table1();
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.rows()[0].cid, CustomerId(1));
+        assert_eq!(db.rows()[3].cid, CustomerId(4));
+    }
+
+    #[test]
+    fn stats_summarize_shape() {
+        let db = table1();
+        let stats = db.stats();
+        assert_eq!(stats.customers, 4);
+        assert_eq!(stats.total_items, 9 + 4 + 3 + 8);
+        assert_eq!(stats.distinct_items, 8); // a..h
+        assert!((stats.avg_transactions - 14.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let db = table1();
+        let text = db.to_text();
+        let back = SequenceDatabase::from_text(&text).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn from_text_skips_comments_and_blanks() {
+        let db = SequenceDatabase::from_text("# header\n\n7: (a)(b)\n").unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.rows()[0].cid, CustomerId(7));
+    }
+
+    #[test]
+    fn from_text_rejects_bad_lines() {
+        assert!(SequenceDatabase::from_text("(a)(b)").is_err());
+        assert!(SequenceDatabase::from_text("x: (a)").is_err());
+    }
+
+    #[test]
+    fn max_item_across_rows() {
+        let db = table1();
+        assert_eq!(db.max_item(), Some(Item::from_letter('h').unwrap()));
+        assert_eq!(SequenceDatabase::new().max_item(), None);
+    }
+}

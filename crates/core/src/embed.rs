@@ -1,0 +1,185 @@
+//! Subsequence containment and leftmost embeddings.
+//!
+//! A sequence `A = <A₁…Aₙ>` is contained in `B = <B₁…Bₘ>` when there are
+//! transaction indices `j₁ < j₂ < … < jₙ` with `Aᵢ ⊆ B_{jᵢ}`. The *leftmost*
+//! embedding is the one produced by greedily matching each pattern itemset in
+//! the earliest possible transaction; the exchange argument shows it exists
+//! whenever any embedding does, and that it minimizes every `jᵢ`
+//! simultaneously — in particular the *matching point* (the position of the
+//! pattern's last item), which is what the Apriori-KMS algorithm (Fig. 5)
+//! relies on.
+
+use crate::itemset::Itemset;
+use crate::sequence::Sequence;
+
+/// Where the leftmost embedding of a pattern ends inside a customer sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchPoint {
+    /// Index (0-based) of the transaction matching the pattern's last itemset.
+    pub txn: usize,
+    /// Index within that transaction of the item matching the pattern's last
+    /// flattened item (the max item of the last pattern itemset).
+    pub item_idx: usize,
+}
+
+/// Finds the earliest transaction of `hay` at index `>= from` containing
+/// `needle` as a subset.
+fn find_txn_containing(hay: &Sequence, from: usize, needle: &Itemset) -> Option<usize> {
+    hay.itemsets()
+        .iter()
+        .enumerate()
+        .skip(from)
+        .find(|(_, set)| needle.is_subset_of(set))
+        .map(|(t, _)| t)
+}
+
+/// Tests whether `pat ⊆ hay` (the paper's "contains"/"supports" relation).
+///
+/// The empty pattern is contained in everything.
+///
+/// ```
+/// use disc_core::{contains, parse_sequence};
+/// let hay = parse_sequence("(a,e,g)(b)(h)(f)(c)(b,f)").unwrap();
+/// assert!(contains(&hay, &parse_sequence("(a,g)(b)(f)").unwrap()));
+/// assert!(!contains(&hay, &parse_sequence("(b)(a)").unwrap()));
+/// ```
+pub fn contains(hay: &Sequence, pat: &Sequence) -> bool {
+    leftmost_embedding(hay, pat).is_some()
+}
+
+/// Computes the leftmost embedding of `pat` in `hay`: the transaction index
+/// matched by each pattern itemset, or `None` when `pat ⊄ hay`.
+pub fn leftmost_embedding(hay: &Sequence, pat: &Sequence) -> Option<Vec<usize>> {
+    let mut out = Vec::with_capacity(pat.n_transactions());
+    let mut from = 0usize;
+    for set in pat.itemsets() {
+        let t = find_txn_containing(hay, from, set)?;
+        out.push(t);
+        from = t + 1;
+    }
+    Some(out)
+}
+
+/// The matching point of the leftmost embedding (Fig. 5, step 5): the
+/// position in `hay` of the pattern's last flattened item.
+///
+/// Returns `None` when `pat ⊄ hay` or when `pat` is empty.
+pub fn leftmost_match_end(hay: &Sequence, pat: &Sequence) -> Option<MatchPoint> {
+    let embedding = leftmost_embedding(hay, pat)?;
+    let &txn = embedding.last()?;
+    let last_item = pat.last_itemset()?.max_item();
+    let item_idx = hay
+        .itemset(txn)
+        .as_slice()
+        .binary_search(&last_item)
+        .expect("embedding guarantees membership");
+    Some(MatchPoint { txn, item_idx })
+}
+
+/// The transaction index where the leftmost embedding of `pat` ends, or
+/// `None` when not contained. For the empty pattern this is a virtual
+/// position before the first transaction, encoded as `None` ↦ callers treat
+/// the empty pattern specially via [`leftmost_end_txn_or_start`].
+pub fn leftmost_end_txn(hay: &Sequence, pat: &Sequence) -> Option<usize> {
+    leftmost_embedding(hay, pat).and_then(|e| e.last().copied())
+}
+
+/// Like [`leftmost_end_txn`], but maps the empty pattern to "ends before
+/// transaction 0" (`Some(usize::MAX)` would be wrong; we return an
+/// `EmbeddingEnd` instead).
+pub fn leftmost_end_txn_or_start(hay: &Sequence, pat: &Sequence) -> Option<EmbeddingEnd> {
+    if pat.is_empty() {
+        return Some(EmbeddingEnd::BeforeStart);
+    }
+    leftmost_end_txn(hay, pat).map(EmbeddingEnd::At)
+}
+
+/// Where an embedding of a (possibly empty) pattern ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmbeddingEnd {
+    /// The empty pattern "ends" before the first transaction, so the next
+    /// pattern itemset may match any transaction.
+    BeforeStart,
+    /// The last pattern itemset matched this transaction index.
+    At(usize),
+}
+
+impl EmbeddingEnd {
+    /// First transaction index a *strictly later* itemset may match.
+    pub fn next_txn(self) -> usize {
+        match self {
+            EmbeddingEnd::BeforeStart => 0,
+            EmbeddingEnd::At(t) => t + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_sequence;
+
+    fn seq(s: &str) -> Sequence {
+        parse_sequence(s).unwrap()
+    }
+
+    #[test]
+    fn containment_basics() {
+        let hay = seq("(a,e,g)(b)(h)(f)(c)(b,f)");
+        assert!(contains(&hay, &seq("(a)(b)(b)")));
+        assert!(contains(&hay, &seq("(a,g)(h)(f)")));
+        assert!(contains(&hay, &seq("(e)(b,f)")));
+        assert!(!contains(&hay, &seq("(b)(a)")));
+        assert!(!contains(&hay, &seq("(a,b)")));
+        assert!(contains(&hay, &Sequence::empty()));
+    }
+
+    #[test]
+    fn itemsets_must_match_distinct_transactions() {
+        let hay = seq("(a,b)");
+        assert!(contains(&hay, &seq("(a,b)")));
+        assert!(!contains(&hay, &seq("(a)(b)")));
+    }
+
+    #[test]
+    fn leftmost_embedding_is_greedy() {
+        // CID 4 of Table 1: (f)(a,g)(b,f,h)(b,f); pattern <(b)(b)> embeds at txns 2,3.
+        let hay = seq("(f)(a,g)(b,f,h)(b,f)");
+        assert_eq!(leftmost_embedding(&hay, &seq("(b)(b)")), Some(vec![2, 3]));
+        assert_eq!(leftmost_embedding(&hay, &seq("(f)(f)(f)")), Some(vec![0, 2, 3]));
+        assert_eq!(leftmost_embedding(&hay, &seq("(a,g)(b,f)")), Some(vec![1, 2]));
+        assert_eq!(leftmost_embedding(&hay, &seq("(h)(h)")), None);
+    }
+
+    #[test]
+    fn match_end_points_at_last_pattern_item() {
+        // Example 3.3: matching <(a)(a,g)> on (a)(a,g,h)(c): matching point is
+        // item g in the second transaction (index 1, item index 1).
+        let hay = seq("(a)(a,g,h)(c)");
+        let mp = leftmost_match_end(&hay, &seq("(a)(a,g)")).unwrap();
+        assert_eq!(mp, MatchPoint { txn: 1, item_idx: 1 });
+
+        // No match of <(a)(a,e)> on CID 1.
+        assert_eq!(leftmost_match_end(&hay, &seq("(a)(a,e)")), None);
+    }
+
+    #[test]
+    fn match_end_of_empty_pattern_is_none() {
+        let hay = seq("(a)(b)");
+        assert_eq!(leftmost_match_end(&hay, &Sequence::empty()), None);
+        assert_eq!(
+            leftmost_end_txn_or_start(&hay, &Sequence::empty()),
+            Some(EmbeddingEnd::BeforeStart)
+        );
+    }
+
+    #[test]
+    fn greedy_minimizes_end_transaction() {
+        // <(b,f)> occurs in txns 2 and 3; leftmost must pick 2.
+        let hay = seq("(f)(a,g)(b,f,h)(b,f)");
+        assert_eq!(leftmost_end_txn(&hay, &seq("(b,f)")), Some(2));
+        let mp = leftmost_match_end(&hay, &seq("(b,f)")).unwrap();
+        assert_eq!(mp.txn, 2);
+        assert_eq!(mp.item_idx, 1); // f within (b,f,h)
+    }
+}

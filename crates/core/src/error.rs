@@ -1,0 +1,56 @@
+//! Error types for parsing sequences and databases.
+
+use std::fmt;
+
+/// An error produced while parsing a sequence or database from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// An unexpected character at the given byte offset.
+    UnexpectedChar {
+        /// Byte offset in the input.
+        offset: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// Input ended inside a transaction.
+    UnexpectedEnd,
+    /// A transaction was empty (`()`).
+    EmptyItemset {
+        /// Byte offset of the closing parenthesis.
+        offset: usize,
+    },
+    /// A numeric item id overflowed `u32`.
+    ItemOverflow {
+        /// Byte offset where the number starts.
+        offset: usize,
+    },
+    /// A database line was malformed (missing `cid:` prefix or bad id).
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedChar { offset, found } => {
+                write!(f, "unexpected character {found:?} at byte {offset}")
+            }
+            ParseError::UnexpectedEnd => write!(f, "input ended inside a transaction"),
+            ParseError::EmptyItemset { offset } => {
+                write!(f, "empty transaction at byte {offset}")
+            }
+            ParseError::ItemOverflow { offset } => {
+                write!(f, "item id at byte {offset} does not fit in u32")
+            }
+            ParseError::BadLine { line, reason } => {
+                write!(f, "bad database line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

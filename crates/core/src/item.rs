@@ -1,0 +1,98 @@
+//! The [`Item`] identifier type.
+
+use std::fmt;
+
+/// An item identifier.
+///
+/// Items are totally ordered by their numeric id; the paper's "alphabetical
+/// order" on items is exactly this order (the worked examples map `a` to 0,
+/// `b` to 1, and so on — see [`Item::from_letter`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Item(pub u32);
+
+impl Item {
+    /// Builds the item corresponding to a lowercase ASCII letter, so the
+    /// paper's examples (`a`, `b`, …) can be written literally.
+    ///
+    /// ```
+    /// use disc_core::Item;
+    /// assert_eq!(Item::from_letter('a'), Some(Item(0)));
+    /// assert_eq!(Item::from_letter('z'), Some(Item(25)));
+    /// assert_eq!(Item::from_letter('A'), None);
+    /// ```
+    pub fn from_letter(c: char) -> Option<Item> {
+        if c.is_ascii_lowercase() {
+            Some(Item(c as u32 - 'a' as u32))
+        } else {
+            None
+        }
+    }
+
+    /// The inverse of [`Item::from_letter`]: the letter for items 0–25.
+    pub fn as_letter(self) -> Option<char> {
+        if self.0 < 26 {
+            Some((b'a' + self.0 as u8) as char)
+        } else {
+            None
+        }
+    }
+
+    /// Raw numeric id.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for Item {
+    fn from(v: u32) -> Self {
+        Item(v)
+    }
+}
+
+impl fmt::Display for Item {
+    /// Items 0–25 display as letters (matching the paper's examples); larger
+    /// ids display numerically.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.as_letter() {
+            Some(c) => write!(f, "{c}"),
+            None => write!(f, "{}", self.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letter_roundtrip() {
+        for c in 'a'..='z' {
+            let item = Item::from_letter(c).unwrap();
+            assert_eq!(item.as_letter(), Some(c));
+            assert_eq!(item.to_string(), c.to_string());
+        }
+    }
+
+    #[test]
+    fn non_letters_rejected() {
+        assert_eq!(Item::from_letter('A'), None);
+        assert_eq!(Item::from_letter('0'), None);
+        assert_eq!(Item::from_letter('{'), None);
+    }
+
+    #[test]
+    fn large_items_display_numerically() {
+        assert_eq!(Item(26).to_string(), "26");
+        assert_eq!(Item(999).to_string(), "999");
+        assert_eq!(Item(25).to_string(), "z");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Item(0) < Item(1));
+        assert!(Item::from_letter('a').unwrap() < Item::from_letter('b').unwrap());
+        assert!(Item(25) < Item(26));
+    }
+}

@@ -1,0 +1,235 @@
+//! The [`Itemset`] type: one transaction's set of items.
+
+use crate::item::Item;
+use std::fmt;
+
+/// A non-empty, sorted, duplicate-free set of items — one transaction.
+///
+/// The sorted invariant is what makes the paper's flattened
+/// `(item, transaction-number)` representation well-defined: within a
+/// transaction, items are enumerated in ascending (alphabetical) order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Itemset(Vec<Item>);
+
+impl Itemset {
+    /// Builds an itemset from arbitrary items, sorting and deduplicating.
+    ///
+    /// Returns `None` for an empty input: empty transactions are not part of
+    /// the model.
+    pub fn new(items: impl IntoIterator<Item = Item>) -> Option<Itemset> {
+        let mut v: Vec<Item> = items.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        if v.is_empty() {
+            None
+        } else {
+            Some(Itemset(v))
+        }
+    }
+
+    /// Builds a singleton itemset.
+    pub fn single(item: Item) -> Itemset {
+        Itemset(vec![item])
+    }
+
+    /// Builds from a vector that is already sorted and duplicate-free.
+    ///
+    /// This is the hot-path constructor used by the miners; the invariant is
+    /// checked in debug builds only.
+    pub fn from_sorted(items: Vec<Item>) -> Itemset {
+        debug_assert!(!items.is_empty(), "itemsets must be non-empty");
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "itemsets must be sorted and duplicate-free: {items:?}"
+        );
+        Itemset(items)
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Itemsets are never empty, but `clippy` insists on the pair.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, item: Item) -> bool {
+        self.0.binary_search(&item).is_ok()
+    }
+
+    /// `self ⊆ other`, via a linear merge over the two sorted slices.
+    pub fn is_subset_of(&self, other: &Itemset) -> bool {
+        is_sorted_subset(&self.0, &other.0)
+    }
+
+    /// Iterates the items in ascending order.
+    #[inline]
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Item>> {
+        self.0.iter().copied()
+    }
+
+    /// The sorted items as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Item] {
+        &self.0
+    }
+
+    /// Smallest item.
+    #[inline]
+    pub fn min_item(&self) -> Item {
+        self.0[0]
+    }
+
+    /// Largest item (the "last item" in the flattened representation).
+    #[inline]
+    pub fn max_item(&self) -> Item {
+        *self.0.last().expect("itemsets are non-empty")
+    }
+
+    /// Returns a copy extended with `item`, which must be larger than
+    /// [`Itemset::max_item`] so the extension appends at the end of the
+    /// flattened representation (the itemset-extension used throughout the
+    /// paper's algorithms).
+    pub fn extended_with(&self, item: Item) -> Itemset {
+        debug_assert!(
+            item > self.max_item(),
+            "itemset extension must append past the max item"
+        );
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(item);
+        Itemset(v)
+    }
+
+    /// Returns a copy with `item` inserted at its sorted position (no-op when
+    /// already present).
+    pub fn inserted(&self, item: Item) -> Itemset {
+        match self.0.binary_search(&item) {
+            Ok(_) => self.clone(),
+            Err(pos) => {
+                let mut v = self.0.clone();
+                v.insert(pos, item);
+                Itemset(v)
+            }
+        }
+    }
+
+    /// Retains only items satisfying the predicate; returns `None` when
+    /// nothing survives.
+    pub fn filtered(&self, mut keep: impl FnMut(Item) -> bool) -> Option<Itemset> {
+        let v: Vec<Item> = self.0.iter().copied().filter(|&i| keep(i)).collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(Itemset(v))
+        }
+    }
+}
+
+/// `a ⊆ b` for sorted duplicate-free slices.
+pub(crate) fn is_sorted_subset(a: &[Item], b: &[Item]) -> bool {
+    let mut bi = b.iter();
+    'outer: for x in a {
+        for y in bi.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+impl fmt::Display for Itemset {
+    /// Formats like the paper: `(a, e, g)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, item) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<'a> IntoIterator for &'a Itemset {
+    type Item = Item;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Item>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn its(s: &str) -> Itemset {
+        Itemset::new(s.chars().map(|c| Item::from_letter(c).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let set = Itemset::new([Item(3), Item(1), Item(3), Item(2)]).unwrap();
+        assert_eq!(set.as_slice(), &[Item(1), Item(2), Item(3)]);
+        assert!(Itemset::new([]).is_none());
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(its("gea").to_string(), "(a, e, g)");
+        assert_eq!(Itemset::single(Item(1)).to_string(), "(b)");
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(its("ag").is_subset_of(&its("aeg")));
+        assert!(its("a").is_subset_of(&its("a")));
+        assert!(!its("ab").is_subset_of(&its("aeg")));
+        assert!(!its("aeg").is_subset_of(&its("ag")));
+        assert!(its("g").is_subset_of(&its("aeg")));
+    }
+
+    #[test]
+    fn min_max_and_extension() {
+        let set = its("be");
+        assert_eq!(set.min_item(), Item::from_letter('b').unwrap());
+        assert_eq!(set.max_item(), Item::from_letter('e').unwrap());
+        let ext = set.extended_with(Item::from_letter('h').unwrap());
+        assert_eq!(ext.to_string(), "(b, e, h)");
+    }
+
+    #[test]
+    fn inserted_keeps_sorted() {
+        let set = its("bh");
+        assert_eq!(set.inserted(Item::from_letter('e').unwrap()).to_string(), "(b, e, h)");
+        assert_eq!(set.inserted(Item::from_letter('b').unwrap()).to_string(), "(b, h)");
+        assert_eq!(set.inserted(Item::from_letter('a').unwrap()).to_string(), "(a, b, h)");
+    }
+
+    #[test]
+    fn filtered_drops_items() {
+        let set = its("aeg");
+        let f = set.filtered(|i| i != Item::from_letter('e').unwrap()).unwrap();
+        assert_eq!(f.to_string(), "(a, g)");
+        assert!(set.filtered(|_| false).is_none());
+    }
+
+    #[test]
+    fn contains_uses_order() {
+        let set = its("aeg");
+        assert!(set.contains(Item::from_letter('e').unwrap()));
+        assert!(!set.contains(Item::from_letter('b').unwrap()));
+    }
+}

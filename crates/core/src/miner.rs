@@ -1,0 +1,38 @@
+//! The [`SequentialMiner`] trait implemented by every algorithm in the
+//! workspace.
+
+use crate::database::SequenceDatabase;
+use crate::result::MiningResult;
+use crate::support::MinSupport;
+
+/// A frequent-sequence mining algorithm.
+///
+/// Every miner — DISC-all, Dynamic DISC-all, PrefixSpan, Pseudo, GSP, SPADE,
+/// SPAM, and the brute-force reference — implements this trait and returns
+/// the *complete* set of frequent sequences with *exact* support counts, so
+/// results are directly comparable.
+pub trait SequentialMiner {
+    /// A short, stable name for reports ("DISC-all", "PrefixSpan", …).
+    fn name(&self) -> &str;
+
+    /// Mines all frequent sequences of `db` at threshold `min_support`.
+    fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult;
+}
+
+impl<M: SequentialMiner + ?Sized> SequentialMiner for &M {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
+        (**self).mine(db, min_support)
+    }
+}
+
+impl<M: SequentialMiner + ?Sized> SequentialMiner for Box<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
+        (**self).mine(db, min_support)
+    }
+}

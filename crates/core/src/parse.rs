@@ -1,0 +1,180 @@
+//! Text parsing for sequences, in the paper's notation.
+//!
+//! A sequence is written as a run of parenthesized transactions, items
+//! separated by commas: `(a, e, g)(b)(h)`. Items are either single lowercase
+//! letters (`a` ↦ 0 … `z` ↦ 25, as in the paper's examples) or decimal
+//! numbers (for generated datasets): `(0, 4, 6)(1)(7)` parses to the same
+//! sequence. Whitespace between tokens is ignored. Underscores (the paper's
+//! projected-database placeholders) are rejected — projections are a runtime
+//! concept, not part of the data model.
+
+use crate::error::ParseError;
+use crate::item::Item;
+use crate::itemset::Itemset;
+use crate::sequence::Sequence;
+
+/// Parses a single item token: a lowercase letter or a decimal number.
+pub fn parse_item(s: &str) -> Option<Item> {
+    let s = s.trim();
+    let mut chars = s.chars();
+    match (chars.next(), chars.next()) {
+        (Some(c), None) if c.is_ascii_lowercase() => Item::from_letter(c),
+        _ => s.parse::<u32>().ok().map(Item),
+    }
+}
+
+/// Parses a sequence like `(a, e, g)(b)(h)` or `(10, 42)(7)`.
+///
+/// The empty string parses to the empty sequence.
+///
+/// ```
+/// use disc_core::parse_sequence;
+/// let s = parse_sequence("(a, e, g)(b)(h)").unwrap();
+/// assert_eq!(s.to_string(), "(a, e, g)(b)(h)");
+/// assert_eq!(s, parse_sequence("(0,4,6)(1)(7)").unwrap());
+/// ```
+pub fn parse_sequence(input: &str) -> Result<Sequence, ParseError> {
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut itemsets: Vec<Itemset> = Vec::new();
+
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && (bytes[*i] as char).is_whitespace() {
+            *i += 1;
+        }
+    };
+
+    skip_ws(&mut i);
+    while i < bytes.len() {
+        if bytes[i] != b'(' {
+            return Err(ParseError::UnexpectedChar {
+                offset: i,
+                found: bytes[i] as char,
+            });
+        }
+        i += 1;
+        let mut items: Vec<Item> = Vec::new();
+        loop {
+            skip_ws(&mut i);
+            if i >= bytes.len() {
+                return Err(ParseError::UnexpectedEnd);
+            }
+            match bytes[i] {
+                b')' => {
+                    if items.is_empty() {
+                        return Err(ParseError::EmptyItemset { offset: i });
+                    }
+                    i += 1;
+                    break;
+                }
+                b',' => {
+                    i += 1;
+                }
+                c if (c as char).is_ascii_lowercase() => {
+                    items.push(Item::from_letter(c as char).expect("checked lowercase"));
+                    i += 1;
+                }
+                c if c.is_ascii_digit() => {
+                    let start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let num: u32 = input[start..i]
+                        .parse()
+                        .map_err(|_| ParseError::ItemOverflow { offset: start })?;
+                    items.push(Item(num));
+                }
+                c => {
+                    return Err(ParseError::UnexpectedChar {
+                        offset: i,
+                        found: c as char,
+                    })
+                }
+            }
+        }
+        itemsets.push(Itemset::new(items).expect("non-empty checked above"));
+        skip_ws(&mut i);
+    }
+    Ok(Sequence::new(itemsets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_notation() {
+        let s = parse_sequence("(a,e,g)(b)(h)(f)(c)(b,f)").unwrap();
+        assert_eq!(s.n_transactions(), 6);
+        assert_eq!(s.length(), 9);
+        assert_eq!(s.to_string(), "(a, e, g)(b)(h)(f)(c)(b, f)");
+    }
+
+    #[test]
+    fn parses_numeric_items() {
+        let s = parse_sequence("(10, 2)(7)").unwrap();
+        assert_eq!(s.itemset(0).as_slice(), &[Item(2), Item(10)]);
+        assert_eq!(s.itemset(1).as_slice(), &[Item(7)]);
+    }
+
+    #[test]
+    fn letters_and_numbers_agree() {
+        assert_eq!(
+            parse_sequence("(a, c)(z)").unwrap(),
+            parse_sequence("(0, 2)(25)").unwrap()
+        );
+    }
+
+    #[test]
+    fn tolerates_whitespace() {
+        assert_eq!(
+            parse_sequence("  ( a , b ) ( c )  ").unwrap(),
+            parse_sequence("(a,b)(c)").unwrap()
+        );
+    }
+
+    #[test]
+    fn unsorted_input_is_normalized() {
+        // The paper writes <(a,c,d)(d,b)>; itemsets are sets so (d,b) = (b,d).
+        let s = parse_sequence("(a,c,d)(d,b)").unwrap();
+        assert_eq!(s.to_string(), "(a, c, d)(b, d)");
+    }
+
+    #[test]
+    fn empty_string_is_empty_sequence() {
+        assert!(parse_sequence("").unwrap().is_empty());
+        assert!(parse_sequence("   ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse_sequence("(a)("),
+            Err(ParseError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            parse_sequence("()"),
+            Err(ParseError::EmptyItemset { .. })
+        ));
+        assert!(matches!(
+            parse_sequence("a)"),
+            Err(ParseError::UnexpectedChar { offset: 0, .. })
+        ));
+        assert!(matches!(
+            parse_sequence("(a)(_, b)"),
+            Err(ParseError::UnexpectedChar { .. })
+        ));
+        assert!(matches!(
+            parse_sequence("(99999999999)"),
+            Err(ParseError::ItemOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_item_tokens() {
+        assert_eq!(parse_item("a"), Some(Item(0)));
+        assert_eq!(parse_item(" 42 "), Some(Item(42)));
+        assert_eq!(parse_item("ab"), None);
+        assert_eq!(parse_item(""), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Support counting and the [`MinSupport`] threshold.
+
+use crate::database::SequenceDatabase;
+use crate::embed::contains;
+use crate::sequence::Sequence;
+
+/// The minimum support threshold δ.
+///
+/// Following the paper's experiments, a *fractional* threshold is resolved
+/// against the database size: δ = ⌈fraction · |DB|⌉ (at least 1). A sequence
+/// is **frequent** iff its support count is ≥ δ — this is the reading the
+/// paper's own worked examples use (Figure 3: with δ = 3, `<(a)(c)>` with
+/// support 4 is frequent while `<(a c)>` with support 2 is not).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MinSupport {
+    /// An absolute minimum support count δ.
+    Count(u64),
+    /// A fraction of the database size (the "minimum support threshold" of
+    /// Section 4).
+    Fraction(f64),
+}
+
+impl MinSupport {
+    /// Resolves to an absolute count δ ≥ 1 for a database of `db_len`
+    /// customers.
+    pub fn resolve(self, db_len: usize) -> u64 {
+        match self {
+            MinSupport::Count(c) => c.max(1),
+            MinSupport::Fraction(f) => {
+                assert!(
+                    (0.0..=1.0).contains(&f),
+                    "support fraction must be in [0, 1], got {f}"
+                );
+                ((f * db_len as f64).ceil() as u64).max(1)
+            }
+        }
+    }
+}
+
+/// Counts the customer sequences of `db` containing `pattern`, by scanning.
+///
+/// This is the definitional support count; miners compute it by cleverer
+/// means and are tested against it.
+pub fn support_count(db: &SequenceDatabase, pattern: &Sequence) -> u64 {
+    db.sequences().filter(|s| contains(s, pattern)).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_sequence;
+
+    #[test]
+    fn resolve_count_floors_at_one() {
+        assert_eq!(MinSupport::Count(0).resolve(100), 1);
+        assert_eq!(MinSupport::Count(5).resolve(100), 5);
+    }
+
+    #[test]
+    fn resolve_fraction_takes_ceiling() {
+        assert_eq!(MinSupport::Fraction(0.0025).resolve(10_000), 25);
+        assert_eq!(MinSupport::Fraction(0.005).resolve(10_000), 50);
+        assert_eq!(MinSupport::Fraction(0.001).resolve(1_500), 2); // ceil(1.5)
+        assert_eq!(MinSupport::Fraction(0.0).resolve(100), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "support fraction")]
+    fn resolve_rejects_bad_fraction() {
+        MinSupport::Fraction(1.5).resolve(10);
+    }
+
+    #[test]
+    fn support_counts_by_containment() {
+        let db = SequenceDatabase::from_parsed(&[
+            "(a,e,g)(b)(h)(f)(c)(b,f)",
+            "(b)(d,f)(e)",
+            "(b,f,g)",
+            "(f)(a,g)(b,f,h)(b,f)",
+        ])
+        .unwrap();
+        // SPADE's example: <(a,g)(h)(f)> has support 2.
+        assert_eq!(support_count(&db, &parse_sequence("(a,g)(h)(f)").unwrap()), 2);
+        assert_eq!(support_count(&db, &parse_sequence("(b)").unwrap()), 4);
+        assert_eq!(support_count(&db, &parse_sequence("(b,f)").unwrap()), 3);
+        assert_eq!(support_count(&db, &parse_sequence("(x)").unwrap()), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Top-K frequent-sequence mining, as a wrapper over any
+//! [`SequentialMiner`].
+//!
+//! Instead of a support threshold, the caller asks for (at least) the `k`
+//! highest-support sequences of length ≥ `min_length`. The wrapper runs the
+//! underlying miner with a geometrically *descending* threshold until enough
+//! patterns surface, then reports every pattern whose support reaches the
+//! k-th highest (so ties at the cut are all included and the result is
+//! deterministic). This is the standard threshold-probing reduction — the
+//! miner itself needs no changes, and DISC's "no counting below the
+//! threshold" property makes the probing passes cheap.
+
+use crate::database::SequenceDatabase;
+use crate::miner::SequentialMiner;
+use crate::result::MiningResult;
+use crate::sequence::Sequence;
+use crate::support::MinSupport;
+
+/// Top-K mining over any base miner.
+///
+/// **Hazard:** when the database holds fewer than `k` qualifying patterns,
+/// probing descends all the way to δ = 1, where the frequent set (and the
+/// runtime) is exponential on non-trivial data. Keep `k` within the realistic
+/// pattern count, or bound the base miner (e.g. `BruteForce::with_max_length`).
+#[derive(Debug, Clone)]
+pub struct TopK<M> {
+    /// The underlying miner.
+    pub miner: M,
+    /// How many patterns to return (at least; support ties at the cut are
+    /// kept).
+    pub k: usize,
+    /// Only patterns of at least this length count toward `k` (1 = all;
+    /// 2 skips the usually-uninteresting single items).
+    pub min_length: usize,
+}
+
+impl<M: SequentialMiner> TopK<M> {
+    /// A top-`k` wrapper counting patterns of any length.
+    pub fn new(miner: M, k: usize) -> TopK<M> {
+        TopK { miner, k, min_length: 1 }
+    }
+
+    /// Mines the top-k patterns of `db`. Returns fewer than `k` only when
+    /// the database does not contain that many distinct sequences of the
+    /// requested minimum length.
+    pub fn mine_top(&self, db: &SequenceDatabase) -> Vec<(Sequence, u64)> {
+        assert!(self.k >= 1 && self.min_length >= 1);
+        if db.is_empty() {
+            return Vec::new();
+        }
+        let mut delta = db.len() as u64;
+        let mut result: MiningResult;
+        loop {
+            result = self.miner.mine(db, MinSupport::Count(delta));
+            let qualifying = result
+                .iter()
+                .filter(|(p, _)| p.length() >= self.min_length)
+                .count();
+            if qualifying >= self.k || delta == 1 {
+                break;
+            }
+            // Geometric descent: few probing passes, each a superset of the
+            // previous result.
+            delta = (delta / 2).max(1);
+        }
+
+        let mut patterns: Vec<(Sequence, u64)> = result
+            .iter()
+            .filter(|(p, _)| p.length() >= self.min_length)
+            .map(|(p, s)| (p.clone(), s))
+            .collect();
+        // Highest support first; comparative order breaks ties stably.
+        patterns.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        if patterns.len() > self.k {
+            let cut = patterns[self.k - 1].1;
+            patterns.retain(|(_, s)| *s >= cut);
+        }
+        patterns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::BruteForce;
+    use crate::parse::parse_sequence;
+
+    fn db() -> SequenceDatabase {
+        SequenceDatabase::from_parsed(&[
+            "(a)(b)(c)",
+            "(a)(b)(c)",
+            "(a)(b)",
+            "(a)(c)",
+            "(a)",
+            "(d)",
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn returns_the_k_highest_supports() {
+        let top = TopK::new(BruteForce::default(), 3).mine_top(&db());
+        // Supports: (a):5, (b):3, (a)(b):3, (c):3, (a)(c):3, ... — the cut
+        // at k=3 is support 3, and every support-3 pattern is kept.
+        assert_eq!(top[0].0, parse_sequence("(a)").unwrap());
+        assert_eq!(top[0].1, 5);
+        assert!(top.len() >= 3);
+        assert!(top.iter().all(|(_, s)| *s >= 3));
+        // Nothing with support < cut leaks in.
+        assert!(!top.iter().any(|(p, _)| p == &parse_sequence("(d)").unwrap()));
+    }
+
+    #[test]
+    fn min_length_skips_singletons() {
+        let top = TopK { miner: BruteForce::default(), k: 2, min_length: 2 }.mine_top(&db());
+        assert!(top.iter().all(|(p, _)| p.length() >= 2));
+        assert_eq!(top[0].1, 3); // (a)(b) / (a)(c) / (b)(c) tie at 3
+    }
+
+    #[test]
+    fn k_larger_than_pattern_space() {
+        let small = SequenceDatabase::from_parsed(&["(a)(b)"]).unwrap();
+        let top = TopK::new(BruteForce::default(), 50).mine_top(&small);
+        assert_eq!(top.len(), 3); // (a), (b), (a)(b)
+        assert!(top.iter().all(|(_, s)| *s == 1));
+    }
+
+    #[test]
+    fn empty_database_yields_nothing() {
+        let top = TopK::new(BruteForce::default(), 5).mine_top(&SequenceDatabase::new());
+        assert!(top.is_empty());
+    }
+
+    #[test]
+    fn ties_at_the_cut_are_all_included() {
+        let db = SequenceDatabase::from_parsed(&["(a)", "(b)", "(a)", "(b)"]).unwrap();
+        let top = TopK::new(BruteForce::default(), 1).mine_top(&db);
+        assert_eq!(top.len(), 2, "both support-2 singletons share the cut");
+    }
+}

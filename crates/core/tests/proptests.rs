@@ -1,0 +1,168 @@
+//! Property tests for the core data model: the comparative order is a total
+//! order consistent with the flattened representation, k-minimum
+//! subsequences really are minima, and the brute-force miner is exactly the
+//! definitional frequent set.
+
+use disc_core::{
+    all_k_subsequences, contains, cmp_sequences, min_k_subsequence_naive, support_count,
+    BruteForce, Item, Itemset, MinSupport, Sequence, SequenceDatabase, SequentialMiner,
+};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+/// A random itemset over a small alphabet.
+fn arb_itemset(max_item: u32) -> impl Strategy<Value = Itemset> {
+    prop::collection::btree_set(0..max_item, 1..=3)
+        .prop_map(|s| Itemset::new(s.into_iter().map(Item)).expect("non-empty"))
+}
+
+/// A random sequence of 1..=4 transactions.
+fn arb_sequence(max_item: u32) -> impl Strategy<Value = Sequence> {
+    prop::collection::vec(arb_itemset(max_item), 1..=4).prop_map(Sequence::new)
+}
+
+/// A random tiny database.
+fn arb_db(max_item: u32, max_rows: usize) -> impl Strategy<Value = SequenceDatabase> {
+    prop::collection::vec(arb_sequence(max_item), 1..=max_rows)
+        .prop_map(SequenceDatabase::from_sequences)
+}
+
+/// Reference comparison: plain lexicographic order over the flattened pairs.
+fn cmp_flat(a: &Sequence, b: &Sequence) -> Ordering {
+    let fa: Vec<(Item, u32)> = a.flat_iter().collect();
+    let fb: Vec<(Item, u32)> = b.flat_iter().collect();
+    fa.cmp(&fb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn comparative_order_matches_flattened_lex(a in arb_sequence(6), b in arb_sequence(6)) {
+        prop_assert_eq!(cmp_sequences(&a, &b), cmp_flat(&a, &b));
+    }
+
+    #[test]
+    fn comparative_order_is_antisymmetric(a in arb_sequence(6), b in arb_sequence(6)) {
+        let ab = cmp_sequences(&a, &b);
+        let ba = cmp_sequences(&b, &a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Equal {
+            prop_assert_eq!(&a, &b); // equality in the order is structural equality
+        }
+    }
+
+    #[test]
+    fn comparative_order_is_transitive(
+        a in arb_sequence(4), b in arb_sequence(4), c in arb_sequence(4)
+    ) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(cmp_sequences(&v[0], &v[1]) != Ordering::Greater);
+        prop_assert!(cmp_sequences(&v[1], &v[2]) != Ordering::Greater);
+        prop_assert!(cmp_sequences(&v[0], &v[2]) != Ordering::Greater);
+    }
+
+    #[test]
+    fn enumerated_subsequences_are_contained(s in arb_sequence(5), k in 1usize..=3) {
+        for sub in all_k_subsequences(&s, k) {
+            prop_assert_eq!(sub.length(), k);
+            prop_assert!(contains(&s, &sub), "{} should contain {}", s, sub);
+        }
+    }
+
+    #[test]
+    fn k_minimum_is_the_minimum(s in arb_sequence(5), k in 1usize..=3) {
+        let subs = all_k_subsequences(&s, k);
+        let min = min_k_subsequence_naive(&s, k);
+        prop_assert_eq!(min.as_ref(), subs.iter().next());
+    }
+
+    #[test]
+    fn k_prefix_of_contained_pattern_is_contained(s in arb_sequence(5), k in 2usize..=3) {
+        // Anti-monotonicity of containment under prefixes (the property the
+        // Apriori pruning in KMS relies on).
+        for sub in all_k_subsequences(&s, k) {
+            prop_assert!(contains(&s, &sub.k_prefix(k - 1)));
+        }
+    }
+
+    #[test]
+    fn brute_force_equals_definitional_frequent_set(db in arb_db(4, 6), delta in 1u64..=3) {
+        let result = BruteForce::default().mine(&db, MinSupport::Count(delta));
+        // Soundness: every reported pattern has its definitional support.
+        for (p, s) in result.iter() {
+            prop_assert_eq!(s, support_count(&db, p));
+            prop_assert!(s >= delta);
+        }
+        // Completeness: every frequent subsequence (up to length 3) is found.
+        for k in 1usize..=3 {
+            let mut all = std::collections::BTreeSet::new();
+            for s in db.sequences() {
+                all.extend(all_k_subsequences(s, k));
+            }
+            for cand in all {
+                let sup = support_count(&db, &cand);
+                prop_assert_eq!(
+                    result.contains_pattern(&cand),
+                    sup >= delta,
+                    "{} support {} delta {}", cand, sup, delta
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn support_is_antimonotone(db in arb_db(4, 5), s in arb_sequence(4), k in 1usize..=3) {
+        for sub in all_k_subsequences(&s, k) {
+            if k >= 2 {
+                let prefix = sub.k_prefix(k - 1);
+                prop_assert!(support_count(&db, &prefix) >= support_count(&db, &sub));
+            }
+        }
+    }
+
+    #[test]
+    fn text_roundtrip(db in arb_db(30, 6)) {
+        let text = db.to_text();
+        let back = SequenceDatabase::from_text(&text).unwrap();
+        prop_assert_eq!(db, back);
+    }
+
+    #[test]
+    fn binary_codec_roundtrip(db in arb_db(5000, 8)) {
+        let bytes = disc_core::encode_database(&db);
+        let back = disc_core::decode_database(&bytes).unwrap();
+        prop_assert_eq!(db, back);
+    }
+
+    #[test]
+    fn binary_codec_rejects_mutations(db in arb_db(40, 4), flip in any::<(usize, u8)>()) {
+        // Any single-byte mutation either still decodes to SOME database or
+        // errors — it must never panic.
+        let mut bytes = disc_core::encode_database(&db);
+        if !bytes.is_empty() {
+            let pos = flip.0 % bytes.len();
+            bytes[pos] ^= flip.1 | 1;
+            let _ = disc_core::decode_database(&bytes);
+        }
+    }
+
+    #[test]
+    fn maximal_patterns_cover_result(db in arb_db(4, 6)) {
+        let result = BruteForce::default().mine(&db, MinSupport::Count(2));
+        let maximal = result.maximal_patterns();
+        for (p, _) in result.iter() {
+            prop_assert!(
+                maximal.iter().any(|(m, _)| contains(m, p)),
+                "{} not covered by any maximal pattern", p
+            );
+        }
+        // And maximal patterns are mutually incomparable.
+        for (i, (a, _)) in maximal.iter().enumerate() {
+            for (b, _) in maximal.iter().skip(i + 1) {
+                prop_assert!(!contains(a, b) && !contains(b, a));
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Generator configuration, mirroring the Quest command-line options.
+
+use crate::generate::generate_database;
+use disc_core::SequenceDatabase;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the Quest-style generator.
+///
+/// Field names follow the command options listed in Table 11 of the DISC
+/// paper; defaults follow the generator's documented defaults with the
+/// paper's self-tuned overrides available via [`QuestConfig::paper_table11`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QuestConfig {
+    /// `ncust` — number of customers (the paper sweeps 50K–500K).
+    pub ncust: usize,
+    /// `slen` — average number of transactions per customer (|C|, the θ of
+    /// Section 4.3).
+    pub slen: f64,
+    /// `tlen` — average number of items per transaction (|T|).
+    pub tlen: f64,
+    /// `nitems` — number of different items (N).
+    pub nitems: u32,
+    /// `seq.npats` — number of potentially frequent sequential patterns
+    /// (NS; generator default 5000).
+    pub npats: usize,
+    /// `seq.patlen` — average length (in itemsets) of the maximal patterns
+    /// (|S|).
+    pub patlen: f64,
+    /// `lit.npats` — number of potentially frequent itemsets (NI; generator
+    /// default 25000).
+    pub nlits: usize,
+    /// `lit.patlen` — average size of the potentially frequent itemsets
+    /// (|I|; generator default 1.25).
+    pub litlen: f64,
+    /// `lit.corr` — correlation between consecutive pool entries (default
+    /// 0.25).
+    pub corr: f64,
+    /// `lit.conf` — average corruption/confidence level (default 0.75): the
+    /// mean probability that a pattern item survives embedding.
+    pub conf: f64,
+    /// RNG seed; a given `(config, seed)` pair is fully deterministic.
+    pub seed: u64,
+}
+
+impl Default for QuestConfig {
+    /// Generator defaults (small `ncust` so accidental use stays cheap;
+    /// pools sized down proportionally to `nitems` as the original does for
+    /// small alphabets).
+    fn default() -> Self {
+        QuestConfig {
+            ncust: 1000,
+            slen: 10.0,
+            tlen: 2.5,
+            nitems: 10_000,
+            npats: 5000,
+            patlen: 4.0,
+            nlits: 25_000,
+            litlen: 1.25,
+            corr: 0.25,
+            conf: 0.75,
+            seed: 0,
+        }
+    }
+}
+
+impl QuestConfig {
+    /// The paper's Table 11 setting: `slen = 10`, `tlen = 2.5`,
+    /// `nitems = 1000`, `seq.patlen = 4`, other options at generator
+    /// defaults. `ncust` defaults to 10 000 (the Section 4.2 database);
+    /// the Figure 8 sweep overrides it.
+    pub fn paper_table11() -> QuestConfig {
+        QuestConfig {
+            ncust: 10_000,
+            slen: 10.0,
+            tlen: 2.5,
+            nitems: 1000,
+            npats: 5000,
+            patlen: 4.0,
+            nlits: 25_000,
+            litlen: 1.25,
+            corr: 0.25,
+            conf: 0.75,
+            seed: 1,
+        }
+    }
+
+    /// The Figure 9 / Tables 12–13 setting from Lesh–Zaki–Ogihara [8]:
+    /// `slen = tlen = seq.patlen = 8`, 10K customers.
+    pub fn paper_fig9() -> QuestConfig {
+        QuestConfig {
+            ncust: 10_000,
+            slen: 8.0,
+            tlen: 8.0,
+            patlen: 8.0,
+            ..QuestConfig::paper_table11()
+        }
+    }
+
+    /// The Section 4.3 setting: 50K customers, 1000 items, θ = `slen`
+    /// varying from 10 to 40.
+    pub fn paper_fig10(theta: f64) -> QuestConfig {
+        QuestConfig {
+            ncust: 50_000,
+            slen: theta,
+            ..QuestConfig::paper_table11()
+        }
+    }
+
+    /// Sets the number of customers.
+    pub fn with_ncust(mut self, ncust: usize) -> Self {
+        self.ncust = ncust;
+        self
+    }
+
+    /// Sets the average transactions per customer (θ).
+    pub fn with_slen(mut self, slen: f64) -> Self {
+        self.slen = slen;
+        self
+    }
+
+    /// Sets the average items per transaction.
+    pub fn with_tlen(mut self, tlen: f64) -> Self {
+        self.tlen = tlen;
+        self
+    }
+
+    /// Sets the number of distinct items.
+    pub fn with_nitems(mut self, nitems: u32) -> Self {
+        self.nitems = nitems;
+        self
+    }
+
+    /// Sets the average pattern length.
+    pub fn with_patlen(mut self, patlen: f64) -> Self {
+        self.patlen = patlen;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scales the pool sizes down for small experiments (e.g. property
+    /// tests): keeps proportions but caps `npats`/`nlits`.
+    pub fn with_pools(mut self, npats: usize, nlits: usize) -> Self {
+        self.npats = npats;
+        self.nlits = nlits;
+        self
+    }
+
+    /// Runs the generator, deterministically for the configured seed.
+    pub fn generate(&self) -> SequenceDatabase {
+        self.validate();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        generate_database(self, &mut rng)
+    }
+
+    fn validate(&self) {
+        assert!(self.nitems >= 1, "need at least one item");
+        assert!(self.slen > 0.0 && self.tlen > 0.0, "slen/tlen must be positive");
+        assert!(self.patlen > 0.0 && self.litlen > 0.0, "pattern sizes must be positive");
+        assert!((0.0..=1.0).contains(&self.corr), "corr must be a probability");
+        assert!((0.0..=1.0).contains(&self.conf), "conf must be a probability");
+        assert!(self.npats >= 1 && self.nlits >= 1, "pools must be non-empty");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_match_table_11() {
+        let c = QuestConfig::paper_table11();
+        assert_eq!(c.slen, 10.0);
+        assert_eq!(c.tlen, 2.5);
+        assert_eq!(c.nitems, 1000);
+        assert_eq!(c.patlen, 4.0);
+
+        let f9 = QuestConfig::paper_fig9();
+        assert_eq!((f9.slen, f9.tlen, f9.patlen), (8.0, 8.0, 8.0));
+        assert_eq!(f9.ncust, 10_000);
+
+        let f10 = QuestConfig::paper_fig10(25.0);
+        assert_eq!(f10.ncust, 50_000);
+        assert_eq!(f10.slen, 25.0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = QuestConfig::paper_table11()
+            .with_ncust(100)
+            .with_seed(7)
+            .with_nitems(50)
+            .with_pools(20, 40);
+        assert_eq!(c.ncust, 100);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.nitems, 50);
+        assert_eq!((c.npats, c.nlits), (20, 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "corr must be a probability")]
+    fn validation_rejects_bad_corr() {
+        let mut c = QuestConfig::paper_table11().with_ncust(1);
+        c.corr = 2.0;
+        c.generate();
+    }
+}

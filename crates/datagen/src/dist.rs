@@ -1,0 +1,151 @@
+//! Small sampling helpers: Poisson, exponential, Gaussian, and weighted
+//! choice. Implemented locally (Knuth/Box–Muller/inverse-CDF) so the crate
+//! depends only on `rand`'s uniform source.
+
+use rand::Rng;
+
+/// A Poisson sample with the given mean, via Knuth's product method.
+/// Suitable for the small means the generator uses (≤ ~40).
+pub fn poisson(rng: &mut impl Rng, mean: f64) -> usize {
+    debug_assert!(mean > 0.0 && mean < 100.0, "Knuth's method needs a small mean");
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// A Poisson sample clamped to at least 1 — transaction and pattern sizes
+/// are never zero.
+pub fn poisson_at_least_one(rng: &mut impl Rng, mean: f64) -> usize {
+    poisson(rng, mean).max(1)
+}
+
+/// An Exp(1) sample by inversion.
+pub fn exponential(rng: &mut impl Rng) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln()
+}
+
+/// A Gaussian sample via Box–Muller.
+pub fn gaussian(rng: &mut impl Rng, mean: f64, stddev: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + stddev * z
+}
+
+/// Cumulative-weight table for O(log n) weighted sampling.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds from positive weights (need not be normalized).
+    pub fn new(weights: &[f64]) -> WeightedIndex {
+        assert!(!weights.is_empty(), "weighted choice over nothing");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0f64;
+        for &w in weights {
+            debug_assert!(w >= 0.0, "negative weight");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "all weights zero");
+        WeightedIndex { cumulative }
+    }
+
+    /// Samples an index proportionally to its weight.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen::<f64>() * total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+
+    /// Number of alternatives.
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        for mean in [1.25f64, 2.5, 8.0, 25.0] {
+            let sum: usize = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let empirical = sum as f64 / n as f64;
+            assert!(
+                (empirical - mean).abs() < mean * 0.05 + 0.05,
+                "mean {mean}: empirical {empirical}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_at_least_one_floors() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..2000 {
+            assert!(poisson_at_least_one(&mut rng, 0.5) >= 1);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng)).sum();
+        assert!((sum / n as f64 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng, 0.75, 0.1)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.75).abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = WeightedIndex::new(&[1.0, 3.0, 0.0, 6.0]);
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero-weight index sampled");
+        let total = 20_000f64;
+        assert!((counts[0] as f64 / total - 0.1).abs() < 0.02);
+        assert!((counts[1] as f64 / total - 0.3).abs() < 0.02);
+        assert!((counts[3] as f64 / total - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "weighted choice over nothing")]
+    fn weighted_index_rejects_empty() {
+        WeightedIndex::new(&[]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Customer-sequence assembly: embedding weighted, corrupted patterns into
+//! Poisson-sized transaction skeletons.
+
+use crate::config::QuestConfig;
+use crate::dist::poisson_at_least_one;
+use crate::pools::{ItemsetPool, PatternPool};
+use disc_core::{CustomerId, Item, Itemset, Sequence, SequenceDatabase};
+use rand::Rng;
+
+/// Generates the whole database for a configuration.
+pub(crate) fn generate_database(cfg: &QuestConfig, rng: &mut impl Rng) -> SequenceDatabase {
+    let itemsets = ItemsetPool::build(cfg, rng);
+    let patterns = PatternPool::build(cfg, &itemsets, rng);
+    let mut db = SequenceDatabase::new();
+    for cid in 0..cfg.ncust {
+        let seq = generate_customer(cfg, &itemsets, &patterns, rng);
+        db.push(CustomerId(cid as u64 + 1), seq);
+    }
+    db
+}
+
+/// Generates one customer sequence.
+///
+/// A skeleton of `Poisson(slen)` transactions with `Poisson(tlen)` capacities
+/// is filled by sampling patterns by weight, applying the pattern's
+/// corruption (each item survives with `keep_prob`), and placing the
+/// surviving itemsets into an ascending random subset of the transactions.
+/// Placement stops once total capacity is consumed; transactions left empty
+/// by corruption receive one uniform noise item so the skeleton's transaction
+/// count is honored.
+fn generate_customer(
+    cfg: &QuestConfig,
+    itemsets: &ItemsetPool,
+    patterns: &PatternPool,
+    rng: &mut impl Rng,
+) -> Sequence {
+    let n_txns = poisson_at_least_one(rng, cfg.slen);
+    let capacities: Vec<usize> = (0..n_txns)
+        .map(|_| poisson_at_least_one(rng, cfg.tlen))
+        .collect();
+    let capacity_total: usize = capacities.iter().sum();
+
+    // Item buffers per transaction (deduplicated on insert).
+    let mut txns: Vec<Vec<Item>> = vec![Vec::new(); n_txns];
+    let mut placed = 0usize;
+    // A generous attempt budget bounds pathological corruption draws.
+    let mut attempts = 0usize;
+    let max_attempts = 8 * n_txns + 32;
+
+    while placed < capacity_total && attempts < max_attempts {
+        attempts += 1;
+        let pattern = patterns.sample(rng);
+
+        // Corrupt: drop each item with probability 1 - keep_prob.
+        let mut surviving: Vec<Vec<Item>> = Vec::with_capacity(pattern.elements.len());
+        for &idx in &pattern.elements {
+            let kept: Vec<Item> = itemsets
+                .get(idx)
+                .iter()
+                .filter(|_| rng.gen::<f64>() < pattern.keep_prob)
+                .collect();
+            if !kept.is_empty() {
+                surviving.push(kept);
+            }
+        }
+        if surviving.is_empty() {
+            continue;
+        }
+        // A pattern longer than the customer's history is truncated, as in
+        // the original generator.
+        surviving.truncate(n_txns);
+
+        // Choose an ascending random subset of transactions to host the
+        // pattern's itemsets (reservoir-style selection of k out of n).
+        let k = surviving.len();
+        let mut hosts: Vec<usize> = Vec::with_capacity(k);
+        let mut needed = k;
+        for t in 0..n_txns {
+            let remaining = n_txns - t;
+            if needed > 0 && rng.gen_range(0..remaining) < needed {
+                hosts.push(t);
+                needed -= 1;
+            }
+        }
+        debug_assert_eq!(hosts.len(), k);
+
+        for (items, &t) in surviving.iter().zip(hosts.iter()) {
+            for &item in items {
+                if !txns[t].contains(&item) {
+                    txns[t].push(item);
+                    placed += 1;
+                }
+            }
+        }
+    }
+
+    // Transactions that ended up empty get one uniform noise item, so the
+    // Poisson transaction count survives corruption.
+    let itemsets_out: Vec<Itemset> = txns
+        .into_iter()
+        .map(|mut items| {
+            if items.is_empty() {
+                items.push(Item(rng.gen_range(0..cfg.nitems)));
+            }
+            Itemset::new(items).expect("non-empty ensured above")
+        })
+        .collect();
+    Sequence::new(itemsets_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::QuestConfig;
+
+    fn small() -> QuestConfig {
+        QuestConfig::paper_table11()
+            .with_ncust(400)
+            .with_nitems(200)
+            .with_pools(200, 500)
+            .with_seed(99)
+    }
+
+    #[test]
+    fn shape_matches_configuration() {
+        let cfg = small();
+        let db = cfg.generate();
+        assert_eq!(db.len(), 400);
+        let stats = db.stats();
+        assert!(
+            (stats.avg_transactions - cfg.slen).abs() < 1.0,
+            "avg transactions {}",
+            stats.avg_transactions
+        );
+        assert!(
+            stats.avg_items_per_transaction > 1.0
+                && stats.avg_items_per_transaction < cfg.tlen + 1.5,
+            "avg items/transaction {}",
+            stats.avg_items_per_transaction
+        );
+        assert!(stats.distinct_items <= 200);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small().generate();
+        let b = small().generate();
+        assert_eq!(a, b);
+        let c = small().with_seed(100).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn contains_planted_structure() {
+        // Patterns are shared across customers, so *some* 2-sequence must be
+        // markedly more frequent than the uniform-noise baseline.
+        let db = small().generate();
+        use disc_core::{BruteForce, MinSupport, SequentialMiner};
+        let result = BruteForce::with_max_length(2).mine(&db, MinSupport::Fraction(0.05));
+        assert!(
+            result.iter().any(|(p, _)| p.length() == 2),
+            "expected at least one frequent 2-sequence at 5% support"
+        );
+    }
+
+    #[test]
+    fn theta_knob_scales_transactions() {
+        let db10 = small().with_slen(10.0).generate();
+        let db30 = small().with_slen(30.0).generate();
+        let t10 = db10.stats().avg_transactions;
+        let t30 = db30.stats().avg_transactions;
+        assert!((t10 - 10.0).abs() < 1.0, "theta 10 -> {t10}");
+        assert!((t30 - 30.0).abs() < 2.0, "theta 30 -> {t30}");
+    }
+}

@@ -1,0 +1,193 @@
+//! The two sampling pools of the Quest model: potentially frequent itemsets
+//! and potentially frequent sequential patterns.
+
+use crate::config::QuestConfig;
+use crate::dist::{exponential, gaussian, poisson_at_least_one, WeightedIndex};
+use disc_core::{Item, Itemset};
+use rand::Rng;
+
+/// The pool of potentially frequent itemsets ("potentially large itemsets"
+/// in the original description).
+#[derive(Debug, Clone)]
+pub struct ItemsetPool {
+    itemsets: Vec<Itemset>,
+    weights: WeightedIndex,
+}
+
+impl ItemsetPool {
+    /// Builds the pool: `nlits` itemsets with Poisson(`litlen`) sizes; a
+    /// fraction `corr` of each entry's items is drawn from the previous
+    /// entry, the rest uniformly; weights are Exp(1), used normalized.
+    pub fn build(cfg: &QuestConfig, rng: &mut impl Rng) -> ItemsetPool {
+        let mut itemsets: Vec<Itemset> = Vec::with_capacity(cfg.nlits);
+        let mut weights = Vec::with_capacity(cfg.nlits);
+        let mut prev: Vec<Item> = Vec::new();
+        for _ in 0..cfg.nlits {
+            let size = poisson_at_least_one(rng, cfg.litlen).min(cfg.nitems as usize);
+            let mut items: Vec<Item> = Vec::with_capacity(size);
+            while items.len() < size {
+                let item = if !prev.is_empty() && rng.gen::<f64>() < cfg.corr {
+                    prev[rng.gen_range(0..prev.len())]
+                } else {
+                    Item(rng.gen_range(0..cfg.nitems))
+                };
+                if !items.contains(&item) {
+                    items.push(item);
+                }
+            }
+            prev = items.clone();
+            itemsets.push(Itemset::new(items).expect("size >= 1"));
+            weights.push(exponential(rng));
+        }
+        ItemsetPool {
+            itemsets,
+            weights: WeightedIndex::new(&weights),
+        }
+    }
+
+    /// Samples an itemset index by weight.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        self.weights.sample(rng)
+    }
+
+    /// The itemset at an index.
+    pub fn get(&self, i: usize) -> &Itemset {
+        &self.itemsets[i]
+    }
+
+    /// Number of pool entries.
+    pub fn len(&self) -> usize {
+        self.itemsets.len()
+    }
+
+    /// Pools are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// One potentially frequent sequential pattern: a list of itemset-pool
+/// indices plus its corruption level.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    /// Indices into the [`ItemsetPool`], in temporal order.
+    pub elements: Vec<usize>,
+    /// Probability that each pattern item *survives* embedding (the Quest
+    /// corruption machinery, mean `conf`).
+    pub keep_prob: f64,
+}
+
+/// The pool of potentially frequent sequential patterns.
+#[derive(Debug, Clone)]
+pub struct PatternPool {
+    patterns: Vec<Pattern>,
+    weights: WeightedIndex,
+}
+
+impl PatternPool {
+    /// Builds the pool: `npats` patterns of Poisson(`patlen`) itemsets drawn
+    /// from `itemsets` by weight; Exp(1) pattern weights; per-pattern
+    /// corruption levels from N(`conf`, 0.1) clamped to [0, 1].
+    pub fn build(cfg: &QuestConfig, itemsets: &ItemsetPool, rng: &mut impl Rng) -> PatternPool {
+        let mut patterns = Vec::with_capacity(cfg.npats);
+        let mut weights = Vec::with_capacity(cfg.npats);
+        for _ in 0..cfg.npats {
+            let len = poisson_at_least_one(rng, cfg.patlen);
+            let elements: Vec<usize> = (0..len).map(|_| itemsets.sample(rng)).collect();
+            let keep_prob = gaussian(rng, cfg.conf, 0.1).clamp(0.0, 1.0);
+            patterns.push(Pattern { elements, keep_prob });
+            weights.push(exponential(rng));
+        }
+        PatternPool {
+            patterns,
+            weights: WeightedIndex::new(&weights),
+        }
+    }
+
+    /// Samples a pattern by weight.
+    pub fn sample(&self, rng: &mut impl Rng) -> &Pattern {
+        &self.patterns[self.weights.sample(rng)]
+    }
+
+    /// Number of pool entries.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Pools are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Mean pattern length (for tests).
+    pub fn mean_len(&self) -> f64 {
+        self.patterns.iter().map(|p| p.elements.len()).sum::<usize>() as f64
+            / self.patterns.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> QuestConfig {
+        QuestConfig::paper_table11().with_pools(500, 1000).with_nitems(200)
+    }
+
+    #[test]
+    fn itemset_pool_shape() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pool = ItemsetPool::build(&cfg(), &mut rng);
+        assert_eq!(pool.len(), 1000);
+        let mean: f64 =
+            (0..pool.len()).map(|i| pool.get(i).len()).sum::<usize>() as f64 / pool.len() as f64;
+        // litlen = 1.25, floored at 1: expected mean ≈ 1.45.
+        assert!((1.0..2.2).contains(&mean), "mean itemset size {mean}");
+        for i in 0..pool.len() {
+            assert!(pool.get(i).max_item().id() < 200);
+        }
+    }
+
+    #[test]
+    fn pattern_pool_shape() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let items = ItemsetPool::build(&cfg(), &mut rng);
+        let pats = PatternPool::build(&cfg(), &items, &mut rng);
+        assert_eq!(pats.len(), 500);
+        let mean = pats.mean_len();
+        assert!((mean - 4.0).abs() < 0.5, "mean pattern length {mean}");
+        for _ in 0..100 {
+            let p = pats.sample(&mut rng);
+            assert!(!p.elements.is_empty());
+            assert!((0.0..=1.0).contains(&p.keep_prob));
+        }
+    }
+
+    #[test]
+    fn sampling_is_skewed_by_weight() {
+        // With exponential weights some entries should be sampled far more
+        // often than uniform.
+        let mut rng = StdRng::seed_from_u64(13);
+        let pool = ItemsetPool::build(&cfg(), &mut rng);
+        let mut counts = vec![0usize; pool.len()];
+        for _ in 0..50_000 {
+            counts[pool.sample(&mut rng)] += 1;
+        }
+        let max = *counts.iter().max().expect("non-empty");
+        let uniform = 50_000 / pool.len();
+        assert!(max > uniform * 3, "max count {max} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pool = ItemsetPool::build(&cfg(), &mut rng);
+            (0..pool.len()).map(|i| pool.get(i).clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(build(7), build(7));
+        assert_ne!(build(7), build(8));
+    }
+}

@@ -1,0 +1,342 @@
+//! The **DISC-all** algorithm (Figure 2): two-level partitioning + counting
+//! arrays for lengths 1–3, the DISC strategy for lengths ≥ 4.
+
+use crate::counting::count_extensions;
+use crate::discovery::discover_frequent_k;
+use crate::partition::{
+    group_by_min_item, min_ext_elem, next_frequent_item, reduce_sequence,
+};
+use disc_core::{
+    ExtElem, Item, MiningResult, MinSupport, Sequence, SequenceDatabase, SequentialMiner,
+};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Tuning knobs for [`DiscAll`] (and the DISC stages of the dynamic
+/// variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiscConfig {
+    /// Use the bi-level optimization of §3.2 (one k-sorted-database pass
+    /// yields levels k and k+1). The paper's experiments enable it; an
+    /// ablation bench compares both settings.
+    pub bi_level: bool,
+}
+
+impl Default for DiscConfig {
+    fn default() -> Self {
+        DiscConfig { bi_level: true }
+    }
+}
+
+/// The DISC-all miner.
+///
+/// Step by step (Figure 2):
+///
+/// 1. one scan finds the frequent 1-sequences and groups customers by their
+///    minimum item into **first-level partitions**;
+/// 2. each first-level partition (ascending) with a frequent `λ`:
+///    * one counting-array scan finds the frequent 2-sequences `<(λ)(x)>` /
+///      `<(λ x)>`,
+///    * customers are **reduced** (non-frequent 1-/2-sequences removed) and
+///      grouped by their 2-minimum subsequence into **second-level
+///      partitions**;
+/// 3. each second-level partition (ascending): a counting-array scan finds
+///    the frequent 3-sequences, then the **DISC strategy** iterates k = 4,
+///    5, … (stepping by two under bi-level);
+/// 4. after a partition is processed its members are *reassigned* to the
+///    partition of their next minimum, so later partitions always see every
+///    supporter of their key.
+#[derive(Debug, Clone, Default)]
+pub struct DiscAll {
+    /// Configuration.
+    pub config: DiscConfig,
+}
+
+impl DiscAll {
+    /// A DISC-all miner with the bi-level optimization disabled.
+    pub fn without_bi_level() -> DiscAll {
+        DiscAll { config: DiscConfig { bi_level: false } }
+    }
+}
+
+impl SequentialMiner for DiscAll {
+    fn name(&self) -> &str {
+        if self.config.bi_level {
+            "DISC-all"
+        } else {
+            "DISC-all (no bi-level)"
+        }
+    }
+
+    fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
+        let delta = min_support.resolve(db.len());
+        let mut result = MiningResult::new();
+        let Some(max_item) = db.max_item() else {
+            return result;
+        };
+        let n_items = max_item.id() as usize + 1;
+
+        // Step 1: frequent 1-sequences + first-level partitions.
+        let root = count_extensions(&Sequence::empty(), db.sequences(), n_items);
+        let mut freq1 = vec![false; n_items];
+        for id in 0..n_items as u32 {
+            let support = root.seq_support(Item(id));
+            if support >= delta {
+                freq1[id as usize] = true;
+                result.insert(Sequence::single(Item(id)), support);
+            }
+        }
+
+        // Step 2: walk first-level partitions in ascending key order.
+        let mut first_level = group_by_min_item(db);
+        while let Some((&lambda, _)) = first_level.iter().next() {
+            let members = first_level.remove(&lambda).expect("key just observed");
+            if freq1[lambda.id() as usize] {
+                self.process_first_level(db, lambda, &members, delta, n_items, &freq1, &mut result);
+            }
+            // Step 2.2: reassignment chains.
+            for idx in members {
+                if let Some(next) = next_frequent_item(db.sequence(idx), lambda, &freq1) {
+                    first_level.entry(next).or_default().push(idx);
+                }
+            }
+        }
+        result
+    }
+}
+
+impl DiscAll {
+    /// Steps 2.1.1–2.1.3 for one `<(λ)>`-partition.
+    #[allow(clippy::too_many_arguments)]
+    fn process_first_level(
+        &self,
+        db: &SequenceDatabase,
+        lambda: Item,
+        members: &[usize],
+        delta: u64,
+        n_items: usize,
+        freq1: &[bool],
+        result: &mut MiningResult,
+    ) {
+        let prefix1 = Sequence::single(lambda);
+
+        // 2.1.1: frequent 2-sequences by counting array (over the originals —
+        // every supporter of a 2-sequence starting with λ is a member now).
+        let array = count_extensions(&prefix1, members.iter().map(|&i| db.sequence(i)), n_items);
+        let (i_mask, s_mask) = array.frequency_masks(delta);
+        for (elem, support) in array.frequent_extensions(delta) {
+            result.insert(prefix1.extended(elem), support);
+        }
+
+        // 2.1.2: reduce and group by 2-minimum subsequence.
+        let mut arena: Vec<Rc<Sequence>> = Vec::new();
+        let mut second_level: BTreeMap<ExtElem, Vec<usize>> = BTreeMap::new();
+        for &idx in members {
+            let seq = db.sequence(idx);
+            let min_point = seq
+                .first_txn_containing(lambda)
+                .expect("partition members contain their key item");
+            let Some(reduced) = reduce_sequence(seq, lambda, min_point, freq1, &i_mask, &s_mask)
+            else {
+                continue;
+            };
+            if let Some(elem) = min_ext_elem(&reduced, &prefix1, &i_mask, &s_mask, None) {
+                let slot = arena.len();
+                arena.push(Rc::new(reduced));
+                second_level.entry(elem).or_default().push(slot);
+            }
+        }
+
+        // 2.1.3: walk second-level partitions in ascending key order.
+        while let Some((&elem, _)) = second_level.iter().next() {
+            let slots = second_level.remove(&elem).expect("key just observed");
+            if slots.len() as u64 >= delta {
+                let prefix2 = prefix1.extended(elem);
+                let partition: Vec<Rc<Sequence>> =
+                    slots.iter().map(|&s| Rc::clone(&arena[s])).collect();
+                self.process_second_level(&prefix2, &partition, delta, n_items, result);
+            }
+            // 2.1.3.3: reassign by the next 2-minimum subsequence.
+            for slot in slots {
+                if let Some(next) =
+                    min_ext_elem(&arena[slot], &prefix1, &i_mask, &s_mask, Some(elem))
+                {
+                    second_level.entry(next).or_default().push(slot);
+                }
+            }
+        }
+    }
+
+    /// Steps 2.1.3.1–2.1.3.2 for one second-level partition.
+    fn process_second_level(
+        &self,
+        prefix2: &Sequence,
+        partition: &[Rc<Sequence>],
+        delta: u64,
+        n_items: usize,
+        result: &mut MiningResult,
+    ) {
+        // 2.1.3.1: frequent 3-sequences by counting array.
+        let array = count_extensions(prefix2, partition.iter().map(Rc::as_ref), n_items);
+        let mut freq3 = Vec::new();
+        for (elem, support) in array.frequent_extensions(delta) {
+            let pat = prefix2.extended(elem);
+            result.insert(pat.clone(), support);
+            freq3.push(pat);
+        }
+
+        // 2.1.3.2: DISC iterations for k ≥ 4.
+        run_disc_levels(partition, freq3, delta, self.config.bi_level, n_items, result);
+    }
+}
+
+/// The `k = start, start+1, …` (or `start, start+2, …` under bi-level) DISC
+/// loop shared by DISC-all and Dynamic DISC-all. `freq_prev` holds the
+/// ascending frequent (k-1)-sequences that seed the first iteration.
+pub(crate) fn run_disc_levels<M: AsRef<Sequence>>(
+    members: &[M],
+    mut freq_prev: Vec<Sequence>,
+    delta: u64,
+    bi_level: bool,
+    n_items: usize,
+    result: &mut MiningResult,
+) {
+    while !freq_prev.is_empty() && members.len() as u64 >= delta {
+        let out = discover_frequent_k(members, &freq_prev, delta, bi_level, n_items);
+        for (p, s) in &out.freq_k {
+            result.insert(p.clone(), *s);
+        }
+        if bi_level {
+            for (p, s) in &out.freq_k1 {
+                result.insert(p.clone(), *s);
+            }
+            freq_prev = out.freq_k1.into_iter().map(|(p, _)| p).collect();
+        } else {
+            freq_prev = out.freq_k.into_iter().map(|(p, _)| p).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_core::{parse_sequence, BruteForce};
+
+    fn table1() -> SequenceDatabase {
+        SequenceDatabase::from_parsed(&[
+            "(a,e,g)(b)(h)(f)(c)(b,f)",
+            "(b)(d,f)(e)",
+            "(b,f,g)",
+            "(f)(a,g)(b,f,h)(b,f)",
+        ])
+        .unwrap()
+    }
+
+    fn table6() -> SequenceDatabase {
+        SequenceDatabase::from_parsed(&[
+            "(a,d)(d)(a,g,h)(c)",
+            "(b)(a)(f)(a,c,e,g)",
+            "(a,f,g)(a,e,g,h)(c,g,h)",
+            "(f)(a,c,f)(a,c,e,g,h)",
+            "(a,g)",
+            "(a,f)(a,e,g,h)",
+            "(a,b,g)(a,e,g)(g,h)",
+            "(b,f)(b,e)(e,f,h)",
+            "(d,f)(d,f,g,h)",
+            "(b,f,g)(c,e,h)",
+            "(e,g)(f)(e,f)",
+        ])
+        .unwrap()
+    }
+
+    fn assert_matches_brute_force(db: &SequenceDatabase, delta: u64) {
+        let expected = BruteForce::default().mine(db, MinSupport::Count(delta));
+        for miner in [DiscAll::default(), DiscAll::without_bi_level()] {
+            let got = miner.mine(db, MinSupport::Count(delta));
+            let diff = got.diff(&expected);
+            assert!(diff.is_empty(), "{} δ={delta}:\n{}", miner.name(), diff.join("\n"));
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_table_1() {
+        for delta in 1..=4 {
+            assert_matches_brute_force(&table1(), delta);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_table_6() {
+        for delta in 1..=5 {
+            assert_matches_brute_force(&table6(), delta);
+        }
+    }
+
+    #[test]
+    fn example_3_1_finds_the_promised_patterns() {
+        // "<(a)>-partition will be processed first to find all the frequent
+        // sequences that contain a as the first item, e.g. <(a, e)> and
+        // <(a)(g, h)>" — δ = 3.
+        let result = DiscAll::default().mine(&table6(), MinSupport::Count(3));
+        assert!(result.contains_pattern(&parse_sequence("(a,e)").unwrap()));
+        assert!(result.contains_pattern(&parse_sequence("(a)(g,h)").unwrap()));
+        // And the deep ones traced in Examples 3.3–3.5.
+        assert_eq!(result.support_of(&parse_sequence("(a)(a,e,g)").unwrap()), Some(5));
+        assert_eq!(result.support_of(&parse_sequence("(a)(a,e,g,h)").unwrap()), Some(3));
+        // <(d)> is the only non-frequent 1-sequence.
+        assert!(!result.contains_pattern(&parse_sequence("(d)").unwrap()));
+        assert!(result.contains_pattern(&parse_sequence("(h)").unwrap()));
+    }
+
+    #[test]
+    fn empty_database() {
+        let result = DiscAll::default().mine(&SequenceDatabase::new(), MinSupport::Count(1));
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn single_customer_delta_one() {
+        let db = SequenceDatabase::from_parsed(&["(a,b)(c)"]).unwrap();
+        assert_matches_brute_force(&db, 1);
+    }
+
+    #[test]
+    fn duplicate_customers_accumulate_support() {
+        let db = SequenceDatabase::from_parsed(&[
+            "(a)(b)(c)(d)(e)",
+            "(a)(b)(c)(d)(e)",
+            "(a)(b)(c)(d)(e)",
+        ])
+        .unwrap();
+        let result = DiscAll::default().mine(&db, MinSupport::Count(3));
+        // The full 5-sequence and every subsequence of it are frequent: 2^5-1.
+        assert_eq!(result.len(), 31);
+        assert_eq!(
+            result.support_of(&parse_sequence("(a)(b)(c)(d)(e)").unwrap()),
+            Some(3)
+        );
+        assert_matches_brute_force(&db, 3);
+    }
+
+    #[test]
+    fn deep_itemset_patterns() {
+        let db = SequenceDatabase::from_parsed(&[
+            "(a,b,c,d,e)(a,b)",
+            "(a,b,c,d,e)(c)",
+            "(x)(a,b,c,d,e)",
+        ])
+        .unwrap();
+        let result = DiscAll::default().mine(&db, MinSupport::Count(3));
+        assert_eq!(result.support_of(&parse_sequence("(a,b,c,d,e)").unwrap()), Some(3));
+        assert_matches_brute_force(&db, 3);
+        assert_matches_brute_force(&db, 2);
+    }
+
+    #[test]
+    fn fraction_threshold_resolution() {
+        let db = table6();
+        let by_count = DiscAll::default().mine(&db, MinSupport::Count(3));
+        let by_fraction = DiscAll::default().mine(&db, MinSupport::Fraction(3.0 / 11.0));
+        assert!(by_count.diff(&by_fraction).is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! **Frequent k-sequence discovery** (Figure 4): the DISC strategy proper.
+//!
+//! Given a partition and the ascending list of frequent (k-1)-sequences, the
+//! procedure
+//!
+//! 1. keys every member by its Apriori-KMS k-minimum subsequence in a
+//!    k-sorted database;
+//! 2. compares `α₁` (the minimum key) with `α_δ` (the key at customer
+//!    position δ):
+//!    * `α₁ = α_δ` → `α₁` is frequent (Lemma 2.1) and its bucket is its
+//!      exact support — every member containing `α₁` provably keys on it;
+//!      the bucket is re-keyed past `α₁` (Ω = `>`), and — under the
+//!      **bi-level** optimization of §3.2 — doubles as the *virtual
+//!      partition* whose counting array yields the frequent
+//!      (k+1)-sequences prefixed by `α₁`;
+//!    * `α₁ < α_δ` → every k-sequence in `[α₁, α_δ)` is non-frequent
+//!      (Lemma 2.2); all members keyed below `α_δ` are re-keyed to their
+//!      conditional minimum `≥ α_δ` (Ω = `≥`) without touching them;
+//! 3. repeats until fewer than δ members remain.
+//!
+//! ### Why bucket size is exact support
+//!
+//! Invariant: a member's key is its minimum k-subsequence (with frequent
+//! prefix) satisfying its last bound, and bounds never exceed the minimum
+//! key at the time they are applied. So when the loop reaches minimum `α₁`,
+//! any member containing `α₁` has a bound `b` with `b ≤ α₁` (`≥`-bounds are
+//! below every current key; `>`-bounds are below every future minimum),
+//! hence a key `≤ α₁` — i.e. exactly `α₁`. Members evicted earlier had *no*
+//! k-subsequence past their bound, so they cannot contain `α₁` either.
+
+use crate::ckms::{apriori_ckms, BoundMode, Condition};
+use crate::counting::CountingArray;
+use crate::kms::apriori_kms;
+use crate::sorted_db::{Entry, KSortedDb};
+use disc_core::Sequence;
+
+/// The output of one discovery call.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryOutput {
+    /// Frequent k-sequences with exact supports, ascending.
+    pub freq_k: Vec<(Sequence, u64)>,
+    /// Frequent (k+1)-sequences (bi-level only), ascending.
+    pub freq_k1: Vec<(Sequence, u64)>,
+}
+
+/// Runs frequent k-sequence discovery over `members`.
+///
+/// * `freq_prev` — the (k-1)-sorted list: ascending frequent
+///   (k-1)-sequences, all sharing the partition prefix.
+/// * `delta` — the minimum support count δ.
+/// * `bi_level` — also derive the frequent (k+1)-sequences from the virtual
+///   partitions (one k-sorted-database pass finds two levels, §3.2).
+/// * `n_items` — item-id bound for the bi-level counting arrays.
+pub fn discover_frequent_k<M: AsRef<Sequence>>(
+    members: &[M],
+    freq_prev: &[Sequence],
+    delta: u64,
+    bi_level: bool,
+    n_items: usize,
+) -> DiscoveryOutput {
+    debug_assert!(freq_prev.windows(2).all(|w| w[0] < w[1]), "(k-1)-sorted list not sorted");
+    let mut out = DiscoveryOutput::default();
+    if freq_prev.is_empty() || (members.len() as u64) < delta {
+        return out;
+    }
+
+    // Step 1: build the k-sorted database.
+    let mut db = KSortedDb::new();
+    for (m, seq) in members.iter().enumerate() {
+        if let Some(kms) = apriori_kms(seq.as_ref(), freq_prev) {
+            db.insert(m, kms);
+        }
+    }
+
+    // Step 2: compare / re-key until fewer than δ members remain.
+    while db.len() as u64 >= delta {
+        let alpha_1 = db.alpha_1().expect("non-empty").clone();
+        let alpha_delta = db.alpha_delta(delta).expect("len >= delta").clone();
+
+        if alpha_1 == alpha_delta {
+            // Lemma 2.1: frequent; the whole bucket keys on α₁.
+            let (key, bucket) = db.take_min().expect("non-empty");
+            debug_assert_eq!(key, alpha_1);
+            out.freq_k.push((key.clone(), bucket.len() as u64));
+
+            if bi_level {
+                // §3.2: the bucket is the virtual partition of α₁.
+                let mut array = CountingArray::new(n_items);
+                for e in &bucket {
+                    array.add_member(members[e.member].as_ref(), &key);
+                }
+                for (elem, support) in array.frequent_extensions(delta) {
+                    out.freq_k1.push((key.extended(elem), support));
+                }
+            }
+
+            let cond = Condition::new(&key, BoundMode::Strictly);
+            rekey(&mut db, members, freq_prev, &cond, bucket);
+        } else {
+            // Lemma 2.2: everything in [α₁, α_δ) is non-frequent; skip it.
+            let cond = Condition::new(&alpha_delta, BoundMode::AtLeast);
+            let below = db.take_less_than(&alpha_delta);
+            for (_, bucket) in below {
+                rekey(&mut db, members, freq_prev, &cond, bucket);
+            }
+        }
+    }
+    out
+}
+
+/// Re-keys a drained bucket by Apriori-CKMS; members without a conditional
+/// minimum leave the k-sorted database.
+fn rekey<M: AsRef<Sequence>>(
+    db: &mut KSortedDb,
+    members: &[M],
+    freq_prev: &[Sequence],
+    cond: &Condition,
+    bucket: Vec<Entry>,
+) {
+    for e in bucket {
+        if let Some(kms) = apriori_ckms(members[e.member].as_ref(), freq_prev, e.ptr, cond) {
+            db.insert(e.member, kms);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_core::{parse_sequence, support_count, MinSupport, SequenceDatabase};
+    use disc_core::{BruteForce, SequentialMiner};
+
+    fn seq(s: &str) -> Sequence {
+        parse_sequence(s).unwrap()
+    }
+
+    fn sorted(texts: &[&str]) -> Vec<Sequence> {
+        let mut v: Vec<Sequence> = texts.iter().map(|t| seq(t)).collect();
+        v.sort();
+        v
+    }
+
+    /// The <(a)(a)>-partition of Table 8.
+    fn table8_members() -> Vec<Sequence> {
+        [
+            "(a)(a,g,h)(c)",
+            "(b)(a)(a,c,e,g)",
+            "(a,f,g)(a,e,g,h)(c,g,h)",
+            "(f)(a,f)(a,c,e,g,h)",
+            "(a,f)(a,e,g,h)",
+            "(a,g)(a,e,g)(g,h)",
+        ]
+        .iter()
+        .map(|t| seq(t))
+        .collect()
+    }
+
+    #[test]
+    fn discovers_table8_frequent_four_sequences() {
+        let list = sorted(&["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"]);
+        let out = discover_frequent_k(&table8_members(), &list, 3, false, 8);
+        let got: Vec<(String, u64)> =
+            out.freq_k.iter().map(|(p, s)| (p.to_string(), *s)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("(a)(a, e, g)".to_string(), 5),
+                ("(a)(a, e, h)".to_string(), 3),
+                ("(a)(a, g, h)".to_string(), 4),
+            ]
+        );
+        assert!(out.freq_k1.is_empty());
+    }
+
+    #[test]
+    fn bi_level_also_finds_level_five() {
+        // Example 3.5: <(a)(a,e,g,h)> is the only frequent 5-sequence.
+        let list = sorted(&["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"]);
+        let out = discover_frequent_k(&table8_members(), &list, 3, true, 8);
+        assert_eq!(out.freq_k.len(), 3);
+        let got: Vec<(String, u64)> =
+            out.freq_k1.iter().map(|(p, s)| (p.to_string(), *s)).collect();
+        assert_eq!(got, vec![("(a)(a, e, g, h)".to_string(), 3)]);
+    }
+
+    #[test]
+    fn supports_are_definitional() {
+        let members = table8_members();
+        let db = SequenceDatabase::from_sequences(members.clone());
+        let list = sorted(&["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"]);
+        let out = discover_frequent_k(&members, &list, 3, true, 8);
+        for (p, s) in out.freq_k.iter().chain(out.freq_k1.iter()) {
+            assert_eq!(*s, support_count(&db, p), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_the_partition() {
+        // Every frequent 4-sequence with a frequent 3-prefix from the list
+        // must be found — cross-check against brute force restricted to the
+        // same prefixes.
+        let members = table8_members();
+        let db = SequenceDatabase::from_sequences(members.clone());
+        let list = sorted(&["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"]);
+        let brute = BruteForce::default().mine(&db, MinSupport::Count(3));
+        let expected: Vec<(Sequence, u64)> = brute
+            .iter()
+            .filter(|(p, _)| p.length() == 4 && list.contains(&p.k_prefix(3)))
+            .map(|(p, s)| (p.clone(), s))
+            .collect();
+        let out = discover_frequent_k(&members, &list, 3, false, 8);
+        assert_eq!(out.freq_k, expected);
+    }
+
+    #[test]
+    fn empty_inputs_yield_nothing() {
+        let members = table8_members();
+        assert!(discover_frequent_k(&members, &[], 3, true, 8).freq_k.is_empty());
+        let list = sorted(&["(a)(a,e)"]);
+        // δ larger than the partition: nothing can be frequent.
+        assert!(discover_frequent_k(&members, &list, 7, true, 8).freq_k.is_empty());
+    }
+
+    #[test]
+    fn members_without_any_listed_prefix_are_ignored() {
+        // A member that contains none of the frequent (k-1)-sequences never
+        // enters the k-sorted database and cannot perturb supports.
+        let mut members = table8_members();
+        members.push(seq("(x)(y)(z)"));
+        members.push(seq("(b)(c)"));
+        let list = sorted(&["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"]);
+        let out = discover_frequent_k(&members, &list, 3, false, 26);
+        let got: Vec<(String, u64)> =
+            out.freq_k.iter().map(|(p, s)| (p.to_string(), *s)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("(a)(a, e, g)".to_string(), 5),
+                ("(a)(a, e, h)".to_string(), 3),
+                ("(a)(a, g, h)".to_string(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn bucket_sizes_equal_supports_even_with_duplicate_members() {
+        // Two identical members both key on the same minima and both count.
+        let members = vec![seq("(a)(a,e)(b)"), seq("(a)(a,e)(b)"), seq("(a)(a,e)(c)")];
+        let list = sorted(&["(a)(a,e)"]);
+        let out = discover_frequent_k(&members, &list, 2, false, 8);
+        let got: Vec<(String, u64)> =
+            out.freq_k.iter().map(|(p, s)| (p.to_string(), *s)).collect();
+        assert_eq!(got, vec![("(a)(a, e)(b)".to_string(), 2)]);
+    }
+
+    #[test]
+    fn delta_one_reports_every_distinct_minimum_chain() {
+        // With δ = 1 every α₁ is frequent immediately; discovery enumerates
+        // every 4-sequence with a frequent prefix that some member supports.
+        let members = table8_members();
+        let db = SequenceDatabase::from_sequences(members.clone());
+        let list = sorted(&["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"]);
+        let out = discover_frequent_k(&members, &list, 1, false, 8);
+        let brute = BruteForce::default().mine(&db, MinSupport::Count(1));
+        let expected: Vec<(Sequence, u64)> = brute
+            .iter()
+            .filter(|(p, _)| p.length() == 4 && list.contains(&p.k_prefix(3)))
+            .map(|(p, s)| (p.clone(), s))
+            .collect();
+        assert_eq!(out.freq_k, expected);
+    }
+}

@@ -1,0 +1,244 @@
+//! **Apriori-KMS** (Figure 5): the k-minimum subsequence of a customer
+//! sequence, restricted to k-sequences whose (k-1)-prefix is frequent.
+//!
+//! The comparative order is lexicographic over the flattened pairs, so the
+//! minimum factorizes: first minimize the (k-1)-prefix — walk the sorted
+//! list of frequent (k-1)-sequences ascending and take the first one that is
+//! contained *and extendable* — then minimize the appended element.
+//!
+//! ## The extension candidate set
+//!
+//! For a prefix `F = β + L` (last itemset `L`) embedded in `S`, the
+//! realizable one-element extensions are exactly:
+//!
+//! * **itemset extensions** `(x, same-txn)`: some transaction after the
+//!   leftmost embedding of `β` contains `L ∪ {x}` with `x > max(L)`;
+//! * **sequence extensions** `(x, next-txn)`: `x` occurs after the leftmost
+//!   embedding of the whole `F`.
+//!
+//! Leftmost embeddings are exact here, not merely greedy: they minimize the
+//! end transaction, so their candidate sets are supersets of every other
+//! embedding's. Note that the itemset form may require *re-embedding* `L`
+//! in a transaction past the leftmost match of `F` — e.g. the 4-minimum of
+//! `<(a,e,g)(b)(h)(f)(c)(b,f)>` past the bound `<(a,e)(b)(h)>` under prefix
+//! `<(a,e)(b)>` is `<(a,e)(b,f)>`, hosted by the final `(b,f)` transaction
+//! even though the leftmost `(b)` match is the second transaction. (The
+//! paper's Fig. 5 pseudocode elides this case; Definition 2.5's correctness
+//! requirements force it, and the brute-force cross-checks in this module
+//! and the property tests confirm the enumeration is exact.)
+
+use disc_core::embed::{leftmost_end_txn_or_start, EmbeddingEnd};
+use disc_core::{ExtElem, ExtMode, Sequence};
+
+/// The minimum extension element of pattern `f` within `s` among candidates
+/// accepted by `admits` — the shared core of Apriori-KMS (`admits` ≡ true),
+/// Apriori-CKMS (bound filters), and the partition keying helpers (frequency
+/// masks).
+///
+/// Returns `None` when `f ⊄ s` or no admissible extension exists.
+pub fn min_extension_where(
+    s: &Sequence,
+    f: &Sequence,
+    mut admits: impl FnMut(ExtElem) -> bool,
+) -> Option<ExtElem> {
+    debug_assert!(!f.is_empty(), "extensions of the empty pattern are 1-sequences");
+    let last = f.last_itemset()?;
+    let beta = Sequence::new(f.itemsets()[..f.n_transactions() - 1].to_vec());
+    let beta_end = match leftmost_end_txn_or_start(s, &beta)? {
+        EmbeddingEnd::BeforeStart => 0,
+        EmbeddingEnd::At(t) => t + 1,
+    };
+    let max_last = last.max_item();
+
+    let mut best: Option<ExtElem> = None;
+    let consider = |e: ExtElem, best: &mut Option<ExtElem>| {
+        if best.is_none_or(|b| e < b) {
+            *best = Some(e);
+        }
+    };
+
+    // One pass over the transactions past β's embedding: L-containing
+    // transactions host itemset extensions; transactions strictly after the
+    // first L-containing one (the leftmost end of F) host sequence
+    // extensions. Items ascend within a transaction, so the first admissible
+    // item dominates the rest of that transaction for either form.
+    let mut past_f_end = false;
+    for set in &s.itemsets()[beta_end..] {
+        if past_f_end {
+            for item in set.iter() {
+                let e = ExtElem { item, mode: ExtMode::Sequence };
+                if admits(e) {
+                    consider(e, &mut best);
+                    break;
+                }
+            }
+        }
+        if last.is_subset_of(set) {
+            let from = set.as_slice().partition_point(|&i| i <= max_last);
+            for &item in &set.as_slice()[from..] {
+                let e = ExtElem { item, mode: ExtMode::Itemset };
+                if admits(e) {
+                    consider(e, &mut best);
+                    break;
+                }
+            }
+            past_f_end = true;
+        }
+    }
+    best
+}
+
+/// The result of a KMS/CKMS computation: the k-minimum subsequence plus the
+/// *apriori pointer* — the index of its (k-1)-prefix in the sorted list of
+/// frequent (k-1)-sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kms {
+    /// The (conditional) k-minimum subsequence.
+    pub key: Sequence,
+    /// Index into the (k-1)-sorted list of the key's (k-1)-prefix.
+    pub ptr: usize,
+}
+
+/// Apriori-KMS (Figure 5): the minimum k-subsequence of `s` whose
+/// (k-1)-prefix appears in `freq_prev` (the ascending (k-1)-sorted list).
+///
+/// Returns `None` when no frequent (k-1)-sequence contained in `s` admits an
+/// extension.
+pub fn apriori_kms(s: &Sequence, freq_prev: &[Sequence]) -> Option<Kms> {
+    for (ptr, f) in freq_prev.iter().enumerate() {
+        if let Some(elem) = min_extension_where(s, f, |_| true) {
+            return Some(Kms { key: f.extended(elem), ptr });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_core::kmin::min_k_subsequence_with_allowed_prefix_naive;
+    use disc_core::{parse_sequence, Item};
+    use std::collections::BTreeSet;
+
+    fn seq(s: &str) -> Sequence {
+        parse_sequence(s).unwrap()
+    }
+
+    fn seqs(texts: &[&str]) -> Vec<Sequence> {
+        let mut v: Vec<Sequence> = texts.iter().map(|t| seq(t)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn example_3_3_four_minimum_subsequences() {
+        // The <(a)(a)>-partition (Table 8) with its 3-sorted list
+        // {<(a)(a,e)>, <(a)(a,g)>, <(a)(a,h)>} produces the 4-minimum
+        // subsequences of Table 9.
+        let list = seqs(&["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"]);
+        let expected = [
+            ("(a)(a,g,h)(c)", "(a)(a,g)(c)", 1),
+            ("(b)(a)(a,c,e,g)", "(a)(a,e,g)", 0),
+            ("(a,f,g)(a,e,g,h)(c,g,h)", "(a)(a,e)(c)", 0),
+            ("(f)(a,f)(a,c,e,g,h)", "(a)(a,e,g)", 0),
+            ("(a,f)(a,e,g,h)", "(a)(a,e,g)", 0),
+            ("(a,g)(a,e,g)(g,h)", "(a)(a,e,g)", 0),
+        ];
+        for (customer, kms_text, ptr) in expected {
+            let got = apriori_kms(&seq(customer), &list).unwrap();
+            assert_eq!(got.key, seq(kms_text), "customer {customer}");
+            assert_eq!(got.ptr, ptr, "customer {customer}");
+        }
+    }
+
+    #[test]
+    fn cid3_prefers_earlier_prefix_with_worse_extension() {
+        // CID 3 contains both <(a)(a,e)> (extendable by (c)) and <(a)(a,g)>
+        // (extendable by items < c). The prefix dominates: <(a)(a,e)(c)>.
+        let list = seqs(&["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"]);
+        let got = apriori_kms(&seq("(a,f,g)(a,e,g,h)(c,g,h)"), &list).unwrap();
+        assert_eq!(got.key, seq("(a)(a,e)(c)"));
+    }
+
+    #[test]
+    fn skips_unextendable_prefixes() {
+        // <(a)(b)> matches but ends at the end of the sequence; <(a)(c)>
+        // matches with extensions, the smallest appended element being b.
+        let list = seqs(&["(a)(b)", "(a)(c)"]);
+        let got = apriori_kms(&seq("(a)(c)(d)(b)"), &list).unwrap();
+        assert_eq!(got.key, seq("(a)(c)(b)"));
+        assert_eq!(got.ptr, 1);
+    }
+
+    #[test]
+    fn returns_none_when_nothing_extends() {
+        let list = seqs(&["(a)(b)"]);
+        assert_eq!(apriori_kms(&seq("(a)(b)"), &list), None);
+        assert_eq!(apriori_kms(&seq("(x)(y)(z)"), &list), None);
+        assert_eq!(apriori_kms(&seq("(a)(b)"), &[]), None);
+    }
+
+    #[test]
+    fn same_transaction_extension_beats_new_transaction_on_tie() {
+        // After matching <(a)>, item b is available both in the same
+        // transaction and later; the itemset extension <(a,b)> is smaller.
+        let list = seqs(&["(a)"]);
+        let got = apriori_kms(&seq("(a,b)(b)"), &list).unwrap();
+        assert_eq!(got.key, seq("(a,b)"));
+    }
+
+    #[test]
+    fn smaller_item_in_later_transaction_beats_same_transaction() {
+        let list = seqs(&["(b)"]);
+        let got = apriori_kms(&seq("(b,d)(c)"), &list).unwrap();
+        assert_eq!(got.key, seq("(b)(c)"));
+    }
+
+    #[test]
+    fn itemset_extension_via_reembedding_is_found() {
+        // F = <(a)(b)>: its leftmost match ends at the bare (b), but when
+        // everything smaller is filtered out, the itemset extension through
+        // the later (b,f) transaction must surface.
+        let list = seqs(&["(a)(b)"]);
+        let s = seq("(a)(b)(b,f)");
+        // Unconstrained minimum: the sequence extension (b).
+        let got = apriori_kms(&s, &list).unwrap();
+        assert_eq!(got.key, seq("(a)(b)(b)"));
+        // Constrained past every sequence-extension item except f's
+        // competitors: (f, itemset) beats (f, sequence).
+        let elem = min_extension_where(&s, &seq("(a)(b)"), |e| {
+            e > ExtElem { item: Item::from_letter('b').unwrap(), mode: ExtMode::Sequence }
+        })
+        .unwrap();
+        assert_eq!(elem, ExtElem { item: Item::from_letter('f').unwrap(), mode: ExtMode::Itemset });
+    }
+
+    #[test]
+    fn matches_exhaustive_reference_on_paper_partition() {
+        // Cross-check every Table 8 member against the exponential reference.
+        let list = seqs(&["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"]);
+        let allowed: BTreeSet<Sequence> = list.iter().cloned().collect();
+        for customer in [
+            "(a)(a,g,h)(c)",
+            "(b)(a)(a,c,e,g)",
+            "(a,f,g)(a,e,g,h)(c,g,h)",
+            "(f)(a,f)(a,c,e,g,h)",
+            "(a,f)(a,e,g,h)",
+            "(a,g)(a,e,g)(g,h)",
+        ] {
+            let s = seq(customer);
+            let fast = apriori_kms(&s, &list).map(|k| k.key);
+            let slow = min_k_subsequence_with_allowed_prefix_naive(&s, 4, &allowed, None);
+            assert_eq!(fast, slow, "customer {customer}");
+        }
+    }
+
+    #[test]
+    fn min_extension_considers_both_forms() {
+        // Pattern (b) on (b,d)(a)(c): same-txn candidate d, later candidates
+        // a, c → minimum is a via a new transaction.
+        let s = seq("(b,d)(a)(c)");
+        let elem = min_extension_where(&s, &seq("(b)"), |_| true).unwrap();
+        assert_eq!(elem, ExtElem { item: Item::from_letter('a').unwrap(), mode: ExtMode::Sequence });
+    }
+}

@@ -1,0 +1,337 @@
+//! Multi-level partitioning (Section 3.1): grouping customer sequences by
+//! their minimum prefixes, reducing them, and walking partitions in
+//! ascending key order with **reassignment chains**.
+//!
+//! The load-bearing property is *lifetime completeness*: partitions are
+//! processed in ascending key order, and after a partition is processed each
+//! member moves to the partition of its **next** frequent minimum. A
+//! sequence's chain therefore enumerates, in ascending order, exactly the
+//! frequent keys it contains — so when a partition's turn comes, *every*
+//! supporter of its key is present, which is why counting arrays and DISC
+//! buckets inside a partition produce exact global supports.
+
+use crate::counting::CountingArray;
+use crate::kms::min_extension_where;
+use disc_core::{ExtElem, ExtMode, Item, Sequence, SequenceDatabase};
+use std::collections::BTreeMap;
+
+/// Groups database rows by their minimum 1-sequence (Step 1(b) of Figure 2).
+/// Keys include non-frequent items; mining skips those partitions but the
+/// reassignment chains still flow through them.
+pub fn group_by_min_item(db: &SequenceDatabase) -> BTreeMap<Item, Vec<usize>> {
+    let mut groups: BTreeMap<Item, Vec<usize>> = BTreeMap::new();
+    for (idx, row) in db.rows().iter().enumerate() {
+        if let Some((item, _)) = row.sequence.min_item_with_point() {
+            groups.entry(item).or_default().push(idx);
+        }
+    }
+    groups
+}
+
+/// The smallest *frequent* item strictly greater than `after` occurring in
+/// `seq` (Step 2.2 of Figure 2, restricted to keys worth visiting).
+pub fn next_frequent_item(seq: &Sequence, after: Item, frequent: &[bool]) -> Option<Item> {
+    let mut best: Option<Item> = None;
+    for set in seq.itemsets() {
+        let from = set.as_slice().partition_point(|&i| i <= after);
+        for &item in &set.as_slice()[from..] {
+            if best.is_some_and(|b| item >= b) {
+                break; // items are sorted; nothing better in this transaction
+            }
+            if frequent[item.id() as usize] {
+                best = Some(item);
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// Customer sequence reduction (Step 2.1.2 of Figure 2).
+///
+/// Within the `<(λ)>`-partition, an item occurrence `x` to the right of the
+/// minimum point is removed unless some frequent pattern starting with `λ`
+/// could still use it:
+///
+/// 1. if `x`'s transaction contains `λ` *and* lies at the minimum point, `x`
+///    survives iff `<(λ x)>` is frequent;
+/// 2. if `x`'s transaction does not contain `λ`, `x` survives iff
+///    `<(λ)(x)>` is frequent;
+/// 3. if both conditions hold (a later transaction containing `λ`), either
+///    form suffices.
+///
+/// Occurrences of `λ` itself and everything left of the minimum point are
+/// kept. Returns `None` when fewer than 3 items survive — such sequences
+/// cannot support any 3-sequence and leave the reduced partition.
+pub fn reduce_sequence(
+    seq: &Sequence,
+    lambda: Item,
+    min_point: usize,
+    freq1: &[bool],
+    i_mask: &[bool],
+    s_mask: &[bool],
+) -> Option<Sequence> {
+    let reduced = seq.filtered(|t, x| {
+        if x == lambda || t < min_point {
+            return true;
+        }
+        if t == min_point && x < lambda {
+            return true; // left of the minimum point within its transaction
+        }
+        if !freq1[x.id() as usize] {
+            return false;
+        }
+        let cond1 = seq.itemset(t).contains(lambda);
+        let cond2 = t > min_point;
+        let i_ok = x > lambda && i_mask[x.id() as usize];
+        let s_ok = s_mask[x.id() as usize];
+        match (cond1, cond2) {
+            (false, _) => s_ok,
+            (true, false) => i_ok,
+            (true, true) => i_ok || s_ok,
+        }
+    });
+    if reduced.length() >= 3 {
+        Some(reduced)
+    } else {
+        None
+    }
+}
+
+/// The minimum *frequent* extension element of `prefix` contained in `seq`,
+/// strictly greater than `bound` when given — the generalized
+/// "(conditional) (j+1)-minimum subsequence" that keys next-level partitions
+/// and drives their reassignment chains.
+///
+/// `i_mask`/`s_mask` flag the frequent itemset-/sequence-extension items of
+/// this partition's counting array.
+pub fn min_ext_elem(
+    seq: &Sequence,
+    prefix: &Sequence,
+    i_mask: &[bool],
+    s_mask: &[bool],
+    bound: Option<ExtElem>,
+) -> Option<ExtElem> {
+    min_extension_where(seq, prefix, |e| {
+        let mask = match e.mode {
+            ExtMode::Itemset => &i_mask[e.item.id() as usize],
+            ExtMode::Sequence => &s_mask[e.item.id() as usize],
+        };
+        *mask && bound.is_none_or(|b| e > b)
+    })
+}
+
+/// Builds `(i_mask, s_mask)` plus the ascending frequent extensions of a
+/// partition in one step.
+pub fn frequent_extension_masks(
+    array: &CountingArray,
+    delta: u64,
+) -> (Vec<bool>, Vec<bool>, Vec<(ExtElem, u64)>) {
+    let (i_mask, s_mask) = array.frequency_masks(delta);
+    let exts = array.frequent_extensions(delta);
+    (i_mask, s_mask, exts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::count_extensions;
+    use disc_core::parse_sequence;
+
+    fn seq(s: &str) -> Sequence {
+        parse_sequence(s).unwrap()
+    }
+
+    fn item(c: char) -> Item {
+        Item::from_letter(c).unwrap()
+    }
+
+    fn table6() -> SequenceDatabase {
+        SequenceDatabase::from_parsed(&[
+            "(a,d)(d)(a,g,h)(c)",
+            "(b)(a)(f)(a,c,e,g)",
+            "(a,f,g)(a,e,g,h)(c,g,h)",
+            "(f)(a,c,f)(a,c,e,g,h)",
+            "(a,g)",
+            "(a,f)(a,e,g,h)",
+            "(a,b,g)(a,e,g)(g,h)",
+            "(b,f)(b,e)(e,f,h)",
+            "(d,f)(d,f,g,h)",
+            "(b,f,g)(c,e,h)",
+            "(e,g)(f)(e,f)",
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn table_6_initial_partitions() {
+        // CIDs 1–7 fall in the <(a)>-partition, 8 and 10 in <(b)>, 9 in
+        // <(d)>, 11 in <(e)>.
+        let groups = group_by_min_item(&table6());
+        let view: Vec<(char, Vec<usize>)> = groups
+            .iter()
+            .map(|(i, v)| (i.as_letter().unwrap(), v.clone()))
+            .collect();
+        assert_eq!(
+            view,
+            vec![
+                ('a', vec![0, 1, 2, 3, 4, 5, 6]),
+                ('b', vec![7, 9]),
+                ('d', vec![8]),
+                ('e', vec![10]),
+            ]
+        );
+    }
+
+    #[test]
+    fn table_6_reassignment_after_processing_a() {
+        // Example 3.1: after <(a)>-partition, CIDs 1 and 2 go to <(c)> and
+        // <(b)>; CID 5 is removed. All 1-sequences except <(d)> are frequent.
+        let db = table6();
+        let mut frequent = vec![true; 8];
+        frequent[item('d').id() as usize] = false;
+        let expected = [
+            Some('c'), // CID 1: (a,d)(d)(a,g,h)(c) — d is non-frequent
+            Some('b'),
+            Some('c'),
+            Some('c'),
+            None, // CID 5: (a,g) — minimum point at its end? g is next
+            Some('e'),
+            Some('b'),
+        ];
+        for (idx, want) in expected.iter().enumerate() {
+            let got = next_frequent_item(db.sequence(idx), item('a'), &frequent)
+                .map(|i| i.as_letter().unwrap());
+            if idx == 4 {
+                // CID 5 = (a,g): the paper removes it ("minimum point at its
+                // end" — nothing frequent follows in a useful way); its next
+                // minimum 1-sequence is g, and the partition of <(g)> simply
+                // finds nothing of length ≥ 2 in it.
+                assert_eq!(got, Some('g'));
+            } else {
+                assert_eq!(got, *want, "CID {}", idx + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn table_7_reduction_of_the_a_partition() {
+        let db = table6();
+        let members: Vec<&Sequence> = (0..7).map(|i| db.sequence(i)).collect();
+        let prefix = Sequence::single(item('a'));
+        let array = count_extensions(&prefix, members.iter().copied(), 8);
+        let (i_mask, s_mask) = array.frequency_masks(3);
+        let freq1 = vec![true, true, true, false, true, true, true, true]; // all but d
+
+        let expected = [
+            Some("(a)(a, g, h)(c)"),
+            Some("(b)(a)(a, c, e, g)"),
+            Some("(a, f, g)(a, e, g, h)(c, g, h)"),
+            Some("(f)(a, f)(a, c, e, g, h)"),
+            None, // CID 5 shrinks below length 3
+            Some("(a, f)(a, e, g, h)"),
+            Some("(a, g)(a, e, g)(g, h)"),
+        ];
+        for (idx, want) in expected.iter().enumerate() {
+            let s = db.sequence(idx);
+            let (_, min_point) = s.min_item_with_point().unwrap();
+            let got = reduce_sequence(s, item('a'), min_point, &freq1, &i_mask, &s_mask)
+                .map(|r| r.to_string());
+            assert_eq!(got.as_deref(), *want, "CID {}", idx + 1);
+        }
+    }
+
+    #[test]
+    fn reduction_keeps_items_left_of_the_minimum_point() {
+        // CID 2 keeps its leading (b) even though <(a)...> patterns cannot
+        // use it — the paper's Table 7 does the same.
+        let db = table6();
+        let s = db.sequence(1);
+        let (_, min_point) = s.min_item_with_point().unwrap();
+        assert_eq!(min_point, 1);
+        let freq1 = vec![true; 8];
+        let i_mask = vec![false; 8];
+        let mut s_mask = vec![false; 8];
+        s_mask[item('c').id() as usize] = true;
+        let got = reduce_sequence(s, item('a'), min_point, &freq1, &i_mask, &s_mask).unwrap();
+        assert_eq!(got.to_string(), "(b)(a)(a, c)");
+    }
+
+    #[test]
+    fn min_ext_elem_basic_and_bounded() {
+        // Table 7 CID 1 = (a)(a,g,h)(c): the 2-minimum with prefix <(a)> is
+        // <(a)(a)>; bounded past (a, Sequence) it is <(a)(c)> when only c, g
+        // remain frequent.
+        let red = seq("(a)(a,g,h)(c)");
+        let prefix = Sequence::single(item('a'));
+        let all = vec![true; 8];
+        let none = vec![false; 8];
+        let got = min_ext_elem(&red, &prefix, &all, &all, None).unwrap();
+        assert_eq!(got, ExtElem { item: item('a'), mode: ExtMode::Sequence });
+
+        let mut s_mask = none.clone();
+        s_mask[item('c').id() as usize] = true;
+        s_mask[item('g').id() as usize] = true;
+        let bound = ExtElem { item: item('a'), mode: ExtMode::Sequence };
+        let got = min_ext_elem(&red, &prefix, &none, &s_mask, Some(bound)).unwrap();
+        assert_eq!(got, ExtElem { item: item('c'), mode: ExtMode::Sequence });
+    }
+
+    #[test]
+    fn min_ext_elem_prefers_itemset_form() {
+        // With prefix <(a)>, member (a,g)(g): the itemset form (a,g) beats
+        // the sequence form (a)(g).
+        let s = seq("(a,g)(g)");
+        let prefix = Sequence::single(item('a'));
+        let all = vec![true; 8];
+        let got = min_ext_elem(&s, &prefix, &all, &all, None).unwrap();
+        assert_eq!(got, ExtElem { item: item('g'), mode: ExtMode::Itemset });
+        // Strictly past it, the sequence form remains.
+        let got2 = min_ext_elem(&s, &prefix, &all, &all, Some(got)).unwrap();
+        assert_eq!(got2, ExtElem { item: item('g'), mode: ExtMode::Sequence });
+        assert_eq!(min_ext_elem(&s, &prefix, &all, &all, Some(got2)), None);
+    }
+
+    #[test]
+    fn min_ext_elem_with_longer_prefix_uses_beta_embedding() {
+        // Prefix <(a)(b)>: the leftmost full embedding ends at the first (b),
+        // but the itemset extension (b, d) in the second (b, d) transaction
+        // must still be found (β = <(a)> ends at txn 0).
+        let s = seq("(a)(b)(b,d)");
+        let prefix = seq("(a)(b)");
+        let all = vec![true; 8];
+        let got = min_ext_elem(&s, &prefix, &all, &all, None).unwrap();
+        assert_eq!(got, ExtElem { item: item('b'), mode: ExtMode::Sequence });
+        let got2 = min_ext_elem(&s, &prefix, &all, &all, Some(got)).unwrap();
+        assert_eq!(got2, ExtElem { item: item('d'), mode: ExtMode::Itemset });
+    }
+
+    #[test]
+    fn min_ext_elem_none_when_prefix_absent_or_unextendable() {
+        let all = vec![true; 8];
+        assert_eq!(
+            min_ext_elem(&seq("(b)(c)"), &Sequence::single(item('a')), &all, &all, None),
+            None
+        );
+        assert_eq!(
+            min_ext_elem(&seq("(a)"), &Sequence::single(item('a')), &all, &all, None),
+            None
+        );
+    }
+
+    #[test]
+    fn chain_enumerates_frequent_extensions_in_order() {
+        // The chain of bounds must walk every frequent extension exactly once,
+        // ascending.
+        let s = seq("(a,c)(b)(c)");
+        let prefix = Sequence::single(item('a'));
+        let all = vec![true; 8];
+        let mut chain = Vec::new();
+        let mut bound = None;
+        while let Some(e) = min_ext_elem(&s, &prefix, &all, &all, bound) {
+            chain.push(prefix.extended(e).to_string());
+            bound = Some(e);
+        }
+        assert_eq!(chain, vec!["(a)(b)", "(a, c)", "(a)(c)"]);
+    }
+}

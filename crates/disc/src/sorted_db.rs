@@ -1,0 +1,133 @@
+//! The **k-sorted database** (Section 3.2): partition members keyed by their
+//! conditional k-minimum subsequences in a locative AVL tree.
+
+use crate::kms::Kms;
+use disc_core::Sequence;
+use disc_tree::LocativeAvlTree;
+
+/// One entry of the k-sorted database: which partition member it is, plus
+/// its apriori pointer into the (k-1)-sorted list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// Index of the customer sequence within the partition's member list.
+    pub member: usize,
+    /// Apriori pointer (Fig. 5/6): index of the current key's (k-1)-prefix
+    /// in the (k-1)-sorted list.
+    pub ptr: usize,
+}
+
+/// The k-sorted database.
+#[derive(Debug, Default)]
+pub struct KSortedDb {
+    tree: LocativeAvlTree<Sequence, Entry>,
+}
+
+impl KSortedDb {
+    /// An empty k-sorted database.
+    pub fn new() -> KSortedDb {
+        KSortedDb { tree: LocativeAvlTree::new() }
+    }
+
+    /// Number of customer positions (the paper's "size of SD").
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when no customers remain.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Inserts a member under its freshly computed k-minimum subsequence.
+    pub fn insert(&mut self, member: usize, kms: Kms) {
+        self.tree.insert(kms.key, Entry { member, ptr: kms.ptr });
+    }
+
+    /// `α₁`: the minimum key.
+    pub fn alpha_1(&self) -> Option<&Sequence> {
+        self.tree.min().map(|(k, _)| k)
+    }
+
+    /// `α_δ`: the key at customer position δ (1-based).
+    pub fn alpha_delta(&self, delta: u64) -> Option<&Sequence> {
+        debug_assert!(delta >= 1);
+        self.tree.select(delta as usize - 1)
+    }
+
+    /// Detaches the minimum node: `(α₁, its virtual partition)`. The bucket
+    /// length is `α₁`'s exact support among the partition members.
+    pub fn take_min(&mut self) -> Option<(Sequence, Vec<Entry>)> {
+        self.tree.take_min()
+    }
+
+    /// Detaches every entry keyed strictly below `bound`, ascending.
+    pub fn take_less_than(&mut self, bound: &Sequence) -> Vec<(Sequence, Vec<Entry>)> {
+        self.tree.take_less_than(bound)
+    }
+
+    /// In-order view of `(key, entries)` — Table 3/9-style dumps for tests
+    /// and debugging.
+    pub fn snapshot(&self) -> Vec<(Sequence, Vec<Entry>)> {
+        self.tree
+            .iter()
+            .map(|(k, vs)| (k.clone(), vs.to_vec()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kms::apriori_kms;
+    use disc_core::parse_sequence;
+
+    fn seq(s: &str) -> Sequence {
+        parse_sequence(s).unwrap()
+    }
+
+    #[test]
+    fn table_9_four_sorted_database() {
+        // Build the 4-sorted database of the <(a)(a)>-partition (Table 9).
+        let mut list: Vec<Sequence> =
+            ["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"].iter().map(|t| seq(t)).collect();
+        list.sort();
+        let customers = [
+            "(a)(a,g,h)(c)",                // CID 1
+            "(b)(a)(a,c,e,g)",              // CID 2
+            "(a,f,g)(a,e,g,h)(c,g,h)",      // CID 3
+            "(f)(a,f)(a,c,e,g,h)",          // CID 4
+            "(a,f)(a,e,g,h)",               // CID 6
+            "(a,g)(a,e,g)(g,h)",            // CID 7
+        ];
+        let mut db = KSortedDb::new();
+        for (m, text) in customers.iter().enumerate() {
+            let kms = apriori_kms(&seq(text), &list).unwrap();
+            db.insert(m, kms);
+        }
+        assert_eq!(db.len(), 6);
+        assert_eq!(db.alpha_1(), Some(&seq("(a)(a,e)(c)")));
+        // δ = 3: the third customer position holds <(a)(a,e,g)>.
+        assert_eq!(db.alpha_delta(3), Some(&seq("(a)(a,e,g)")));
+        assert_eq!(db.alpha_delta(6), Some(&seq("(a)(a,g)(c)")));
+        assert_eq!(db.alpha_delta(7), None);
+
+        let snapshot = db.snapshot();
+        let keys: Vec<String> = snapshot.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(keys, vec!["(a)(a, e)(c)", "(a)(a, e, g)", "(a)(a, g)(c)"]);
+        // The <(a)(a,e,g)> bucket holds CIDs 2, 4, 6, 7 (member indices 1, 3, 4, 5).
+        let members: Vec<usize> = snapshot[1].1.iter().map(|e| e.member).collect();
+        assert_eq!(members, vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn take_less_than_drains_the_head() {
+        let mut db = KSortedDb::new();
+        db.insert(0, Kms { key: seq("(a)(b)"), ptr: 0 });
+        db.insert(1, Kms { key: seq("(a)(c)"), ptr: 0 });
+        db.insert(2, Kms { key: seq("(b)(c)"), ptr: 1 });
+        let below = db.take_less_than(&seq("(b)(c)"));
+        assert_eq!(below.len(), 2);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.alpha_1(), Some(&seq("(b)(c)")));
+    }
+}

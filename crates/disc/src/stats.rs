@@ -1,0 +1,158 @@
+//! The **non-reduction rate (NRR)** of Section 4.2 — equation (2) — used by
+//! Tables 12 and 14 and by the Dynamic DISC-all policy.
+//!
+//! For a partition `Q`, `NRR_Q = (1/N_Q) Σ_p size_p / size_Q` over its child
+//! partitions `p`. Following §4.2, a child's size is the support count of
+//! the frequent (k+1)-sequence that keys it, and — thanks to the
+//! reassignment chains — a partition's own lifetime size is the support of
+//! *its* key, so the per-level averages can be computed post-hoc from any
+//! complete mining result:
+//!
+//! * level 0 ("Original"): the children of the whole database are the
+//!   initial first-level partitions, which are disjoint, so the average
+//!   ratio is taken over their actual sizes (this matches the magnitudes of
+//!   the paper's "Original" column, which are far below the support
+//!   threshold and therefore cannot be support ratios);
+//! * level `j ≥ 1`: for every frequent j-sequence `f` with at least one
+//!   frequent (j+1)-extension, average `supp(child)/supp(f)` over its
+//!   children, then average over such `f`.
+
+use crate::partition::group_by_min_item;
+use disc_core::{MiningResult, Sequence, SequenceDatabase};
+use std::collections::BTreeMap;
+
+/// Per-level average NRR: index 0 is the paper's "Original" column, index
+/// `j` the level-`j` partitions. `None` marks levels with no children (the
+/// dashes in Tables 12 and 14).
+pub fn nrr_by_level(result: &MiningResult, db: &SequenceDatabase) -> Vec<Option<f64>> {
+    let max_len = result.max_length();
+    let mut out = Vec::with_capacity(max_len.max(1));
+
+    // Level 0: disjoint initial partitions of the original database.
+    out.push(if db.is_empty() {
+        None
+    } else {
+        let groups = group_by_min_item(db);
+        if groups.is_empty() {
+            None
+        } else {
+            let mean: f64 = groups
+                .values()
+                .map(|v| v.len() as f64 / db.len() as f64)
+                .sum::<f64>()
+                / groups.len() as f64;
+            Some(mean)
+        }
+    });
+
+    // Levels j ≥ 1: support ratios between frequent j- and (j+1)-sequences.
+    for j in 1..max_len {
+        // Group the (j+1)-sequences by their j-prefix.
+        let mut children: BTreeMap<&Sequence, Vec<u64>> = BTreeMap::new();
+        let mut child_keys: Vec<(Sequence, u64)> = Vec::new();
+        for (p, s) in result.iter() {
+            if p.length() == j + 1 {
+                child_keys.push((p.k_prefix(j), s));
+            }
+        }
+        let parents: BTreeMap<&Sequence, u64> = result
+            .iter()
+            .filter(|(p, _)| p.length() == j)
+            .collect();
+        for (prefix, supp) in &child_keys {
+            if let Some((key, _)) = parents.get_key_value(prefix) {
+                children.entry(key).or_default().push(*supp);
+            }
+        }
+        if children.is_empty() {
+            out.push(None);
+            continue;
+        }
+        let mut level_sum = 0.0;
+        for (parent, supps) in &children {
+            let parent_supp = parents[*parent] as f64;
+            let mean: f64 =
+                supps.iter().map(|&s| s as f64 / parent_supp).sum::<f64>() / supps.len() as f64;
+            level_sum += mean;
+        }
+        out.push(Some(level_sum / children.len() as f64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_core::{BruteForce, MinSupport, SequentialMiner};
+
+    fn table6() -> SequenceDatabase {
+        SequenceDatabase::from_parsed(&[
+            "(a,d)(d)(a,g,h)(c)",
+            "(b)(a)(f)(a,c,e,g)",
+            "(a,f,g)(a,e,g,h)(c,g,h)",
+            "(f)(a,c,f)(a,c,e,g,h)",
+            "(a,g)",
+            "(a,f)(a,e,g,h)",
+            "(a,b,g)(a,e,g)(g,h)",
+            "(b,f)(b,e)(e,f,h)",
+            "(d,f)(d,f,g,h)",
+            "(b,f,g)(c,e,h)",
+            "(e,g)(f)(e,f)",
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn level_zero_uses_disjoint_partitions() {
+        let db = table6();
+        let result = BruteForce::default().mine(&db, MinSupport::Count(3));
+        let nrr = nrr_by_level(&result, &db);
+        // Four initial partitions (a: 7, b: 2, d: 1, e: 1) over 11 rows:
+        // mean(7/11, 2/11, 1/11, 1/11) = 11/44 = 0.25.
+        assert!((nrr[0].unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_levels_are_support_ratios() {
+        let db = SequenceDatabase::from_parsed(&["(a)(b)", "(a)(b)", "(a)(c)", "(a)"]).unwrap();
+        let result = BruteForce::default().mine(&db, MinSupport::Count(1));
+        let nrr = nrr_by_level(&result, &db);
+        // Level 1: parents (a):4 with children (a)(b):2, (a)(c):1 →
+        // mean(2/4, 1/4) = 0.375; (b):2 and (c):1 have no children.
+        assert!((nrr[1].unwrap() - 0.375).abs() < 1e-12, "{:?}", nrr);
+        assert_eq!(nrr.len(), 2);
+    }
+
+    #[test]
+    fn dashes_for_levels_without_children() {
+        let db = SequenceDatabase::from_parsed(&["(a)", "(a)", "(b)"]).unwrap();
+        let result = BruteForce::default().mine(&db, MinSupport::Count(2));
+        let nrr = nrr_by_level(&result, &db);
+        assert_eq!(nrr.len(), 1); // only the Original level exists
+        assert!(nrr[0].is_some());
+    }
+
+    #[test]
+    fn empty_database_has_no_levels() {
+        let db = SequenceDatabase::new();
+        let result = MiningResult::new();
+        let nrr = nrr_by_level(&result, &db);
+        assert_eq!(nrr, vec![None]);
+    }
+
+    #[test]
+    fn nrr_shrinks_with_sharper_thresholds() {
+        // Higher δ prunes small children, so level-1 NRR (a mean of ratios
+        // ≥ δ/supp(parent)) should not collapse; this is a sanity check that
+        // values stay within (0, 1].
+        let db = table6();
+        for delta in 1..=4 {
+            let result = BruteForce::default().mine(&db, MinSupport::Count(delta));
+            for (level, value) in nrr_by_level(&result, &db).iter().enumerate() {
+                if let Some(v) = value {
+                    assert!(*v > 0.0 && *v <= 1.0, "level {level}: {v}");
+                }
+            }
+        }
+    }
+}

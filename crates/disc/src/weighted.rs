@@ -1,0 +1,339 @@
+//! **Weighted sequence mining** — the paper's §5 future-work direction
+//! ("weighting applications": page weights in WWW traversal, gene importance
+//! in DNA analysis).
+//!
+//! Each customer sequence carries a weight; the *weighted support* of a
+//! pattern is the total weight of the customers containing it, and a pattern
+//! is frequent when its weighted support reaches a threshold `δ_w`. The DISC
+//! strategy transfers directly because its two lemmas never count anything —
+//! they only compare positions in a sorted database:
+//!
+//! * sort customers by (conditional) k-minimum subsequence, with weights;
+//! * let `α_δ` be the key at the position where **cumulative weight**
+//!   reaches `δ_w` ([`disc_tree::WeightedLocativeTree::select_by_weight`]);
+//! * `α₁ = α_δ` ⇒ the bucket of `α₁` carries weight ≥ `δ_w`, and — by the
+//!   same invariant as the unweighted case — every customer containing `α₁`
+//!   keys on it, so the bucket weight is the exact weighted support;
+//! * `α₁ < α_δ` ⇒ any `α ∈ [α₁, α_δ)` is supported only by customers keyed
+//!   below `α_δ`, whose total weight is < `δ_w` — non-frequent, skipped.
+//!
+//! Uniform weight 1 recovers ordinary mining exactly (property-tested).
+//!
+//! The miner here runs the DISC strategy directly from k = 2 (weighted
+//! counting arrays for level 1, weighted k-sorted databases above); the
+//! multi-level partitioning of DISC-all is orthogonal and omitted for
+//! clarity.
+
+use crate::ckms::{apriori_ckms, BoundMode, Condition};
+use crate::counting::CountingArray;
+use crate::kms::apriori_kms;
+use disc_core::{contains, CustomerId, Item, MiningResult, Sequence, SequenceDatabase};
+use disc_tree::WeightedLocativeTree;
+
+/// A sequence database whose customers carry weights.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedDatabase {
+    db: SequenceDatabase,
+    weights: Vec<u64>,
+}
+
+impl WeightedDatabase {
+    /// Builds from `(sequence, weight)` pairs, assigning CIDs 1, 2, ….
+    pub fn from_weighted(rows: impl IntoIterator<Item = (Sequence, u64)>) -> WeightedDatabase {
+        let mut db = SequenceDatabase::new();
+        let mut weights = Vec::new();
+        for (i, (seq, w)) in rows.into_iter().enumerate() {
+            db.push(CustomerId(i as u64 + 1), seq);
+            weights.push(w);
+        }
+        WeightedDatabase { db, weights }
+    }
+
+    /// Wraps an unweighted database with uniform weight 1.
+    pub fn uniform(db: SequenceDatabase) -> WeightedDatabase {
+        let weights = vec![1; db.len()];
+        WeightedDatabase { db, weights }
+    }
+
+    /// The underlying sequences.
+    pub fn database(&self) -> &SequenceDatabase {
+        &self.db
+    }
+
+    /// The weight of customer `i`.
+    pub fn weight(&self, i: usize) -> u64 {
+        self.weights[i]
+    }
+
+    /// Total weight of all customers.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// Definitional weighted support: total weight of the customers
+    /// containing `pattern`. The reference the miner is tested against.
+    pub fn weighted_support(&self, pattern: &Sequence) -> u64 {
+        self.db
+            .sequences()
+            .zip(&self.weights)
+            .filter(|(s, _)| contains(s, pattern))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+}
+
+/// The weighted DISC miner.
+#[derive(Debug, Clone)]
+pub struct WeightedDisc {
+    /// Use the bi-level optimization (weighted counting arrays over the
+    /// virtual partitions).
+    pub bi_level: bool,
+}
+
+impl Default for WeightedDisc {
+    fn default() -> Self {
+        WeightedDisc { bi_level: true }
+    }
+}
+
+impl WeightedDisc {
+    /// Mines every pattern with weighted support ≥ `delta_w`. Supports in
+    /// the result are weighted supports.
+    pub fn mine(&self, wdb: &WeightedDatabase, delta_w: u64) -> MiningResult {
+        let delta_w = delta_w.max(1);
+        let mut result = MiningResult::new();
+        let Some(max_item) = wdb.db.max_item() else {
+            return result;
+        };
+        let n_items = max_item.id() as usize + 1;
+
+        // Level 1: weighted counting array over the whole database.
+        let mut array = CountingArray::new(n_items);
+        for (i, s) in wdb.db.sequences().enumerate() {
+            array.add_member_weighted(s, &Sequence::empty(), wdb.weights[i]);
+        }
+        let mut freq_prev: Vec<Sequence> = Vec::new();
+        for id in 0..n_items as u32 {
+            let support = array.seq_support(Item(id));
+            if support >= delta_w {
+                let pat = Sequence::single(Item(id));
+                result.insert(pat.clone(), support);
+                freq_prev.push(pat);
+            }
+        }
+
+        // Levels k ≥ 2 by weighted DISC discovery.
+        while !freq_prev.is_empty() && wdb.total_weight() >= delta_w {
+            let out = self.discover(wdb, &freq_prev, delta_w, n_items, &mut result);
+            freq_prev = out;
+        }
+        result
+    }
+
+    /// One weighted frequent-k-sequence discovery pass; returns the list
+    /// seeding the next pass ((k+1)-sequences under bi-level, k-sequences
+    /// otherwise).
+    fn discover(
+        &self,
+        wdb: &WeightedDatabase,
+        freq_prev: &[Sequence],
+        delta_w: u64,
+        n_items: usize,
+        result: &mut MiningResult,
+    ) -> Vec<Sequence> {
+        #[derive(Clone, Copy)]
+        struct Entry {
+            member: usize,
+            ptr: usize,
+        }
+
+        let mut tree: WeightedLocativeTree<Sequence, Entry> = WeightedLocativeTree::new();
+        for (m, s) in wdb.db.sequences().enumerate() {
+            if let Some(kms) = apriori_kms(s, freq_prev) {
+                tree.insert(kms.key, Entry { member: m, ptr: kms.ptr }, wdb.weights[m]);
+            }
+        }
+
+        let mut freq_k: Vec<Sequence> = Vec::new();
+        let mut freq_k1: Vec<(Sequence, u64)> = Vec::new();
+        while tree.total_weight() >= delta_w {
+            let alpha_1 = tree.min().expect("non-empty").0.clone();
+            let alpha_delta = tree
+                .select_by_weight(delta_w)
+                .expect("total weight >= delta_w")
+                .clone();
+
+            if alpha_1 == alpha_delta {
+                let (key, bucket, bucket_weight) = tree.take_min().expect("non-empty");
+                result.insert(key.clone(), bucket_weight);
+                freq_k.push(key.clone());
+
+                if self.bi_level {
+                    let mut array = CountingArray::new(n_items);
+                    for (e, w) in &bucket {
+                        array.add_member_weighted(wdb.db.sequence(e.member), &key, *w);
+                    }
+                    for (elem, support) in array.frequent_extensions(delta_w) {
+                        freq_k1.push((key.extended(elem), support));
+                    }
+                }
+
+                let cond = Condition::new(&key, BoundMode::Strictly);
+                for (e, w) in bucket {
+                    if let Some(kms) =
+                        apriori_ckms(wdb.db.sequence(e.member), freq_prev, e.ptr, &cond)
+                    {
+                        tree.insert(kms.key, Entry { member: e.member, ptr: kms.ptr }, w);
+                    }
+                }
+            } else {
+                let cond = Condition::new(&alpha_delta, BoundMode::AtLeast);
+                for (_, bucket, _) in tree.take_less_than(&alpha_delta) {
+                    for (e, w) in bucket {
+                        if let Some(kms) =
+                            apriori_ckms(wdb.db.sequence(e.member), freq_prev, e.ptr, &cond)
+                        {
+                            tree.insert(kms.key, Entry { member: e.member, ptr: kms.ptr }, w);
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.bi_level {
+            for (p, s) in &freq_k1 {
+                result.insert(p.clone(), *s);
+            }
+            freq_k1.into_iter().map(|(p, _)| p).collect()
+        } else {
+            freq_k
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiscAll;
+    use disc_core::{parse_sequence, MinSupport, SequentialMiner};
+
+    fn seq(s: &str) -> Sequence {
+        parse_sequence(s).unwrap()
+    }
+
+    fn weighted_brute_force(wdb: &WeightedDatabase, delta_w: u64) -> MiningResult {
+        // Level-wise prefix growth with definitional weighted counting.
+        use disc_core::{ExtElem, ExtMode};
+        let mut result = MiningResult::new();
+        let mut items: Vec<Item> = wdb
+            .database()
+            .sequences()
+            .flat_map(|s| s.distinct_items())
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        let mut frontier = Vec::new();
+        for item in items {
+            let pat = Sequence::single(item);
+            let w = wdb.weighted_support(&pat);
+            if w >= delta_w {
+                result.insert(pat.clone(), w);
+                frontier.push(pat);
+            }
+        }
+        let freq_items: Vec<Item> =
+            frontier.iter().map(|p| p.last_flat_item().expect("non-empty")).collect();
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for base in &frontier {
+                let last = base.last_flat_item().expect("non-empty");
+                for &item in &freq_items {
+                    let mut candidates = vec![base.extended(ExtElem {
+                        item,
+                        mode: ExtMode::Sequence,
+                    })];
+                    if item > last {
+                        candidates.push(base.extended(ExtElem { item, mode: ExtMode::Itemset }));
+                    }
+                    for cand in candidates {
+                        let w = wdb.weighted_support(&cand);
+                        if w >= delta_w {
+                            result.insert(cand.clone(), w);
+                            next.push(cand);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        result
+    }
+
+    fn table1_weighted() -> WeightedDatabase {
+        WeightedDatabase::from_weighted([
+            (seq("(a,e,g)(b)(h)(f)(c)(b,f)"), 5),
+            (seq("(b)(d,f)(e)"), 1),
+            (seq("(b,f,g)"), 2),
+            (seq("(f)(a,g)(b,f,h)(b,f)"), 3),
+        ])
+    }
+
+    #[test]
+    fn weighted_support_is_definitional() {
+        let wdb = table1_weighted();
+        assert_eq!(wdb.total_weight(), 11);
+        assert_eq!(wdb.weighted_support(&seq("(b)")), 11);
+        assert_eq!(wdb.weighted_support(&seq("(a)(b)(b)")), 8); // customers 1 and 4
+        assert_eq!(wdb.weighted_support(&seq("(d)")), 1);
+    }
+
+    #[test]
+    fn matches_weighted_brute_force() {
+        let wdb = table1_weighted();
+        for delta_w in [1u64, 3, 5, 8, 11] {
+            let expected = weighted_brute_force(&wdb, delta_w);
+            for miner in [WeightedDisc::default(), WeightedDisc { bi_level: false }] {
+                let got = miner.mine(&wdb, delta_w);
+                let diff = got.diff(&expected);
+                assert!(diff.is_empty(), "δw={delta_w}:\n{}", diff.join("\n"));
+            }
+        }
+    }
+
+    #[test]
+    fn weight_skew_changes_the_answer() {
+        // With heavy weight on customer 1, its private patterns become
+        // "frequent" even at high thresholds.
+        let wdb = table1_weighted();
+        let result = WeightedDisc::default().mine(&wdb, 5);
+        assert!(result.contains_pattern(&seq("(a,e,g)"))); // only customer 1, weight 5
+        // Unweighted, the same pattern has support 1 of 4.
+        let unweighted =
+            DiscAll::default().mine(wdb.database(), MinSupport::Count(2));
+        assert!(!unweighted.contains_pattern(&seq("(a,e,g)")));
+    }
+
+    #[test]
+    fn uniform_weights_recover_ordinary_mining() {
+        let db = SequenceDatabase::from_parsed(&[
+            "(a,e,g)(b)(h)(f)(c)(b,f)",
+            "(b)(d,f)(e)",
+            "(b,f,g)",
+            "(f)(a,g)(b,f,h)(b,f)",
+        ])
+        .unwrap();
+        let wdb = WeightedDatabase::uniform(db.clone());
+        for delta in 1..=4u64 {
+            let expected = DiscAll::default().mine(&db, MinSupport::Count(delta));
+            let got = WeightedDisc::default().mine(&wdb, delta);
+            let diff = got.diff(&expected);
+            assert!(diff.is_empty(), "δ={delta}:\n{}", diff.join("\n"));
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        let wdb = WeightedDatabase::default();
+        assert!(WeightedDisc::default().mine(&wdb, 1).is_empty());
+    }
+}

@@ -1,0 +1,452 @@
+//! The [`LocativeAvlTree`] implementation: a height-balanced BST with
+//! duplicate buckets and order statistics over total value count.
+
+use std::cmp::Ordering;
+
+/// A detached subtree paired with whatever was removed from it.
+type Detached<K, V> = (Option<Box<Node<K, V>>>, Option<(K, Vec<V>)>);
+
+/// One tree node: a distinct key with its bucket of values.
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    values: Vec<V>,
+    left: Option<Box<Node<K, V>>>,
+    right: Option<Box<Node<K, V>>>,
+    /// AVL height of this subtree (leaf = 1).
+    height: i32,
+    /// Total number of values stored in this subtree (including buckets).
+    count: usize,
+}
+
+impl<K, V> Node<K, V> {
+    fn new(key: K, value: V) -> Box<Node<K, V>> {
+        Box::new(Node {
+            key,
+            values: vec![value],
+            left: None,
+            right: None,
+            height: 1,
+            count: 1,
+        })
+    }
+
+    fn update(&mut self) {
+        self.height = 1 + height(&self.left).max(height(&self.right));
+        self.count = self.values.len() + count(&self.left) + count(&self.right);
+    }
+
+    fn balance_factor(&self) -> i32 {
+        height(&self.left) - height(&self.right)
+    }
+}
+
+fn height<K, V>(n: &Option<Box<Node<K, V>>>) -> i32 {
+    n.as_ref().map_or(0, |n| n.height)
+}
+
+fn count<K, V>(n: &Option<Box<Node<K, V>>>) -> usize {
+    n.as_ref().map_or(0, |n| n.count)
+}
+
+fn rotate_right<K, V>(mut root: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    let mut new_root = root.left.take().expect("rotate_right requires a left child");
+    root.left = new_root.right.take();
+    root.update();
+    new_root.right = Some(root);
+    new_root.update();
+    new_root
+}
+
+fn rotate_left<K, V>(mut root: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    let mut new_root = root.right.take().expect("rotate_left requires a right child");
+    root.right = new_root.left.take();
+    root.update();
+    new_root.left = Some(root);
+    new_root.update();
+    new_root
+}
+
+/// Rebalances a node whose children are already balanced AVL subtrees and
+/// whose own balance factor may be off by at most the usual ±2.
+fn rebalance<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    node.update();
+    let bf = node.balance_factor();
+    if bf > 1 {
+        if node.left.as_ref().expect("bf > 1 implies left").balance_factor() < 0 {
+            node.left = Some(rotate_left(node.left.take().expect("checked")));
+        }
+        rotate_right(node)
+    } else if bf < -1 {
+        if node.right.as_ref().expect("bf < -1 implies right").balance_factor() > 0 {
+            node.right = Some(rotate_right(node.right.take().expect("checked")));
+        }
+        rotate_left(node)
+    } else {
+        node
+    }
+}
+
+fn insert_node<K: Ord, V>(node: Option<Box<Node<K, V>>>, key: K, value: V) -> Box<Node<K, V>> {
+    match node {
+        None => Node::new(key, value),
+        Some(mut n) => {
+            match key.cmp(&n.key) {
+                Ordering::Equal => {
+                    n.values.push(value);
+                    n.update();
+                    n
+                }
+                Ordering::Less => {
+                    n.left = Some(insert_node(n.left.take(), key, value));
+                    rebalance(n)
+                }
+                Ordering::Greater => {
+                    n.right = Some(insert_node(n.right.take(), key, value));
+                    rebalance(n)
+                }
+            }
+        }
+    }
+}
+
+/// Removes the minimum node of the subtree, returning the remaining subtree
+/// and the detached node (children cleared).
+#[allow(clippy::type_complexity)]
+fn take_min_node<K, V>(
+    mut node: Box<Node<K, V>>,
+) -> (Option<Box<Node<K, V>>>, Box<Node<K, V>>) {
+    match node.left.take() {
+        None => {
+            let right = node.right.take();
+            node.update();
+            (right, node)
+        }
+        Some(left) => {
+            let (remaining, min) = take_min_node(left);
+            node.left = remaining;
+            (Some(rebalance(node)), min)
+        }
+    }
+}
+
+/// Removes the node with the given key, if present, returning the remaining
+/// subtree and the detached `(key, bucket)`. A node with both children is
+/// spliced out by promoting its in-order successor.
+fn remove_key<K: Ord, V>(node: Option<Box<Node<K, V>>>, key: &K) -> Detached<K, V> {
+    let Some(mut n) = node else {
+        return (None, None);
+    };
+    match key.cmp(&n.key) {
+        Ordering::Less => {
+            let (left, removed) = remove_key(n.left.take(), key);
+            n.left = left;
+            (Some(rebalance(n)), removed)
+        }
+        Ordering::Greater => {
+            let (right, removed) = remove_key(n.right.take(), key);
+            n.right = right;
+            (Some(rebalance(n)), removed)
+        }
+        Ordering::Equal => {
+            let Node {
+                key: k,
+                values,
+                left,
+                right,
+                ..
+            } = *n;
+            let removed = Some((k, values));
+            match (left, right) {
+                (None, r) => (r, removed),
+                (l, None) => (l, removed),
+                (l, Some(r)) => {
+                    let (right_rest, mut succ) = take_min_node(r);
+                    succ.left = l;
+                    succ.right = right_rest;
+                    (Some(rebalance(succ)), removed)
+                }
+            }
+        }
+    }
+}
+
+impl<K: Ord, V> LocativeAvlTree<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        LocativeAvlTree { root: None }
+    }
+
+    /// Total number of **values** (customer positions) in the tree — the
+    /// "size of the k-sorted database" in Fig. 4.
+    pub fn len(&self) -> usize {
+        count(&self.root)
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Number of distinct keys.
+    pub fn n_keys(&self) -> usize {
+        fn rec<K, V>(n: &Option<Box<Node<K, V>>>) -> usize {
+            n.as_ref().map_or(0, |n| 1 + rec(&n.left) + rec(&n.right))
+        }
+        rec(&self.root)
+    }
+
+    /// Inserts a value under a key (creating or extending the bucket).
+    pub fn insert(&mut self, key: K, value: V) {
+        self.root = Some(insert_node(self.root.take(), key, value));
+    }
+
+    /// The minimum key and its bucket, if any — `α₁` and its virtual
+    /// partition.
+    pub fn min(&self) -> Option<(&K, &[V])> {
+        let mut cur = self.root.as_ref()?;
+        while let Some(left) = cur.left.as_ref() {
+            cur = left;
+        }
+        Some((&cur.key, &cur.values))
+    }
+
+    /// The key at value-position `rank` (0-based): with `rank = δ - 1` this
+    /// is the paper's `α_δ`. `None` when `rank ≥ len()`.
+    pub fn select(&self, mut rank: usize) -> Option<&K> {
+        let mut cur = self.root.as_ref()?;
+        loop {
+            let left_count = count(&cur.left);
+            if rank < left_count {
+                cur = cur.left.as_ref().expect("rank < left count");
+            } else if rank < left_count + cur.values.len() {
+                return Some(&cur.key);
+            } else {
+                rank -= left_count + cur.values.len();
+                cur = cur.right.as_ref()?;
+            }
+        }
+    }
+
+    /// Detaches and returns the minimum node: `(α₁, its bucket)`.
+    pub fn take_min(&mut self) -> Option<(K, Vec<V>)> {
+        let root = self.root.take()?;
+        let (rest, min) = take_min_node(root);
+        self.root = rest;
+        let node = *min;
+        Some((node.key, node.values))
+    }
+
+    /// Detaches every node with `key < bound`, returning the `(key, bucket)`
+    /// pairs in ascending key order — the re-sort set of Fig. 4 step 2.2 in
+    /// the non-frequent case.
+    pub fn take_less_than(&mut self, bound: &K) -> Vec<(K, Vec<V>)> {
+        let mut out = Vec::new();
+        while let Some((key, _)) = self.min_key_value_check(bound) {
+            debug_assert!(key < bound);
+            let (k, vs) = self.take_min().expect("min exists");
+            out.push((k, vs));
+        }
+        out
+    }
+
+    /// Helper: returns `Some(())`-style marker when the minimum key is below
+    /// the bound. Split out to satisfy borrow scopes.
+    fn min_key_value_check<'a>(&'a self, bound: &K) -> Option<(&'a K, ())> {
+        match self.min() {
+            Some((k, _)) if k < bound => Some((k, ())),
+            _ => None,
+        }
+    }
+
+    /// Removes the bucket stored under `key`, if present.
+    pub fn remove(&mut self, key: &K) -> Option<Vec<V>> {
+        let (root, removed) = remove_key(self.root.take(), key);
+        self.root = root;
+        removed.map(|(_, vs)| vs)
+    }
+
+    /// In-order iteration over `(key, bucket)`.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut stack = Vec::new();
+        push_left_spine(&self.root, &mut stack);
+        Iter { stack }
+    }
+
+    /// Consumes the tree, yielding `(key, bucket)` pairs in ascending order.
+    pub fn into_sorted_vec(mut self) -> Vec<(K, Vec<V>)> {
+        let mut out = Vec::new();
+        while let Some(pair) = self.take_min() {
+            out.push(pair);
+        }
+        out
+    }
+
+    /// Verifies the AVL and count invariants; for tests.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        fn rec<K: Ord, V>(n: &Option<Box<Node<K, V>>>) -> (i32, usize) {
+            let Some(n) = n else { return (0, 0) };
+            assert!(!n.values.is_empty(), "empty bucket left in tree");
+            let (lh, lc) = rec(&n.left);
+            let (rh, rc) = rec(&n.right);
+            assert!((lh - rh).abs() <= 1, "AVL balance violated");
+            assert_eq!(n.height, 1 + lh.max(rh), "stale height");
+            assert_eq!(n.count, n.values.len() + lc + rc, "stale count");
+            if let Some(l) = &n.left {
+                assert!(l.key < n.key, "BST order violated on the left");
+            }
+            if let Some(r) = &n.right {
+                assert!(r.key > n.key, "BST order violated on the right");
+            }
+            (n.height, n.count)
+        }
+        rec(&self.root);
+    }
+}
+
+fn push_left_spine<'a, K, V>(
+    mut node: &'a Option<Box<Node<K, V>>>,
+    stack: &mut Vec<&'a Node<K, V>>,
+) {
+    while let Some(n) = node {
+        stack.push(n);
+        node = &n.left;
+    }
+}
+
+/// In-order iterator over a [`LocativeAvlTree`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a [V]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.stack.pop()?;
+        push_left_spine(&node.right, &mut self.stack);
+        Some((&node.key, node.values.as_slice()))
+    }
+}
+
+/// The locative AVL tree — see the crate docs.
+#[derive(Debug, Clone)]
+pub struct LocativeAvlTree<K, V> {
+    root: Option<Box<Node<K, V>>>,
+}
+
+impl<K: Ord, V> Default for LocativeAvlTree<K, V> {
+    fn default() -> Self {
+        LocativeAvlTree::new()
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for LocativeAvlTree<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut tree = LocativeAvlTree::new();
+        for (k, v) in iter {
+            tree.insert(k, v);
+        }
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_of(pairs: &[(i32, char)]) -> LocativeAvlTree<i32, char> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn insert_groups_duplicates() {
+        let t = tree_of(&[(2, 'a'), (1, 'b'), (2, 'c'), (3, 'd')]);
+        t.check_invariants();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.n_keys(), 3);
+        let pairs: Vec<(i32, usize)> = t.iter().map(|(k, vs)| (*k, vs.len())).collect();
+        assert_eq!(pairs, vec![(1, 1), (2, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn min_and_select_count_values() {
+        // Table 3 analogue: keys with duplicates occupy consecutive positions.
+        let t = tree_of(&[(10, 'a'), (10, 'b'), (20, 'c'), (30, 'd')]);
+        assert_eq!(t.min().map(|(k, vs)| (*k, vs.len())), Some((10, 2)));
+        assert_eq!(t.select(0), Some(&10));
+        assert_eq!(t.select(1), Some(&10)); // δ = 2: α_δ still the duplicate
+        assert_eq!(t.select(2), Some(&20));
+        assert_eq!(t.select(3), Some(&30));
+        assert_eq!(t.select(4), None);
+    }
+
+    #[test]
+    fn take_min_detaches_whole_bucket() {
+        let mut t = tree_of(&[(2, 'a'), (1, 'b'), (1, 'c'), (3, 'd')]);
+        let (k, vs) = t.take_min().unwrap();
+        assert_eq!(k, 1);
+        assert_eq!(vs, vec!['b', 'c']);
+        t.check_invariants();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.min().map(|(k, _)| *k), Some(2));
+    }
+
+    #[test]
+    fn take_less_than_drains_prefix() {
+        let mut t = tree_of(&[(5, 'a'), (1, 'b'), (3, 'c'), (3, 'd'), (7, 'e')]);
+        let below = t.take_less_than(&5);
+        let keys: Vec<i32> = below.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3]);
+        assert_eq!(below[1].1, vec!['c', 'd']);
+        t.check_invariants();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.min().map(|(k, _)| *k), Some(5));
+        assert!(t.take_less_than(&0).is_empty());
+    }
+
+    #[test]
+    fn remove_by_key() {
+        let mut t = tree_of(&[(2, 'a'), (1, 'b'), (3, 'c'), (2, 'd')]);
+        assert_eq!(t.remove(&2), Some(vec!['a', 'd']));
+        assert_eq!(t.remove(&2), None);
+        t.check_invariants();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove(&99), None);
+    }
+
+    #[test]
+    fn ascending_inserts_stay_balanced() {
+        let mut t = LocativeAvlTree::new();
+        for i in 0..1000 {
+            t.insert(i, i);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(t.select(i), Some(&(i as i32)));
+        }
+    }
+
+    #[test]
+    fn into_sorted_vec_orders_keys() {
+        let t = tree_of(&[(3, 'a'), (1, 'b'), (2, 'c'), (1, 'd')]);
+        let v = t.into_sorted_vec();
+        assert_eq!(
+            v,
+            vec![(1, vec!['b', 'd']), (2, vec!['c']), (3, vec!['a'])]
+        );
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let mut t: LocativeAvlTree<i32, ()> = LocativeAvlTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.select(0), None);
+        assert_eq!(t.take_min(), None);
+        assert!(t.take_less_than(&10).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! # disc-tree
+//!
+//! The **locative AVL tree** of Section 3.2 of the DISC paper: the data
+//! structure backing the *k-sorted database*.
+//!
+//! DISC keeps every customer sequence keyed by its current conditional
+//! k-minimum subsequence and repeatedly needs three operations:
+//!
+//! 1. read the minimum key `α₁` and the key at *position δ* (`α_δ`) — where
+//!    positions count **customer sequences**, not distinct keys (Table 3 of
+//!    the paper: equal k-minimum subsequences occupy consecutive positions);
+//! 2. extract every customer below a key (the re-sort step of Fig. 4);
+//! 3. re-insert customers under new keys.
+//!
+//! [`LocativeAvlTree`] is an AVL tree with one node per distinct key, a
+//! bucket of values per node, and each subtree augmented with its **total
+//! value count**, so `select(rank)` finds the key at a given customer
+//! position in `O(log n)`. The paper calls the rank bookkeeping the "access
+//! key"; the balance maintenance is the textbook AVL rotation set (Weiss,
+//! *Data Structures and Algorithm Analysis in C*, §4.4 — the paper's
+//! reference [14]).
+//!
+//! [`WeightedLocativeTree`] generalizes the augmentation from counts to
+//! per-value weights (`select_by_weight` finds the key at a cumulative
+//! weight), which is what the weighted-mining extension of the paper's §5
+//! future work runs on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod avl;
+mod weighted;
+
+pub use avl::LocativeAvlTree;
+pub use weighted::WeightedLocativeTree;

@@ -1,0 +1,339 @@
+//! A weighted locative AVL tree: like [`crate::LocativeAvlTree`], but every
+//! value carries a weight and order statistics run over **cumulative
+//! weight** instead of value count.
+//!
+//! This powers the weighted extension of the DISC strategy (the paper's
+//! §5 "weighting applications"): with customer weights, the condition
+//! sequence `α_δ` lives at the position where the cumulative weight reaches
+//! the weighted support threshold, and Lemmas 2.1/2.2 carry over verbatim
+//! with weights in place of counts. The unweighted tree is the special case
+//! of weight 1 everywhere.
+
+use std::cmp::Ordering;
+
+/// One tree node: a distinct key with its bucket of weighted values.
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    values: Vec<(V, u64)>,
+    /// Total weight of this node's own bucket.
+    bucket_weight: u64,
+    left: Option<Box<Node<K, V>>>,
+    right: Option<Box<Node<K, V>>>,
+    height: i32,
+    /// Total weight in this subtree.
+    weight: u64,
+}
+
+impl<K, V> Node<K, V> {
+    fn new(key: K, value: V, w: u64) -> Box<Node<K, V>> {
+        Box::new(Node {
+            key,
+            values: vec![(value, w)],
+            bucket_weight: w,
+            left: None,
+            right: None,
+            height: 1,
+            weight: w,
+        })
+    }
+
+    fn update(&mut self) {
+        self.height = 1 + height(&self.left).max(height(&self.right));
+        self.weight = self.bucket_weight + weight(&self.left) + weight(&self.right);
+    }
+
+    fn balance_factor(&self) -> i32 {
+        height(&self.left) - height(&self.right)
+    }
+}
+
+fn height<K, V>(n: &Option<Box<Node<K, V>>>) -> i32 {
+    n.as_ref().map_or(0, |n| n.height)
+}
+
+fn weight<K, V>(n: &Option<Box<Node<K, V>>>) -> u64 {
+    n.as_ref().map_or(0, |n| n.weight)
+}
+
+fn rotate_right<K, V>(mut root: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    let mut new_root = root.left.take().expect("rotate_right requires a left child");
+    root.left = new_root.right.take();
+    root.update();
+    new_root.right = Some(root);
+    new_root.update();
+    new_root
+}
+
+fn rotate_left<K, V>(mut root: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    let mut new_root = root.right.take().expect("rotate_left requires a right child");
+    root.right = new_root.left.take();
+    root.update();
+    new_root.left = Some(root);
+    new_root.update();
+    new_root
+}
+
+fn rebalance<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    node.update();
+    let bf = node.balance_factor();
+    if bf > 1 {
+        if node.left.as_ref().expect("bf > 1 implies left").balance_factor() < 0 {
+            node.left = Some(rotate_left(node.left.take().expect("checked")));
+        }
+        rotate_right(node)
+    } else if bf < -1 {
+        if node.right.as_ref().expect("bf < -1 implies right").balance_factor() > 0 {
+            node.right = Some(rotate_right(node.right.take().expect("checked")));
+        }
+        rotate_left(node)
+    } else {
+        node
+    }
+}
+
+fn insert_node<K: Ord, V>(
+    node: Option<Box<Node<K, V>>>,
+    key: K,
+    value: V,
+    w: u64,
+) -> Box<Node<K, V>> {
+    match node {
+        None => Node::new(key, value, w),
+        Some(mut n) => match key.cmp(&n.key) {
+            Ordering::Equal => {
+                n.values.push((value, w));
+                n.bucket_weight += w;
+                n.update();
+                n
+            }
+            Ordering::Less => {
+                n.left = Some(insert_node(n.left.take(), key, value, w));
+                rebalance(n)
+            }
+            Ordering::Greater => {
+                n.right = Some(insert_node(n.right.take(), key, value, w));
+                rebalance(n)
+            }
+        },
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn take_min_node<K, V>(mut node: Box<Node<K, V>>) -> (Option<Box<Node<K, V>>>, Box<Node<K, V>>) {
+    match node.left.take() {
+        None => {
+            let right = node.right.take();
+            node.update();
+            (right, node)
+        }
+        Some(left) => {
+            let (remaining, min) = take_min_node(left);
+            node.left = remaining;
+            (Some(rebalance(node)), min)
+        }
+    }
+}
+
+/// The weighted locative AVL tree — see the module docs.
+#[derive(Debug, Clone)]
+pub struct WeightedLocativeTree<K, V> {
+    root: Option<Box<Node<K, V>>>,
+}
+
+impl<K: Ord, V> Default for WeightedLocativeTree<K, V> {
+    fn default() -> Self {
+        WeightedLocativeTree::new()
+    }
+}
+
+impl<K: Ord, V> WeightedLocativeTree<K, V> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        WeightedLocativeTree { root: None }
+    }
+
+    /// Total weight stored in the tree.
+    pub fn total_weight(&self) -> u64 {
+        weight(&self.root)
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Inserts a value with its weight.
+    pub fn insert(&mut self, key: K, value: V, w: u64) {
+        self.root = Some(insert_node(self.root.take(), key, value, w));
+    }
+
+    /// The minimum key with its bucket (values and weights).
+    pub fn min(&self) -> Option<(&K, &[(V, u64)])> {
+        let mut cur = self.root.as_ref()?;
+        while let Some(left) = cur.left.as_ref() {
+            cur = left;
+        }
+        Some((&cur.key, &cur.values))
+    }
+
+    /// The key whose bucket contains the `w`-th unit of cumulative weight
+    /// (1-based): the smallest key with cumulative weight ≥ `w`. `None` when
+    /// `w` exceeds the total weight or is 0.
+    pub fn select_by_weight(&self, w: u64) -> Option<&K> {
+        if w == 0 {
+            return None;
+        }
+        let mut remaining = w;
+        let mut cur = self.root.as_ref()?;
+        loop {
+            let left_w = weight(&cur.left);
+            if remaining <= left_w {
+                cur = cur.left.as_ref().expect("remaining <= left weight > 0");
+            } else if remaining <= left_w + cur.bucket_weight {
+                return Some(&cur.key);
+            } else {
+                remaining -= left_w + cur.bucket_weight;
+                cur = cur.right.as_ref()?;
+            }
+        }
+    }
+
+    /// Detaches the minimum node: `(key, bucket, bucket weight)`.
+    #[allow(clippy::type_complexity)]
+    pub fn take_min(&mut self) -> Option<(K, Vec<(V, u64)>, u64)> {
+        let root = self.root.take()?;
+        let (rest, min) = take_min_node(root);
+        self.root = rest;
+        let node = *min;
+        Some((node.key, node.values, node.bucket_weight))
+    }
+
+    /// Detaches every node with `key < bound`, ascending.
+    #[allow(clippy::type_complexity)]
+    pub fn take_less_than(&mut self, bound: &K) -> Vec<(K, Vec<(V, u64)>, u64)> {
+        let mut out = Vec::new();
+        loop {
+            match self.min() {
+                Some((k, _)) if k < bound => {
+                    out.push(self.take_min().expect("min exists"));
+                }
+                _ => return out,
+            }
+        }
+    }
+
+    /// Verifies AVL and weight invariants; for tests.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        fn rec<K: Ord, V>(n: &Option<Box<Node<K, V>>>) -> (i32, u64) {
+            let Some(n) = n else { return (0, 0) };
+            assert!(!n.values.is_empty());
+            assert_eq!(n.bucket_weight, n.values.iter().map(|(_, w)| w).sum::<u64>());
+            let (lh, lw) = rec(&n.left);
+            let (rh, rw) = rec(&n.right);
+            assert!((lh - rh).abs() <= 1, "AVL balance violated");
+            assert_eq!(n.height, 1 + lh.max(rh));
+            assert_eq!(n.weight, n.bucket_weight + lw + rw);
+            if let Some(l) = &n.left {
+                assert!(l.key < n.key);
+            }
+            if let Some(r) = &n.right {
+                assert!(r.key > n.key);
+            }
+            (n.height, n.weight)
+        }
+        rec(&self.root);
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V, u64)> for WeightedLocativeTree<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V, u64)>>(iter: T) -> Self {
+        let mut t = WeightedLocativeTree::new();
+        for (k, v, w) in iter {
+            t.insert(k, v, w);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_by_cumulative_weight() {
+        // keys: 1 (weight 3), 2 (weight 2), 3 (weight 5)
+        let t: WeightedLocativeTree<i32, char> =
+            [(1, 'a', 2), (1, 'b', 1), (2, 'c', 2), (3, 'd', 5)].into_iter().collect();
+        t.check_invariants();
+        assert_eq!(t.total_weight(), 10);
+        for w in 1..=3 {
+            assert_eq!(t.select_by_weight(w), Some(&1), "w={w}");
+        }
+        for w in 4..=5 {
+            assert_eq!(t.select_by_weight(w), Some(&2), "w={w}");
+        }
+        for w in 6..=10 {
+            assert_eq!(t.select_by_weight(w), Some(&3), "w={w}");
+        }
+        assert_eq!(t.select_by_weight(11), None);
+        assert_eq!(t.select_by_weight(0), None);
+    }
+
+    #[test]
+    fn take_min_returns_bucket_weight() {
+        let mut t: WeightedLocativeTree<i32, char> =
+            [(2, 'a', 4), (1, 'b', 3), (1, 'c', 2)].into_iter().collect();
+        let (k, vs, w) = t.take_min().unwrap();
+        assert_eq!(k, 1);
+        assert_eq!(vs, vec![('b', 3), ('c', 2)]);
+        assert_eq!(w, 5);
+        t.check_invariants();
+        assert_eq!(t.total_weight(), 4);
+    }
+
+    #[test]
+    fn take_less_than_drains_prefix() {
+        let mut t: WeightedLocativeTree<i32, char> =
+            [(1, 'a', 1), (3, 'b', 2), (5, 'c', 3)].into_iter().collect();
+        let below = t.take_less_than(&5);
+        assert_eq!(below.len(), 2);
+        assert_eq!(t.total_weight(), 3);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn unit_weights_match_rank_semantics() {
+        let mut t: WeightedLocativeTree<i32, usize> = WeightedLocativeTree::new();
+        for (i, k) in [5, 3, 8, 3, 5, 1].into_iter().enumerate() {
+            t.insert(k, i, 1);
+        }
+        t.check_invariants();
+        // sorted: 1, 3, 3, 5, 5, 8 — select_by_weight(w) = w-th element.
+        let expected = [1, 3, 3, 5, 5, 8];
+        for (i, e) in expected.iter().enumerate() {
+            assert_eq!(t.select_by_weight(i as u64 + 1), Some(e));
+        }
+    }
+
+    #[test]
+    fn large_randomish_tree_stays_balanced() {
+        let mut t: WeightedLocativeTree<u32, u32> = WeightedLocativeTree::new();
+        let mut total = 0u64;
+        for i in 0..2000u32 {
+            let w = u64::from(i % 7 + 1);
+            t.insert(i.wrapping_mul(2654435761) % 500, i, w);
+            total += w;
+        }
+        t.check_invariants();
+        assert_eq!(t.total_weight(), total);
+        // Walk every weight unit; keys must be non-decreasing.
+        let mut last = 0u32;
+        for w in 1..=total {
+            let k = *t.select_by_weight(w).expect("within range");
+            assert!(k >= last);
+            last = k;
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Model-based property tests: a [`LocativeAvlTree`] must behave exactly
+//! like a `BTreeMap<K, Vec<V>>` under arbitrary operation sequences, while
+//! maintaining its AVL/count invariants at every step.
+
+use disc_tree::LocativeAvlTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    TakeMin,
+    TakeLessThan(u16),
+    Remove(u16),
+    Select(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u16..50, any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        1 => Just(Op::TakeMin),
+        1 => (0u16..50).prop_map(Op::TakeLessThan),
+        1 => (0u16..50).prop_map(Op::Remove),
+        1 => (0usize..60).prop_map(Op::Select),
+    ]
+}
+
+/// The reference model.
+#[derive(Default)]
+struct Model {
+    map: BTreeMap<u16, Vec<u32>>,
+}
+
+impl Model {
+    fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    fn insert(&mut self, k: u16, v: u32) {
+        self.map.entry(k).or_default().push(v);
+    }
+
+    fn take_min(&mut self) -> Option<(u16, Vec<u32>)> {
+        let k = *self.map.keys().next()?;
+        Some((k, self.map.remove(&k).expect("present")))
+    }
+
+    fn take_less_than(&mut self, bound: u16) -> Vec<(u16, Vec<u32>)> {
+        let keys: Vec<u16> = self.map.range(..bound).map(|(k, _)| *k).collect();
+        keys.into_iter()
+            .map(|k| (k, self.map.remove(&k).expect("present")))
+            .collect()
+    }
+
+    fn remove(&mut self, k: u16) -> Option<Vec<u32>> {
+        self.map.remove(&k)
+    }
+
+    fn select(&self, mut rank: usize) -> Option<u16> {
+        for (k, vs) in &self.map {
+            if rank < vs.len() {
+                return Some(*k);
+            }
+            rank -= vs.len();
+        }
+        None
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tree_matches_btreemap_model(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let mut tree: LocativeAvlTree<u16, u32> = LocativeAvlTree::new();
+        let mut model = Model::default();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    tree.insert(k, v);
+                    model.insert(k, v);
+                }
+                Op::TakeMin => {
+                    prop_assert_eq!(tree.take_min(), model.take_min());
+                }
+                Op::TakeLessThan(bound) => {
+                    prop_assert_eq!(tree.take_less_than(&bound), model.take_less_than(bound));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), model.remove(k));
+                }
+                Op::Select(rank) => {
+                    prop_assert_eq!(tree.select(rank).copied(), model.select(rank));
+                }
+            }
+            tree.check_invariants();
+            prop_assert_eq!(tree.len(), model.len());
+            prop_assert_eq!(tree.n_keys(), model.map.len());
+            prop_assert_eq!(
+                tree.min().map(|(k, vs)| (*k, vs.to_vec())),
+                model.map.iter().next().map(|(k, vs)| (*k, vs.clone()))
+            );
+        }
+
+        // Final full-order check.
+        let tree_pairs: Vec<(u16, Vec<u32>)> =
+            tree.iter().map(|(k, vs)| (*k, vs.to_vec())).collect();
+        let model_pairs: Vec<(u16, Vec<u32>)> =
+            model.map.iter().map(|(k, vs)| (*k, vs.clone())).collect();
+        prop_assert_eq!(tree_pairs, model_pairs);
+    }
+
+    #[test]
+    fn select_scans_every_rank(keys in prop::collection::vec(0u16..20, 1..60)) {
+        let tree: LocativeAvlTree<u16, usize> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        tree.check_invariants();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        for (rank, k) in sorted.iter().enumerate() {
+            prop_assert_eq!(tree.select(rank), Some(k));
+        }
+        prop_assert_eq!(tree.select(sorted.len()), None);
+    }
+}

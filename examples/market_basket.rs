@@ -1,0 +1,91 @@
+//! Market-basket analysis — the application the paper's introduction
+//! motivates: customers buy itemsets over time; the retailer wants the
+//! purchase sequences that recur across customers.
+//!
+//! The workload comes from the Quest-style generator at a laptop-friendly
+//! scale of the paper's Table 11 setting; a readable product catalog is
+//! mapped over the item ids for presentation.
+//!
+//! ```text
+//! cargo run --release --example market_basket [ncust] [minsup]
+//! ```
+
+use disc_miner::prelude::*;
+use std::time::Instant;
+
+/// A small catalog so patterns read like shopping behaviour.
+const CATALOG: &[&str] = &[
+    "espresso", "croissant", "oat-milk", "cereal", "bananas", "yogurt", "pasta", "passata",
+    "parmesan", "basil", "chicken", "rice", "soy-sauce", "ginger", "tortillas", "beans",
+    "salsa", "avocado", "lime", "beer", "chocolate", "strawberries", "cream", "wine",
+    "baguette", "brie", "grapes", "olives", "crackers", "honey", "tea", "lemons",
+];
+
+fn label(item: Item) -> String {
+    let id = item.id() as usize;
+    if id < CATALOG.len() {
+        CATALOG[id].to_string()
+    } else {
+        format!("sku-{id}")
+    }
+}
+
+fn render(seq: &Sequence) -> String {
+    seq.itemsets()
+        .iter()
+        .map(|set| {
+            let items: Vec<String> = set.iter().map(label).collect();
+            format!("[{}]", items.join(" + "))
+        })
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ncust: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_000);
+    let minsup: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.02);
+
+    let db = QuestConfig::paper_table11()
+        .with_ncust(ncust)
+        .with_nitems(CATALOG.len() as u32)
+        .with_pools(200, 400)
+        .with_slen(6.0)
+        .with_seed(2024)
+        .generate();
+    let stats = db.stats();
+    println!(
+        "generated {} shopping histories ({:.1} visits each, {:.1} items/visit)",
+        stats.customers, stats.avg_transactions, stats.avg_items_per_transaction
+    );
+
+    let start = Instant::now();
+    let result = DiscAll::default().mine(&db, MinSupport::Fraction(minsup));
+    let elapsed = start.elapsed();
+    println!(
+        "DISC-all: {} frequent purchase patterns at {:.2}% support in {:.2?}",
+        result.len(),
+        minsup * 100.0,
+        elapsed
+    );
+    println!("pattern count by length: {:?}", result.length_histogram());
+
+    // Show the strongest multi-visit patterns: supports of length ≥ 2,
+    // highest support first.
+    let mut multi: Vec<(&Sequence, u64)> =
+        result.iter().filter(|(p, _)| p.length() >= 2).collect();
+    multi.sort_by_key(|&(_, support)| std::cmp::Reverse(support));
+    println!("\ntop recurring purchase sequences:");
+    for (pattern, support) in multi.iter().take(12) {
+        let pct = 100.0 * *support as f64 / db.len() as f64;
+        println!("  {:5.1}%  {}", pct, render(pattern));
+    }
+
+    // The longest habits found.
+    if let Some(max) = multi.iter().map(|(p, _)| p.length()).max() {
+        println!("\nlongest habit(s) span {max} purchases:");
+        for (pattern, support) in multi.iter().filter(|(p, _)| p.length() == max) {
+            println!("  {} customers: {}", support, render(pattern));
+        }
+    }
+}

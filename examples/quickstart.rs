@@ -1,0 +1,45 @@
+//! Quickstart: mine the paper's own example database (Table 1) with
+//! DISC-all and print every frequent sequence.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use disc_miner::prelude::*;
+
+fn main() {
+    // Table 1 of the paper: four customers, items a–h.
+    let db = SequenceDatabase::from_parsed(&[
+        "(a,e,g)(b)(h)(f)(c)(b,f)",
+        "(b)(d,f)(e)",
+        "(b,f,g)",
+        "(f)(a,g)(b,f,h)(b,f)",
+    ])
+    .expect("literal database parses");
+
+    let stats = db.stats();
+    println!(
+        "database: {} customers, {:.1} transactions/customer, {} distinct items",
+        stats.customers, stats.avg_transactions, stats.distinct_items
+    );
+
+    // A sequence is frequent when at least δ = 2 customers contain it.
+    let delta = MinSupport::Count(2);
+    let result = DiscAll::default().mine(&db, delta);
+
+    println!("\n{} frequent sequences at δ = 2:", result.len());
+    for k in 1..=result.max_length() {
+        let of_k = result.of_length(k);
+        println!("  -- length {k} ({} patterns)", of_k.len());
+        for (pattern, support) in of_k {
+            println!("     {pattern}  [support {support}]");
+        }
+    }
+
+    // Every other miner in the workspace returns the same answer.
+    for miner in disc_miner::all_miners() {
+        let other = miner.mine(&db, delta);
+        assert!(other.diff(&result).is_empty(), "{} disagrees", miner.name());
+    }
+    println!("\nall {} miners agree ✓", disc_miner::all_miners().len());
+}

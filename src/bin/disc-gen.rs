@@ -1,0 +1,83 @@
+//! `disc-gen` — generate Quest-style synthetic customer-sequence datasets.
+//!
+//! ```text
+//! disc-gen [--ncust N] [--slen F] [--tlen F] [--nitems N] [--patlen F]
+//!          [--seed N] [--preset table11|fig9] [--binary] [-o FILE]
+//! ```
+//!
+//! Text output is the `cid: (a, b)(c)` line format `disc-mine` reads;
+//! `--binary` writes the compact DSCDB1 codec instead.
+
+use disc_miner::prelude::*;
+use std::io::Write;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: disc-gen [--preset table11|fig9] [--ncust N] [--slen F] [--tlen F]\n\
+         \t[--nitems N] [--patlen F] [--seed N] [--binary] [-o FILE]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut cfg = QuestConfig::paper_table11().with_ncust(1000);
+    let mut out_path: Option<String> = None;
+    let mut binary = false;
+
+    fn next_f64(args: &mut impl Iterator<Item = String>) -> f64 {
+        args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| usage())
+    }
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--preset" => {
+                cfg = match args.next().as_deref() {
+                    Some("table11") => QuestConfig::paper_table11(),
+                    Some("fig9") => QuestConfig::paper_fig9(),
+                    _ => usage(),
+                };
+            }
+            "--ncust" => cfg.ncust = next_f64(&mut args) as usize,
+            "--slen" => cfg.slen = next_f64(&mut args),
+            "--tlen" => cfg.tlen = next_f64(&mut args),
+            "--nitems" => cfg.nitems = next_f64(&mut args) as u32,
+            "--patlen" => cfg.patlen = next_f64(&mut args),
+            "--seed" => cfg.seed = next_f64(&mut args) as u64,
+            "--binary" => binary = true,
+            "-o" | "--out" => out_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let db = cfg.generate();
+    let stats = db.stats();
+    eprintln!(
+        "# generated {} customers ({:.2} txns × {:.2} items, {} distinct items, seed {})",
+        stats.customers,
+        stats.avg_transactions,
+        stats.avg_items_per_transaction,
+        stats.distinct_items,
+        cfg.seed
+    );
+
+    let bytes = if binary {
+        disc_miner::core::encode_database(&db)
+    } else {
+        db.to_text().into_bytes()
+    };
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &bytes) {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+            eprintln!("# wrote {} bytes to {path}", bytes.len());
+        }
+        None => {
+            let _ = std::io::stdout().lock().write_all(&bytes);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! `disc-mine` — command-line frequent-sequence mining.
+//!
+//! ```text
+//! disc-mine <database.txt> --minsup 0.01 [--algo disc-all|dynamic|prefixspan|pseudo|gsp|spade|spam]
+//!           [--min-length N] [--max-patterns N] [--stats]
+//! ```
+//!
+//! The database format is one customer per line: `cid: (a, b)(c)(a, d)` —
+//! items are lowercase letters or decimal numbers; `#` starts a comment.
+//! Output: one pattern per line with its support, in comparative order.
+
+use disc_miner::prelude::*;
+use std::process::exit;
+
+struct Args {
+    path: String,
+    minsup: MinSupport,
+    algo: String,
+    min_length: usize,
+    max_patterns: usize,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: disc-mine <database.txt> [--minsup FRACTION | --delta COUNT]\n\
+         \t[--algo disc-all|dynamic|prefixspan|pseudo|gsp|spade|spam|brute]\n\
+         \t[--min-length N] [--max-patterns N] [--stats]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut out = Args {
+        path: String::new(),
+        minsup: MinSupport::Fraction(0.01),
+        algo: "disc-all".into(),
+        min_length: 1,
+        max_patterns: usize::MAX,
+        stats: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--minsup" => {
+                let v: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
+                out.minsup = MinSupport::Fraction(v);
+            }
+            "--delta" => {
+                let v: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
+                out.minsup = MinSupport::Count(v);
+            }
+            "--algo" => out.algo = args.next().unwrap_or_else(|| usage()),
+            "--min-length" => {
+                out.min_length =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--max-patterns" => {
+                out.max_patterns =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--stats" => out.stats = true,
+            "--help" | "-h" => usage(),
+            path if !path.starts_with('-') && out.path.is_empty() => out.path = path.to_string(),
+            _ => usage(),
+        }
+    }
+    if out.path.is_empty() {
+        usage();
+    }
+    out
+}
+
+fn miner_by_name(name: &str) -> Box<dyn SequentialMiner> {
+    match name {
+        "disc-all" => Box::new(DiscAll::default()),
+        "dynamic" => Box::new(DynamicDiscAll::default()),
+        "prefixspan" => Box::new(PrefixSpan::default()),
+        "pseudo" => Box::new(PseudoPrefixSpan::default()),
+        "gsp" => Box::new(Gsp::default()),
+        "spade" => Box::new(Spade::default()),
+        "spam" => Box::new(Spam::default()),
+        "brute" => Box::new(BruteForce::default()),
+        other => {
+            eprintln!("unknown algorithm {other:?}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let bytes = match std::fs::read(&args.path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.path);
+            exit(1);
+        }
+    };
+    // Accept both formats disc-gen writes: the text line format and the
+    // compact DSCDB1 binary (detected by its magic).
+    let db = if bytes.starts_with(b"DSCDB1\n") {
+        match disc_miner::core::decode_database(&bytes) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cannot decode {}: {e}", args.path);
+                exit(1);
+            }
+        }
+    } else {
+        let text = match String::from_utf8(bytes) {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("cannot parse {}: neither DSCDB1 binary nor UTF-8 text", args.path);
+                exit(1);
+            }
+        };
+        match SequenceDatabase::from_text(&text) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cannot parse {}: {e}", args.path);
+                exit(1);
+            }
+        }
+    };
+    if args.stats {
+        let s = db.stats();
+        eprintln!(
+            "# {} customers, {:.2} transactions/customer, {:.2} items/transaction, {} distinct items",
+            s.customers, s.avg_transactions, s.avg_items_per_transaction, s.distinct_items
+        );
+    }
+
+    let miner = miner_by_name(&args.algo);
+    let resolved = args.minsup.resolve(db.len());
+    if resolved <= 2 && db.len() > 100 {
+        eprintln!(
+            "# warning: threshold resolves to δ = {resolved}; on non-trivial data the \
+             frequent set (and runtime) grows exponentially at such low support"
+        );
+    }
+    let start = std::time::Instant::now();
+    // Sparse item-id spaces would make the miners' dense per-item arrays
+    // huge; compact ids transparently and translate the patterns back.
+    let (mapping, compacted) = disc_miner::core::ItemMapping::compact(&db);
+    let result = if mapping.is_worthwhile() {
+        if args.stats {
+            eprintln!("# compacted {} distinct items onto 0..{}", mapping.len(), mapping.len());
+        }
+        mapping.restore_result(&miner.mine(&compacted, args.minsup))
+    } else {
+        miner.mine(&db, args.minsup)
+    };
+    if args.stats {
+        eprintln!(
+            "# {}: {} frequent sequences (max length {}) in {:.3?}",
+            miner.name(),
+            result.len(),
+            result.max_length(),
+            start.elapsed()
+        );
+    }
+
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for (pattern, support) in result
+        .iter()
+        .filter(|(p, _)| p.length() >= args.min_length)
+        .take(args.max_patterns)
+    {
+        if writeln!(lock, "{support}\t{pattern}").is_err() {
+            break; // downstream pipe closed (e.g. `| head`)
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Workspace integration: every miner — DISC-all (both bi-level settings),
+//! Dynamic DISC-all (several γ), and all five baselines — must produce the
+//! identical frequent set with identical supports on Quest-generated
+//! workloads at several thresholds.
+
+use disc_miner::prelude::*;
+
+/// Debug builds are ~30× slower; scale the workloads so `cargo test` stays
+/// snappy while `cargo test --release` exercises the full sizes.
+fn scaled(n: usize) -> usize {
+    if cfg!(debug_assertions) {
+        (n / 4).max(20)
+    } else {
+        n
+    }
+}
+
+fn quest(seed: u64, ncust: usize, slen: f64) -> SequenceDatabase {
+    QuestConfig::paper_table11()
+        .with_ncust(scaled(ncust))
+        .with_nitems(80)
+        .with_pools(80, 160)
+        .with_slen(slen)
+        .with_seed(seed)
+        .generate()
+}
+
+fn miners_under_test() -> Vec<Box<dyn SequentialMiner>> {
+    vec![
+        Box::new(DiscAll::default()),
+        Box::new(disc_miner::algo::DiscAll::without_bi_level()),
+        Box::new(DynamicDiscAll::with_gamma(0.0)),
+        Box::new(DynamicDiscAll::with_gamma(0.6)),
+        Box::new(DynamicDiscAll::with_gamma(2.0)),
+        Box::new(DynamicDiscAll::with_fixed_depth(1)),
+        Box::new(DynamicDiscAll::with_fixed_depth(3)),
+        Box::new(PrefixSpan::default()),
+        Box::new(PseudoPrefixSpan::default()),
+        Box::new(Spade::default()),
+        Box::new(Spam::default()),
+    ]
+}
+
+fn assert_agreement(db: &SequenceDatabase, min_support: MinSupport) {
+    let reference = PseudoPrefixSpan::default().mine(db, min_support);
+    for miner in miners_under_test() {
+        let got = miner.mine(db, min_support);
+        let diff = got.diff(&reference);
+        assert!(
+            diff.is_empty(),
+            "{} disagrees at {min_support:?} ({} lines):\n{}",
+            miner.name(),
+            diff.len(),
+            diff.join("\n")
+        );
+    }
+}
+
+#[test]
+fn agreement_on_short_sequences() {
+    let db = quest(1, 200, 4.0);
+    for fraction in [0.15, 0.08] {
+        assert_agreement(&db, MinSupport::Fraction(fraction));
+    }
+}
+
+#[test]
+fn agreement_on_paper_shaped_workload() {
+    // The small 80-item alphabet is dense; keep δ high enough that the
+    // frequent set stays in the hundreds (debug builds run this too).
+    let db = quest(2, 250, 10.0);
+    let probe = PseudoPrefixSpan::default().mine(&db, MinSupport::Fraction(0.15));
+    assert!(probe.len() < 50_000, "workload too dense: {} patterns", probe.len());
+    assert_agreement(&db, MinSupport::Fraction(0.15));
+}
+
+#[test]
+fn agreement_with_long_patterns() {
+    // One deep planted pattern instead of a dense Quest workload: the
+    // frequent set is the subsequence lattice of the planted 8-sequence
+    // (bounded at 2⁸ − 1 patterns) so the test exercises the k ≥ 4 DISC
+    // iterations and bi-level virtual partitions without a combinatorial
+    // frequent-set explosion.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let planted = parse_sequence("(a)(b,c)(d)(e,f)(g)(h)").unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut rows = Vec::new();
+    for i in 0..24usize {
+        let mut itemsets: Vec<Itemset> = Vec::new();
+        if i % 3 != 2 {
+            // Supporter: the planted transactions with rare-noise items
+            // spliced between (ids 50+ never repeat often enough to be
+            // frequent).
+            for set in planted.itemsets() {
+                itemsets.push(set.clone());
+                if rng.gen_bool(0.5) {
+                    itemsets.push(Itemset::single(Item(rng.gen_range(50..1000))));
+                }
+            }
+        } else {
+            for _ in 0..6 {
+                itemsets.push(Itemset::single(Item(rng.gen_range(50..1000))));
+            }
+        }
+        rows.push(Sequence::new(itemsets));
+    }
+    let db = SequenceDatabase::from_sequences(rows);
+    let threshold = MinSupport::Count(16);
+    let reference = PseudoPrefixSpan::default().mine(&db, threshold);
+    assert_eq!(reference.support_of(&planted), Some(16));
+    assert_eq!(reference.max_length(), 8);
+    assert_eq!(reference.len(), 255, "exactly the subsequence lattice");
+    assert_agreement(&db, threshold);
+}
+
+#[test]
+fn gsp_agrees_on_a_small_workload() {
+    // GSP is quadratic in candidates; give it a small instance of its own.
+    let db = quest(4, 80, 5.0);
+    let reference = PseudoPrefixSpan::default().mine(&db, MinSupport::Fraction(0.1));
+    let got = Gsp::default().mine(&db, MinSupport::Fraction(0.1));
+    assert!(got.diff(&reference).is_empty());
+}
+
+#[test]
+fn nrr_levels_are_consistent_across_miners() {
+    let db = quest(5, 200, 8.0);
+    let a = nrr_by_level(&DiscAll::default().mine(&db, MinSupport::Fraction(0.15)), &db);
+    let b = nrr_by_level(
+        &PseudoPrefixSpan::default().mine(&db, MinSupport::Fraction(0.15)),
+        &db,
+    );
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        match (x, y) {
+            (Some(x), Some(y)) => assert!((x - y).abs() < 1e-12),
+            (None, None) => {}
+            _ => panic!("NRR level mismatch: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn delta_one_and_delta_db_size_edges() {
+    // δ = 1 makes every contained subsequence frequent — the frequent set is
+    // exponential in sequence length, so this edge runs on the paper's tiny
+    // Table 1 database; the δ = |DB| edge runs on a generated workload.
+    let tiny = SequenceDatabase::from_parsed(&[
+        "(a,e,g)(b)(h)(f)(c)(b,f)",
+        "(b)(d,f)(e)",
+        "(b,f,g)",
+        "(f)(a,g)(b,f,h)(b,f)",
+    ])
+    .unwrap();
+    assert_agreement(&tiny, MinSupport::Count(1));
+
+    let db = quest(6, 40, 3.0);
+    assert_agreement(&db, MinSupport::Count(db.len() as u64));
+}
