@@ -13,8 +13,8 @@
 
 use disc_core::constraints::{contains_with, contiguous_subsequences, TimeConstraints};
 use disc_core::{
-    contains, ExtElem, ExtMode, Item, Itemset, MiningResult, MinSupport, Sequence,
-    SequenceDatabase, SequentialMiner,
+    contains, run_guarded, AbortReason, ExtElem, ExtMode, GuardedResult, Item, Itemset, MinSupport,
+    MineGuard, MiningResult, Sequence, SequenceDatabase, SequentialMiner,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -103,22 +103,46 @@ impl SequentialMiner for Gsp {
     }
 
     fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
-        let delta = min_support.resolve(db.len());
+        let guard = MineGuard::unlimited();
         let mut result = MiningResult::new();
+        self.mine_inner(db, min_support, &guard, &mut result)
+            .expect("unlimited guard never aborts");
+        result
+    }
+
+    fn mine_guarded(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        run_guarded(guard, |result| self.mine_inner(db, min_support, guard, result))
+    }
+}
+
+impl Gsp {
+    /// The cooperative core: checkpoints per scanned sequence, per join
+    /// pair, and per pruned candidate.
+    fn mine_inner(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+        result: &mut MiningResult,
+    ) -> Result<(), AbortReason> {
+        let delta = min_support.resolve(db.len());
 
         // Pass 1.
         let mut counts: BTreeMap<Item, u64> = BTreeMap::new();
         for s in db.sequences() {
+            guard.checkpoint()?;
             for item in s.distinct_items() {
                 *counts.entry(item).or_insert(0) += 1;
             }
         }
-        let f1: Vec<Item> = counts
-            .iter()
-            .filter(|(_, &c)| c >= delta)
-            .map(|(&i, _)| i)
-            .collect();
+        let f1: Vec<Item> = counts.iter().filter(|(_, &c)| c >= delta).map(|(&i, _)| i).collect();
         for &item in &f1 {
+            guard.note_pattern()?;
             result.insert(Sequence::single(item), counts[&item]);
         }
 
@@ -126,15 +150,19 @@ impl SequentialMiner for Gsp {
         let mut candidates = Vec::new();
         for &x in &f1 {
             for &y in &f1 {
-                candidates
-                    .push(Sequence::single(x).extended(ExtElem { item: y, mode: ExtMode::Sequence }));
+                guard.checkpoint()?;
+                candidates.push(
+                    Sequence::single(x).extended(ExtElem { item: y, mode: ExtMode::Sequence }),
+                );
                 if y > x {
-                    candidates
-                        .push(Sequence::single(x).extended(ExtElem { item: y, mode: ExtMode::Itemset }));
+                    candidates.push(
+                        Sequence::single(x).extended(ExtElem { item: y, mode: ExtMode::Itemset }),
+                    );
                 }
             }
         }
-        let mut frontier = count_and_filter(db, candidates, delta, &self.constraints, &mut result);
+        let mut frontier =
+            count_and_filter(db, candidates, delta, &self.constraints, guard, result)?;
 
         // Passes k ≥ 3.
         while !frontier.is_empty() {
@@ -142,10 +170,12 @@ impl SequentialMiner for Gsp {
             // Join.
             let mut by_tail: BTreeMap<Sequence, Vec<&Sequence>> = BTreeMap::new();
             for s in &frontier {
+                guard.checkpoint()?;
                 by_tail.entry(drop_first(s)).or_default().push(s);
             }
             let mut candidates: BTreeSet<Sequence> = BTreeSet::new();
             for s2 in &frontier {
+                guard.checkpoint()?;
                 let key = drop_last(s2);
                 if let Some(lefts) = by_tail.get(&key) {
                     for s1 in lefts {
@@ -158,24 +188,24 @@ impl SequentialMiner for Gsp {
             // Prune. Unconstrained: every one-element-dropped subsequence
             // must be frequent. Constrained: only the contiguous
             // subsequences may be required frequent (GSP §3.2).
-            let pruned: Vec<Sequence> = candidates
-                .into_iter()
-                .filter(|cand| {
-                    if self.constraints.is_none() {
-                        (0..cand.length()).all(|i| {
-                            let sub = drop_flat(cand, i);
-                            frequent.contains(&sub)
-                        })
-                    } else {
-                        contiguous_subsequences(cand)
-                            .iter()
-                            .all(|sub| frequent.contains(sub))
-                    }
-                })
-                .collect();
-            frontier = count_and_filter(db, pruned, delta, &self.constraints, &mut result);
+            let mut pruned: Vec<Sequence> = Vec::new();
+            for cand in candidates {
+                guard.checkpoint()?;
+                let keep = if self.constraints.is_none() {
+                    (0..cand.length()).all(|i| {
+                        let sub = drop_flat(&cand, i);
+                        frequent.contains(&sub)
+                    })
+                } else {
+                    contiguous_subsequences(&cand).iter().all(|sub| frequent.contains(sub))
+                };
+                if keep {
+                    pruned.push(cand);
+                }
+            }
+            frontier = count_and_filter(db, pruned, delta, &self.constraints, guard, result)?;
         }
-        result
+        Ok(())
     }
 }
 
@@ -191,10 +221,11 @@ fn count_and_filter(
     candidates: Vec<Sequence>,
     delta: u64,
     constraints: &TimeConstraints,
+    guard: &MineGuard,
     result: &mut MiningResult,
-) -> Vec<Sequence> {
+) -> Result<Vec<Sequence>, AbortReason> {
     if candidates.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut supports = vec![0u64; candidates.len()];
     if constraints.window.unwrap_or(0) > 0 {
@@ -202,6 +233,7 @@ fn count_and_filter(
         // order in the data, so hash-tree reachability (which follows
         // increasing positions) is not a sound filter — scan directly.
         for s in db.sequences() {
+            guard.charge(candidates.len() as u64)?;
             for (idx, cand) in candidates.iter().enumerate() {
                 if contains_with(s, cand, constraints) {
                     supports[idx] += 1;
@@ -214,6 +246,7 @@ fn count_and_filter(
         // of the same customer sequence.
         let mut stamp = vec![0u32; candidates.len()];
         for (row, s) in db.sequences().enumerate() {
+            guard.checkpoint()?;
             let flat: Vec<Item> = s.flat_iter().map(|(item, _)| item).collect();
             tree.for_each_reachable(&flat, &mut |cand_idx| {
                 if stamp[cand_idx] != row as u32 + 1 {
@@ -233,11 +266,12 @@ fn count_and_filter(
     let mut out = Vec::new();
     for (cand, support) in candidates.into_iter().zip(supports) {
         if support >= delta {
+            guard.note_pattern()?;
             result.insert(cand.clone(), support);
             out.push(cand);
         }
     }
-    out
+    Ok(out)
 }
 
 /// The GSP candidate hash tree.
@@ -289,10 +323,8 @@ fn build_node(flats: &[Vec<Item>], members: Vec<usize>, depth: usize, k: usize) 
     for idx in members {
         buckets[bucket_of(flats[idx][depth])].push(idx);
     }
-    let children: Vec<HtNode> = buckets
-        .into_iter()
-        .map(|b| build_node(flats, b, depth + 1, k))
-        .collect();
+    let children: Vec<HtNode> =
+        buckets.into_iter().map(|b| build_node(flats, b, depth + 1, k)).collect();
     let array: Box<[HtNode; HASH_FANOUT]> =
         children.try_into().unwrap_or_else(|_| unreachable!("exactly HASH_FANOUT children"));
     HtNode::Interior(array)
@@ -348,9 +380,24 @@ mod tests {
         // Reachability must be a superset of containment, whatever the
         // bucket layout.
         let candidates: Vec<Sequence> = [
-            "(a)(b)(c)", "(a)(b,c)", "(a,b)(c)", "(b)(c)(a)", "(c)(b)(a)", "(a)(a)(a)",
-            "(b,f)(g)", "(e)(b)(f)", "(g)(h)(f)", "(a,e)(b)", "(f)(f)(f)", "(h)(c)(b)",
-            "(a)(c)(f)", "(b)(h)(c)", "(e)(f)(c)", "(g)(b)(b)", "(a,g)(b)", "(b)(b,f)",
+            "(a)(b)(c)",
+            "(a)(b,c)",
+            "(a,b)(c)",
+            "(b)(c)(a)",
+            "(c)(b)(a)",
+            "(a)(a)(a)",
+            "(b,f)(g)",
+            "(e)(b)(f)",
+            "(g)(h)(f)",
+            "(a,e)(b)",
+            "(f)(f)(f)",
+            "(h)(c)(b)",
+            "(a)(c)(f)",
+            "(b)(h)(c)",
+            "(e)(f)(c)",
+            "(g)(b)(b)",
+            "(a,g)(b)",
+            "(b)(b,f)",
         ]
         .iter()
         .map(|t| seq(t))
@@ -465,10 +512,7 @@ mod tests {
         assert_eq!(windowed.support_of(&seq("(a,b)")), Some(3));
         // The out-of-flattened-order row (b)(a) must count — the direct-scan
         // path, not hash-tree reachability.
-        assert_eq!(
-            disc_core::constraints::support_count_with(&db, &seq("(a,b)"), &c),
-            3
-        );
+        assert_eq!(disc_core::constraints::support_count_with(&db, &seq("(a,b)"), &c), 3);
     }
 
     #[test]

@@ -20,7 +20,8 @@
 //! Each frequent extension is reported and recursively projected.
 
 use disc_core::{
-    Item, Itemset, MiningResult, MinSupport, Sequence, SequenceDatabase, SequentialMiner,
+    run_guarded, AbortReason, GuardedResult, Item, Itemset, MinSupport, MineGuard, MiningResult,
+    Sequence, SequenceDatabase, SequentialMiner,
 };
 use std::collections::BTreeMap;
 
@@ -45,30 +46,53 @@ impl SequentialMiner for PrefixSpan {
     }
 
     fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
-        let delta = min_support.resolve(db.len());
+        let guard = MineGuard::unlimited();
         let mut result = MiningResult::new();
-
-        // Frequent 1-sequences and their projected databases.
-        let mut counts: BTreeMap<Item, u64> = BTreeMap::new();
-        for s in db.sequences() {
-            for item in s.distinct_items() {
-                *counts.entry(item).or_insert(0) += 1;
-            }
-        }
-        for (&item, &support) in counts.iter() {
-            if support < delta {
-                continue;
-            }
-            result.insert(Sequence::single(item), support);
-            let projected: Vec<Postfix> = db
-                .sequences()
-                .filter_map(|s| project_seq_ext(s.itemsets(), &[], item))
-                .collect();
-            let prefix = Sequence::single(item);
-            mine_projected(&prefix, &projected, delta, &mut result);
-        }
+        mine_inner(db, min_support, &guard, &mut result).expect("unlimited guard never aborts");
         result
     }
+
+    fn mine_guarded(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        run_guarded(guard, |result| mine_inner(db, min_support, guard, result))
+    }
+}
+
+/// The cooperative core: one checkpoint per scanned postfix, one charge per
+/// projection pass, one pattern note per frequent pattern.
+fn mine_inner(
+    db: &SequenceDatabase,
+    min_support: MinSupport,
+    guard: &MineGuard,
+    result: &mut MiningResult,
+) -> Result<(), AbortReason> {
+    let delta = min_support.resolve(db.len());
+
+    // Frequent 1-sequences and their projected databases.
+    let mut counts: BTreeMap<Item, u64> = BTreeMap::new();
+    for s in db.sequences() {
+        guard.checkpoint()?;
+        for item in s.distinct_items() {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    for (&item, &support) in counts.iter() {
+        if support < delta {
+            continue;
+        }
+        guard.note_pattern()?;
+        result.insert(Sequence::single(item), support);
+        guard.charge(db.len() as u64)?;
+        let projected: Vec<Postfix> =
+            db.sequences().filter_map(|s| project_seq_ext(s.itemsets(), &[], item)).collect();
+        let prefix = Sequence::single(item);
+        mine_projected(&prefix, &projected, delta, guard, result)?;
+    }
+    Ok(())
 }
 
 /// Projects a postfix (partial + rest) by a sequence extension `x`: the
@@ -76,10 +100,7 @@ impl SequentialMiner for PrefixSpan {
 fn project_seq_ext(rest: &[Itemset], _partial: &[Item], x: Item) -> Option<Postfix> {
     let (t, set) = rest.iter().enumerate().find(|(_, set)| set.contains(x))?;
     let idx = set.as_slice().binary_search(&x).expect("contains checked");
-    Some(Postfix {
-        partial: set.as_slice()[idx + 1..].to_vec(),
-        rest: rest[t + 1..].to_vec(),
-    })
+    Some(Postfix { partial: set.as_slice()[idx + 1..].to_vec(), rest: rest[t + 1..].to_vec() })
 }
 
 /// Projects a postfix by an itemset extension `x` of the prefix's last
@@ -104,9 +125,15 @@ fn project_itemset_ext(postfix: &Postfix, last: &Itemset, x: Item) -> Option<Pos
     })
 }
 
-fn mine_projected(prefix: &Sequence, projected: &[Postfix], delta: u64, result: &mut MiningResult) {
+fn mine_projected(
+    prefix: &Sequence,
+    projected: &[Postfix],
+    delta: u64,
+    guard: &MineGuard,
+    result: &mut MiningResult,
+) -> Result<(), AbortReason> {
     if (projected.len() as u64) < delta {
-        return;
+        return Ok(());
     }
     let last = prefix.last_itemset().expect("prefixes are non-empty");
     let max_last = last.max_item();
@@ -117,6 +144,7 @@ fn mine_projected(prefix: &Sequence, projected: &[Postfix], delta: u64, result: 
     let mut s_seen: Vec<Item> = Vec::new();
     let mut i_seen: Vec<Item> = Vec::new();
     for postfix in projected {
+        guard.checkpoint()?;
         s_seen.clear();
         i_seen.clear();
         for &x in &postfix.partial {
@@ -150,17 +178,15 @@ fn mine_projected(prefix: &Sequence, projected: &[Postfix], delta: u64, result: 
         if support < delta {
             continue;
         }
-        let child = prefix.extended(disc_core::ExtElem {
-            item: x,
-            mode: disc_core::ExtMode::Itemset,
-        });
+        let child =
+            prefix.extended(disc_core::ExtElem { item: x, mode: disc_core::ExtMode::Itemset });
+        guard.note_pattern()?;
         result.insert(child.clone(), support);
-        let child_projected: Vec<Postfix> = projected
-            .iter()
-            .filter_map(|p| project_itemset_ext(p, last, x))
-            .collect();
+        guard.charge(projected.len() as u64)?;
+        let child_projected: Vec<Postfix> =
+            projected.iter().filter_map(|p| project_itemset_ext(p, last, x)).collect();
         debug_assert_eq!(child_projected.len() as u64, support);
-        mine_projected(&child, &child_projected, delta, result);
+        mine_projected(&child, &child_projected, delta, guard, result)?;
     }
 
     // Recurse on sequence extensions.
@@ -168,18 +194,17 @@ fn mine_projected(prefix: &Sequence, projected: &[Postfix], delta: u64, result: 
         if support < delta {
             continue;
         }
-        let child = prefix.extended(disc_core::ExtElem {
-            item: x,
-            mode: disc_core::ExtMode::Sequence,
-        });
+        let child =
+            prefix.extended(disc_core::ExtElem { item: x, mode: disc_core::ExtMode::Sequence });
+        guard.note_pattern()?;
         result.insert(child.clone(), support);
-        let child_projected: Vec<Postfix> = projected
-            .iter()
-            .filter_map(|p| project_seq_ext(&p.rest, &p.partial, x))
-            .collect();
+        guard.charge(projected.len() as u64)?;
+        let child_projected: Vec<Postfix> =
+            projected.iter().filter_map(|p| project_seq_ext(&p.rest, &p.partial, x)).collect();
         debug_assert_eq!(child_projected.len() as u64, support);
-        mine_projected(&child, &child_projected, delta, result);
+        mine_projected(&child, &child_projected, delta, guard, result)?;
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -6,8 +6,8 @@
 //! stronger baseline in the DISC paper's Figures 8–10.
 
 use disc_core::{
-    ExtElem, ExtMode, Item, Itemset, MiningResult, MinSupport, Sequence, SequenceDatabase,
-    SequentialMiner,
+    run_guarded, AbortReason, ExtElem, ExtMode, GuardedResult, Item, Itemset, MinSupport,
+    MineGuard, MiningResult, Sequence, SequenceDatabase, SequentialMiner,
 };
 use std::collections::BTreeMap;
 
@@ -42,30 +42,55 @@ impl SequentialMiner for PseudoPrefixSpan {
     }
 
     fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
-        let delta = min_support.resolve(db.len());
+        let guard = MineGuard::unlimited();
         let mut result = MiningResult::new();
-
-        let mut counts: BTreeMap<Item, u64> = BTreeMap::new();
-        for s in db.sequences() {
-            for item in s.distinct_items() {
-                *counts.entry(item).or_insert(0) += 1;
-            }
-        }
-        for (&item, &support) in counts.iter() {
-            if support < delta {
-                continue;
-            }
-            result.insert(Sequence::single(item), support);
-            let pivots: Vec<Pivot> = (0..db.len())
-                .filter_map(|seq| {
-                    first_txn_with_item(db.sequence(seq).itemsets(), 0, item)
-                        .map(|(txn, item_idx)| Pivot { seq, txn, item_idx })
-                })
-                .collect();
-            mine_pivots(db, &Sequence::single(item), &pivots, delta, &mut result);
-        }
+        mine_inner(db, min_support, &guard, &mut result).expect("unlimited guard never aborts");
         result
     }
+
+    fn mine_guarded(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        run_guarded(guard, |result| mine_inner(db, min_support, guard, result))
+    }
+}
+
+/// The cooperative core: one checkpoint per scanned pivot, one charge per
+/// projection pass, one pattern note per frequent pattern.
+fn mine_inner(
+    db: &SequenceDatabase,
+    min_support: MinSupport,
+    guard: &MineGuard,
+    result: &mut MiningResult,
+) -> Result<(), AbortReason> {
+    let delta = min_support.resolve(db.len());
+
+    let mut counts: BTreeMap<Item, u64> = BTreeMap::new();
+    for s in db.sequences() {
+        guard.checkpoint()?;
+        for item in s.distinct_items() {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    for (&item, &support) in counts.iter() {
+        if support < delta {
+            continue;
+        }
+        guard.note_pattern()?;
+        result.insert(Sequence::single(item), support);
+        guard.charge(db.len() as u64)?;
+        let pivots: Vec<Pivot> = (0..db.len())
+            .filter_map(|seq| {
+                first_txn_with_item(db.sequence(seq).itemsets(), 0, item)
+                    .map(|(txn, item_idx)| Pivot { seq, txn, item_idx })
+            })
+            .collect();
+        mine_pivots(db, &Sequence::single(item), &pivots, delta, guard, result)?;
+    }
+    Ok(())
 }
 
 /// Leftmost `(txn, item index)` of `x` in `itemsets[from..]` (txn index is
@@ -100,10 +125,11 @@ fn mine_pivots(
     prefix: &Sequence,
     pivots: &[Pivot],
     delta: u64,
+    guard: &MineGuard,
     result: &mut MiningResult,
-) {
+) -> Result<(), AbortReason> {
     if (pivots.len() as u64) < delta {
-        return;
+        return Ok(());
     }
     let last = prefix.last_itemset().expect("prefixes are non-empty");
     let max_last = last.max_item();
@@ -113,6 +139,7 @@ fn mine_pivots(
     let mut s_seen: Vec<Item> = Vec::new();
     let mut i_seen: Vec<Item> = Vec::new();
     for pivot in pivots {
+        guard.checkpoint()?;
         s_seen.clear();
         i_seen.clear();
         i_seen.extend_from_slice(pivot.partial(db));
@@ -140,17 +167,15 @@ fn mine_pivots(
             continue;
         }
         let child = prefix.extended(ExtElem { item: x, mode: ExtMode::Itemset });
+        guard.note_pattern()?;
         result.insert(child.clone(), support);
+        guard.charge(pivots.len() as u64)?;
         let child_pivots: Vec<Pivot> = pivots
             .iter()
             .filter_map(|p| {
                 // Within the matched transaction's remainder first…
                 if let Ok(rel) = p.partial(db).binary_search(&x) {
-                    return Some(Pivot {
-                        seq: p.seq,
-                        txn: p.txn,
-                        item_idx: p.item_idx + 1 + rel,
-                    });
+                    return Some(Pivot { seq: p.seq, txn: p.txn, item_idx: p.item_idx + 1 + rel });
                 }
                 // …otherwise the leftmost later superset of last ∪ {x}.
                 let itemsets = db.sequence(p.seq).itemsets();
@@ -159,7 +184,7 @@ fn mine_pivots(
             })
             .collect();
         debug_assert_eq!(child_pivots.len() as u64, support);
-        mine_pivots(db, &child, &child_pivots, delta, result);
+        mine_pivots(db, &child, &child_pivots, delta, guard, result)?;
     }
 
     for (&x, &support) in &s_counts {
@@ -167,18 +192,24 @@ fn mine_pivots(
             continue;
         }
         let child = prefix.extended(ExtElem { item: x, mode: ExtMode::Sequence });
+        guard.note_pattern()?;
         result.insert(child.clone(), support);
+        guard.charge(pivots.len() as u64)?;
         let child_pivots: Vec<Pivot> = pivots
             .iter()
             .filter_map(|p| {
                 let itemsets = db.sequence(p.seq).itemsets();
-                first_txn_with_item(itemsets, p.txn + 1, x)
-                    .map(|(txn, item_idx)| Pivot { seq: p.seq, txn, item_idx })
+                first_txn_with_item(itemsets, p.txn + 1, x).map(|(txn, item_idx)| Pivot {
+                    seq: p.seq,
+                    txn,
+                    item_idx,
+                })
             })
             .collect();
         debug_assert_eq!(child_pivots.len() as u64, support);
-        mine_pivots(db, &child, &child_pivots, delta, result);
+        mine_pivots(db, &child, &child_pivots, delta, guard, result)?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -219,8 +250,8 @@ mod tests {
 
     #[test]
     fn deep_single_path() {
-        let db = SequenceDatabase::from_parsed(&["(a)(b)(c)(d)(e)(f)", "(a)(b)(c)(d)(e)(f)"])
-            .unwrap();
+        let db =
+            SequenceDatabase::from_parsed(&["(a)(b)(c)(d)(e)(f)", "(a)(b)(c)(d)(e)(f)"]).unwrap();
         let r = PseudoPrefixSpan::default().mine(&db, MinSupport::Count(2));
         assert_eq!(r.support_of(&parse_sequence("(a)(b)(c)(d)(e)(f)").unwrap()), Some(2));
         assert_eq!(r.len(), 63);

@@ -17,7 +17,8 @@
 //! * sequence × event → nothing (covered by the symmetric cases).
 
 use disc_core::{
-    ExtElem, ExtMode, Item, MiningResult, MinSupport, Sequence, SequenceDatabase, SequentialMiner,
+    run_guarded, AbortReason, ExtElem, ExtMode, GuardedResult, Item, MinSupport, MineGuard,
+    MiningResult, Sequence, SequenceDatabase, SequentialMiner,
 };
 use std::collections::BTreeMap;
 
@@ -102,46 +103,71 @@ impl SequentialMiner for Spade {
     }
 
     fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
-        let delta = min_support.resolve(db.len());
+        let guard = MineGuard::unlimited();
         let mut result = MiningResult::new();
-
-        // Vertical format: one ID-list per item.
-        let mut vertical: BTreeMap<Item, Vec<(u32, u32)>> = BTreeMap::new();
-        for (sid, s) in db.sequences().enumerate() {
-            for (eid, set) in s.itemsets().iter().enumerate() {
-                for item in set.iter() {
-                    vertical.entry(item).or_default().push((sid as u32, eid as u32));
-                }
-            }
-        }
-
-        // Frequent 1-sequences: the root class (all sequence atoms).
-        let root: Vec<Atom> = vertical
-            .into_iter()
-            .filter_map(|(item, pairs)| {
-                let idlist = IdList(pairs);
-                let support = idlist.support();
-                if support >= delta {
-                    result.insert(Sequence::single(item), support);
-                    Some(Atom { pattern: Sequence::single(item), is_event: false, idlist })
-                } else {
-                    None
-                }
-            })
-            .collect();
-
-        mine_class(&root, delta, &mut result);
+        mine_inner(db, min_support, &guard, &mut result).expect("unlimited guard never aborts");
         result
     }
+
+    fn mine_guarded(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        run_guarded(guard, |result| mine_inner(db, min_support, guard, result))
+    }
+}
+
+/// The cooperative core: one checkpoint per vertical-scan row and per
+/// ID-list join, one pattern note per frequent pattern.
+fn mine_inner(
+    db: &SequenceDatabase,
+    min_support: MinSupport,
+    guard: &MineGuard,
+    result: &mut MiningResult,
+) -> Result<(), AbortReason> {
+    let delta = min_support.resolve(db.len());
+
+    // Vertical format: one ID-list per item.
+    let mut vertical: BTreeMap<Item, Vec<(u32, u32)>> = BTreeMap::new();
+    for (sid, s) in db.sequences().enumerate() {
+        guard.checkpoint()?;
+        for (eid, set) in s.itemsets().iter().enumerate() {
+            for item in set.iter() {
+                vertical.entry(item).or_default().push((sid as u32, eid as u32));
+            }
+        }
+    }
+
+    // Frequent 1-sequences: the root class (all sequence atoms).
+    let mut root: Vec<Atom> = Vec::new();
+    for (item, pairs) in vertical {
+        let idlist = IdList(pairs);
+        let support = idlist.support();
+        if support >= delta {
+            guard.note_pattern()?;
+            result.insert(Sequence::single(item), support);
+            root.push(Atom { pattern: Sequence::single(item), is_event: false, idlist });
+        }
+    }
+
+    mine_class(&root, delta, guard, result)
 }
 
 /// Depth-first class decomposition: for each atom X of the class, derive
 /// its child class by joining X with every atom of the class, then recurse.
-fn mine_class(class: &[Atom], delta: u64, result: &mut MiningResult) {
+fn mine_class(
+    class: &[Atom],
+    delta: u64,
+    guard: &MineGuard,
+    result: &mut MiningResult,
+) -> Result<(), AbortReason> {
     for x in class {
         let mut children: Vec<Atom> = Vec::new();
         let x_item = x.pattern.last_flat_item().expect("non-empty");
         for y in class {
+            guard.checkpoint()?;
             let y_item = y.pattern.last_flat_item().expect("non-empty");
             match (x.is_event, y.is_event) {
                 (true, true) => {
@@ -152,8 +178,9 @@ fn mine_class(class: &[Atom], delta: u64, result: &mut MiningResult) {
                             true,
                             x.idlist.equality_join(&y.idlist),
                             delta,
+                            guard,
                             result,
-                        );
+                        )?;
                     }
                 }
                 (true, false) | (false, false) => {
@@ -164,8 +191,9 @@ fn mine_class(class: &[Atom], delta: u64, result: &mut MiningResult) {
                         false,
                         x.idlist.temporal_join(&y.idlist),
                         delta,
+                        guard,
                         result,
-                    );
+                    )?;
                     // Sequence × sequence additionally yields the event atom.
                     if !x.is_event && y_item > x_item {
                         push_if_frequent(
@@ -174,30 +202,36 @@ fn mine_class(class: &[Atom], delta: u64, result: &mut MiningResult) {
                             true,
                             x.idlist.equality_join(&y.idlist),
                             delta,
+                            guard,
                             result,
-                        );
+                        )?;
                     }
                 }
                 (false, true) => {} // covered symmetrically
             }
         }
-        mine_class(&children, delta, result);
+        mine_class(&children, delta, guard, result)?;
     }
+    Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push_if_frequent(
     children: &mut Vec<Atom>,
     pattern: Sequence,
     is_event: bool,
     idlist: IdList,
     delta: u64,
+    guard: &MineGuard,
     result: &mut MiningResult,
-) {
+) -> Result<(), AbortReason> {
     let support = idlist.support();
     if support >= delta {
+        guard.note_pattern()?;
         result.insert(pattern.clone(), support);
         children.push(Atom { pattern, is_event, idlist });
     }
+    Ok(())
 }
 
 #[cfg(test)]

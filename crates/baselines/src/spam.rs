@@ -18,7 +18,8 @@
 //! fit in memory as bitmaps — the assumption the DISC paper calls out.
 
 use disc_core::{
-    ExtElem, ExtMode, Item, MiningResult, MinSupport, Sequence, SequenceDatabase, SequentialMiner,
+    run_guarded, AbortReason, ExtElem, ExtMode, GuardedResult, Item, MinSupport, MineGuard,
+    MiningResult, Sequence, SequenceDatabase, SequentialMiner,
 };
 
 /// Bit layout: each customer owns a contiguous range of bit positions, one
@@ -75,14 +76,7 @@ impl Bitmap {
     }
 
     fn and(&self, other: &Bitmap) -> Bitmap {
-        Bitmap {
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a & b)
-                .collect(),
-        }
+        Bitmap { words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect() }
     }
 
     /// The S-step transform: per customer, every bit strictly after the
@@ -108,9 +102,8 @@ impl Bitmap {
 
     /// Number of customers with at least one set bit.
     fn support(&self, layout: &Layout) -> u64 {
-        (0..layout.customers())
-            .filter(|&c| layout.words_of(c).any(|w| self.words[w] != 0))
-            .count() as u64
+        (0..layout.customers()).filter(|&c| layout.words_of(c).any(|w| self.words[w] != 0)).count()
+            as u64
     }
 }
 
@@ -126,46 +119,71 @@ impl SequentialMiner for Spam {
     }
 
     fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
-        let delta = min_support.resolve(db.len());
+        let guard = MineGuard::unlimited();
         let mut result = MiningResult::new();
-        let Some(max_item) = db.max_item() else {
-            return result;
-        };
-        let n_items = max_item.id() as usize + 1;
-        let layout = Layout::new(db);
-
-        // Item bitmaps.
-        let mut item_bitmaps: Vec<Bitmap> = vec![Bitmap::zeroed(&layout); n_items];
-        for (c, s) in db.sequences().enumerate() {
-            for (t, set) in s.itemsets().iter().enumerate() {
-                for item in set.iter() {
-                    item_bitmaps[item.id() as usize].set(&layout, c, t);
-                }
-            }
-        }
-
-        // Frequent items seed the DFS.
-        let frequent: Vec<Item> = (0..n_items as u32)
-            .map(Item)
-            .filter(|i| item_bitmaps[i.id() as usize].support(&layout) >= delta)
-            .collect();
-        for &f in &frequent {
-            let bitmap = item_bitmaps[f.id() as usize].clone();
-            result.insert(Sequence::single(f), bitmap.support(&layout));
-            let i_candidates: Vec<Item> = frequent.iter().copied().filter(|&x| x > f).collect();
-            dfs(
-                &Sequence::single(f),
-                &bitmap,
-                &frequent,
-                &i_candidates,
-                &layout,
-                &item_bitmaps,
-                delta,
-                &mut result,
-            );
-        }
+        mine_inner(db, min_support, &guard, &mut result).expect("unlimited guard never aborts");
         result
     }
+
+    fn mine_guarded(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        run_guarded(guard, |result| mine_inner(db, min_support, guard, result))
+    }
+}
+
+/// The cooperative core: one checkpoint per customer in the bitmap build and
+/// per candidate in the DFS, one pattern note per frequent pattern.
+fn mine_inner(
+    db: &SequenceDatabase,
+    min_support: MinSupport,
+    guard: &MineGuard,
+    result: &mut MiningResult,
+) -> Result<(), AbortReason> {
+    let delta = min_support.resolve(db.len());
+    let Some(max_item) = db.max_item() else {
+        return Ok(());
+    };
+    let n_items = max_item.id() as usize + 1;
+    let layout = Layout::new(db);
+
+    // Item bitmaps.
+    let mut item_bitmaps: Vec<Bitmap> = vec![Bitmap::zeroed(&layout); n_items];
+    for (c, s) in db.sequences().enumerate() {
+        guard.checkpoint()?;
+        for (t, set) in s.itemsets().iter().enumerate() {
+            for item in set.iter() {
+                item_bitmaps[item.id() as usize].set(&layout, c, t);
+            }
+        }
+    }
+
+    // Frequent items seed the DFS.
+    let frequent: Vec<Item> = (0..n_items as u32)
+        .map(Item)
+        .filter(|i| item_bitmaps[i.id() as usize].support(&layout) >= delta)
+        .collect();
+    for &f in &frequent {
+        let bitmap = item_bitmaps[f.id() as usize].clone();
+        guard.note_pattern()?;
+        result.insert(Sequence::single(f), bitmap.support(&layout));
+        let i_candidates: Vec<Item> = frequent.iter().copied().filter(|&x| x > f).collect();
+        dfs(
+            &Sequence::single(f),
+            &bitmap,
+            &frequent,
+            &i_candidates,
+            &layout,
+            &item_bitmaps,
+            delta,
+            guard,
+            result,
+        )?;
+    }
+    Ok(())
 }
 
 /// The DFS of SPAM Figure 4 ("DFS-Pruning"): try every S-/I-candidate; the
@@ -179,12 +197,14 @@ fn dfs(
     layout: &Layout,
     item_bitmaps: &[Bitmap],
     delta: u64,
+    guard: &MineGuard,
     result: &mut MiningResult,
-) {
+) -> Result<(), AbortReason> {
     // S-step.
     let transformed = bitmap.s_transform(layout);
     let mut s_temp: Vec<(Item, Bitmap, u64)> = Vec::new();
     for &x in s_candidates {
+        guard.checkpoint()?;
         let child = transformed.and(&item_bitmaps[x.id() as usize]);
         let support = child.support(layout);
         if support >= delta {
@@ -194,14 +214,26 @@ fn dfs(
     let s_survivors: Vec<Item> = s_temp.iter().map(|(x, _, _)| *x).collect();
     for (x, child_bitmap, support) in &s_temp {
         let child = pattern.extended(ExtElem { item: *x, mode: ExtMode::Sequence });
+        guard.note_pattern()?;
         result.insert(child.clone(), *support);
         let child_i: Vec<Item> = s_survivors.iter().copied().filter(|&y| y > *x).collect();
-        dfs(&child, child_bitmap, &s_survivors, &child_i, layout, item_bitmaps, delta, result);
+        dfs(
+            &child,
+            child_bitmap,
+            &s_survivors,
+            &child_i,
+            layout,
+            item_bitmaps,
+            delta,
+            guard,
+            result,
+        )?;
     }
 
     // I-step.
     let mut i_temp: Vec<(Item, Bitmap, u64)> = Vec::new();
     for &x in i_candidates {
+        guard.checkpoint()?;
         let child = bitmap.and(&item_bitmaps[x.id() as usize]);
         let support = child.support(layout);
         if support >= delta {
@@ -211,10 +243,22 @@ fn dfs(
     let i_survivors: Vec<Item> = i_temp.iter().map(|(x, _, _)| *x).collect();
     for (x, child_bitmap, support) in &i_temp {
         let child = pattern.extended(ExtElem { item: *x, mode: ExtMode::Itemset });
+        guard.note_pattern()?;
         result.insert(child.clone(), *support);
         let child_i: Vec<Item> = i_survivors.iter().copied().filter(|&y| y > *x).collect();
-        dfs(&child, child_bitmap, &s_survivors, &child_i, layout, item_bitmaps, delta, result);
+        dfs(
+            &child,
+            child_bitmap,
+            &s_survivors,
+            &child_i,
+            layout,
+            item_bitmaps,
+            delta,
+            guard,
+            result,
+        )?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -276,9 +320,8 @@ mod tests {
     #[test]
     fn long_customer_blocks_cross_word_boundaries() {
         // A customer with > 64 transactions exercises multi-word blocks.
-        let long: Vec<String> = (0..70)
-            .map(|i| format!("({})", if i % 2 == 0 { "a" } else { "b" }))
-            .collect();
+        let long: Vec<String> =
+            (0..70).map(|i| format!("({})", if i % 2 == 0 { "a" } else { "b" })).collect();
         let text = long.join("");
         let db = SequenceDatabase::from_parsed(&[&text, "(a)(b)"]).unwrap();
         let r = Spam::default().mine(&db, MinSupport::Count(2));

@@ -38,10 +38,7 @@ fn bench_gamma(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(3));
     for theta in [10.0f64, 40.0] {
-        let db = QuestConfig::paper_fig10(theta)
-            .with_ncust(400)
-            .with_seed(6)
-            .generate();
+        let db = QuestConfig::paper_fig10(theta).with_ncust(400).with_seed(6).generate();
         for gamma in [0.0f64, 0.3, 0.6, 0.9, 2.0] {
             let miner = DynamicDiscAll::with_gamma(gamma);
             group.bench_with_input(

@@ -16,21 +16,16 @@ fn bench_fig10(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(3));
     for theta in [10.0f64, 25.0, 40.0] {
-        let db = QuestConfig::paper_fig10(theta)
-            .with_ncust(500)
-            .with_seed(1)
-            .generate();
+        let db = QuestConfig::paper_fig10(theta).with_ncust(500).with_seed(1).generate();
         let miners: Vec<Box<dyn SequentialMiner>> = vec![
             Box::new(DiscAll::default()),
             Box::new(DynamicDiscAll::default()),
             Box::new(PseudoPrefixSpan::default()),
         ];
         for miner in miners {
-            group.bench_with_input(
-                BenchmarkId::new(miner.name(), theta as u64),
-                &db,
-                |b, db| b.iter(|| miner.mine(db, MinSupport::Fraction(0.04))),
-            );
+            group.bench_with_input(BenchmarkId::new(miner.name(), theta as u64), &db, |b, db| {
+                b.iter(|| miner.mine(db, MinSupport::Fraction(0.04)))
+            });
         }
     }
     group.finish();

@@ -24,11 +24,9 @@ fn bench_fig8(c: &mut Criterion) {
             Box::new(PseudoPrefixSpan::default()),
         ];
         for miner in miners {
-            group.bench_with_input(
-                BenchmarkId::new(miner.name(), ncust),
-                &db,
-                |b, db| b.iter(|| miner.mine(db, minsup)),
-            );
+            group.bench_with_input(BenchmarkId::new(miner.name(), ncust), &db, |b, db| {
+                b.iter(|| miner.mine(db, minsup))
+            });
         }
     }
     group.finish();

@@ -20,11 +20,9 @@ fn bench_fig9(c: &mut Criterion) {
             Box::new(PseudoPrefixSpan::default()),
         ];
         for miner in miners {
-            group.bench_with_input(
-                BenchmarkId::new(miner.name(), threshold),
-                &db,
-                |b, db| b.iter(|| miner.mine(db, MinSupport::Fraction(threshold))),
-            );
+            group.bench_with_input(BenchmarkId::new(miner.name(), threshold), &db, |b, db| {
+                b.iter(|| miner.mine(db, MinSupport::Fraction(threshold)))
+            });
         }
     }
     group.finish();

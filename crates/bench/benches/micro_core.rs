@@ -10,9 +10,8 @@ use std::hint::black_box;
 
 fn random_sequence(rng: &mut StdRng, txns: usize, items_per_txn: usize, alphabet: u32) -> Sequence {
     Sequence::new((0..txns).map(|_| {
-        let mut items: Vec<Item> = (0..items_per_txn)
-            .map(|_| Item(rng.gen_range(0..alphabet)))
-            .collect();
+        let mut items: Vec<Item> =
+            (0..items_per_txn).map(|_| Item(rng.gen_range(0..alphabet))).collect();
         items.sort_unstable();
         items.dedup();
         Itemset::new(items).expect("non-empty")
@@ -22,12 +21,7 @@ fn random_sequence(rng: &mut StdRng, txns: usize, items_per_txn: usize, alphabet
 fn bench_compare(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let pairs: Vec<(Sequence, Sequence)> = (0..256)
-        .map(|_| {
-            (
-                random_sequence(&mut rng, 8, 3, 50),
-                random_sequence(&mut rng, 8, 3, 50),
-            )
-        })
+        .map(|_| (random_sequence(&mut rng, 8, 3, 50), random_sequence(&mut rng, 8, 3, 50)))
         .collect();
     c.bench_function("cmp_sequences/8x3", |b| {
         b.iter(|| {
@@ -59,9 +53,7 @@ fn bench_kms(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let members: Vec<Sequence> = (0..64).map(|_| random_sequence(&mut rng, 10, 3, 20)).collect();
     // A plausible 3-sorted list: the frequent-ish 3-subsequence prefixes.
-    let mut list: Vec<Sequence> = (0..32)
-        .map(|_| random_sequence(&mut rng, 3, 1, 20))
-        .collect();
+    let mut list: Vec<Sequence> = (0..32).map(|_| random_sequence(&mut rng, 3, 1, 20)).collect();
     list.sort();
     list.dedup();
     c.bench_function("apriori_kms/64members_32prefixes", |b| {
@@ -75,7 +67,7 @@ fn bench_kms(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(3));
     targets = bench_compare, bench_contains, bench_kms

@@ -80,7 +80,7 @@ fn bench_take_min_drain(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(3));
     targets = bench_insert, bench_select, bench_take_min_drain

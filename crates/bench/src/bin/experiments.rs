@@ -12,9 +12,7 @@ use disc_bench::experiments;
 use disc_bench::workloads::Scale;
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|all> [--smoke|--full]"
-    );
+    eprintln!("usage: experiments <fig8|fig9|fig10|table12|table13|table14|all> [--smoke|--full]");
     std::process::exit(2);
 }
 

@@ -9,7 +9,7 @@ use crate::workloads::{
 };
 use disc_algo::{nrr_by_level, DiscAll, DynamicDiscAll};
 use disc_baselines::{PrefixSpan, PseudoPrefixSpan};
-use disc_core::{MiningResult, MinSupport, SequenceDatabase, SequentialMiner};
+use disc_core::{MinSupport, MiningResult, SequenceDatabase, SequentialMiner};
 
 const SEED: u64 = 20040330; // ICDE 2004 conference dates — an arbitrary fixed seed.
 
@@ -86,13 +86,8 @@ fn fig9_measurements(scale: Scale) -> (Vec<Measurement>, Vec<NrrRow>) {
     let mut measurements = Vec::new();
     let mut nrr_rows = Vec::new();
     for threshold in fig9_thresholds(scale) {
-        let reference = run_sweep(
-            &db,
-            &miners,
-            MinSupport::Fraction(threshold),
-            threshold,
-            &mut measurements,
-        );
+        let reference =
+            run_sweep(&db, &miners, MinSupport::Fraction(threshold), threshold, &mut measurements);
         nrr_rows.push((threshold, nrr_by_level(&reference, &db)));
     }
     (measurements, nrr_rows)
@@ -122,11 +117,7 @@ pub fn table12(scale: Scale) {
     let mut rows = Vec::new();
     for threshold in fig9_thresholds(scale) {
         let result = miner.mine(&db, MinSupport::Fraction(threshold));
-        eprintln!(
-            "    minsup {:<8} {} patterns",
-            trim_float(threshold),
-            result.len()
-        );
+        eprintln!("    minsup {:<8} {} patterns", trim_float(threshold), result.len());
         rows.push((threshold, nrr_by_level(&result, &db)));
     }
     println!("{}", nrr_table("minsup", &rows));
@@ -196,10 +187,7 @@ pub fn fig10(scale: Scale) {
         run_sweep(&db, &miners, MinSupport::Fraction(0.005), theta, &mut measurements);
     }
     let names: Vec<String> = miners.iter().map(|m| m.name().to_string()).collect();
-    println!(
-        "{}",
-        runtime_table("θ", &theta_grid(scale), &names, &measurements)
-    );
+    println!("{}", runtime_table("θ", &theta_grid(scale), &names, &measurements));
     let _ = persist("fig10", &measurements);
 }
 

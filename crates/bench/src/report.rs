@@ -2,7 +2,6 @@
 //! measurements under `target/experiments/`.
 
 use crate::runner::Measurement;
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
@@ -28,10 +27,7 @@ pub fn runtime_table(
     for &p in params {
         write!(out, "| {} |", trim_float(p)).expect("string write");
         for m in miners {
-            match measurements
-                .iter()
-                .find(|x| x.miner == *m && (x.param - p).abs() < 1e-12)
-            {
+            match measurements.iter().find(|x| x.miner == *m && (x.param - p).abs() < 1e-12) {
                 Some(x) => write!(out, " {:.3} |", x.seconds).expect("string write"),
                 None => out.push_str(" - |"),
             }
@@ -80,12 +76,115 @@ pub fn trim_float(v: f64) -> String {
     }
 }
 
-/// Persists any serializable payload as JSON under `target/experiments/`.
-pub fn persist<T: Serialize>(name: &str, payload: &T) -> std::io::Result<PathBuf> {
+/// Hand-rolled JSON rendering for the handful of payload shapes the
+/// experiments persist. (The offline build environment has no serde, so the
+/// encoder lives here; the output matches what `serde_json` produced for
+/// the same payloads.)
+pub trait ToJson {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> String;
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> String {
+        if self.is_finite() {
+            // `Display` for f64 prints the shortest round-tripping decimal,
+            // which is valid JSON for finite values.
+            format!("{self}")
+        } else {
+            "null".to_string()
+        }
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.len() + 2);
+        out.push('"');
+        for c in self.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).expect("string write"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> String {
+        match self {
+            Some(v) => v.to_json(),
+            None => "null".to_string(),
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> String {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> String {
+        let items: Vec<String> = self.iter().map(ToJson::to_json).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> String {
+        self.as_slice().to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> String {
+        format!("[{},{}]", self.0.to_json(), self.1.to_json())
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson, D: ToJson> ToJson for (A, B, C, D) {
+    fn to_json(&self) -> String {
+        format!(
+            "[{},{},{},{}]",
+            self.0.to_json(),
+            self.1.to_json(),
+            self.2.to_json(),
+            self.3.to_json()
+        )
+    }
+}
+
+impl ToJson for Measurement {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"miner\":{},\"param\":{},\"seconds\":{},\"patterns\":{},\"max_length\":{}}}",
+            self.miner.to_json(),
+            self.param.to_json(),
+            self.seconds.to_json(),
+            self.patterns.to_json(),
+            self.max_length.to_json()
+        )
+    }
+}
+
+/// Persists a payload as JSON under `target/experiments/`.
+pub fn persist<T: ToJson>(name: &str, payload: &T) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("target/experiments");
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(payload)?)?;
+    fs::write(&path, payload.to_json())?;
     Ok(path)
 }
 
@@ -97,8 +196,20 @@ mod tests {
     fn runtime_table_layout() {
         let miners = vec!["A".to_string(), "B".to_string()];
         let measurements = vec![
-            Measurement { miner: "A".into(), param: 1.0, seconds: 0.5, patterns: 10, max_length: 3 },
-            Measurement { miner: "B".into(), param: 1.0, seconds: 1.25, patterns: 10, max_length: 3 },
+            Measurement {
+                miner: "A".into(),
+                param: 1.0,
+                seconds: 0.5,
+                patterns: 10,
+                max_length: 3,
+            },
+            Measurement {
+                miner: "B".into(),
+                param: 1.0,
+                seconds: 1.25,
+                patterns: 10,
+                max_length: 3,
+            },
         ];
         let t = runtime_table("n", &[1.0, 2.0], &miners, &measurements);
         assert!(t.contains("| n | A (s) | B (s) |"));

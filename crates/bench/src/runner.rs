@@ -1,12 +1,19 @@
 //! Timing and measurement plumbing shared by the experiment runner and the
 //! Criterion benches.
 
-use disc_core::{MiningResult, MinSupport, SequenceDatabase, SequentialMiner};
-use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use disc_core::{
+    CancelToken, MinSupport, MineGuard, MiningResult, ResourceBudget, SequenceDatabase,
+    SequentialMiner,
+};
+use std::time::{Duration, Instant};
+
+/// Deadline applied to every benchmark run: generous enough that no intended
+/// workload hits it, but a runaway miner fails loudly instead of hanging the
+/// whole experiment sweep.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(3600);
 
 /// One timed mining run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Miner name.
     pub miner: String,
@@ -20,16 +27,29 @@ pub struct Measurement {
     pub max_length: usize,
 }
 
-/// Runs one miner once and records the measurement.
+/// Runs one miner once under [`DEFAULT_DEADLINE`] and records the
+/// measurement. Panics if the run does not complete — a benchmark that
+/// silently reported a partial result would corrupt the sweep.
 pub fn measure(
     miner: &dyn SequentialMiner,
     db: &SequenceDatabase,
     min_support: MinSupport,
     param: f64,
 ) -> (Measurement, MiningResult) {
+    let guard = MineGuard::new(
+        CancelToken::new(),
+        ResourceBudget::unlimited().with_deadline(DEFAULT_DEADLINE),
+    );
     let start = Instant::now();
-    let result = miner.mine(db, min_support);
+    let run = miner.mine_guarded(db, min_support, &guard);
     let seconds = start.elapsed().as_secs_f64();
+    assert!(
+        run.outcome.is_complete(),
+        "{} aborted ({:?}) after {seconds:.1}s — raise DEFAULT_DEADLINE or shrink the workload",
+        miner.name(),
+        run.outcome,
+    );
+    let result = run.result;
     (
         Measurement {
             miner: miner.name().to_string(),

@@ -3,9 +3,8 @@
 
 use disc_core::SequenceDatabase;
 use disc_datagen::QuestConfig;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Scale presets for the experiment sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,9 +70,7 @@ pub fn fig9_db(scale: Scale, seed: u64) -> QuestConfig {
 
 /// A Figure 10 / Table 14 database: 50K customers, θ transactions each.
 pub fn fig10_db(theta: f64, scale: Scale, seed: u64) -> QuestConfig {
-    QuestConfig::paper_fig10(theta)
-        .with_ncust(50_000 / scale.ncust_divisor())
-        .with_seed(seed)
+    QuestConfig::paper_fig10(theta).with_ncust(50_000 / scale.ncust_divisor()).with_seed(seed)
 }
 
 /// Process-wide workload cache keyed by configuration, with a second layer
@@ -93,11 +90,11 @@ impl WorkloadCache {
     /// Generates (or reuses) the database for a configuration.
     pub fn get(&self, cfg: &QuestConfig) -> Arc<SequenceDatabase> {
         let key = format!("{cfg:?}");
-        if let Some(db) = self.cache.lock().get(&key) {
+        if let Some(db) = self.cache.lock().expect("cache lock").get(&key) {
             return Arc::clone(db);
         }
         let db = Arc::new(self.load_or_generate(cfg, &key));
-        self.cache.lock().insert(key, Arc::clone(&db));
+        self.cache.lock().expect("cache lock").insert(key, Arc::clone(&db));
         db
     }
 

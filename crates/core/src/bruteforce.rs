@@ -13,6 +13,7 @@
 //! possible.
 
 use crate::database::SequenceDatabase;
+use crate::guard::{run_guarded, AbortReason, GuardedResult, MineGuard};
 use crate::item::Item;
 use crate::miner::SequentialMiner;
 use crate::result::MiningResult;
@@ -32,35 +33,36 @@ impl BruteForce {
     pub fn with_max_length(max_length: usize) -> BruteForce {
         BruteForce { max_length }
     }
-}
 
-impl SequentialMiner for BruteForce {
-    fn name(&self) -> &str {
-        "BruteForce"
-    }
-
-    fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
+    /// The cooperative core: one checkpoint per counted candidate, one
+    /// pattern note per frequent pattern found.
+    fn mine_inner(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+        result: &mut MiningResult,
+    ) -> Result<(), AbortReason> {
         let delta = min_support.resolve(db.len());
-        let mut result = MiningResult::new();
 
         // Frequent 1-sequences.
-        let mut items: Vec<Item> = db
-            .sequences()
-            .flat_map(|s| s.distinct_items())
-            .collect();
+        let mut items: Vec<Item> = db.sequences().flat_map(|s| s.distinct_items()).collect();
         items.sort_unstable();
         items.dedup();
         let mut frequent_items = Vec::new();
         for &item in &items {
+            guard.checkpoint()?;
             let support = support_count(db, &Sequence::single(item));
             if support >= delta {
                 frequent_items.push(item);
+                guard.note_pattern()?;
                 result.insert(Sequence::single(item), support);
             }
         }
 
         // Level-wise prefix growth.
-        let mut frontier: Vec<Sequence> = frequent_items.iter().map(|&i| Sequence::single(i)).collect();
+        let mut frontier: Vec<Sequence> =
+            frequent_items.iter().map(|&i| Sequence::single(i)).collect();
         let mut k = 1usize;
         while !frontier.is_empty() {
             k += 1;
@@ -73,17 +75,21 @@ impl SequentialMiner for BruteForce {
                 for &item in &frequent_items {
                     // Itemset extension: keeps the flattened form append-only.
                     if item > last {
+                        guard.checkpoint()?;
                         let cand = base.extended(ExtElem { item, mode: ExtMode::Itemset });
                         let support = support_count(db, &cand);
                         if support >= delta {
+                            guard.note_pattern()?;
                             result.insert(cand.clone(), support);
                             next.push(cand);
                         }
                     }
                     // Sequence extension.
+                    guard.checkpoint()?;
                     let cand = base.extended(ExtElem { item, mode: ExtMode::Sequence });
                     let support = support_count(db, &cand);
                     if support >= delta {
+                        guard.note_pattern()?;
                         result.insert(cand.clone(), support);
                         next.push(cand);
                     }
@@ -91,7 +97,30 @@ impl SequentialMiner for BruteForce {
             }
             frontier = next;
         }
+        Ok(())
+    }
+}
+
+impl SequentialMiner for BruteForce {
+    fn name(&self) -> &str {
+        "BruteForce"
+    }
+
+    fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
+        let guard = MineGuard::unlimited();
+        let mut result = MiningResult::new();
+        self.mine_inner(db, min_support, &guard, &mut result)
+            .expect("unlimited guard never aborts");
         result
+    }
+
+    fn mine_guarded(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        run_guarded(guard, |result| self.mine_inner(db, min_support, guard, result))
     }
 }
 

@@ -201,10 +201,7 @@ mod tests {
         assert_eq!(decode_database(&bytes), Err(CodecError::Truncated));
         let mut extra = encode_database(&table1());
         extra.push(0);
-        assert_eq!(
-            decode_database(&extra),
-            Err(CodecError::Invalid("trailing bytes"))
-        );
+        assert_eq!(decode_database(&extra), Err(CodecError::Invalid("trailing bytes")));
     }
 
     #[test]

@@ -25,18 +25,13 @@ pub struct ItemMapping {
 impl ItemMapping {
     /// Builds the mapping for a database and returns the compacted copy.
     pub fn compact(db: &SequenceDatabase) -> (ItemMapping, SequenceDatabase) {
-        let mut originals: Vec<Item> = db
-            .sequences()
-            .flat_map(|s| s.itemsets().iter().flat_map(|set| set.iter()))
-            .collect();
+        let mut originals: Vec<Item> =
+            db.sequences().flat_map(|s| s.itemsets().iter().flat_map(|set| set.iter())).collect();
         originals.sort_unstable();
         originals.dedup();
         let mapping = ItemMapping { originals };
         let compacted = SequenceDatabase::from_rows(db.rows().iter().map(|row| {
-            (
-                row.cid,
-                map_sequence(&row.sequence, |i| mapping.to_compact(i).expect("item seen")),
-            )
+            (row.cid, map_sequence(&row.sequence, |i| mapping.to_compact(i).expect("item seen")))
         }));
         (mapping, compacted)
     }
@@ -53,10 +48,7 @@ impl ItemMapping {
 
     /// Original id → compact id.
     pub fn to_compact(&self, item: Item) -> Option<Item> {
-        self.originals
-            .binary_search(&item)
-            .ok()
-            .map(|i| Item(i as u32))
+        self.originals.binary_search(&item).ok().map(|i| Item(i as u32))
     }
 
     /// Compact id → original id.
@@ -66,10 +58,7 @@ impl ItemMapping {
 
     /// Is compaction a no-op (ids already dense from 0)?
     pub fn is_identity(&self) -> bool {
-        self.originals
-            .iter()
-            .enumerate()
-            .all(|(i, item)| item.id() as usize == i)
+        self.originals.iter().enumerate().all(|(i, item)| item.id() as usize == i)
     }
 
     /// Would compaction save meaningful allocation? True when the max id is
@@ -88,10 +77,7 @@ impl ItemMapping {
 
     /// Translates a whole mining result back to original ids.
     pub fn restore_result(&self, result: &MiningResult) -> MiningResult {
-        result
-            .iter()
-            .map(|(p, s)| (self.restore_sequence(p), s))
-            .collect()
+        result.iter().map(|(p, s)| (self.restore_sequence(p), s)).collect()
     }
 }
 
@@ -138,13 +124,10 @@ mod tests {
         let db = sparse_db();
         let (mapping, compacted) = ItemMapping::compact(&db);
         let direct = BruteForce::default().mine(&db, MinSupport::Count(2));
-        let via_compact = mapping
-            .restore_result(&BruteForce::default().mine(&compacted, MinSupport::Count(2)));
+        let via_compact =
+            mapping.restore_result(&BruteForce::default().mine(&compacted, MinSupport::Count(2)));
         assert!(direct.diff(&via_compact).is_empty());
-        assert_eq!(
-            via_compact.support_of(&parse_sequence("(10)(999999999)").unwrap()),
-            Some(3)
-        );
+        assert_eq!(via_compact.support_of(&parse_sequence("(10)(999999999)").unwrap()), Some(3));
     }
 
     #[test]

@@ -118,11 +118,8 @@ pub fn contains_with(hay: &Sequence, pat: &Sequence, c: &TimeConstraints) -> boo
     if c.is_none() {
         return crate::embed::contains(hay, pat);
     }
-    let per_element: Vec<Vec<Window>> = pat
-        .itemsets()
-        .iter()
-        .map(|e| feasible_windows(hay, e, c.window()))
-        .collect();
+    let per_element: Vec<Vec<Window>> =
+        pat.itemsets().iter().map(|e| feasible_windows(hay, e, c.window())).collect();
     if per_element.iter().any(Vec::is_empty) {
         return false;
     }
@@ -219,12 +216,9 @@ fn drop_flat_at(seq: &Sequence, i: usize) -> Sequence {
     for set in seq.itemsets() {
         if i < flat_pos || i >= flat_pos + set.len() {
             out.push(set.clone());
-        } else if let Some(f) = set.filtered(|item| {
-            set.as_slice()
-                .binary_search(&item)
-                .expect("member")
-                != i - flat_pos
-        }) {
+        } else if let Some(f) = set
+            .filtered(|item| set.as_slice().binary_search(&item).expect("member") != i - flat_pos)
+        {
             out.push(f);
         }
         flat_pos += set.len();

@@ -9,7 +9,6 @@ use std::fmt;
 /// A customer identifier. Purely informational: miners identify customers by
 /// database index; CIDs survive into output for traceability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CustomerId(pub u64);
 
 impl fmt::Display for CustomerId {
@@ -20,7 +19,6 @@ impl fmt::Display for CustomerId {
 
 /// One database row: a customer and their transaction history.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CustomerSequence {
     /// The customer id.
     pub cid: CustomerId,
@@ -30,7 +28,6 @@ pub struct CustomerSequence {
 
 /// A database of customer sequences — the input of every miner.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SequenceDatabase {
     rows: Vec<CustomerSequence>,
 }
@@ -73,10 +70,7 @@ impl SequenceDatabase {
             rows: seqs
                 .into_iter()
                 .enumerate()
-                .map(|(i, sequence)| CustomerSequence {
-                    cid: CustomerId(i as u64 + 1),
-                    sequence,
-                })
+                .map(|(i, sequence)| CustomerSequence { cid: CustomerId(i as u64 + 1), sequence })
                 .collect(),
         }
     }
@@ -135,10 +129,8 @@ impl SequenceDatabase {
         let customers = self.rows.len();
         let total_txns: usize = self.sequences().map(Sequence::n_transactions).sum();
         let total_items: usize = self.sequences().map(Sequence::length).sum();
-        let mut items: Vec<Item> = self
-            .sequences()
-            .flat_map(|s| s.itemsets().iter().flat_map(|set| set.iter()))
-            .collect();
+        let mut items: Vec<Item> =
+            self.sequences().flat_map(|s| s.itemsets().iter().flat_map(|set| set.iter())).collect();
         items.sort_unstable();
         items.dedup();
         DatabaseStats {
@@ -172,6 +164,7 @@ impl SequenceDatabase {
     /// Blank lines and lines starting with `#` are skipped.
     pub fn from_text(text: &str) -> Result<SequenceDatabase, ParseError> {
         let mut rows = Vec::new();
+        let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -185,6 +178,9 @@ impl SequenceDatabase {
                 line: lineno + 1,
                 reason: format!("bad customer id {cid_part:?}"),
             })?;
+            if !seen.insert(cid) {
+                return Err(ParseError::DuplicateCustomer { line: lineno + 1, cid });
+            }
             rows.push((CustomerId(cid), parse_sequence(seq_part)?));
         }
         Ok(SequenceDatabase::from_rows(rows))
@@ -242,6 +238,12 @@ mod tests {
     fn from_text_rejects_bad_lines() {
         assert!(SequenceDatabase::from_text("(a)(b)").is_err());
         assert!(SequenceDatabase::from_text("x: (a)").is_err());
+    }
+
+    #[test]
+    fn from_text_rejects_duplicate_customer_ids() {
+        let err = SequenceDatabase::from_text("1: (a)\n# note\n2: (b)\n1: (c)\n").unwrap_err();
+        assert_eq!(err, ParseError::DuplicateCustomer { line: 4, cid: 1 });
     }
 
     #[test]

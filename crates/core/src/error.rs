@@ -31,6 +31,14 @@ pub enum ParseError {
         /// Description of the problem.
         reason: String,
     },
+    /// A customer id appeared on more than one database line. Silently
+    /// keeping both rows would double-count the customer's support.
+    DuplicateCustomer {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The repeated customer id.
+        cid: u64,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -48,6 +56,9 @@ impl fmt::Display for ParseError {
             }
             ParseError::BadLine { line, reason } => {
                 write!(f, "bad database line {line}: {reason}")
+            }
+            ParseError::DuplicateCustomer { line, cid } => {
+                write!(f, "line {line}: customer id {cid} appeared earlier in the input")
             }
         }
     }

@@ -1,0 +1,693 @@
+//! The **guarded mining runtime**: cancellation, deadlines, resource
+//! budgets, panic isolation, and fallback chains for every miner.
+//!
+//! Mining is worst-case exponential in the output: a hostile (or merely
+//! unlucky) database plus a low threshold can run for hours and allocate
+//! without bound. Embedding a miner in a service therefore needs four
+//! guarantees that the plain [`SequentialMiner::mine`] contract cannot give:
+//!
+//! 1. **Cancellation** — another thread can abort an in-flight job through a
+//!    cheap [`CancelToken`];
+//! 2. **Deadlines / budgets** — a [`ResourceBudget`] bounds wall-clock time,
+//!    expanded-node/comparison work, and the number of tracked patterns;
+//! 3. **Panic isolation** — a bug in one algorithm must not take down the
+//!    caller, and whatever was mined before the panic should survive;
+//! 4. **Fallbacks** — when a fancy miner dies, a sturdier one should get the
+//!    same job ([`FallbackMiner`]).
+//!
+//! The contract is *cooperative*: miners call [`MineGuard::checkpoint`] (or
+//! [`MineGuard::charge`]) inside their hot loops — amortized to one real
+//! check every [`MineGuard::DEFAULT_CHECKPOINT_INTERVAL`] operations — and
+//! thread the resulting `Result` outward, inserting each frequent pattern
+//! into the shared [`MiningResult`] as soon as its exact support is known.
+//! An aborted run therefore returns a **sound partial result**: every
+//! pattern it reports is frequent with its exact support; only completeness
+//! is given up, which [`MineOutcome::Partial`] records.
+
+use crate::database::SequenceDatabase;
+use crate::miner::SequentialMiner;
+use crate::result::MiningResult;
+use crate::support::MinSupport;
+use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[cfg(any(test, feature = "fault-injection"))]
+use std::rc::Rc;
+
+/// A cheap, cloneable cancellation handle.
+///
+/// Clone it, hand one copy to the mining thread (inside a [`MineGuard`]) and
+/// keep the other; [`CancelToken::cancel`] flips a shared atomic flag that
+/// the guard observes at its next checkpoint.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Resource limits for one guarded mining run. All limits are optional;
+/// [`ResourceBudget::unlimited`] disables everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Wall-clock deadline, measured from [`MineGuard`] construction.
+    pub deadline: Option<Duration>,
+    /// Maximum number of charged operations (expanded nodes, comparisons,
+    /// scans — whatever unit the miner charges at its checkpoints).
+    pub max_ops: Option<u64>,
+    /// Maximum number of patterns recorded into the result.
+    pub max_patterns: Option<usize>,
+}
+
+impl ResourceBudget {
+    /// No limits at all.
+    pub fn unlimited() -> ResourceBudget {
+        ResourceBudget::default()
+    }
+
+    /// Sets a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> ResourceBudget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets an operation-count ceiling.
+    pub fn with_max_ops(mut self, max_ops: u64) -> ResourceBudget {
+        self.max_ops = Some(max_ops);
+        self
+    }
+
+    /// Sets a ceiling on the number of patterns tracked.
+    pub fn with_max_patterns(mut self, max_patterns: usize) -> ResourceBudget {
+        self.max_patterns = Some(max_patterns);
+        self
+    }
+}
+
+/// Why a guarded run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// An operation or pattern budget ran out.
+    BudgetExhausted,
+    /// The miner panicked; the panic was caught at the guard boundary.
+    Panicked,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::Cancelled => write!(f, "cancelled"),
+            AbortReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            AbortReason::BudgetExhausted => write!(f, "budget exhausted"),
+            AbortReason::Panicked => write!(f, "panicked"),
+        }
+    }
+}
+
+/// Whether a guarded run finished, and if not, why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MineOutcome {
+    /// The miner ran to completion: the result is the full frequent set.
+    Complete,
+    /// The run was aborted; the result is a sound subset of the frequent
+    /// set (every reported pattern is frequent with its exact support).
+    Partial {
+        /// What stopped the run.
+        reason: AbortReason,
+    },
+}
+
+impl MineOutcome {
+    /// True for [`MineOutcome::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, MineOutcome::Complete)
+    }
+}
+
+/// Counters observed by a [`MineGuard`] over one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Operations charged via [`MineGuard::checkpoint`] / [`MineGuard::charge`].
+    pub ops: u64,
+    /// Full (non-amortized) checks performed.
+    pub checkpoints: u64,
+    /// Patterns recorded via [`MineGuard::note_pattern`].
+    pub patterns: usize,
+    /// Wall-clock time since guard construction.
+    pub elapsed: Duration,
+}
+
+/// The result of a guarded mining run: what was found, whether it is
+/// complete, and what it cost.
+#[derive(Debug, Clone)]
+pub struct GuardedResult {
+    /// Completion status.
+    pub outcome: MineOutcome,
+    /// The (possibly partial, always sound) frequent set.
+    pub result: MiningResult,
+    /// Observed counters.
+    pub stats: GuardStats,
+}
+
+/// A deterministic fault to inject at a numbered full checkpoint, for
+/// testing abort paths. Fires **once**, then disarms — so a fallback chain
+/// sharing the plan sees the fault in exactly one stage.
+///
+/// Available in tests and behind the `fault-injection` feature only.
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug)]
+pub struct FaultPlan {
+    panic_at_checkpoint: Option<u64>,
+    stall_at_checkpoint: Option<(u64, Duration)>,
+    armed: Cell<bool>,
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+impl FaultPlan {
+    /// Panics when the `n`-th full checkpoint (1-based) runs.
+    pub fn panic_at(n: u64) -> FaultPlan {
+        FaultPlan {
+            panic_at_checkpoint: Some(n),
+            stall_at_checkpoint: None,
+            armed: Cell::new(true),
+        }
+    }
+
+    /// Sleeps for `stall` when the `n`-th full checkpoint (1-based) runs —
+    /// before the deadline check, so a stall past the deadline makes the
+    /// same checkpoint return [`AbortReason::DeadlineExceeded`].
+    pub fn stall_at(n: u64, stall: Duration) -> FaultPlan {
+        FaultPlan {
+            panic_at_checkpoint: None,
+            stall_at_checkpoint: Some((n, stall)),
+            armed: Cell::new(true),
+        }
+    }
+
+    fn fire(&self, checkpoint: u64) {
+        if !self.armed.get() {
+            return;
+        }
+        if let Some((at, stall)) = self.stall_at_checkpoint {
+            if checkpoint == at {
+                self.armed.set(false);
+                std::thread::sleep(stall);
+            }
+        }
+        if let Some(at) = self.panic_at_checkpoint {
+            if checkpoint == at {
+                self.armed.set(false);
+                panic!("injected fault at checkpoint {checkpoint}");
+            }
+        }
+    }
+}
+
+/// The per-run guard a miner consults from its hot loops.
+///
+/// Not `Sync`: a guard belongs to the mining thread. Cross-thread control
+/// flows through the [`CancelToken`], which *is* cheap to clone and send.
+#[derive(Debug)]
+pub struct MineGuard {
+    token: CancelToken,
+    budget: ResourceBudget,
+    start: Instant,
+    interval: u64,
+    ops: Cell<u64>,
+    pending: Cell<u64>,
+    checkpoints: Cell<u64>,
+    patterns: Cell<usize>,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: Option<Rc<FaultPlan>>,
+}
+
+impl MineGuard {
+    /// How many charged operations pass between full checks by default.
+    pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 1024;
+
+    /// A guard with a token and budget. The deadline clock starts now.
+    pub fn new(token: CancelToken, budget: ResourceBudget) -> MineGuard {
+        MineGuard {
+            token,
+            budget,
+            start: Instant::now(),
+            interval: MineGuard::DEFAULT_CHECKPOINT_INTERVAL,
+            ops: Cell::new(0),
+            pending: Cell::new(0),
+            checkpoints: Cell::new(0),
+            patterns: Cell::new(0),
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: None,
+        }
+    }
+
+    /// A guard that never aborts — the plain [`SequentialMiner::mine`] path.
+    pub fn unlimited() -> MineGuard {
+        MineGuard::new(CancelToken::new(), ResourceBudget::unlimited())
+    }
+
+    /// Overrides the amortization interval (tests use `1` so every
+    /// [`MineGuard::checkpoint`] is a full check). Panics on `0`.
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> MineGuard {
+        assert!(interval >= 1, "checkpoint interval must be at least 1");
+        self.interval = interval;
+        self
+    }
+
+    /// Attaches a deterministic [`FaultPlan`].
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn with_fault(mut self, fault: FaultPlan) -> MineGuard {
+        self.fault = Some(Rc::new(fault));
+        self
+    }
+
+    /// The cancellation token this guard observes.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// A fresh guard for the next stage of a fallback chain: same token,
+    /// same budget, same deadline clock (the original start instant), same
+    /// fault plan (which fires at most once across the whole chain), fresh
+    /// operation counters.
+    pub fn stage(&self) -> MineGuard {
+        MineGuard {
+            token: self.token.clone(),
+            budget: self.budget,
+            start: self.start,
+            interval: self.interval,
+            ops: Cell::new(0),
+            pending: Cell::new(0),
+            checkpoints: Cell::new(0),
+            patterns: Cell::new(0),
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: self.fault.clone(),
+        }
+    }
+
+    /// Charges one operation; amortized — see [`MineGuard::charge`].
+    #[inline]
+    pub fn checkpoint(&self) -> Result<(), AbortReason> {
+        self.charge(1)
+    }
+
+    /// Charges `n` operations against the budget. Once the charges since the
+    /// last full check reach the interval, runs the full check: fault
+    /// injection, cancellation, deadline, operation and pattern budgets.
+    #[inline]
+    pub fn charge(&self, n: u64) -> Result<(), AbortReason> {
+        self.ops.set(self.ops.get().saturating_add(n));
+        let pending = self.pending.get().saturating_add(n);
+        if pending < self.interval {
+            self.pending.set(pending);
+            return Ok(());
+        }
+        self.pending.set(0);
+        self.full_check()
+    }
+
+    /// Runs the full check immediately, regardless of amortization.
+    /// [`run_guarded`] calls this once before the miner starts, so a
+    /// pre-cancelled token or an already-expired deadline aborts without
+    /// doing any work.
+    pub fn check_now(&self) -> Result<(), AbortReason> {
+        self.full_check()
+    }
+
+    /// Records one pattern insertion. Always a cheap, exact check (never
+    /// amortized): the pattern cap is a memory bound, so overshooting it by
+    /// a checkpoint interval would defeat its purpose. Call **before** the
+    /// matching [`MiningResult::insert`] so an exhausted budget keeps the
+    /// result at exactly the cap.
+    #[inline]
+    pub fn note_pattern(&self) -> Result<(), AbortReason> {
+        let next = self.patterns.get() + 1;
+        if let Some(max) = self.budget.max_patterns {
+            if next > max {
+                return Err(AbortReason::BudgetExhausted);
+            }
+        }
+        self.patterns.set(next);
+        Ok(())
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> GuardStats {
+        GuardStats {
+            ops: self.ops.get(),
+            checkpoints: self.checkpoints.get(),
+            patterns: self.patterns.get(),
+            elapsed: self.start.elapsed(),
+        }
+    }
+
+    fn full_check(&self) -> Result<(), AbortReason> {
+        let n = self.checkpoints.get() + 1;
+        self.checkpoints.set(n);
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(fault) = &self.fault {
+            fault.fire(n);
+        }
+        if self.token.is_cancelled() {
+            return Err(AbortReason::Cancelled);
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if self.start.elapsed() >= deadline {
+                return Err(AbortReason::DeadlineExceeded);
+            }
+        }
+        if let Some(max) = self.budget.max_ops {
+            if self.ops.get() >= max {
+                return Err(AbortReason::BudgetExhausted);
+            }
+        }
+        if let Some(max) = self.budget.max_patterns {
+            if self.patterns.get() >= max {
+                return Err(AbortReason::BudgetExhausted);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs a cooperative mining body under a guard, catching panics.
+///
+/// The [`MiningResult`] lives *outside* the `catch_unwind` boundary, so
+/// patterns inserted before a panic (or a cooperative abort) survive into
+/// the returned [`GuardedResult`]. The body receives the result to fill and
+/// returns `Err(reason)` when a checkpoint trips.
+pub fn run_guarded<F>(guard: &MineGuard, body: F) -> GuardedResult
+where
+    F: FnOnce(&mut MiningResult) -> Result<(), AbortReason>,
+{
+    let mut result = MiningResult::new();
+    let outcome = match catch_unwind(AssertUnwindSafe(|| {
+        guard.check_now()?;
+        body(&mut result)
+    })) {
+        Ok(Ok(())) => MineOutcome::Complete,
+        Ok(Err(reason)) => MineOutcome::Partial { reason },
+        Err(_) => MineOutcome::Partial { reason: AbortReason::Panicked },
+    };
+    GuardedResult { outcome, result, stats: guard.stats() }
+}
+
+/// A report for one stage of a [`FallbackMiner`] chain.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// The stage miner's name.
+    pub name: String,
+    /// How the stage ended.
+    pub outcome: MineOutcome,
+    /// The stage's counters.
+    pub stats: GuardStats,
+}
+
+/// An ordered chain of miners: each stage runs under its own stage guard
+/// (shared token, shared deadline clock), and the chain advances to the next
+/// stage only when a stage **panicked** or **exhausted its budget** — the
+/// failure modes a sturdier algorithm might survive. Cancellation and
+/// deadline expiry end the chain immediately: no later stage could do
+/// better.
+pub struct FallbackMiner {
+    stages: Vec<Box<dyn SequentialMiner>>,
+    name: String,
+}
+
+impl FallbackMiner {
+    /// A chain from ordered stages. Panics when `stages` is empty.
+    pub fn new(stages: Vec<Box<dyn SequentialMiner>>) -> FallbackMiner {
+        assert!(!stages.is_empty(), "FallbackMiner needs at least one stage");
+        let name = stages.iter().map(|s| s.name().to_string()).collect::<Vec<_>>().join(" -> ");
+        FallbackMiner { stages, name }
+    }
+
+    /// Runs the chain, returning the deciding stage's result plus a
+    /// per-stage report of everything that was attempted.
+    pub fn run(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> (GuardedResult, Vec<StageReport>) {
+        let mut reports = Vec::new();
+        let last = self.stages.len() - 1;
+        for (i, stage) in self.stages.iter().enumerate() {
+            let stage_guard = guard.stage();
+            let run = stage.mine_guarded(db, min_support, &stage_guard);
+            reports.push(StageReport {
+                name: stage.name().to_string(),
+                outcome: run.outcome,
+                stats: run.stats,
+            });
+            let advance = matches!(
+                run.outcome,
+                MineOutcome::Partial {
+                    reason: AbortReason::Panicked | AbortReason::BudgetExhausted,
+                }
+            );
+            if !advance || i == last {
+                return (run, reports);
+            }
+        }
+        unreachable!("loop always returns at the last stage");
+    }
+}
+
+impl SequentialMiner for FallbackMiner {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
+        let guard = MineGuard::unlimited();
+        self.run(db, min_support, &guard).0.result
+    }
+
+    fn mine_guarded(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        self.run(db, min_support, guard).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::BruteForce;
+    use crate::parse::parse_sequence;
+    use crate::support::support_count;
+
+    fn table1() -> SequenceDatabase {
+        SequenceDatabase::from_parsed(&[
+            "(a,e,g)(b)(h)(f)(c)(b,f)",
+            "(b)(d,f)(e)",
+            "(b,f,g)",
+            "(f)(a,g)(b,f,h)(b,f)",
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn unlimited_guard_never_aborts() {
+        let guard = MineGuard::unlimited().with_checkpoint_interval(1);
+        for _ in 0..10_000 {
+            guard.checkpoint().unwrap();
+            guard.note_pattern().unwrap();
+        }
+        let stats = guard.stats();
+        assert_eq!(stats.ops, 10_000);
+        assert_eq!(stats.checkpoints, 10_000);
+        assert_eq!(stats.patterns, 10_000);
+    }
+
+    #[test]
+    fn cancel_token_trips_the_next_full_check() {
+        let token = CancelToken::new();
+        let guard =
+            MineGuard::new(token.clone(), ResourceBudget::unlimited()).with_checkpoint_interval(1);
+        guard.checkpoint().unwrap();
+        token.cancel();
+        assert_eq!(guard.checkpoint(), Err(AbortReason::Cancelled));
+    }
+
+    #[test]
+    fn amortization_delays_the_full_check() {
+        let token = CancelToken::new();
+        let guard =
+            MineGuard::new(token.clone(), ResourceBudget::unlimited()).with_checkpoint_interval(4);
+        token.cancel();
+        assert_eq!(guard.checkpoint(), Ok(()));
+        assert_eq!(guard.checkpoint(), Ok(()));
+        assert_eq!(guard.checkpoint(), Ok(()));
+        assert_eq!(guard.checkpoint(), Err(AbortReason::Cancelled));
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let budget = ResourceBudget::unlimited().with_deadline(Duration::ZERO);
+        let guard = MineGuard::new(CancelToken::new(), budget).with_checkpoint_interval(1);
+        assert_eq!(guard.checkpoint(), Err(AbortReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn ops_budget_exhausts() {
+        let budget = ResourceBudget::unlimited().with_max_ops(3);
+        let guard = MineGuard::new(CancelToken::new(), budget).with_checkpoint_interval(1);
+        assert_eq!(guard.checkpoint(), Ok(()));
+        assert_eq!(guard.checkpoint(), Ok(()));
+        assert_eq!(guard.checkpoint(), Err(AbortReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn pattern_budget_caps_exactly() {
+        let budget = ResourceBudget::unlimited().with_max_patterns(2);
+        let guard = MineGuard::new(CancelToken::new(), budget);
+        assert_eq!(guard.note_pattern(), Ok(()));
+        assert_eq!(guard.note_pattern(), Ok(()));
+        assert_eq!(guard.note_pattern(), Err(AbortReason::BudgetExhausted));
+        assert_eq!(guard.stats().patterns, 2);
+    }
+
+    #[test]
+    fn bulk_charge_counts_like_single_checkpoints() {
+        let budget = ResourceBudget::unlimited().with_max_ops(10);
+        let guard = MineGuard::new(CancelToken::new(), budget).with_checkpoint_interval(1);
+        assert_eq!(guard.charge(20), Err(AbortReason::BudgetExhausted));
+        assert_eq!(guard.stats().ops, 20);
+    }
+
+    #[test]
+    fn injected_panic_is_caught_by_run_guarded() {
+        let guard =
+            MineGuard::unlimited().with_checkpoint_interval(1).with_fault(FaultPlan::panic_at(3));
+        let run = run_guarded(&guard, |result| {
+            // Checkpoint 1 is run_guarded's preflight; 2 passes; 3 panics.
+            guard.checkpoint()?;
+            result.insert(parse_sequence("(a)").unwrap(), 2);
+            guard.checkpoint()?;
+            result.insert(parse_sequence("(b)").unwrap(), 9);
+            Ok(())
+        });
+        assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::Panicked });
+        // The insert before the panic survived; the one after never ran.
+        assert_eq!(run.result.support_of(&parse_sequence("(a)").unwrap()), Some(2));
+        assert_eq!(run.result.len(), 1);
+    }
+
+    #[test]
+    fn injected_stall_turns_into_deadline_abort() {
+        let budget = ResourceBudget::unlimited().with_deadline(Duration::from_millis(5));
+        let guard = MineGuard::new(CancelToken::new(), budget)
+            .with_checkpoint_interval(1)
+            .with_fault(FaultPlan::stall_at(1, Duration::from_millis(20)));
+        assert_eq!(guard.checkpoint(), Err(AbortReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn fault_plans_fire_once() {
+        let guard =
+            MineGuard::unlimited().with_checkpoint_interval(1).with_fault(FaultPlan::panic_at(1));
+        assert!(catch_unwind(AssertUnwindSafe(|| guard.checkpoint())).is_err());
+        // Disarmed: the same checkpoint number in a stage guard is quiet.
+        let stage = guard.stage();
+        assert_eq!(stage.checkpoint(), Ok(()));
+    }
+
+    #[test]
+    fn default_mine_guarded_is_equivalent_when_unlimited() {
+        let db = table1();
+        let guard = MineGuard::unlimited();
+        let run = BruteForce::default().mine_guarded(&db, MinSupport::Count(2), &guard);
+        assert!(run.outcome.is_complete());
+        let plain = BruteForce::default().mine(&db, MinSupport::Count(2));
+        assert!(run.result.diff(&plain).is_empty());
+        assert!(run.stats.ops > 0);
+    }
+
+    /// A miner that always panics, for fallback tests.
+    struct AlwaysPanics;
+
+    impl SequentialMiner for AlwaysPanics {
+        fn name(&self) -> &str {
+            "AlwaysPanics"
+        }
+        fn mine(&self, _: &SequenceDatabase, _: MinSupport) -> MiningResult {
+            panic!("this miner always panics");
+        }
+    }
+
+    #[test]
+    fn fallback_advances_past_a_panicking_stage() {
+        let db = table1();
+        let chain =
+            FallbackMiner::new(vec![Box::new(AlwaysPanics), Box::new(BruteForce::default())]);
+        assert_eq!(chain.name(), "AlwaysPanics -> BruteForce");
+        let guard = MineGuard::unlimited();
+        let (run, reports) = chain.run(&db, MinSupport::Count(2), &guard);
+        assert!(run.outcome.is_complete());
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].outcome, MineOutcome::Partial { reason: AbortReason::Panicked });
+        assert!(reports[1].outcome.is_complete());
+        let expected = BruteForce::default().mine(&db, MinSupport::Count(2));
+        assert!(run.result.diff(&expected).is_empty());
+        for (p, s) in run.result.iter() {
+            assert_eq!(s, support_count(&db, p));
+        }
+    }
+
+    #[test]
+    fn fallback_stops_on_cancellation() {
+        let db = table1();
+        let token = CancelToken::new();
+        token.cancel();
+        let chain =
+            FallbackMiner::new(vec![Box::new(BruteForce::default()), Box::new(AlwaysPanics)]);
+        let guard = MineGuard::new(token, ResourceBudget::unlimited());
+        let (run, reports) = chain.run(&db, MinSupport::Count(2), &guard);
+        // The second stage never ran: cancellation ends the chain.
+        assert_eq!(reports.len(), 1);
+        assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::Cancelled });
+        assert!(run.result.is_empty());
+    }
+
+    #[test]
+    fn fallback_walks_every_stage_on_budget_exhaustion() {
+        let db = table1();
+        let budget = ResourceBudget::unlimited().with_max_ops(2);
+        let chain = FallbackMiner::new(vec![
+            Box::new(BruteForce::default()),
+            Box::new(BruteForce::default()),
+        ]);
+        let guard = MineGuard::new(CancelToken::new(), budget).with_checkpoint_interval(1);
+        let (run, reports) = chain.run(&db, MinSupport::Count(2), &guard);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::BudgetExhausted });
+    }
+}

@@ -8,7 +8,6 @@ use std::fmt;
 /// order" on items is exactly this order (the worked examples map `a` to 0,
 /// `b` to 1, and so on — see [`Item::from_letter`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Item(pub u32);
 
 impl Item {

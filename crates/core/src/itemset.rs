@@ -9,7 +9,6 @@ use std::fmt;
 /// `(item, transaction-number)` representation well-defined: within a
 /// transaction, items are enumerated in ascending (alphabetical) order.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Itemset(Vec<Item>);
 
 impl Itemset {
@@ -98,10 +97,7 @@ impl Itemset {
     /// flattened representation (the itemset-extension used throughout the
     /// paper's algorithms).
     pub fn extended_with(&self, item: Item) -> Itemset {
-        debug_assert!(
-            item > self.max_item(),
-            "itemset extension must append past the max item"
-        );
+        debug_assert!(item > self.max_item(), "itemset extension must append past the max item");
         let mut v = Vec::with_capacity(self.0.len() + 1);
         v.extend_from_slice(&self.0);
         v.push(item);

@@ -29,10 +29,8 @@ fn for_each_k_subsequence(seq: &Sequence, k: usize, f: &mut impl FnMut(&Sequence
         f: &mut impl FnMut(&Sequence),
     ) {
         if chosen == k {
-            let pattern = Sequence::new(
-                cur.iter()
-                    .map(|items| Itemset::from_sorted(items.clone())),
-            );
+            let pattern =
+                Sequence::new(cur.iter().map(|items| Itemset::from_sorted(items.clone())));
             f(&pattern);
             return;
         }
@@ -187,14 +185,8 @@ mod tests {
             min_k_subsequence_naive(&seq("(f)(a,g)(b,f,h)(b,f)"), 3).unwrap(),
             seq("(a)(b)(b)")
         );
-        assert_eq!(
-            min_k_subsequence_naive(&seq("(b)(d,f)(e)"), 3).unwrap(),
-            seq("(b)(d)(e)")
-        );
-        assert_eq!(
-            min_k_subsequence_naive(&seq("(b,f,g)"), 3).unwrap(),
-            seq("(b,f,g)")
-        );
+        assert_eq!(min_k_subsequence_naive(&seq("(b)(d,f)(e)"), 3).unwrap(), seq("(b)(d)(e)"));
+        assert_eq!(min_k_subsequence_naive(&seq("(b,f,g)"), 3).unwrap(), seq("(b,f,g)"));
     }
 
     #[test]
@@ -208,8 +200,7 @@ mod tests {
             seq("(b)(f)(b)")
         );
         assert_eq!(
-            min_k_subsequence_above_naive(&seq("(f)(a,g)(b,f,h)(b,f)"), 3, &bound, false)
-                .unwrap(),
+            min_k_subsequence_above_naive(&seq("(f)(a,g)(b,f,h)(b,f)"), 3, &bound, false).unwrap(),
             seq("(b,f)(b)")
         );
     }
@@ -218,14 +209,8 @@ mod tests {
     fn strict_vs_inclusive_bounds() {
         let s = seq("(a)(b)(c)");
         let bound = seq("(a)(b)");
-        assert_eq!(
-            min_k_subsequence_above_naive(&s, 2, &bound, false).unwrap(),
-            seq("(a)(b)")
-        );
-        assert_eq!(
-            min_k_subsequence_above_naive(&s, 2, &bound, true).unwrap(),
-            seq("(a)(c)")
-        );
+        assert_eq!(min_k_subsequence_above_naive(&s, 2, &bound, false).unwrap(), seq("(a)(b)"));
+        assert_eq!(min_k_subsequence_above_naive(&s, 2, &bound, true).unwrap(), seq("(a)(c)"));
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod constraints;
 pub mod database;
 pub mod embed;
 pub mod error;
+pub mod guard;
 pub mod item;
 pub mod itemset;
 pub mod kmin;
@@ -74,6 +75,12 @@ pub use constraints::TimeConstraints;
 pub use database::{CustomerId, CustomerSequence, SequenceDatabase};
 pub use embed::{contains, leftmost_embedding, leftmost_match_end, MatchPoint};
 pub use error::ParseError;
+#[cfg(any(test, feature = "fault-injection"))]
+pub use guard::FaultPlan;
+pub use guard::{
+    run_guarded, AbortReason, CancelToken, FallbackMiner, GuardStats, GuardedResult, MineGuard,
+    MineOutcome, ResourceBudget, StageReport,
+};
 pub use item::Item;
 pub use itemset::Itemset;
 pub use kmin::{all_k_subsequences, min_k_subsequence_naive};

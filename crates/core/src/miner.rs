@@ -2,6 +2,7 @@
 //! workspace.
 
 use crate::database::SequenceDatabase;
+use crate::guard::{run_guarded, GuardedResult, MineGuard};
 use crate::result::MiningResult;
 use crate::support::MinSupport;
 
@@ -17,6 +18,29 @@ pub trait SequentialMiner {
 
     /// Mines all frequent sequences of `db` at threshold `min_support`.
     fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult;
+
+    /// Mines under a [`MineGuard`]: cancellable, deadline- and budget-bound,
+    /// panic-isolated. See the [`crate::guard`] module docs for the contract.
+    ///
+    /// The default implementation wraps [`SequentialMiner::mine`] in a panic
+    /// boundary with a pre-flight guard check: a pre-cancelled token, an
+    /// expired deadline, or a zero budget aborts before any work, and a
+    /// panic becomes [`crate::guard::AbortReason::Panicked`] — but a default
+    /// run cannot stop midway or return partial results. Miners in this
+    /// workspace override it with cooperative implementations that
+    /// checkpoint inside their hot loops and keep whatever was found before
+    /// an abort.
+    fn mine_guarded(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        run_guarded(guard, |result| {
+            *result = self.mine(db, min_support);
+            Ok(())
+        })
+    }
 }
 
 impl<M: SequentialMiner + ?Sized> SequentialMiner for &M {
@@ -26,6 +50,14 @@ impl<M: SequentialMiner + ?Sized> SequentialMiner for &M {
     fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
         (**self).mine(db, min_support)
     }
+    fn mine_guarded(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        (**self).mine_guarded(db, min_support, guard)
+    }
 }
 
 impl<M: SequentialMiner + ?Sized> SequentialMiner for Box<M> {
@@ -34,5 +66,13 @@ impl<M: SequentialMiner + ?Sized> SequentialMiner for Box<M> {
     }
     fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
         (**self).mine(db, min_support)
+    }
+    fn mine_guarded(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        (**self).mine_guarded(db, min_support, guard)
     }
 }

@@ -135,10 +135,7 @@ mod tests {
     #[test]
     fn empty_sequence_is_minimum() {
         assert_eq!(cmp_sequences(&Sequence::empty(), &seq("(a)")), Ordering::Less);
-        assert_eq!(
-            cmp_sequences(&Sequence::empty(), &Sequence::empty()),
-            Ordering::Equal
-        );
+        assert_eq!(cmp_sequences(&Sequence::empty(), &Sequence::empty()), Ordering::Equal);
     }
 
     #[test]

@@ -34,62 +34,60 @@ pub fn parse_item(s: &str) -> Option<Item> {
 /// assert_eq!(s, parse_sequence("(0,4,6)(1)(7)").unwrap());
 /// ```
 pub fn parse_sequence(input: &str) -> Result<Sequence, ParseError> {
-    let bytes = input.as_bytes();
+    // Parse over `char_indices` rather than raw bytes so arbitrary (even
+    // multi-byte) input is rejected with the real offending character and a
+    // byte offset that is always a character boundary of `input`.
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
     let mut i = 0usize;
     let mut itemsets: Vec<Itemset> = Vec::new();
 
     let skip_ws = |i: &mut usize| {
-        while *i < bytes.len() && (bytes[*i] as char).is_whitespace() {
+        while *i < chars.len() && chars[*i].1.is_whitespace() {
             *i += 1;
         }
     };
 
     skip_ws(&mut i);
-    while i < bytes.len() {
-        if bytes[i] != b'(' {
-            return Err(ParseError::UnexpectedChar {
-                offset: i,
-                found: bytes[i] as char,
-            });
+    while i < chars.len() {
+        let (offset, c) = chars[i];
+        if c != '(' {
+            return Err(ParseError::UnexpectedChar { offset, found: c });
         }
         i += 1;
         let mut items: Vec<Item> = Vec::new();
         loop {
             skip_ws(&mut i);
-            if i >= bytes.len() {
+            if i >= chars.len() {
                 return Err(ParseError::UnexpectedEnd);
             }
-            match bytes[i] {
-                b')' => {
+            let (offset, c) = chars[i];
+            match c {
+                ')' => {
                     if items.is_empty() {
-                        return Err(ParseError::EmptyItemset { offset: i });
+                        return Err(ParseError::EmptyItemset { offset });
                     }
                     i += 1;
                     break;
                 }
-                b',' => {
+                ',' => {
                     i += 1;
                 }
-                c if (c as char).is_ascii_lowercase() => {
-                    items.push(Item::from_letter(c as char).expect("checked lowercase"));
+                c if c.is_ascii_lowercase() => {
+                    items.push(Item::from_letter(c).expect("checked lowercase"));
                     i += 1;
                 }
                 c if c.is_ascii_digit() => {
-                    let start = i;
-                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    let start = offset;
+                    while i < chars.len() && chars[i].1.is_ascii_digit() {
                         i += 1;
                     }
-                    let num: u32 = input[start..i]
+                    let end = chars.get(i).map_or(input.len(), |&(o, _)| o);
+                    let num: u32 = input[start..end]
                         .parse()
                         .map_err(|_| ParseError::ItemOverflow { offset: start })?;
                     items.push(Item(num));
                 }
-                c => {
-                    return Err(ParseError::UnexpectedChar {
-                        offset: i,
-                        found: c as char,
-                    })
-                }
+                c => return Err(ParseError::UnexpectedChar { offset, found: c }),
             }
         }
         itemsets.push(Itemset::new(items).expect("non-empty checked above"));
@@ -119,10 +117,7 @@ mod tests {
 
     #[test]
     fn letters_and_numbers_agree() {
-        assert_eq!(
-            parse_sequence("(a, c)(z)").unwrap(),
-            parse_sequence("(0, 2)(25)").unwrap()
-        );
+        assert_eq!(parse_sequence("(a, c)(z)").unwrap(), parse_sequence("(0, 2)(25)").unwrap());
     }
 
     #[test]
@@ -148,26 +143,27 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(
-            parse_sequence("(a)("),
-            Err(ParseError::UnexpectedEnd)
-        ));
-        assert!(matches!(
-            parse_sequence("()"),
-            Err(ParseError::EmptyItemset { .. })
-        ));
-        assert!(matches!(
-            parse_sequence("a)"),
-            Err(ParseError::UnexpectedChar { offset: 0, .. })
-        ));
-        assert!(matches!(
-            parse_sequence("(a)(_, b)"),
-            Err(ParseError::UnexpectedChar { .. })
-        ));
-        assert!(matches!(
-            parse_sequence("(99999999999)"),
-            Err(ParseError::ItemOverflow { .. })
-        ));
+        assert!(matches!(parse_sequence("(a)("), Err(ParseError::UnexpectedEnd)));
+        assert!(matches!(parse_sequence("()"), Err(ParseError::EmptyItemset { .. })));
+        assert!(matches!(parse_sequence("a)"), Err(ParseError::UnexpectedChar { offset: 0, .. })));
+        assert!(matches!(parse_sequence("(a)(_, b)"), Err(ParseError::UnexpectedChar { .. })));
+        assert!(matches!(parse_sequence("(99999999999)"), Err(ParseError::ItemOverflow { .. })));
+    }
+
+    #[test]
+    fn multibyte_input_reports_the_real_char_on_a_boundary() {
+        // A byte-wise parser would report a mangled Latin-1 char at a
+        // non-boundary offset; the real char and its start byte are required.
+        assert_eq!(
+            parse_sequence("(é)"),
+            Err(ParseError::UnexpectedChar { offset: 1, found: 'é' })
+        );
+        assert_eq!(
+            parse_sequence("→(a)"),
+            Err(ParseError::UnexpectedChar { offset: 0, found: '→' })
+        );
+        // U+00A0 NO-BREAK SPACE is whitespace as a char and stays skippable.
+        assert_eq!(parse_sequence("\u{a0}(a)\u{a0}").unwrap(), parse_sequence("(a)").unwrap());
     }
 
     #[test]

@@ -94,9 +94,7 @@ impl MiningResult {
     pub fn maximal_patterns(&self) -> Vec<(&Sequence, u64)> {
         self.iter()
             .filter(|(p, _)| {
-                !self.iter().any(|(q, _)| {
-                    q.length() > p.length() && crate::embed::contains(q, p)
-                })
+                !self.iter().any(|(q, _)| q.length() > p.length() && crate::embed::contains(q, p))
             })
             .collect()
     }
@@ -219,20 +217,13 @@ mod tests {
             (seq("(a)(c)"), 4),
             (seq("(b)"), 2),
         ]);
-        let closed: Vec<(String, u64)> = r
-            .closed_patterns()
-            .iter()
-            .map(|(p, s)| (p.to_string(), *s))
-            .collect();
+        let closed: Vec<(String, u64)> =
+            r.closed_patterns().iter().map(|(p, s)| (p.to_string(), *s)).collect();
         // (c) is absorbed by (a)(c) (same support); (a) is closed (support
         // differs); (b) is closed.
         assert_eq!(
             closed,
-            vec![
-                ("(a)".to_string(), 6),
-                ("(a)(c)".to_string(), 4),
-                ("(b)".to_string(), 2)
-            ]
+            vec![("(a)".to_string(), 6), ("(a)(c)".to_string(), 4), ("(b)".to_string(), 2)]
         );
     }
 
@@ -252,11 +243,7 @@ mod tests {
 
     #[test]
     fn iteration_is_in_comparative_order() {
-        let r = MiningResult::from_pairs([
-            (seq("(b)"), 5),
-            (seq("(a)(c)"), 4),
-            (seq("(a)"), 6),
-        ]);
+        let r = MiningResult::from_pairs([(seq("(b)"), 5), (seq("(a)(c)"), 4), (seq("(a)"), 6)]);
         let order: Vec<String> = r.iter().map(|(p, _)| p.to_string()).collect();
         assert_eq!(order, vec!["(a)", "(a)(c)", "(b)"]);
     }

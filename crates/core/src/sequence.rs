@@ -14,7 +14,6 @@ use std::fmt;
 /// `Ord` is the paper's comparative order (Definition 2.2); see the [`crate::order`]
 /// module for the definition and proofs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Sequence(Vec<Itemset>);
 
 /// How a one-item extension attaches to a sequence (the two forms `<(λx)>`
@@ -198,9 +197,7 @@ impl Sequence {
                 out.push(set.clone());
                 remaining -= set.len();
             } else {
-                out.push(Itemset::from_sorted(
-                    set.as_slice()[..remaining].to_vec(),
-                ));
+                out.push(Itemset::from_sorted(set.as_slice()[..remaining].to_vec()));
                 remaining = 0;
             }
         }
@@ -238,12 +235,8 @@ impl Sequence {
     /// Rebuilds the sequence keeping only item occurrences accepted by
     /// `keep(txn_index, item)`; empty transactions disappear.
     pub fn filtered(&self, mut keep: impl FnMut(usize, Item) -> bool) -> Sequence {
-        let itemsets = self
-            .0
-            .iter()
-            .enumerate()
-            .filter_map(|(t, set)| set.filtered(|i| keep(t, i)))
-            .collect();
+        let itemsets =
+            self.0.iter().enumerate().filter_map(|(t, set)| set.filtered(|i| keep(t, i))).collect();
         Sequence(itemsets)
     }
 }
@@ -313,13 +306,7 @@ mod tests {
         let flat: Vec<(Item, u32)> = s.flat_iter().collect();
         assert_eq!(
             flat,
-            vec![
-                (item('a'), 1),
-                (item('b'), 2),
-                (item('c'), 3),
-                (item('d'), 3),
-                (item('e'), 4)
-            ]
+            vec![(item('a'), 1), (item('b'), 2), (item('c'), 3), (item('d'), 3), (item('e'), 4)]
         );
     }
 

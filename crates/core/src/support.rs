@@ -27,10 +27,7 @@ impl MinSupport {
         match self {
             MinSupport::Count(c) => c.max(1),
             MinSupport::Fraction(f) => {
-                assert!(
-                    (0.0..=1.0).contains(&f),
-                    "support fraction must be in [0, 1], got {f}"
-                );
+                assert!((0.0..=1.0).contains(&f), "support fraction must be in [0, 1], got {f}");
                 ((f * db_len as f64).ceil() as u64).max(1)
             }
         }

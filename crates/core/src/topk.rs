@@ -52,10 +52,7 @@ impl<M: SequentialMiner> TopK<M> {
         let mut result: MiningResult;
         loop {
             result = self.miner.mine(db, MinSupport::Count(delta));
-            let qualifying = result
-                .iter()
-                .filter(|(p, _)| p.length() >= self.min_length)
-                .count();
+            let qualifying = result.iter().filter(|(p, _)| p.length() >= self.min_length).count();
             if qualifying >= self.k || delta == 1 {
                 break;
             }
@@ -86,15 +83,8 @@ mod tests {
     use crate::parse::parse_sequence;
 
     fn db() -> SequenceDatabase {
-        SequenceDatabase::from_parsed(&[
-            "(a)(b)(c)",
-            "(a)(b)(c)",
-            "(a)(b)",
-            "(a)(c)",
-            "(a)",
-            "(d)",
-        ])
-        .unwrap()
+        SequenceDatabase::from_parsed(&["(a)(b)(c)", "(a)(b)(c)", "(a)(b)", "(a)(c)", "(a)", "(d)"])
+            .unwrap()
     }
 
     #[test]

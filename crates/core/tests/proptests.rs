@@ -4,8 +4,9 @@
 //! definitional frequent set.
 
 use disc_core::{
-    all_k_subsequences, contains, cmp_sequences, min_k_subsequence_naive, support_count,
-    BruteForce, Item, Itemset, MinSupport, Sequence, SequenceDatabase, SequentialMiner,
+    all_k_subsequences, cmp_sequences, contains, min_k_subsequence_naive, parse_sequence,
+    support_count, BruteForce, Item, Itemset, MinSupport, ParseError, Sequence, SequenceDatabase,
+    SequentialMiner,
 };
 use proptest::prelude::*;
 use std::cmp::Ordering;
@@ -25,6 +26,45 @@ fn arb_sequence(max_item: u32) -> impl Strategy<Value = Sequence> {
 fn arb_db(max_item: u32, max_rows: usize) -> impl Strategy<Value = SequenceDatabase> {
     prop::collection::vec(arb_sequence(max_item), 1..=max_rows)
         .prop_map(SequenceDatabase::from_sequences)
+}
+
+/// Arbitrary (frequently invalid) text: raw bytes decoded lossily, so the
+/// parser sees real multi-byte UTF-8, replacement chars, and control bytes.
+fn arb_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..64).prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+}
+
+/// Text biased toward the sequence grammar, with multi-byte characters and
+/// database-line punctuation mixed in to reach the deeper parser states.
+fn arb_almost_grammar() -> impl Strategy<Value = String> {
+    const PALETTE: &[char] = &[
+        '(', ')', ',', 'a', 'b', 'z', '0', '4', '9', ' ', '\t', '_', 'é', '→', '\u{a0}', '#', ':',
+        '\n',
+    ];
+    prop::collection::vec(0usize..PALETTE.len(), 0..48)
+        .prop_map(|ix| ix.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+/// `parse_sequence` must never panic, and every offset it reports must be a
+/// character boundary of the input pointing at the character it names.
+fn check_parse_error_offsets(input: &str) {
+    match parse_sequence(input) {
+        Ok(_) | Err(ParseError::UnexpectedEnd) => {}
+        Err(ParseError::UnexpectedChar { offset, found }) => {
+            assert!(offset < input.len(), "offset {offset} out of bounds");
+            assert!(input.is_char_boundary(offset), "offset {offset} splits a char");
+            assert_eq!(input[offset..].chars().next(), Some(found));
+        }
+        Err(ParseError::EmptyItemset { offset }) => {
+            assert!(input.is_char_boundary(offset));
+            assert_eq!(input[offset..].chars().next(), Some(')'));
+        }
+        Err(ParseError::ItemOverflow { offset }) => {
+            assert!(input.is_char_boundary(offset));
+            assert!(input[offset..].chars().next().is_some_and(|c| c.is_ascii_digit()));
+        }
+        Err(e) => panic!("impossible error kind from parse_sequence: {e:?}"),
+    }
 }
 
 /// Reference comparison: plain lexicographic order over the flattened pairs.
@@ -146,6 +186,27 @@ proptest! {
             bytes[pos] ^= flip.1 | 1;
             let _ = disc_core::decode_database(&bytes);
         }
+    }
+
+    #[test]
+    fn sequence_parser_never_panics_on_byte_soup(input in arb_soup()) {
+        check_parse_error_offsets(&input);
+    }
+
+    #[test]
+    fn sequence_parser_never_panics_near_the_grammar(input in arb_almost_grammar()) {
+        check_parse_error_offsets(&input);
+    }
+
+    #[test]
+    fn database_parser_never_panics(soup in arb_soup(), grammar in arb_almost_grammar()) {
+        let _ = SequenceDatabase::from_text(&soup);
+        let _ = SequenceDatabase::from_text(&grammar);
+    }
+
+    #[test]
+    fn parse_accepts_what_display_produces(s in arb_sequence(40)) {
+        prop_assert_eq!(parse_sequence(&s.to_string()).unwrap(), s);
     }
 
     #[test]

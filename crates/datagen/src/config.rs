@@ -11,7 +11,6 @@ use rand::SeedableRng;
 /// paper; defaults follow the generator's documented defaults with the
 /// paper's self-tuned overrides available via [`QuestConfig::paper_table11`].
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QuestConfig {
     /// `ncust` — number of customers (the paper sweeps 50K–500K).
     pub ncust: usize,
@@ -101,11 +100,7 @@ impl QuestConfig {
     /// The Section 4.3 setting: 50K customers, 1000 items, θ = `slen`
     /// varying from 10 to 40.
     pub fn paper_fig10(theta: f64) -> QuestConfig {
-        QuestConfig {
-            ncust: 50_000,
-            slen: theta,
-            ..QuestConfig::paper_table11()
-        }
+        QuestConfig { ncust: 50_000, slen: theta, ..QuestConfig::paper_table11() }
     }
 
     /// Sets the number of customers.

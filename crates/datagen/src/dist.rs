@@ -65,10 +65,7 @@ impl WeightedIndex {
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let x = rng.gen::<f64>() * total;
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite"))
-        {
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite")) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i,
         }

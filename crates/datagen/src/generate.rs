@@ -35,9 +35,7 @@ fn generate_customer(
     rng: &mut impl Rng,
 ) -> Sequence {
     let n_txns = poisson_at_least_one(rng, cfg.slen);
-    let capacities: Vec<usize> = (0..n_txns)
-        .map(|_| poisson_at_least_one(rng, cfg.tlen))
-        .collect();
+    let capacities: Vec<usize> = (0..n_txns).map(|_| poisson_at_least_one(rng, cfg.tlen)).collect();
     let capacity_total: usize = capacities.iter().sum();
 
     // Item buffers per transaction (deduplicated on insert).
@@ -54,11 +52,8 @@ fn generate_customer(
         // Corrupt: drop each item with probability 1 - keep_prob.
         let mut surviving: Vec<Vec<Item>> = Vec::with_capacity(pattern.elements.len());
         for &idx in &pattern.elements {
-            let kept: Vec<Item> = itemsets
-                .get(idx)
-                .iter()
-                .filter(|_| rng.gen::<f64>() < pattern.keep_prob)
-                .collect();
+            let kept: Vec<Item> =
+                itemsets.get(idx).iter().filter(|_| rng.gen::<f64>() < pattern.keep_prob).collect();
             if !kept.is_empty() {
                 surviving.push(kept);
             }

@@ -39,10 +39,7 @@ impl ItemsetPool {
             itemsets.push(Itemset::new(items).expect("size >= 1"));
             weights.push(exponential(rng));
         }
-        ItemsetPool {
-            itemsets,
-            weights: WeightedIndex::new(&weights),
-        }
+        ItemsetPool { itemsets, weights: WeightedIndex::new(&weights) }
     }
 
     /// Samples an itemset index by weight.
@@ -98,10 +95,7 @@ impl PatternPool {
             patterns.push(Pattern { elements, keep_prob });
             weights.push(exponential(rng));
         }
-        PatternPool {
-            patterns,
-            weights: WeightedIndex::new(&weights),
-        }
+        PatternPool { patterns, weights: WeightedIndex::new(&weights) }
     }
 
     /// Samples a pattern by weight.

@@ -58,11 +58,7 @@ impl Condition {
         } else {
             ExtMode::Sequence
         };
-        Condition {
-            prefix,
-            last: ExtElem { item, mode: ext_mode },
-            mode,
-        }
+        Condition { prefix, last: ExtElem { item, mode: ext_mode }, mode }
     }
 }
 
@@ -152,9 +148,8 @@ mod tests {
         // <(b,f)(b)>.
         let all_2seqs = seqs(&[
             "(a)(b)", "(a)(f)", "(b)(b)", "(b)(f)", "(b,f)", "(b)(d)", "(d)(e)", "(b)(h)",
-            "(f)(b)", "(f)(f)", "(a,g)", "(b)(c)", "(g)(b)", "(f)(c)", "(a)(c)", "(a)(h)",
-            "(a,e)", "(e)(b)", "(h)(f)", "(g)(f)", "(c)(b)", "(h)(c)", "(f,h)", "(b,h)",
-            "(g)(h)", "(a)(e)",
+            "(f)(b)", "(f)(f)", "(a,g)", "(b)(c)", "(g)(b)", "(f)(c)", "(a)(c)", "(a)(h)", "(a,e)",
+            "(e)(b)", "(h)(f)", "(g)(f)", "(c)(b)", "(h)(c)", "(f,h)", "(b,h)", "(g)(h)", "(a)(e)",
         ]);
         let cond = Condition::new(&seq("(b)(d)(e)"), BoundMode::AtLeast);
         let cid1 = apriori_ckms(&seq("(a,e,g)(b)(h)(f)(c)(b,f)"), &all_2seqs, 0, &cond).unwrap();
@@ -167,21 +162,13 @@ mod tests {
     fn strict_bound_skips_the_condition_itself() {
         let list = seqs(&["(a)(b)"]);
         let s = seq("(a)(b)(c)(b)(d)");
-        let at_least = apriori_ckms(
-            &s,
-            &list,
-            0,
-            &Condition::new(&seq("(a)(b)(c)"), BoundMode::AtLeast),
-        )
-        .unwrap();
+        let at_least =
+            apriori_ckms(&s, &list, 0, &Condition::new(&seq("(a)(b)(c)"), BoundMode::AtLeast))
+                .unwrap();
         assert_eq!(at_least.key, seq("(a)(b)(c)"));
-        let strictly = apriori_ckms(
-            &s,
-            &list,
-            0,
-            &Condition::new(&seq("(a)(b)(c)"), BoundMode::Strictly),
-        )
-        .unwrap();
+        let strictly =
+            apriori_ckms(&s, &list, 0, &Condition::new(&seq("(a)(b)(c)"), BoundMode::Strictly))
+                .unwrap();
         assert_eq!(strictly.key, seq("(a)(b)(d)"));
     }
 
@@ -223,8 +210,8 @@ mod tests {
         // through to the sequence extension <(a)(b)>.
         let list = seqs(&["(a)"]);
         let s = seq("(a,b)(b)");
-        let eq = apriori_ckms(&s, &list, 0, &Condition::new(&seq("(a,b)"), BoundMode::AtLeast))
-            .unwrap();
+        let eq =
+            apriori_ckms(&s, &list, 0, &Condition::new(&seq("(a,b)"), BoundMode::AtLeast)).unwrap();
         assert_eq!(eq.key, seq("(a,b)"));
         let gt = apriori_ckms(&s, &list, 0, &Condition::new(&seq("(a,b)"), BoundMode::Strictly))
             .unwrap();

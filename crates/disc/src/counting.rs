@@ -245,14 +245,7 @@ mod tests {
         assert_eq!(
             frequent,
             vec![
-                "(a)(a)",
-                "(a)(c)",
-                "(a, e)",
-                "(a)(e)",
-                "(a, f)",
-                "(a, g)",
-                "(a)(g)",
-                "(a, h)",
+                "(a)(a)", "(a)(c)", "(a, e)", "(a)(e)", "(a, f)", "(a, g)", "(a)(g)", "(a, h)",
                 "(a)(h)",
             ]
         );
@@ -269,18 +262,10 @@ mod tests {
         for id in 0..8u32 {
             let x = Item(id);
             let s_pat = prefix.extended(ExtElem { item: x, mode: ExtMode::Sequence });
-            assert_eq!(
-                array.seq_support(x),
-                support_count(&db, &s_pat),
-                "pattern {s_pat}"
-            );
+            assert_eq!(array.seq_support(x), support_count(&db, &s_pat), "pattern {s_pat}");
             if x > item('a') {
                 let i_pat = prefix.extended(ExtElem { item: x, mode: ExtMode::Itemset });
-                assert_eq!(
-                    array.item_support(x),
-                    support_count(&db, &i_pat),
-                    "pattern {i_pat}"
-                );
+                assert_eq!(array.item_support(x), support_count(&db, &i_pat), "pattern {i_pat}");
             }
         }
     }
@@ -292,11 +277,8 @@ mod tests {
         // (_h)=3. (Those totals pin down WHICH three members of Table 9 were
         // processed: the reduced CIDs 3, 4 and 6 — CID 2 contains no
         // 5-sequence with this prefix and contributes nothing.)
-        let members = [
-            seq("(a,f,g)(a,e,g,h)(c,g,h)"),
-            seq("(f)(a,f)(a,c,e,g,h)"),
-            seq("(a,f)(a,e,g,h)"),
-        ];
+        let members =
+            [seq("(a,f,g)(a,e,g,h)(c,g,h)"), seq("(f)(a,f)(a,c,e,g,h)"), seq("(a,f)(a,e,g,h)")];
         let prefix = seq("(a)(a,e,g)");
         let array = count_extensions(&prefix, members.iter(), 8);
         assert_eq!(array.seq_support(item('c')), 1);

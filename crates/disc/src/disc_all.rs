@@ -2,12 +2,13 @@
 //! arrays for lengths 1–3, the DISC strategy for lengths ≥ 4.
 
 use crate::counting::count_extensions;
-use crate::discovery::discover_frequent_k;
+use crate::discovery::discover_frequent_k_guarded;
 use crate::partition::{
-    group_by_min_item, min_ext_elem, next_frequent_item, reduce_sequence,
+    group_by_min_item_guarded, min_ext_elem, next_frequent_item, reduce_sequence,
 };
 use disc_core::{
-    ExtElem, Item, MiningResult, MinSupport, Sequence, SequenceDatabase, SequentialMiner,
+    run_guarded, AbortReason, ExtElem, GuardedResult, Item, MinSupport, MineGuard, MiningResult,
+    Sequence, SequenceDatabase, SequentialMiner,
 };
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -69,43 +70,73 @@ impl SequentialMiner for DiscAll {
     }
 
     fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
-        let delta = min_support.resolve(db.len());
+        let guard = MineGuard::unlimited();
         let mut result = MiningResult::new();
+        self.mine_inner(db, min_support, &guard, &mut result)
+            .expect("unlimited guard never aborts");
+        result
+    }
+
+    fn mine_guarded(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        run_guarded(guard, |result| self.mine_inner(db, min_support, guard, result))
+    }
+}
+
+impl DiscAll {
+    /// The cooperative core behind both entry points: checkpoints on every
+    /// partition-walk step and every per-member scan, notes every pattern.
+    fn mine_inner(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+        result: &mut MiningResult,
+    ) -> Result<(), AbortReason> {
+        let delta = min_support.resolve(db.len());
         let Some(max_item) = db.max_item() else {
-            return result;
+            return Ok(());
         };
         let n_items = max_item.id() as usize + 1;
 
         // Step 1: frequent 1-sequences + first-level partitions.
+        guard.charge(db.len() as u64)?;
         let root = count_extensions(&Sequence::empty(), db.sequences(), n_items);
         let mut freq1 = vec![false; n_items];
         for id in 0..n_items as u32 {
             let support = root.seq_support(Item(id));
             if support >= delta {
                 freq1[id as usize] = true;
+                guard.note_pattern()?;
                 result.insert(Sequence::single(Item(id)), support);
             }
         }
 
         // Step 2: walk first-level partitions in ascending key order.
-        let mut first_level = group_by_min_item(db);
+        let mut first_level = group_by_min_item_guarded(db, guard)?;
         while let Some((&lambda, _)) = first_level.iter().next() {
+            guard.checkpoint()?;
             let members = first_level.remove(&lambda).expect("key just observed");
             if freq1[lambda.id() as usize] {
-                self.process_first_level(db, lambda, &members, delta, n_items, &freq1, &mut result);
+                self.process_first_level(
+                    db, lambda, &members, delta, n_items, &freq1, guard, result,
+                )?;
             }
             // Step 2.2: reassignment chains.
             for idx in members {
+                guard.checkpoint()?;
                 if let Some(next) = next_frequent_item(db.sequence(idx), lambda, &freq1) {
                     first_level.entry(next).or_default().push(idx);
                 }
             }
         }
-        result
+        Ok(())
     }
-}
 
-impl DiscAll {
     /// Steps 2.1.1–2.1.3 for one `<(λ)>`-partition.
     #[allow(clippy::too_many_arguments)]
     fn process_first_level(
@@ -116,15 +147,18 @@ impl DiscAll {
         delta: u64,
         n_items: usize,
         freq1: &[bool],
+        guard: &MineGuard,
         result: &mut MiningResult,
-    ) {
+    ) -> Result<(), AbortReason> {
         let prefix1 = Sequence::single(lambda);
 
         // 2.1.1: frequent 2-sequences by counting array (over the originals —
         // every supporter of a 2-sequence starting with λ is a member now).
+        guard.charge(members.len() as u64)?;
         let array = count_extensions(&prefix1, members.iter().map(|&i| db.sequence(i)), n_items);
         let (i_mask, s_mask) = array.frequency_masks(delta);
         for (elem, support) in array.frequent_extensions(delta) {
+            guard.note_pattern()?;
             result.insert(prefix1.extended(elem), support);
         }
 
@@ -132,10 +166,10 @@ impl DiscAll {
         let mut arena: Vec<Rc<Sequence>> = Vec::new();
         let mut second_level: BTreeMap<ExtElem, Vec<usize>> = BTreeMap::new();
         for &idx in members {
+            guard.checkpoint()?;
             let seq = db.sequence(idx);
-            let min_point = seq
-                .first_txn_containing(lambda)
-                .expect("partition members contain their key item");
+            let min_point =
+                seq.first_txn_containing(lambda).expect("partition members contain their key item");
             let Some(reduced) = reduce_sequence(seq, lambda, min_point, freq1, &i_mask, &s_mask)
             else {
                 continue;
@@ -149,15 +183,17 @@ impl DiscAll {
 
         // 2.1.3: walk second-level partitions in ascending key order.
         while let Some((&elem, _)) = second_level.iter().next() {
+            guard.checkpoint()?;
             let slots = second_level.remove(&elem).expect("key just observed");
             if slots.len() as u64 >= delta {
                 let prefix2 = prefix1.extended(elem);
                 let partition: Vec<Rc<Sequence>> =
                     slots.iter().map(|&s| Rc::clone(&arena[s])).collect();
-                self.process_second_level(&prefix2, &partition, delta, n_items, result);
+                self.process_second_level(&prefix2, &partition, delta, n_items, guard, result)?;
             }
             // 2.1.3.3: reassign by the next 2-minimum subsequence.
             for slot in slots {
+                guard.checkpoint()?;
                 if let Some(next) =
                     min_ext_elem(&arena[slot], &prefix1, &i_mask, &s_mask, Some(elem))
                 {
@@ -165,6 +201,7 @@ impl DiscAll {
                 }
             }
         }
+        Ok(())
     }
 
     /// Steps 2.1.3.1–2.1.3.2 for one second-level partition.
@@ -174,40 +211,51 @@ impl DiscAll {
         partition: &[Rc<Sequence>],
         delta: u64,
         n_items: usize,
+        guard: &MineGuard,
         result: &mut MiningResult,
-    ) {
+    ) -> Result<(), AbortReason> {
         // 2.1.3.1: frequent 3-sequences by counting array.
+        guard.charge(partition.len() as u64)?;
         let array = count_extensions(prefix2, partition.iter().map(Rc::as_ref), n_items);
         let mut freq3 = Vec::new();
         for (elem, support) in array.frequent_extensions(delta) {
             let pat = prefix2.extended(elem);
+            guard.note_pattern()?;
             result.insert(pat.clone(), support);
             freq3.push(pat);
         }
 
         // 2.1.3.2: DISC iterations for k ≥ 4.
-        run_disc_levels(partition, freq3, delta, self.config.bi_level, n_items, result);
+        run_disc_levels(partition, freq3, delta, self.config.bi_level, n_items, guard, result)
     }
 }
 
 /// The `k = start, start+1, …` (or `start, start+2, …` under bi-level) DISC
 /// loop shared by DISC-all and Dynamic DISC-all. `freq_prev` holds the
 /// ascending frequent (k-1)-sequences that seed the first iteration.
+/// Patterns reach `result` only from *completed* discovery calls, so an
+/// abort mid-discovery never records unverified supports.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_disc_levels<M: AsRef<Sequence>>(
     members: &[M],
     mut freq_prev: Vec<Sequence>,
     delta: u64,
     bi_level: bool,
     n_items: usize,
+    guard: &MineGuard,
     result: &mut MiningResult,
-) {
+) -> Result<(), AbortReason> {
     while !freq_prev.is_empty() && members.len() as u64 >= delta {
-        let out = discover_frequent_k(members, &freq_prev, delta, bi_level, n_items);
+        guard.checkpoint()?;
+        let out =
+            discover_frequent_k_guarded(members, &freq_prev, delta, bi_level, n_items, guard)?;
         for (p, s) in &out.freq_k {
+            guard.note_pattern()?;
             result.insert(p.clone(), *s);
         }
         if bi_level {
             for (p, s) in &out.freq_k1 {
+                guard.note_pattern()?;
                 result.insert(p.clone(), *s);
             }
             freq_prev = out.freq_k1.into_iter().map(|(p, _)| p).collect();
@@ -215,6 +263,7 @@ pub(crate) fn run_disc_levels<M: AsRef<Sequence>>(
             freq_prev = out.freq_k.into_iter().map(|(p, _)| p).collect();
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -311,10 +360,7 @@ mod tests {
         let result = DiscAll::default().mine(&db, MinSupport::Count(3));
         // The full 5-sequence and every subsequence of it are frequent: 2^5-1.
         assert_eq!(result.len(), 31);
-        assert_eq!(
-            result.support_of(&parse_sequence("(a)(b)(c)(d)(e)").unwrap()),
-            Some(3)
-        );
+        assert_eq!(result.support_of(&parse_sequence("(a)(b)(c)(d)(e)").unwrap()), Some(3));
         assert_matches_brute_force(&db, 3);
     }
 

@@ -32,7 +32,7 @@ use crate::ckms::{apriori_ckms, BoundMode, Condition};
 use crate::counting::CountingArray;
 use crate::kms::apriori_kms;
 use crate::sorted_db::{Entry, KSortedDb};
-use disc_core::Sequence;
+use disc_core::{AbortReason, MineGuard, Sequence};
 
 /// The output of one discovery call.
 #[derive(Debug, Clone, Default)]
@@ -58,15 +58,42 @@ pub fn discover_frequent_k<M: AsRef<Sequence>>(
     bi_level: bool,
     n_items: usize,
 ) -> DiscoveryOutput {
+    discover_frequent_k_guarded(
+        members,
+        freq_prev,
+        delta,
+        bi_level,
+        n_items,
+        &MineGuard::unlimited(),
+    )
+    .expect("unlimited guard never aborts")
+}
+
+/// [`discover_frequent_k`] under a [`MineGuard`]: charges one operation per
+/// k-minimum-subsequence computation and per compare/re-key step, so a
+/// cancelled or over-budget run aborts between steps. The partial
+/// [`DiscoveryOutput`] accumulated so far is discarded by the `Err` return —
+/// callers record patterns into their [`disc_core::MiningResult`] only from
+/// completed discovery calls, keeping partial results sound without
+/// re-checking supports.
+pub fn discover_frequent_k_guarded<M: AsRef<Sequence>>(
+    members: &[M],
+    freq_prev: &[Sequence],
+    delta: u64,
+    bi_level: bool,
+    n_items: usize,
+    guard: &MineGuard,
+) -> Result<DiscoveryOutput, AbortReason> {
     debug_assert!(freq_prev.windows(2).all(|w| w[0] < w[1]), "(k-1)-sorted list not sorted");
     let mut out = DiscoveryOutput::default();
     if freq_prev.is_empty() || (members.len() as u64) < delta {
-        return out;
+        return Ok(out);
     }
 
     // Step 1: build the k-sorted database.
     let mut db = KSortedDb::new();
     for (m, seq) in members.iter().enumerate() {
+        guard.checkpoint()?;
         if let Some(kms) = apriori_kms(seq.as_ref(), freq_prev) {
             db.insert(m, kms);
         }
@@ -74,6 +101,7 @@ pub fn discover_frequent_k<M: AsRef<Sequence>>(
 
     // Step 2: compare / re-key until fewer than δ members remain.
     while db.len() as u64 >= delta {
+        guard.checkpoint()?;
         let alpha_1 = db.alpha_1().expect("non-empty").clone();
         let alpha_delta = db.alpha_delta(delta).expect("len >= delta").clone();
 
@@ -85,6 +113,7 @@ pub fn discover_frequent_k<M: AsRef<Sequence>>(
 
             if bi_level {
                 // §3.2: the bucket is the virtual partition of α₁.
+                guard.charge(bucket.len() as u64)?;
                 let mut array = CountingArray::new(n_items);
                 for e in &bucket {
                     array.add_member(members[e.member].as_ref(), &key);
@@ -95,17 +124,19 @@ pub fn discover_frequent_k<M: AsRef<Sequence>>(
             }
 
             let cond = Condition::new(&key, BoundMode::Strictly);
+            guard.charge(bucket.len() as u64)?;
             rekey(&mut db, members, freq_prev, &cond, bucket);
         } else {
             // Lemma 2.2: everything in [α₁, α_δ) is non-frequent; skip it.
             let cond = Condition::new(&alpha_delta, BoundMode::AtLeast);
             let below = db.take_less_than(&alpha_delta);
             for (_, bucket) in below {
+                guard.charge(bucket.len() as u64)?;
                 rekey(&mut db, members, freq_prev, &cond, bucket);
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Re-keys a drained bucket by Apriori-CKMS; members without a conditional
@@ -159,8 +190,7 @@ mod tests {
     fn discovers_table8_frequent_four_sequences() {
         let list = sorted(&["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"]);
         let out = discover_frequent_k(&table8_members(), &list, 3, false, 8);
-        let got: Vec<(String, u64)> =
-            out.freq_k.iter().map(|(p, s)| (p.to_string(), *s)).collect();
+        let got: Vec<(String, u64)> = out.freq_k.iter().map(|(p, s)| (p.to_string(), *s)).collect();
         assert_eq!(
             got,
             vec![
@@ -230,8 +260,7 @@ mod tests {
         members.push(seq("(b)(c)"));
         let list = sorted(&["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"]);
         let out = discover_frequent_k(&members, &list, 3, false, 26);
-        let got: Vec<(String, u64)> =
-            out.freq_k.iter().map(|(p, s)| (p.to_string(), *s)).collect();
+        let got: Vec<(String, u64)> = out.freq_k.iter().map(|(p, s)| (p.to_string(), *s)).collect();
         assert_eq!(
             got,
             vec![
@@ -248,8 +277,7 @@ mod tests {
         let members = vec![seq("(a)(a,e)(b)"), seq("(a)(a,e)(b)"), seq("(a)(a,e)(c)")];
         let list = sorted(&["(a)(a,e)"]);
         let out = discover_frequent_k(&members, &list, 2, false, 8);
-        let got: Vec<(String, u64)> =
-            out.freq_k.iter().map(|(p, s)| (p.to_string(), *s)).collect();
+        let got: Vec<(String, u64)> = out.freq_k.iter().map(|(p, s)| (p.to_string(), *s)).collect();
         assert_eq!(got, vec![("(a)(a, e)(b)".to_string(), 2)]);
     }
 

@@ -13,10 +13,11 @@
 use crate::counting::count_extensions;
 use crate::disc_all::run_disc_levels;
 use crate::partition::{
-    group_by_min_item, min_ext_elem, next_frequent_item, reduce_sequence,
+    group_by_min_item_guarded, min_ext_elem, next_frequent_item, reduce_sequence,
 };
 use disc_core::{
-    ExtElem, Item, MiningResult, MinSupport, Sequence, SequenceDatabase, SequentialMiner,
+    run_guarded, AbortReason, ExtElem, GuardedResult, Item, MinSupport, MineGuard, MiningResult,
+    Sequence, SequenceDatabase, SequentialMiner,
 };
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -79,10 +80,7 @@ impl DynamicDiscAll {
 /// to the partition's own size.
 fn nrr(ext_supports: &[u64], partition_size: usize) -> f64 {
     debug_assert!(!ext_supports.is_empty() && partition_size > 0);
-    let sum: f64 = ext_supports
-        .iter()
-        .map(|&s| s as f64 / partition_size as f64)
-        .sum();
+    let sum: f64 = ext_supports.iter().map(|&s| s as f64 / partition_size as f64).sum();
     sum / ext_supports.len() as f64
 }
 
@@ -92,14 +90,40 @@ impl SequentialMiner for DynamicDiscAll {
     }
 
     fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
-        let delta = min_support.resolve(db.len());
+        let guard = MineGuard::unlimited();
         let mut result = MiningResult::new();
+        self.mine_inner(db, min_support, &guard, &mut result)
+            .expect("unlimited guard never aborts");
+        result
+    }
+
+    fn mine_guarded(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        run_guarded(guard, |result| self.mine_inner(db, min_support, guard, result))
+    }
+}
+
+impl DynamicDiscAll {
+    /// The cooperative core behind both entry points.
+    fn mine_inner(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+        result: &mut MiningResult,
+    ) -> Result<(), AbortReason> {
+        let delta = min_support.resolve(db.len());
         let Some(max_item) = db.max_item() else {
-            return result;
+            return Ok(());
         };
         let n_items = max_item.id() as usize + 1;
 
         // Root (λ = NULL, k = 0): scan for frequent 1-sequences.
+        guard.charge(db.len() as u64)?;
         let root = count_extensions(&Sequence::empty(), db.sequences(), n_items);
         let mut freq1 = vec![false; n_items];
         let mut supports1 = Vec::new();
@@ -108,44 +132,45 @@ impl SequentialMiner for DynamicDiscAll {
             if support >= delta {
                 freq1[id as usize] = true;
                 supports1.push(support);
+                guard.note_pattern()?;
                 result.insert(Sequence::single(Item(id)), support);
             }
         }
         if supports1.is_empty() {
-            return result;
+            return Ok(());
         }
 
         if !self.policy.split(0, nrr(&supports1, db.len())) {
             // Degenerate but well-defined: DISC over the whole database from
             // k = 2, seeded by the 1-sorted list.
-            let members: Vec<Rc<Sequence>> =
-                db.sequences().map(|s| Rc::new(s.clone())).collect();
+            let members: Vec<Rc<Sequence>> = db.sequences().map(|s| Rc::new(s.clone())).collect();
             let list: Vec<Sequence> = (0..n_items as u32)
                 .filter(|&id| freq1[id as usize])
                 .map(|id| Sequence::single(Item(id)))
                 .collect();
-            run_disc_levels(&members, list, delta, self.bi_level, n_items, &mut result);
-            return result;
+            return run_disc_levels(&members, list, delta, self.bi_level, n_items, guard, result);
         }
 
         // First-level partitions with reassignment chains.
-        let mut first_level = group_by_min_item(db);
+        let mut first_level = group_by_min_item_guarded(db, guard)?;
         while let Some((&lambda, _)) = first_level.iter().next() {
+            guard.checkpoint()?;
             let members = first_level.remove(&lambda).expect("key just observed");
             if freq1[lambda.id() as usize] {
-                self.process_first_level(db, lambda, &members, delta, n_items, &freq1, &mut result);
+                self.process_first_level(
+                    db, lambda, &members, delta, n_items, &freq1, guard, result,
+                )?;
             }
             for idx in members {
+                guard.checkpoint()?;
                 if let Some(next) = next_frequent_item(db.sequence(idx), lambda, &freq1) {
                     first_level.entry(next).or_default().push(idx);
                 }
             }
         }
-        result
+        Ok(())
     }
-}
 
-impl DynamicDiscAll {
     /// One `<(λ)>`-partition: count 2-extensions, decide by NRR, then either
     /// reduce + split into second-level partitions or run DISC from k = 3.
     #[allow(clippy::too_many_arguments)]
@@ -157,19 +182,22 @@ impl DynamicDiscAll {
         delta: u64,
         n_items: usize,
         freq1: &[bool],
+        guard: &MineGuard,
         result: &mut MiningResult,
-    ) {
+    ) -> Result<(), AbortReason> {
         let prefix1 = Sequence::single(lambda);
+        guard.charge(members.len() as u64)?;
         let array = count_extensions(&prefix1, members.iter().map(|&i| db.sequence(i)), n_items);
         let (i_mask, s_mask) = array.frequency_masks(delta);
         let exts = array.frequent_extensions(delta);
         if exts.is_empty() {
-            return;
+            return Ok(());
         }
         let mut freq2 = Vec::with_capacity(exts.len());
         let mut supports = Vec::with_capacity(exts.len());
         for &(elem, support) in &exts {
             let pat = prefix1.extended(elem);
+            guard.note_pattern()?;
             result.insert(pat.clone(), support);
             freq2.push(pat);
             supports.push(support);
@@ -179,18 +207,17 @@ impl DynamicDiscAll {
             // DISC from k = 3 over the (unreduced) partition members.
             let owned: Vec<Rc<Sequence>> =
                 members.iter().map(|&i| Rc::new(db.sequence(i).clone())).collect();
-            run_disc_levels(&owned, freq2, delta, self.bi_level, n_items, result);
-            return;
+            return run_disc_levels(&owned, freq2, delta, self.bi_level, n_items, guard, result);
         }
 
         // Reduce, split by 2-minimum subsequence, recurse.
         let mut arena: Vec<Rc<Sequence>> = Vec::new();
         let mut second: BTreeMap<ExtElem, Vec<usize>> = BTreeMap::new();
         for &idx in members {
+            guard.checkpoint()?;
             let seq = db.sequence(idx);
-            let min_point = seq
-                .first_txn_containing(lambda)
-                .expect("partition members contain their key item");
+            let min_point =
+                seq.first_txn_containing(lambda).expect("partition members contain their key item");
             let Some(reduced) = reduce_sequence(seq, lambda, min_point, freq1, &i_mask, &s_mask)
             else {
                 continue;
@@ -202,14 +229,16 @@ impl DynamicDiscAll {
             }
         }
         while let Some((&elem, _)) = second.iter().next() {
+            guard.checkpoint()?;
             let slots = second.remove(&elem).expect("key just observed");
             if slots.len() as u64 >= delta {
                 let prefix2 = prefix1.extended(elem);
                 let partition: Vec<Rc<Sequence>> =
                     slots.iter().map(|&s| Rc::clone(&arena[s])).collect();
-                self.process_deeper(&prefix2, &partition, delta, n_items, result);
+                self.process_deeper(&prefix2, &partition, delta, n_items, guard, result)?;
             }
             for slot in slots {
+                guard.checkpoint()?;
                 if let Some(next) =
                     min_ext_elem(&arena[slot], &prefix1, &i_mask, &s_mask, Some(elem))
                 {
@@ -217,6 +246,7 @@ impl DynamicDiscAll {
                 }
             }
         }
+        Ok(())
     }
 
     /// A `<π>`-partition with `|π| = j ≥ 2`: count (j+1)-extensions, decide
@@ -227,43 +257,56 @@ impl DynamicDiscAll {
         partition: &[Rc<Sequence>],
         delta: u64,
         n_items: usize,
+        guard: &MineGuard,
         result: &mut MiningResult,
-    ) {
+    ) -> Result<(), AbortReason> {
+        guard.charge(partition.len() as u64)?;
         let array = count_extensions(prefix, partition.iter().map(Rc::as_ref), n_items);
         let (i_mask, s_mask) = array.frequency_masks(delta);
         let exts = array.frequent_extensions(delta);
         if exts.is_empty() {
-            return;
+            return Ok(());
         }
         let mut freq_next = Vec::with_capacity(exts.len());
         let mut supports = Vec::with_capacity(exts.len());
         for &(elem, support) in &exts {
             let pat = prefix.extended(elem);
+            guard.note_pattern()?;
             result.insert(pat.clone(), support);
             freq_next.push(pat);
             supports.push(support);
         }
 
         if !self.policy.split(prefix.length(), nrr(&supports, partition.len())) {
-            run_disc_levels(partition, freq_next, delta, self.bi_level, n_items, result);
-            return;
+            return run_disc_levels(
+                partition,
+                freq_next,
+                delta,
+                self.bi_level,
+                n_items,
+                guard,
+                result,
+            );
         }
 
         let mut children: BTreeMap<ExtElem, Vec<usize>> = BTreeMap::new();
         for (slot, seq) in partition.iter().enumerate() {
+            guard.checkpoint()?;
             if let Some(elem) = min_ext_elem(seq, prefix, &i_mask, &s_mask, None) {
                 children.entry(elem).or_default().push(slot);
             }
         }
         while let Some((&elem, _)) = children.iter().next() {
+            guard.checkpoint()?;
             let slots = children.remove(&elem).expect("key just observed");
             if slots.len() as u64 >= delta {
                 let child_prefix = prefix.extended(elem);
                 let child: Vec<Rc<Sequence>> =
                     slots.iter().map(|&s| Rc::clone(&partition[s])).collect();
-                self.process_deeper(&child_prefix, &child, delta, n_items, result);
+                self.process_deeper(&child_prefix, &child, delta, n_items, guard, result)?;
             }
             for slot in slots {
+                guard.checkpoint()?;
                 if let Some(next) =
                     min_ext_elem(&partition[slot], prefix, &i_mask, &s_mask, Some(elem))
                 {
@@ -271,6 +314,7 @@ impl DynamicDiscAll {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -314,14 +358,9 @@ mod tests {
             for delta in 1..=4u64 {
                 let expected = BruteForce::default().mine(&db, MinSupport::Count(delta));
                 for gamma in [0.0, 0.3, 0.6, 2.0] {
-                    let got =
-                        DynamicDiscAll::with_gamma(gamma).mine(&db, MinSupport::Count(delta));
+                    let got = DynamicDiscAll::with_gamma(gamma).mine(&db, MinSupport::Count(delta));
                     let diff = got.diff(&expected);
-                    assert!(
-                        diff.is_empty(),
-                        "γ={gamma} δ={delta}:\n{}",
-                        diff.join("\n")
-                    );
+                    assert!(diff.is_empty(), "γ={gamma} δ={delta}:\n{}", diff.join("\n"));
                 }
             }
         }
@@ -342,14 +381,10 @@ mod tests {
             for delta in 1..=4u64 {
                 let expected = BruteForce::default().mine(&db, MinSupport::Count(delta));
                 for depth in [0usize, 1, 2, 3, 8] {
-                    let got = DynamicDiscAll::with_fixed_depth(depth)
-                        .mine(&db, MinSupport::Count(delta));
+                    let got =
+                        DynamicDiscAll::with_fixed_depth(depth).mine(&db, MinSupport::Count(delta));
                     let diff = got.diff(&expected);
-                    assert!(
-                        diff.is_empty(),
-                        "depth={depth} δ={delta}:\n{}",
-                        diff.join("\n")
-                    );
+                    assert!(diff.is_empty(), "depth={depth} δ={delta}:\n{}", diff.join("\n"));
                 }
             }
         }

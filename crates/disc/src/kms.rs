@@ -239,6 +239,9 @@ mod tests {
         // a, c → minimum is a via a new transaction.
         let s = seq("(b,d)(a)(c)");
         let elem = min_extension_where(&s, &seq("(b)"), |_| true).unwrap();
-        assert_eq!(elem, ExtElem { item: Item::from_letter('a').unwrap(), mode: ExtMode::Sequence });
+        assert_eq!(
+            elem,
+            ExtElem { item: Item::from_letter('a').unwrap(), mode: ExtMode::Sequence }
+        );
     }
 }

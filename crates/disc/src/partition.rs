@@ -12,20 +12,30 @@
 
 use crate::counting::CountingArray;
 use crate::kms::min_extension_where;
-use disc_core::{ExtElem, ExtMode, Item, Sequence, SequenceDatabase};
+use disc_core::{AbortReason, ExtElem, ExtMode, Item, MineGuard, Sequence, SequenceDatabase};
 use std::collections::BTreeMap;
 
 /// Groups database rows by their minimum 1-sequence (Step 1(b) of Figure 2).
 /// Keys include non-frequent items; mining skips those partitions but the
 /// reassignment chains still flow through them.
 pub fn group_by_min_item(db: &SequenceDatabase) -> BTreeMap<Item, Vec<usize>> {
+    group_by_min_item_guarded(db, &MineGuard::unlimited()).expect("unlimited guard never aborts")
+}
+
+/// [`group_by_min_item`] under a [`MineGuard`]: one checkpoint per row, so
+/// the initial grouping scan of a huge database stays abortable.
+pub fn group_by_min_item_guarded(
+    db: &SequenceDatabase,
+    guard: &MineGuard,
+) -> Result<BTreeMap<Item, Vec<usize>>, AbortReason> {
     let mut groups: BTreeMap<Item, Vec<usize>> = BTreeMap::new();
     for (idx, row) in db.rows().iter().enumerate() {
+        guard.checkpoint()?;
         if let Some((item, _)) = row.sequence.min_item_with_point() {
             groups.entry(item).or_default().push(idx);
         }
     }
-    groups
+    Ok(groups)
 }
 
 /// The smallest *frequent* item strictly greater than `after` occurring in
@@ -168,10 +178,8 @@ mod tests {
         // CIDs 1–7 fall in the <(a)>-partition, 8 and 10 in <(b)>, 9 in
         // <(d)>, 11 in <(e)>.
         let groups = group_by_min_item(&table6());
-        let view: Vec<(char, Vec<usize>)> = groups
-            .iter()
-            .map(|(i, v)| (i.as_letter().unwrap(), v.clone()))
-            .collect();
+        let view: Vec<(char, Vec<usize>)> =
+            groups.iter().map(|(i, v)| (i.as_letter().unwrap(), v.clone())).collect();
         assert_eq!(
             view,
             vec![
@@ -313,10 +321,7 @@ mod tests {
             min_ext_elem(&seq("(b)(c)"), &Sequence::single(item('a')), &all, &all, None),
             None
         );
-        assert_eq!(
-            min_ext_elem(&seq("(a)"), &Sequence::single(item('a')), &all, &all, None),
-            None
-        );
+        assert_eq!(min_ext_elem(&seq("(a)"), &Sequence::single(item('a')), &all, &all, None), None);
     }
 
     #[test]

@@ -68,10 +68,7 @@ impl KSortedDb {
     /// In-order view of `(key, entries)` — Table 3/9-style dumps for tests
     /// and debugging.
     pub fn snapshot(&self) -> Vec<(Sequence, Vec<Entry>)> {
-        self.tree
-            .iter()
-            .map(|(k, vs)| (k.clone(), vs.to_vec()))
-            .collect()
+        self.tree.iter().map(|(k, vs)| (k.clone(), vs.to_vec())).collect()
     }
 }
 
@@ -92,12 +89,12 @@ mod tests {
             ["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"].iter().map(|t| seq(t)).collect();
         list.sort();
         let customers = [
-            "(a)(a,g,h)(c)",                // CID 1
-            "(b)(a)(a,c,e,g)",              // CID 2
-            "(a,f,g)(a,e,g,h)(c,g,h)",      // CID 3
-            "(f)(a,f)(a,c,e,g,h)",          // CID 4
-            "(a,f)(a,e,g,h)",               // CID 6
-            "(a,g)(a,e,g)(g,h)",            // CID 7
+            "(a)(a,g,h)(c)",           // CID 1
+            "(b)(a)(a,c,e,g)",         // CID 2
+            "(a,f,g)(a,e,g,h)(c,g,h)", // CID 3
+            "(f)(a,f)(a,c,e,g,h)",     // CID 4
+            "(a,f)(a,e,g,h)",          // CID 6
+            "(a,g)(a,e,g)(g,h)",       // CID 7
         ];
         let mut db = KSortedDb::new();
         for (m, text) in customers.iter().enumerate() {

@@ -36,10 +36,7 @@ pub fn nrr_by_level(result: &MiningResult, db: &SequenceDatabase) -> Vec<Option<
         if groups.is_empty() {
             None
         } else {
-            let mean: f64 = groups
-                .values()
-                .map(|v| v.len() as f64 / db.len() as f64)
-                .sum::<f64>()
+            let mean: f64 = groups.values().map(|v| v.len() as f64 / db.len() as f64).sum::<f64>()
                 / groups.len() as f64;
             Some(mean)
         }
@@ -55,10 +52,8 @@ pub fn nrr_by_level(result: &MiningResult, db: &SequenceDatabase) -> Vec<Option<
                 child_keys.push((p.k_prefix(j), s));
             }
         }
-        let parents: BTreeMap<&Sequence, u64> = result
-            .iter()
-            .filter(|(p, _)| p.length() == j)
-            .collect();
+        let parents: BTreeMap<&Sequence, u64> =
+            result.iter().filter(|(p, _)| p.length() == j).collect();
         for (prefix, supp) in &child_keys {
             if let Some((key, _)) = parents.get_key_value(prefix) {
                 children.entry(key).or_default().push(*supp);

@@ -158,10 +158,8 @@ impl WeightedDisc {
         let mut freq_k1: Vec<(Sequence, u64)> = Vec::new();
         while tree.total_weight() >= delta_w {
             let alpha_1 = tree.min().expect("non-empty").0.clone();
-            let alpha_delta = tree
-                .select_by_weight(delta_w)
-                .expect("total weight >= delta_w")
-                .clone();
+            let alpha_delta =
+                tree.select_by_weight(delta_w).expect("total weight >= delta_w").clone();
 
             if alpha_1 == alpha_delta {
                 let (key, bucket, bucket_weight) = tree.take_min().expect("non-empty");
@@ -225,11 +223,8 @@ mod tests {
         // Level-wise prefix growth with definitional weighted counting.
         use disc_core::{ExtElem, ExtMode};
         let mut result = MiningResult::new();
-        let mut items: Vec<Item> = wdb
-            .database()
-            .sequences()
-            .flat_map(|s| s.distinct_items())
-            .collect();
+        let mut items: Vec<Item> =
+            wdb.database().sequences().flat_map(|s| s.distinct_items()).collect();
         items.sort_unstable();
         items.dedup();
         let mut frontier = Vec::new();
@@ -248,10 +243,8 @@ mod tests {
             for base in &frontier {
                 let last = base.last_flat_item().expect("non-empty");
                 for &item in &freq_items {
-                    let mut candidates = vec![base.extended(ExtElem {
-                        item,
-                        mode: ExtMode::Sequence,
-                    })];
+                    let mut candidates =
+                        vec![base.extended(ExtElem { item, mode: ExtMode::Sequence })];
                     if item > last {
                         candidates.push(base.extended(ExtElem { item, mode: ExtMode::Itemset }));
                     }
@@ -307,9 +300,8 @@ mod tests {
         let wdb = table1_weighted();
         let result = WeightedDisc::default().mine(&wdb, 5);
         assert!(result.contains_pattern(&seq("(a,e,g)"))); // only customer 1, weight 5
-        // Unweighted, the same pattern has support 1 of 4.
-        let unweighted =
-            DiscAll::default().mine(wdb.database(), MinSupport::Count(2));
+                                                           // Unweighted, the same pattern has support 1 of 4.
+        let unweighted = DiscAll::default().mine(wdb.database(), MinSupport::Count(2));
         assert!(!unweighted.contains_pattern(&seq("(a,e,g)")));
     }
 

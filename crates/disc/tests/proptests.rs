@@ -32,9 +32,7 @@ fn arb_db(max_item: u32, max_rows: usize) -> impl Strategy<Value = SequenceDatab
 
 /// A random subset of the (k-1)-subsequences of a random sequence, to act as
 /// the "frequent" list.
-fn arb_prefix_scenario(
-    k: usize,
-) -> impl Strategy<Value = (Sequence, Vec<Sequence>)> {
+fn arb_prefix_scenario(k: usize) -> impl Strategy<Value = (Sequence, Vec<Sequence>)> {
     (arb_sequence(5, 4), any::<u64>()).prop_map(move |(s, seed)| {
         let all: Vec<Sequence> = all_k_subsequences(&s, k - 1).into_iter().collect();
         // Deterministic pseudo-random subset from the seed.

@@ -5,7 +5,7 @@
 use disc_algo::weighted::{WeightedDatabase, WeightedDisc};
 use disc_algo::DiscAll;
 use disc_core::{
-    BruteForce, ExtElem, ExtMode, Item, Itemset, MiningResult, MinSupport, Sequence,
+    BruteForce, ExtElem, ExtMode, Item, Itemset, MinSupport, MiningResult, Sequence,
     SequenceDatabase, SequentialMiner,
 };
 use proptest::prelude::*;
@@ -27,11 +27,8 @@ fn arb_weighted_db() -> impl Strategy<Value = WeightedDatabase> {
 /// Weighted level-wise brute force (definitional).
 fn weighted_brute(wdb: &WeightedDatabase, delta_w: u64) -> MiningResult {
     let mut result = MiningResult::new();
-    let mut items: Vec<Item> = wdb
-        .database()
-        .sequences()
-        .flat_map(|s| s.distinct_items())
-        .collect();
+    let mut items: Vec<Item> =
+        wdb.database().sequences().flat_map(|s| s.distinct_items()).collect();
     items.sort_unstable();
     items.dedup();
     let mut frontier = Vec::new();

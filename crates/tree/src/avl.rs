@@ -21,14 +21,7 @@ struct Node<K, V> {
 
 impl<K, V> Node<K, V> {
     fn new(key: K, value: V) -> Box<Node<K, V>> {
-        Box::new(Node {
-            key,
-            values: vec![value],
-            left: None,
-            right: None,
-            height: 1,
-            count: 1,
-        })
+        Box::new(Node { key, values: vec![value], left: None, right: None, height: 1, count: 1 })
     }
 
     fn update(&mut self) {
@@ -90,32 +83,28 @@ fn rebalance<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
 fn insert_node<K: Ord, V>(node: Option<Box<Node<K, V>>>, key: K, value: V) -> Box<Node<K, V>> {
     match node {
         None => Node::new(key, value),
-        Some(mut n) => {
-            match key.cmp(&n.key) {
-                Ordering::Equal => {
-                    n.values.push(value);
-                    n.update();
-                    n
-                }
-                Ordering::Less => {
-                    n.left = Some(insert_node(n.left.take(), key, value));
-                    rebalance(n)
-                }
-                Ordering::Greater => {
-                    n.right = Some(insert_node(n.right.take(), key, value));
-                    rebalance(n)
-                }
+        Some(mut n) => match key.cmp(&n.key) {
+            Ordering::Equal => {
+                n.values.push(value);
+                n.update();
+                n
             }
-        }
+            Ordering::Less => {
+                n.left = Some(insert_node(n.left.take(), key, value));
+                rebalance(n)
+            }
+            Ordering::Greater => {
+                n.right = Some(insert_node(n.right.take(), key, value));
+                rebalance(n)
+            }
+        },
     }
 }
 
 /// Removes the minimum node of the subtree, returning the remaining subtree
 /// and the detached node (children cleared).
 #[allow(clippy::type_complexity)]
-fn take_min_node<K, V>(
-    mut node: Box<Node<K, V>>,
-) -> (Option<Box<Node<K, V>>>, Box<Node<K, V>>) {
+fn take_min_node<K, V>(mut node: Box<Node<K, V>>) -> (Option<Box<Node<K, V>>>, Box<Node<K, V>>) {
     match node.left.take() {
         None => {
             let right = node.right.take();
@@ -149,13 +138,7 @@ fn remove_key<K: Ord, V>(node: Option<Box<Node<K, V>>>, key: &K) -> Detached<K, 
             (Some(rebalance(n)), removed)
         }
         Ordering::Equal => {
-            let Node {
-                key: k,
-                values,
-                left,
-                right,
-                ..
-            } = *n;
+            let Node { key: k, values, left, right, .. } = *n;
             let removed = Some((k, values));
             match (left, right) {
                 (None, r) => (r, removed),
@@ -433,10 +416,7 @@ mod tests {
     fn into_sorted_vec_orders_keys() {
         let t = tree_of(&[(3, 'a'), (1, 'b'), (2, 'c'), (1, 'd')]);
         let v = t.into_sorted_vec();
-        assert_eq!(
-            v,
-            vec![(1, vec!['b', 'd']), (2, vec!['c']), (3, vec!['a'])]
-        );
+        assert_eq!(v, vec![(1, vec!['b', 'd']), (2, vec!['c']), (3, vec!['a'])]);
     }
 
     #[test]

@@ -47,9 +47,7 @@ impl Model {
 
     fn take_less_than(&mut self, bound: u16) -> Vec<(u16, Vec<u32>)> {
         let keys: Vec<u16> = self.map.range(..bound).map(|(k, _)| *k).collect();
-        keys.into_iter()
-            .map(|k| (k, self.map.remove(&k).expect("present")))
-            .collect()
+        keys.into_iter().map(|k| (k, self.map.remove(&k).expect("present"))).collect()
     }
 
     fn remove(&mut self, k: u16) -> Option<Vec<u32>> {

@@ -16,10 +16,7 @@ use disc_miner::core::constraints::{support_count_with, TimeConstraints};
 use disc_miner::prelude::*;
 
 fn main() {
-    let ncust: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(800);
+    let ncust: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(800);
     let db = QuestConfig::paper_table11()
         .with_ncust(ncust)
         .with_nitems(60)
@@ -45,10 +42,8 @@ fn main() {
     );
 
     // Patterns that survive only because of distant co-occurrence.
-    let mut dropped: Vec<(&Sequence, u64)> = plain
-        .iter()
-        .filter(|(p, _)| p.length() >= 2 && !constrained.contains_pattern(p))
-        .collect();
+    let mut dropped: Vec<(&Sequence, u64)> =
+        plain.iter().filter(|(p, _)| p.length() >= 2 && !constrained.contains_pattern(p)).collect();
     dropped.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
     println!("\npatterns dropped by the gap constraint (distant-only associations):");
     for (p, s) in dropped.iter().take(8) {

@@ -26,10 +26,7 @@ fn read_to_sequence(read: &str) -> Sequence {
 }
 
 fn render(seq: &Sequence) -> String {
-    seq.itemsets()
-        .iter()
-        .map(|set| BASES[set.min_item().id() as usize])
-        .collect()
+    seq.itemsets().iter().map(|set| BASES[set.min_item().id() as usize]).collect()
 }
 
 fn synthesize(reads: usize, seed: u64) -> (SequenceDatabase, &'static str) {
@@ -57,10 +54,7 @@ fn synthesize(reads: usize, seed: u64) -> (SequenceDatabase, &'static str) {
 }
 
 fn main() {
-    let reads: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(400);
+    let reads: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(400);
     let (db, signature) = synthesize(reads, 11);
     println!(
         "{} reads, ~{} bases each; planted gapped signature {} in half of them",

@@ -1,0 +1,102 @@
+//! Guarded service: mining as an interactive backend would run it — every
+//! request under a deadline, cancellable from another thread, and protected
+//! by a fallback chain when a miner misbehaves.
+//!
+//! ```text
+//! cargo run --example guarded_service
+//! ```
+
+use disc_miner::core::FaultPlan;
+use disc_miner::prelude::*;
+use std::time::Duration;
+
+/// The per-request deadline an interactive service might enforce.
+const REQUEST_DEADLINE: Duration = Duration::from_millis(50);
+
+fn print_stats(label: &str, outcome: &MineOutcome, stats: &GuardStats, patterns: usize) {
+    let status = match outcome {
+        MineOutcome::Complete => "complete".to_string(),
+        MineOutcome::Partial { reason } => format!("partial ({reason})"),
+    };
+    println!(
+        "  {label:<18} {status:<28} {patterns:>5} patterns  {:>9} ops  {:>5} checks  {:.1?}",
+        stats.ops, stats.checkpoints, stats.elapsed
+    );
+}
+
+fn main() {
+    // A Quest-style workload large enough that mining it exhaustively at a
+    // low threshold takes much longer than the request deadline.
+    let db = QuestConfig::paper_table11()
+        .with_ncust(1500)
+        .with_nitems(80)
+        .with_pools(80, 160)
+        .with_slen(10.0)
+        .with_seed(9)
+        .generate();
+    let stats = db.stats();
+    println!(
+        "workload: {} customers, {:.1} transactions/customer, {} distinct items\n",
+        stats.customers, stats.avg_transactions, stats.distinct_items
+    );
+
+    // Request 1: a comfortable threshold finishes well inside the deadline.
+    println!("request 1: δ = 50% under a {REQUEST_DEADLINE:?} deadline");
+    let guard = MineGuard::new(
+        CancelToken::new(),
+        ResourceBudget::unlimited().with_deadline(REQUEST_DEADLINE),
+    );
+    let run = DiscAll::default().mine_guarded(&db, MinSupport::Fraction(0.5), &guard);
+    print_stats("DISC-all", &run.outcome, &run.stats, run.result.len());
+
+    // Request 2: a greedy threshold blows the deadline; the service still
+    // answers in bounded time with the sound prefix of the frequent set.
+    println!("\nrequest 2: δ = 2% under the same deadline (overruns by design)");
+    let guard = MineGuard::new(
+        CancelToken::new(),
+        ResourceBudget::unlimited().with_deadline(REQUEST_DEADLINE),
+    );
+    let run = DiscAll::default().mine_guarded(&db, MinSupport::Fraction(0.02), &guard);
+    print_stats("DISC-all", &run.outcome, &run.stats, run.result.len());
+    assert!(!run.outcome.is_complete(), "expected the deadline to fire");
+
+    // Request 3: the client hangs up mid-flight — another thread cancels the
+    // token and the miner stops at its next checkpoint.
+    println!("\nrequest 3: δ = 2%, no deadline, client cancels after 10 ms");
+    let token = CancelToken::new();
+    let guard = MineGuard::new(token.clone(), ResourceBudget::unlimited());
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(10));
+        token.cancel();
+    });
+    let run = DynamicDiscAll::default().mine_guarded(&db, MinSupport::Fraction(0.02), &guard);
+    canceller.join().expect("canceller thread");
+    print_stats("Dynamic DISC-all", &run.outcome, &run.stats, run.result.len());
+
+    // Request 4: a fallback chain survives a crashing first stage. The
+    // injected fault panics Dynamic DISC-all at its 40th checkpoint;
+    // PrefixSpan picks the request up and completes it.
+    println!("\nrequest 4: fallback chain with a fault injected into stage 1");
+    let chain = FallbackMiner::new(vec![
+        Box::new(DynamicDiscAll::default()),
+        Box::new(PrefixSpan::default()),
+    ]);
+    println!("  chain: {}", chain.name());
+    let guard = MineGuard::new(CancelToken::new(), ResourceBudget::unlimited())
+        .with_checkpoint_interval(1)
+        .with_fault(FaultPlan::panic_at(40));
+    // The guard catches the panic; silence the default hook so the injected
+    // crash doesn't splat a backtrace over the demo output.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let (run, reports) = chain.run(&db, MinSupport::Fraction(0.35), &guard);
+    std::panic::set_hook(prev_hook);
+    for report in &reports {
+        print_stats(&report.name, &report.outcome, &report.stats, report.stats.patterns);
+    }
+    assert!(run.outcome.is_complete(), "the fallback stage completes the request");
+
+    let reference = PrefixSpan::default().mine(&db, MinSupport::Fraction(0.35));
+    assert!(run.result.diff(&reference).is_empty());
+    println!("\nfallback result matches a clean PrefixSpan run: {} patterns ✓", run.result.len());
+}

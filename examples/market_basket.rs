@@ -15,10 +15,38 @@ use std::time::Instant;
 
 /// A small catalog so patterns read like shopping behaviour.
 const CATALOG: &[&str] = &[
-    "espresso", "croissant", "oat-milk", "cereal", "bananas", "yogurt", "pasta", "passata",
-    "parmesan", "basil", "chicken", "rice", "soy-sauce", "ginger", "tortillas", "beans",
-    "salsa", "avocado", "lime", "beer", "chocolate", "strawberries", "cream", "wine",
-    "baguette", "brie", "grapes", "olives", "crackers", "honey", "tea", "lemons",
+    "espresso",
+    "croissant",
+    "oat-milk",
+    "cereal",
+    "bananas",
+    "yogurt",
+    "pasta",
+    "passata",
+    "parmesan",
+    "basil",
+    "chicken",
+    "rice",
+    "soy-sauce",
+    "ginger",
+    "tortillas",
+    "beans",
+    "salsa",
+    "avocado",
+    "lime",
+    "beer",
+    "chocolate",
+    "strawberries",
+    "cream",
+    "wine",
+    "baguette",
+    "brie",
+    "grapes",
+    "olives",
+    "crackers",
+    "honey",
+    "tea",
+    "lemons",
 ];
 
 fn label(item: Item) -> String {
@@ -72,8 +100,7 @@ fn main() {
 
     // Show the strongest multi-visit patterns: supports of length ≥ 2,
     // highest support first.
-    let mut multi: Vec<(&Sequence, u64)> =
-        result.iter().filter(|(p, _)| p.length() >= 2).collect();
+    let mut multi: Vec<(&Sequence, u64)> = result.iter().filter(|(p, _)| p.length() >= 2).collect();
     multi.sort_by_key(|&(_, support)| std::cmp::Reverse(support));
     println!("\ntop recurring purchase sequences:");
     for (pattern, support) in multi.iter().take(12) {

@@ -29,11 +29,11 @@ const PAGES: &[&str] = &[
 
 /// Canonical journeys planted into the traffic (page indices).
 const JOURNEYS: &[&[u32]] = &[
-    &[0, 1, 2, 3],    // home → docs → install → quickstart
-    &[0, 6, 7],       // home → pricing → signup
-    &[5, 0, 6, 7],    // blog → home → pricing → signup
-    &[1, 4, 8],       // docs → api → support
-    &[0, 9],          // home → download
+    &[0, 1, 2, 3], // home → docs → install → quickstart
+    &[0, 6, 7],    // home → pricing → signup
+    &[5, 0, 6, 7], // blog → home → pricing → signup
+    &[1, 4, 8],    // docs → api → support
+    &[0, 9],       // home → download
 ];
 
 fn synthesize(sessions: usize, seed: u64) -> SequenceDatabase {
@@ -74,30 +74,21 @@ fn render(seq: &Sequence) -> String {
 }
 
 fn main() {
-    let sessions: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(5_000);
+    let sessions: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5_000);
     let db = synthesize(sessions, 7);
     println!("{} sessions over {} pages", db.len(), PAGES.len());
 
     let result = DynamicDiscAll::default().mine(&db, MinSupport::Fraction(0.05));
-    println!(
-        "Dynamic DISC-all: {} frequent navigation patterns at 5% support",
-        result.len()
-    );
+    println!("Dynamic DISC-all: {} frequent navigation patterns at 5% support", result.len());
 
     // The planted journeys must surface.
     println!("\nplanted journeys recovered:");
     for journey in JOURNEYS {
-        let pattern =
-            Sequence::new(journey.iter().map(|&p| Itemset::single(Item(p))));
+        let pattern = Sequence::new(journey.iter().map(|&p| Itemset::single(Item(p))));
         match result.support_of(&pattern) {
-            Some(s) => println!(
-                "  {:5.1}%  {}",
-                100.0 * s as f64 / db.len() as f64,
-                render(&pattern)
-            ),
+            Some(s) => {
+                println!("  {:5.1}%  {}", 100.0 * s as f64 / db.len() as f64, render(&pattern))
+            }
             None => println!("  (below threshold) {}", render(&pattern)),
         }
     }
@@ -111,10 +102,6 @@ fn main() {
     funnels.sort_by_key(|&(_, support)| std::cmp::Reverse(support));
     println!("\nfrequent funnels into /signup:");
     for (pattern, support) in funnels.iter().take(8) {
-        println!(
-            "  {:5.1}%  {}",
-            100.0 * *support as f64 / db.len() as f64,
-            render(pattern)
-        );
+        println!("  {:5.1}%  {}", 100.0 * *support as f64 / db.len() as f64, render(pattern));
     }
 }

@@ -17,8 +17,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const PAGES: &[&str] = &[
-    "/home", "/features", "/docs", "/pricing", "/enterprise", "/contact-sales", "/signup",
-    "/blog", "/status",
+    "/home",
+    "/features",
+    "/docs",
+    "/pricing",
+    "/enterprise",
+    "/contact-sales",
+    "/signup",
+    "/blog",
+    "/status",
 ];
 
 fn page(i: u32) -> Item {
@@ -34,10 +41,7 @@ fn render(seq: &Sequence) -> String {
 }
 
 fn main() {
-    let sessions: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(3_000);
+    let sessions: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3_000);
     let mut rng = StdRng::seed_from_u64(99);
 
     // Two populations: a small cohort of enterprise evaluators (weight 50)

@@ -63,11 +63,8 @@ fn main() {
         cfg.seed
     );
 
-    let bytes = if binary {
-        disc_miner::core::encode_database(&db)
-    } else {
-        db.to_text().into_bytes()
-    };
+    let bytes =
+        if binary { disc_miner::core::encode_database(&db) } else { db.to_text().into_bytes() };
     match out_path {
         Some(path) => {
             if let Err(e) = std::fs::write(&path, &bytes) {

@@ -164,10 +164,8 @@ fn main() {
     use std::io::Write;
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
-    for (pattern, support) in result
-        .iter()
-        .filter(|(p, _)| p.length() >= args.min_length)
-        .take(args.max_patterns)
+    for (pattern, support) in
+        result.iter().filter(|(p, _)| p.length() >= args.min_length).take(args.max_patterns)
     {
         if writeln!(lock, "{support}\t{pattern}").is_err() {
             break; // downstream pipe closed (e.g. `| head`)

@@ -48,8 +48,9 @@ pub mod prelude {
     pub use disc_algo::{nrr_by_level, DiscAll, DynamicDiscAll, WeightedDatabase, WeightedDisc};
     pub use disc_baselines::{Gsp, PrefixSpan, PseudoPrefixSpan, Spade, Spam};
     pub use disc_core::{
-        parse_sequence, BruteForce, Item, Itemset, MiningResult, MinSupport, Sequence,
-        SequenceDatabase, SequentialMiner, TopK,
+        parse_sequence, AbortReason, BruteForce, CancelToken, FallbackMiner, GuardStats,
+        GuardedResult, Item, Itemset, MinSupport, MineGuard, MineOutcome, MiningResult,
+        ResourceBudget, Sequence, SequenceDatabase, SequentialMiner, StageReport, TopK,
     };
     pub use disc_datagen::QuestConfig;
 }

@@ -124,13 +124,43 @@ fn gsp_agrees_on_a_small_workload() {
 }
 
 #[test]
+fn unlimited_guard_is_equivalent_to_plain_mining() {
+    // mine_guarded with no budget must complete and agree exactly with mine
+    // for every miner — the guarded path is the same algorithm, only
+    // instrumented.
+    let db = quest(7, 80, 4.0);
+    let threshold = MinSupport::Fraction(0.12);
+    let mut miners = miners_under_test();
+    miners.push(Box::new(Gsp::default()));
+    miners.push(Box::new(BruteForce::default()));
+    for miner in miners {
+        let plain = miner.mine(&db, threshold);
+        let guard = MineGuard::unlimited();
+        let run = miner.mine_guarded(&db, threshold, &guard);
+        assert!(
+            run.outcome.is_complete(),
+            "{} aborted under an unlimited guard: {:?}",
+            miner.name(),
+            run.outcome
+        );
+        let diff = run.result.diff(&plain);
+        assert!(
+            diff.is_empty(),
+            "{} guarded result differs from plain mine ({} lines):\n{}",
+            miner.name(),
+            diff.len(),
+            diff.join("\n")
+        );
+        assert_eq!(run.stats.patterns, plain.len(), "{} pattern stat", miner.name());
+        assert!(run.stats.ops > 0, "{} charged no ops", miner.name());
+    }
+}
+
+#[test]
 fn nrr_levels_are_consistent_across_miners() {
     let db = quest(5, 200, 8.0);
     let a = nrr_by_level(&DiscAll::default().mine(&db, MinSupport::Fraction(0.15)), &db);
-    let b = nrr_by_level(
-        &PseudoPrefixSpan::default().mine(&db, MinSupport::Fraction(0.15)),
-        &db,
-    );
+    let b = nrr_by_level(&PseudoPrefixSpan::default().mine(&db, MinSupport::Fraction(0.15)), &db);
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(b.iter()) {
         match (x, y) {

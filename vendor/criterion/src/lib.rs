@@ -1,0 +1,230 @@
+//! A small, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment for this workspace cannot reach crates.io, so this
+//! crate provides just enough of criterion's API for the workspace's
+//! `harness = false` benches to compile and run: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (both forms).
+//!
+//! Measurement is intentionally simple: each benchmark runs one warm-up
+//! iteration, then up to `sample_size` timed iterations bounded by
+//! `measurement_time`, and prints the mean and minimum wall-clock time.
+//! There is no statistical analysis, outlier detection, or HTML report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver. Construct with [`Criterion::default`], configure
+/// with the builder methods, and register benchmarks with
+/// [`Criterion::bench_function`] or [`Criterion::benchmark_group`].
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark aims for.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget (at least one warm-up iteration always runs).
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the wall-clock budget for the timed iterations.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = self.bencher(id);
+        f(&mut bencher);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    fn bencher(&self, label: &str) -> Bencher {
+        Bencher {
+            label: label.to_string(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration target for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget for this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.warm_up_time = t;
+        self
+    }
+
+    /// Sets the measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let mut bencher = self.criterion.bencher(&label);
+        f(&mut bencher);
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let mut bencher = self.criterion.bencher(&label);
+        f(&mut bencher, input);
+    }
+
+    /// Ends the group (a no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: a function name plus a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId { label: label.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Times a closure inside a benchmark body.
+pub struct Bencher {
+    label: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and prints mean / minimum wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: at least one run, up to the warm-up budget.
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+
+        let budget_start = Instant::now();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(start.elapsed());
+            if budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{:<48} mean {:>12.3?}  min {:>12.3?}  ({} iters)",
+            self.label,
+            mean,
+            min,
+            samples.len()
+        );
+    }
+}
+
+/// Prevents the optimiser from discarding a value. Re-exported for parity
+/// with criterion's API; `std::hint::black_box` works equally well.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions. Supports both the positional
+/// form and the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

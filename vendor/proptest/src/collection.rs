@@ -1,0 +1,99 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Anything accepted as a collection size: a fixed `usize`, `lo..hi`, or
+/// `lo..=hi` (all over `usize`).
+pub trait SizeRange {
+    /// Inclusive `(lo, hi)` bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range");
+        (*self.start(), *self.end())
+    }
+}
+
+fn draw_len(rng: &mut TestRng, lo: usize, hi: usize) -> usize {
+    lo + (rng.next_u64() as usize) % (hi - lo + 1)
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = draw_len(rng, self.lo, self.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for `Vec`s whose length lies in `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+    let (lo, hi) = size.bounds();
+    VecStrategy { element, lo, hi }
+}
+
+/// The strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = draw_len(rng, self.lo, self.hi);
+        let mut set = BTreeSet::new();
+        // Duplicates shrink the set, so allow extra draws before giving up
+        // (the element domain may be smaller than `target`).
+        for _ in 0..(target * 20).max(20) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+/// A strategy for `BTreeSet`s with `size` distinct elements from `element`.
+/// If the element domain is too small the set may come out smaller.
+pub fn btree_set<S: Strategy>(element: S, size: impl SizeRange) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    let (lo, hi) = size.bounds();
+    BTreeSetStrategy { element, lo, hi }
+}

@@ -1,0 +1,114 @@
+//! The deterministic test runner: per-case RNG, configuration, and the
+//! pass/fail/reject outcome type.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Runner configuration. Only `cases` is supported.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many accepted (non-rejected) cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The test asserted something false; the whole test fails.
+    Fail(String),
+    /// The inputs violated an assumption (`prop_assume!`); the case is
+    /// skipped and regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing outcome with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected-input outcome with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The per-case random source strategies draw from.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index, so every
+        // test and every case gets an independent, reproducible stream.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runs `test` on `config.cases` generated inputs, panicking on the first
+/// failure. Rejected cases (via `prop_assume!`) are regenerated, with an
+/// overall attempt budget so a too-strict assumption cannot loop forever.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let max_attempts = u64::from(config.cases).saturating_mul(8).max(64);
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut attempts = 0u64;
+    while accepted < u64::from(config.cases) && attempts < max_attempts {
+        let mut rng = TestRng::for_case(name, attempts);
+        let value = strategy.generate(&mut rng);
+        attempts += 1;
+        match test(value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(message)) => panic!(
+                "proptest '{name}' failed at case index {index} \
+                 (after {accepted} passing cases):\n{message}\n\
+                 note: this offline proptest stand-in does not shrink inputs",
+                index = attempts - 1,
+            ),
+        }
+    }
+    if accepted == 0 {
+        panic!("proptest '{name}': every generated case was rejected ({rejected} rejections)");
+    }
+}
