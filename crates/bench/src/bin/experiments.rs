@@ -1,7 +1,7 @@
 //! Regenerates the DISC paper's evaluation tables and figures.
 //!
 //! ```text
-//! experiments <fig8|fig9|fig10|table12|table13|table14|all> [--smoke|--full]
+//! experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]
 //! ```
 //!
 //! Default scale divides the paper's customer counts by ten so a full run
@@ -12,7 +12,9 @@ use disc_bench::experiments;
 use disc_bench::workloads::Scale;
 
 fn usage() -> ! {
-    eprintln!("usage: experiments <fig8|fig9|fig10|table12|table13|table14|all> [--smoke|--full]");
+    eprintln!(
+        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]"
+    );
     std::process::exit(2);
 }
 
@@ -37,7 +39,7 @@ fn main() {
     let which = which.unwrap_or_else(|| usage());
     if !matches!(
         which.as_str(),
-        "fig8" | "fig9" | "fig10" | "table12" | "table13" | "table14" | "all"
+        "fig8" | "fig9" | "fig10" | "table12" | "table13" | "table14" | "parallel" | "all"
     ) {
         usage();
     }
@@ -50,6 +52,7 @@ fn main() {
         "table12" => experiments::table12(scale),
         "table13" => experiments::table13(scale),
         "table14" => experiments::table14(scale),
+        "parallel" => experiments::parallel(scale),
         "all" => experiments::all(scale),
         _ => usage(),
     }

@@ -3,11 +3,11 @@
 //! every miner agreed on every run, and persists raw measurements as JSON.
 
 use crate::report::{nrr_table, persist, runtime_table, trim_float};
-use crate::runner::{assert_agreement, measure, Measurement};
+use crate::runner::{assert_agreement, measure, measure_with_threads, Measurement};
 use crate::workloads::{
     fig10_db, fig8_db, fig8_sizes, fig9_db, fig9_thresholds, theta_grid, Scale, WorkloadCache,
 };
-use disc_algo::{nrr_by_level, DiscAll, DynamicDiscAll};
+use disc_algo::{nrr_by_level, DiscAll, DynamicDiscAll, ParallelDiscAll};
 use disc_baselines::{PrefixSpan, PseudoPrefixSpan};
 use disc_core::{MinSupport, MiningResult, SequenceDatabase, SequentialMiner};
 
@@ -191,6 +191,53 @@ pub fn fig10(scale: Scale) {
     let _ = persist("fig10", &measurements);
 }
 
+/// Thread counts swept by the [`parallel`] experiment.
+const PARALLEL_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// **Parallel scaling** (not in the paper): sequential DISC-all vs
+/// `ParallelDiscAll` at 1/2/4/8 threads on the Figure 8 workload's largest
+/// database for the scale. Every parallel run is checked bit-identical to
+/// the sequential reference — the sweep doubles as a determinism gate —
+/// and the speedup column reports sequential-seconds / parallel-seconds.
+pub fn parallel(scale: Scale) {
+    println!("## Parallel scaling — sharded DISC-all vs sequential (minsup 0.0025)\n");
+    let ncust = *fig8_sizes(scale).last().expect("fig8_sizes is non-empty");
+    let cache = WorkloadCache::new();
+    let db = cache.get(&fig8_db(ncust, SEED));
+    let minsup = MinSupport::Fraction(0.0025);
+
+    let mut measurements = Vec::new();
+    let (baseline, reference) = measure(&DiscAll::default(), &db, minsup, ncust as f64);
+    eprintln!(
+        "    {:<22} {:>8.3}s  {} patterns (max length {})",
+        baseline.miner, baseline.seconds, baseline.patterns, baseline.max_length
+    );
+    println!("| threads | seconds | speedup | patterns |");
+    println!("|---|---|---|---|");
+    println!("| seq | {:.3} | 1.000 | {} |", baseline.seconds, baseline.patterns);
+    let sequential_seconds = baseline.seconds;
+    measurements.push(baseline);
+    for threads in PARALLEL_THREADS {
+        let miner = ParallelDiscAll::with_threads(threads);
+        let (m, result) = measure_with_threads(&miner, &db, minsup, ncust as f64, threads);
+        assert_agreement(miner.name(), &result, &reference);
+        eprintln!(
+            "    {:<22} {:>8.3}s  {} patterns (max length {})",
+            m.miner, m.seconds, m.patterns, m.max_length
+        );
+        println!(
+            "| {} | {:.3} | {:.3} | {} |",
+            threads,
+            m.seconds,
+            sequential_seconds / m.seconds.max(1e-9),
+            m.patterns
+        );
+        measurements.push(m);
+    }
+    println!();
+    let _ = persist("parallel", &measurements);
+}
+
 /// Runs every experiment at the given scale. The Figure 9 sweep is shared
 /// with Tables 12 and 13 so the most expensive workload runs once.
 pub fn all(scale: Scale) {
@@ -203,6 +250,7 @@ pub fn all(scale: Scale) {
     report_table13(scale, &measurements);
     table14(scale);
     fig10(scale);
+    parallel(scale);
 }
 
 #[cfg(test)]

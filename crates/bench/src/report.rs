@@ -169,12 +169,13 @@ impl<A: ToJson, B: ToJson, C: ToJson, D: ToJson> ToJson for (A, B, C, D) {
 impl ToJson for Measurement {
     fn to_json(&self) -> String {
         format!(
-            "{{\"miner\":{},\"param\":{},\"seconds\":{},\"patterns\":{},\"max_length\":{}}}",
+            "{{\"miner\":{},\"param\":{},\"seconds\":{},\"patterns\":{},\"max_length\":{},\"threads\":{}}}",
             self.miner.to_json(),
             self.param.to_json(),
             self.seconds.to_json(),
             self.patterns.to_json(),
-            self.max_length.to_json()
+            self.max_length.to_json(),
+            self.threads.to_json()
         )
     }
 }
@@ -202,6 +203,7 @@ mod tests {
                 seconds: 0.5,
                 patterns: 10,
                 max_length: 3,
+                threads: 1,
             },
             Measurement {
                 miner: "B".into(),
@@ -209,6 +211,7 @@ mod tests {
                 seconds: 1.25,
                 patterns: 10,
                 max_length: 3,
+                threads: 1,
             },
         ];
         let t = runtime_table("n", &[1.0, 2.0], &miners, &measurements);

@@ -12,6 +12,20 @@ use std::time::{Duration, Instant};
 /// whole experiment sweep.
 pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(3600);
 
+/// The deadline for benchmark runs: [`DEFAULT_DEADLINE`] unless the
+/// `DISC_BENCH_DEADLINE_SECS` environment variable overrides it. CI's
+/// bench-smoke job sets a short override so a hung run fails the job in
+/// seconds instead of an hour.
+pub fn deadline() -> Duration {
+    match std::env::var("DISC_BENCH_DEADLINE_SECS") {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(secs) if secs > 0 => Duration::from_secs(secs),
+            _ => panic!("DISC_BENCH_DEADLINE_SECS must be a positive integer, got {v:?}"),
+        },
+        Err(_) => DEFAULT_DEADLINE,
+    }
+}
+
 /// One timed mining run.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -25,27 +39,27 @@ pub struct Measurement {
     pub patterns: usize,
     /// Length of the longest frequent sequence.
     pub max_length: usize,
+    /// Worker threads the run used (1 = sequential).
+    pub threads: usize,
 }
 
-/// Runs one miner once under [`DEFAULT_DEADLINE`] and records the
-/// measurement. Panics if the run does not complete — a benchmark that
-/// silently reported a partial result would corrupt the sweep.
+/// Runs one miner once under [`deadline`] and records the measurement.
+/// Panics if the run does not complete — a benchmark that silently reported
+/// a partial result would corrupt the sweep.
 pub fn measure(
     miner: &dyn SequentialMiner,
     db: &SequenceDatabase,
     min_support: MinSupport,
     param: f64,
 ) -> (Measurement, MiningResult) {
-    let guard = MineGuard::new(
-        CancelToken::new(),
-        ResourceBudget::unlimited().with_deadline(DEFAULT_DEADLINE),
-    );
+    let guard =
+        MineGuard::new(CancelToken::new(), ResourceBudget::unlimited().with_deadline(deadline()));
     let start = Instant::now();
     let run = miner.mine_guarded(db, min_support, &guard);
     let seconds = start.elapsed().as_secs_f64();
     assert!(
         run.outcome.is_complete(),
-        "{} aborted ({:?}) after {seconds:.1}s — raise DEFAULT_DEADLINE or shrink the workload",
+        "{} aborted ({:?}) after {seconds:.1}s — raise the deadline or shrink the workload",
         miner.name(),
         run.outcome,
     );
@@ -57,9 +71,29 @@ pub fn measure(
             seconds,
             patterns: result.len(),
             max_length: result.max_length(),
+            threads: 1,
         },
         result,
     )
+}
+
+/// Like [`measure`], but records `threads` in the measurement instead of 1.
+///
+/// The miner itself decides how to use workers — pass a parallel-configured
+/// miner (e.g. `ParallelDiscAll::with_threads(threads)`) whose guarded entry
+/// point fans out internally. Going through [`SequentialMiner::mine_guarded`]
+/// keeps the benchmark deadline in force *globally across workers*, so a
+/// hung shard still fails the sweep loudly.
+pub fn measure_with_threads(
+    miner: &dyn SequentialMiner,
+    db: &SequenceDatabase,
+    min_support: MinSupport,
+    param: f64,
+    threads: usize,
+) -> (Measurement, MiningResult) {
+    let (mut measurement, result) = measure(miner, db, min_support, param);
+    measurement.threads = threads;
+    (measurement, result)
 }
 
 /// Asserts two results agree, loudly — experiments double as end-to-end
@@ -88,6 +122,25 @@ mod tests {
         assert_eq!(m.max_length, 2);
         assert!(m.seconds >= 0.0);
         assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn measure_with_threads_records_thread_count() {
+        let db = SequenceDatabase::from_parsed(&["(a)(b)", "(a)(b)"]).unwrap();
+        let (m, result) =
+            measure_with_threads(&BruteForce::default(), &db, MinSupport::Count(2), 2.0, 4);
+        assert_eq!(m.threads, 4);
+        assert_eq!(m.patterns, result.len());
+    }
+
+    #[test]
+    fn deadline_env_override() {
+        // A generous override value so concurrently running measure() tests
+        // are unaffected while this one observes the env var.
+        std::env::set_var("DISC_BENCH_DEADLINE_SECS", "7200");
+        assert_eq!(deadline(), Duration::from_secs(7200));
+        std::env::remove_var("DISC_BENCH_DEADLINE_SECS");
+        assert_eq!(deadline(), DEFAULT_DEADLINE);
     }
 
     #[test]

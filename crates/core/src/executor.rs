@@ -1,0 +1,463 @@
+//! The **parallel mining executor**: a fixed-size `std::thread` pool that
+//! runs guarded tasks (typically database shards) concurrently while
+//! honoring one [`CancelToken`](crate::guard::CancelToken) and one
+//! [`ResourceBudget`](crate::guard::ResourceBudget) across every worker.
+//!
+//! The executor is the scaling substrate for partition-parallel mining: the
+//! DISC partition machinery splits a database into independent shards, and
+//! [`ParallelExecutor::run`] drives one guarded task per shard with these
+//! guarantees:
+//!
+//! * **Shared control** — every worker observes the coordinating guard's
+//!   token, budget, and deadline clock. Operation and pattern budgets are
+//!   enforced *globally* through [`SharedCounters`], not per worker.
+//! * **First-error propagation** — the first cooperative abort (deadline,
+//!   budget, external cancel) cancels the shared token, so sibling workers
+//!   stop at their next checkpoint instead of burning the rest of the queue.
+//! * **Per-worker panic isolation** — a panic inside one task is caught at
+//!   that task's boundary and recorded as [`AbortReason::Panicked`]; sibling
+//!   shards keep running and the panicking task's partial output survives.
+//!   (This deliberately does *not* cancel siblings: a poisoned shard says
+//!   nothing about the health of the others.)
+//! * **Deterministic collection** — task outputs come back in task order,
+//!   regardless of which worker ran what when, so a deterministic merge of
+//!   deterministic per-task results is deterministic at any thread count.
+//!
+//! Workers pull tasks from a shared queue, so shards of uneven size load-
+//! balance naturally. The pool is sized by [`std::thread::available_parallelism`]
+//! unless overridden.
+
+#[cfg(any(test, feature = "fault-injection"))]
+use crate::guard::FaultPlan;
+use crate::guard::{AbortReason, GuardStats, MineGuard, MineOutcome, SharedCounters};
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// A fixed-size thread pool for guarded, cancellable task fan-out.
+///
+/// Cheap to construct per run: threads are spawned scoped inside
+/// [`ParallelExecutor::run`] and joined before it returns, so the executor
+/// holds no long-lived resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl Default for ParallelExecutor {
+    fn default() -> ParallelExecutor {
+        ParallelExecutor::with_threads(
+            thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+        )
+    }
+}
+
+impl ParallelExecutor {
+    /// An executor sized by [`std::thread::available_parallelism`].
+    pub fn new() -> ParallelExecutor {
+        ParallelExecutor::default()
+    }
+
+    /// An executor with an explicit worker count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> ParallelExecutor {
+        ParallelExecutor { threads: threads.max(1) }
+    }
+
+    /// The number of worker threads this executor will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// How one task of a [`ParallelExecutor::run`] call ended.
+#[derive(Debug)]
+pub struct TaskOutcome<R> {
+    /// The task's output. On an abort or a panic this holds whatever the
+    /// task produced before stopping — a sound partial output under the
+    /// cooperative mining contract.
+    pub output: R,
+    /// Completion status of this task.
+    pub outcome: MineOutcome,
+    /// The task's guard counters.
+    pub stats: GuardStats,
+}
+
+/// The result of one [`ParallelExecutor::run`] call.
+#[derive(Debug)]
+pub struct ParallelRun<R> {
+    /// Per-task outcomes, **in task order** (not completion order).
+    pub tasks: Vec<TaskOutcome<R>>,
+    /// The aggregated outcome: [`MineOutcome::Complete`] iff every task
+    /// completed. Otherwise the reason is taken from the first (by task
+    /// index) non-complete task, preferring a root cause over the
+    /// [`AbortReason::Cancelled`] echoes that first-error propagation
+    /// induces in sibling tasks.
+    pub outcome: MineOutcome,
+    /// Summed worker counters (ops, checkpoints, patterns) with the
+    /// wall-clock elapsed of the whole run.
+    pub stats: GuardStats,
+}
+
+/// One queued task plus its optional injected fault.
+struct QueueItem<T> {
+    index: usize,
+    task: T,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: Option<FaultPlan>,
+}
+
+impl ParallelExecutor {
+    /// Runs `tasks` on the pool under the control of `parent`.
+    ///
+    /// Each task gets a fresh worker [`MineGuard`] sharing `parent`'s token,
+    /// budget, deadline clock, and checkpoint interval, with run-global
+    /// operation/pattern accounting. `task_fn` receives the worker guard,
+    /// the task, and an output slot that survives panics — fill it
+    /// incrementally (patterns as their exact support is known) so aborted
+    /// tasks still contribute sound partial output.
+    ///
+    /// The worker counters are absorbed into `parent` before returning, so
+    /// `parent.stats()` reflects the whole run. `parent`'s own fault plan is
+    /// **not** propagated to workers (it stays on the coordinating thread);
+    /// use `ParallelExecutor::run_with_faults` (tests and the
+    /// `fault-injection` feature) to inject per-task faults.
+    pub fn run<T, R, F>(&self, parent: &MineGuard, tasks: Vec<T>, task_fn: F) -> ParallelRun<R>
+    where
+        T: Send,
+        R: Default + Send,
+        F: Fn(&MineGuard, T, &mut R) -> Result<(), AbortReason> + Sync,
+    {
+        let items = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(index, task)| QueueItem {
+                index,
+                task,
+                #[cfg(any(test, feature = "fault-injection"))]
+                fault: None,
+            })
+            .collect();
+        self.run_items(parent, items, task_fn)
+    }
+
+    /// [`ParallelExecutor::run`] with a deterministic [`FaultPlan`] attached
+    /// to the worker guard of each task whose slot in `faults` is `Some`
+    /// (missing trailing slots mean no fault). Available in tests and behind
+    /// the `fault-injection` feature only.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn run_with_faults<T, R, F>(
+        &self,
+        parent: &MineGuard,
+        tasks: Vec<T>,
+        mut faults: Vec<Option<FaultPlan>>,
+        task_fn: F,
+    ) -> ParallelRun<R>
+    where
+        T: Send,
+        R: Default + Send,
+        F: Fn(&MineGuard, T, &mut R) -> Result<(), AbortReason> + Sync,
+    {
+        faults.resize_with(tasks.len(), || None);
+        let items = tasks
+            .into_iter()
+            .zip(faults)
+            .enumerate()
+            .map(|(index, (task, fault))| QueueItem { index, task, fault })
+            .collect();
+        self.run_items(parent, items, task_fn)
+    }
+
+    fn run_items<T, R, F>(
+        &self,
+        parent: &MineGuard,
+        items: VecDeque<QueueItem<T>>,
+        task_fn: F,
+    ) -> ParallelRun<R>
+    where
+        T: Send,
+        R: Default + Send,
+        F: Fn(&MineGuard, T, &mut R) -> Result<(), AbortReason> + Sync,
+    {
+        let n = items.len();
+        let start = parent.start_instant();
+        if n == 0 {
+            return ParallelRun {
+                tasks: Vec::new(),
+                outcome: MineOutcome::Complete,
+                stats: GuardStats { elapsed: start.elapsed(), ..GuardStats::default() },
+            };
+        }
+        let token = parent.token().clone();
+        let budget = parent.budget();
+        let interval = parent.interval();
+        let shared = Arc::new(SharedCounters::new());
+        let queue = Mutex::new(items);
+        let slots: Vec<Mutex<Option<TaskOutcome<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(n);
+        let task_fn = &task_fn;
+
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let token = token.clone();
+                let shared = Arc::clone(&shared);
+                let queue = &queue;
+                let slots = &slots;
+                scope.spawn(move || loop {
+                    let item = queue.lock().expect("executor queue poisoned").pop_front();
+                    let Some(item) = item else { break };
+                    let guard = MineGuard::worker(
+                        token.clone(),
+                        budget,
+                        start,
+                        interval,
+                        Arc::clone(&shared),
+                    );
+                    #[cfg(any(test, feature = "fault-injection"))]
+                    let guard = match item.fault {
+                        Some(fault) => guard.with_fault(fault),
+                        None => guard,
+                    };
+                    // The output lives outside the unwind boundary so
+                    // whatever the task produced before a panic survives.
+                    let mut output = R::default();
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        guard.check_now()?;
+                        task_fn(&guard, item.task, &mut output)
+                    }));
+                    let outcome = match run {
+                        Ok(Ok(())) => MineOutcome::Complete,
+                        Ok(Err(reason)) => {
+                            // First-error propagation: stop the siblings —
+                            // they share the same deadline/budget/token, so
+                            // the first cooperative abort dooms them all.
+                            token.cancel();
+                            MineOutcome::Partial { reason }
+                        }
+                        // Per-worker panic isolation: record it, keep the
+                        // siblings mining.
+                        Err(_) => MineOutcome::Partial { reason: AbortReason::Panicked },
+                    };
+                    *slots[item.index].lock().expect("executor slot poisoned") =
+                        Some(TaskOutcome { output, outcome, stats: guard.stats() });
+                });
+            }
+        });
+
+        let tasks: Vec<TaskOutcome<R>> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("executor slot poisoned")
+                    .expect("every queued task records an outcome")
+            })
+            .collect();
+
+        let mut stats = GuardStats::default();
+        let mut first_reason: Option<AbortReason> = None;
+        for task in &tasks {
+            stats.ops = stats.ops.saturating_add(task.stats.ops);
+            stats.checkpoints = stats.checkpoints.saturating_add(task.stats.checkpoints);
+            stats.patterns += task.stats.patterns;
+            if let MineOutcome::Partial { reason } = task.outcome {
+                first_reason = match first_reason {
+                    None => Some(reason),
+                    // A concrete root cause beats the Cancelled echo that
+                    // propagation induced in the siblings.
+                    Some(AbortReason::Cancelled) if reason != AbortReason::Cancelled => {
+                        Some(reason)
+                    }
+                    keep => keep,
+                };
+            }
+        }
+        stats.elapsed = start.elapsed();
+        parent.absorb_work(&stats);
+        let outcome = match first_reason {
+            None => MineOutcome::Complete,
+            Some(reason) => MineOutcome::Partial { reason },
+        };
+        ParallelRun { tasks, outcome, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::{CancelToken, ResourceBudget};
+    use std::time::Duration;
+
+    fn guard() -> MineGuard {
+        MineGuard::unlimited().with_checkpoint_interval(1)
+    }
+
+    #[test]
+    fn outputs_come_back_in_task_order() {
+        let parent = guard();
+        for threads in [1, 2, 4, 8] {
+            let run = ParallelExecutor::with_threads(threads).run(
+                &parent,
+                (0..32u64).collect(),
+                |g, task, out: &mut Vec<u64>| {
+                    g.checkpoint()?;
+                    out.push(task * 10);
+                    Ok(())
+                },
+            );
+            assert!(run.outcome.is_complete());
+            let flat: Vec<u64> = run.tasks.iter().flat_map(|t| t.output.clone()).collect();
+            assert_eq!(flat, (0..32u64).map(|t| t * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_task_list_is_complete() {
+        let parent = guard();
+        let run =
+            ParallelExecutor::new().run(&parent, Vec::<u64>::new(), |_, _, _: &mut ()| Ok(()));
+        assert!(run.outcome.is_complete());
+        assert!(run.tasks.is_empty());
+    }
+
+    #[test]
+    fn first_error_cancels_the_siblings() {
+        let parent = guard();
+        let run = ParallelExecutor::with_threads(2).run(
+            &parent,
+            (0..16usize).collect(),
+            |g, task, out: &mut usize| {
+                if task == 0 {
+                    return Err(AbortReason::BudgetExhausted);
+                }
+                // Siblings spin on checkpoints until propagation stops them,
+                // or finish quickly if they ran before the error.
+                for _ in 0..200_000 {
+                    g.checkpoint()?;
+                }
+                *out = task;
+                Ok(())
+            },
+        );
+        assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::BudgetExhausted });
+        assert_eq!(
+            run.tasks[0].outcome,
+            MineOutcome::Partial { reason: AbortReason::BudgetExhausted }
+        );
+        assert!(parent.token().is_cancelled());
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_stop_the_siblings() {
+        let parent = guard();
+        let run = ParallelExecutor::with_threads(2).run(
+            &parent,
+            (0..8usize).collect(),
+            |g, task, out: &mut Vec<usize>| {
+                g.checkpoint()?;
+                out.push(task);
+                if task == 3 {
+                    out.push(999); // partial output recorded before the panic
+                    panic!("poisoned shard");
+                }
+                Ok(())
+            },
+        );
+        assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::Panicked });
+        assert!(!parent.token().is_cancelled(), "a panic must not cancel siblings");
+        for (i, task) in run.tasks.iter().enumerate() {
+            if i == 3 {
+                assert_eq!(task.outcome, MineOutcome::Partial { reason: AbortReason::Panicked });
+                assert_eq!(task.output, vec![3, 999], "pre-panic output must survive");
+            } else {
+                assert!(task.outcome.is_complete(), "sibling {i} was torn down");
+                assert_eq!(task.output, vec![i]);
+            }
+        }
+    }
+
+    #[test]
+    fn ops_budget_is_global_across_workers() {
+        let budget = ResourceBudget::unlimited().with_max_ops(64);
+        let parent = MineGuard::new(CancelToken::new(), budget).with_checkpoint_interval(1);
+        let run = ParallelExecutor::with_threads(4).run(
+            &parent,
+            (0..8usize).collect(),
+            |g, _, _: &mut ()| {
+                for _ in 0..1_000_000 {
+                    g.checkpoint()?;
+                }
+                Ok(())
+            },
+        );
+        assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::BudgetExhausted });
+        // Far below the 8M ops the tasks would charge unbounded; the slack
+        // is one checkpoint interval per worker plus scheduling noise.
+        assert!(run.stats.ops < 10_000, "global ops budget ignored: {:?}", run.stats);
+    }
+
+    #[test]
+    fn pattern_budget_is_global_across_workers() {
+        let budget = ResourceBudget::unlimited().with_max_patterns(10);
+        let parent = MineGuard::new(CancelToken::new(), budget).with_checkpoint_interval(1);
+        let run = ParallelExecutor::with_threads(4).run(
+            &parent,
+            (0..8usize).collect(),
+            |g, _, out: &mut usize| {
+                for _ in 0..100 {
+                    g.note_pattern()?;
+                    *out += 1;
+                }
+                Ok(())
+            },
+        );
+        assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::BudgetExhausted });
+        let total: usize = run.tasks.iter().map(|t| t.output).sum();
+        assert_eq!(total, 10, "pattern cap must be exact across workers");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_every_task_at_preflight() {
+        let budget = ResourceBudget::unlimited().with_deadline(Duration::ZERO);
+        let parent = MineGuard::new(CancelToken::new(), budget).with_checkpoint_interval(1);
+        let run = ParallelExecutor::with_threads(2).run(
+            &parent,
+            (0..4usize).collect(),
+            |_, _, _: &mut ()| panic!("task body must not run past an expired deadline"),
+        );
+        assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::DeadlineExceeded });
+    }
+
+    #[test]
+    fn worker_stats_are_absorbed_into_the_parent() {
+        let parent = guard();
+        let run = ParallelExecutor::with_threads(2).run(
+            &parent,
+            (0..4usize).collect(),
+            |g, _, _: &mut ()| g.charge(25),
+        );
+        assert!(run.outcome.is_complete());
+        assert_eq!(run.stats.ops, 100);
+        assert_eq!(parent.stats().ops, 100);
+    }
+
+    #[test]
+    fn injected_worker_fault_is_isolated() {
+        let parent = guard();
+        let faults = vec![None, Some(FaultPlan::panic_at(2))];
+        let run = ParallelExecutor::with_threads(2).run_with_faults(
+            &parent,
+            vec![0usize, 1usize],
+            faults,
+            |g, task, out: &mut usize| {
+                g.checkpoint()?; // task 1: preflight is checkpoint 1, this is 2 → panics
+                *out = task + 1;
+                Ok(())
+            },
+        );
+        assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::Panicked });
+        assert!(run.tasks[0].outcome.is_complete());
+        assert_eq!(run.tasks[0].output, 1);
+        assert_eq!(run.tasks[1].outcome, MineOutcome::Partial { reason: AbortReason::Panicked });
+    }
+}

@@ -31,7 +31,7 @@ use crate::support::MinSupport;
 use std::cell::Cell;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -100,6 +100,36 @@ impl ResourceBudget {
     pub fn with_max_patterns(mut self, max_patterns: usize) -> ResourceBudget {
         self.max_patterns = Some(max_patterns);
         self
+    }
+}
+
+/// Operation and pattern counters shared by every worker guard of one
+/// parallel run, so a [`ResourceBudget`] bounds the run *globally* rather
+/// than per worker.
+///
+/// Worker guards keep the cheap `Cell`-based hot path and flush their
+/// operation counts into the shared atomics only at full checkpoints; the
+/// pattern counter is updated exactly (it is a memory bound).
+#[derive(Debug, Default)]
+pub struct SharedCounters {
+    ops: AtomicU64,
+    patterns: AtomicUsize,
+}
+
+impl SharedCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> SharedCounters {
+        SharedCounters::default()
+    }
+
+    /// Total operations flushed by all worker guards so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Total patterns noted by all worker guards so far.
+    pub fn patterns(&self) -> usize {
+        self.patterns.load(Ordering::Relaxed)
     }
 }
 
@@ -240,6 +270,10 @@ pub struct MineGuard {
     pending: Cell<u64>,
     checkpoints: Cell<u64>,
     patterns: Cell<usize>,
+    /// Cross-worker counters of a parallel run; `None` for ordinary guards.
+    shared: Option<Arc<SharedCounters>>,
+    /// Operations already flushed into `shared`.
+    flushed: Cell<u64>,
     #[cfg(any(test, feature = "fault-injection"))]
     fault: Option<Rc<FaultPlan>>,
 }
@@ -259,6 +293,8 @@ impl MineGuard {
             pending: Cell::new(0),
             checkpoints: Cell::new(0),
             patterns: Cell::new(0),
+            shared: None,
+            flushed: Cell::new(0),
             #[cfg(any(test, feature = "fault-injection"))]
             fault: None,
         }
@@ -267,6 +303,24 @@ impl MineGuard {
     /// A guard that never aborts — the plain [`SequentialMiner::mine`] path.
     pub fn unlimited() -> MineGuard {
         MineGuard::new(CancelToken::new(), ResourceBudget::unlimited())
+    }
+
+    /// A guard for one worker of a parallel run: shared token, shared
+    /// deadline clock (`start` is the coordinating guard's start instant),
+    /// and [`SharedCounters`] so operation and pattern budgets bound the run
+    /// globally across workers.
+    pub(crate) fn worker(
+        token: CancelToken,
+        budget: ResourceBudget,
+        start: Instant,
+        interval: u64,
+        shared: Arc<SharedCounters>,
+    ) -> MineGuard {
+        let mut guard = MineGuard::new(token, budget);
+        guard.start = start;
+        guard.interval = interval.max(1);
+        guard.shared = Some(shared);
+        guard
     }
 
     /// Overrides the amortization interval (tests use `1` so every
@@ -289,6 +343,33 @@ impl MineGuard {
         &self.token
     }
 
+    /// The resource budget this guard enforces.
+    pub fn budget(&self) -> ResourceBudget {
+        self.budget
+    }
+
+    /// The instant the deadline clock started.
+    pub(crate) fn start_instant(&self) -> Instant {
+        self.start
+    }
+
+    /// The amortization interval between full checks.
+    pub(crate) fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Folds work done elsewhere (worker guards of a parallel run) into this
+    /// guard's counters, so `stats()` on the coordinating guard reflects the
+    /// whole run. Patterns are *not* absorbed — the coordinator re-notes each
+    /// pattern as it merges shard results, which keeps the pattern cap exact.
+    pub(crate) fn absorb_work(&self, stats: &GuardStats) {
+        self.ops.set(self.ops.get().saturating_add(stats.ops));
+        // The absorbed ops were already budget-checked by the worker guards;
+        // mark them flushed so a shared-counter guard does not re-flush them.
+        self.flushed.set(self.flushed.get().saturating_add(stats.ops));
+        self.checkpoints.set(self.checkpoints.get().saturating_add(stats.checkpoints));
+    }
+
     /// A fresh guard for the next stage of a fallback chain: same token,
     /// same budget, same deadline clock (the original start instant), same
     /// fault plan (which fires at most once across the whole chain), fresh
@@ -303,6 +384,8 @@ impl MineGuard {
             pending: Cell::new(0),
             checkpoints: Cell::new(0),
             patterns: Cell::new(0),
+            shared: self.shared.clone(),
+            flushed: Cell::new(0),
             #[cfg(any(test, feature = "fault-injection"))]
             fault: self.fault.clone(),
         }
@@ -344,6 +427,19 @@ impl MineGuard {
     /// result at exactly the cap.
     #[inline]
     pub fn note_pattern(&self) -> Result<(), AbortReason> {
+        if let Some(shared) = &self.shared {
+            // Cross-worker exactness: reserve a slot atomically, back out on
+            // overflow so the global count stays at the cap.
+            let next = shared.patterns.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(max) = self.budget.max_patterns {
+                if next > max {
+                    shared.patterns.fetch_sub(1, Ordering::Relaxed);
+                    return Err(AbortReason::BudgetExhausted);
+                }
+            }
+            self.patterns.set(self.patterns.get() + 1);
+            return Ok(());
+        }
         let next = self.patterns.get() + 1;
         if let Some(max) = self.budget.max_patterns {
             if next > max {
@@ -379,13 +475,27 @@ impl MineGuard {
                 return Err(AbortReason::DeadlineExceeded);
             }
         }
+        // With shared counters, budgets are checked against the run-wide
+        // totals; the local delta since the last flush is published first.
+        let ops_total = match &self.shared {
+            Some(shared) => {
+                let delta = self.ops.get() - self.flushed.get();
+                self.flushed.set(self.ops.get());
+                shared.ops.fetch_add(delta, Ordering::Relaxed) + delta
+            }
+            None => self.ops.get(),
+        };
         if let Some(max) = self.budget.max_ops {
-            if self.ops.get() >= max {
+            if ops_total >= max {
                 return Err(AbortReason::BudgetExhausted);
             }
         }
+        let patterns_total = match &self.shared {
+            Some(shared) => shared.patterns.load(Ordering::Relaxed),
+            None => self.patterns.get(),
+        };
         if let Some(max) = self.budget.max_patterns {
-            if self.patterns.get() >= max {
+            if patterns_total >= max {
                 return Err(AbortReason::BudgetExhausted);
             }
         }

@@ -56,6 +56,7 @@ pub mod constraints;
 pub mod database;
 pub mod embed;
 pub mod error;
+pub mod executor;
 pub mod guard;
 pub mod item;
 pub mod itemset;
@@ -75,11 +76,12 @@ pub use constraints::TimeConstraints;
 pub use database::{CustomerId, CustomerSequence, SequenceDatabase};
 pub use embed::{contains, leftmost_embedding, leftmost_match_end, MatchPoint};
 pub use error::ParseError;
+pub use executor::{ParallelExecutor, ParallelRun, TaskOutcome};
 #[cfg(any(test, feature = "fault-injection"))]
 pub use guard::FaultPlan;
 pub use guard::{
     run_guarded, AbortReason, CancelToken, FallbackMiner, GuardStats, GuardedResult, MineGuard,
-    MineOutcome, ResourceBudget, StageReport,
+    MineOutcome, ResourceBudget, SharedCounters, StageReport,
 };
 pub use item::Item;
 pub use itemset::Itemset;

@@ -41,6 +41,23 @@ pub trait SequentialMiner {
             Ok(())
         })
     }
+
+    /// Mines with up to `threads` worker threads.
+    ///
+    /// The contract is strict: the result must be **identical** to
+    /// [`SequentialMiner::mine`] — same patterns, same exact supports — at
+    /// every thread count. The default implementation ignores `threads` and
+    /// mines sequentially, which satisfies the contract trivially; miners
+    /// with a partition-parallel path (DISC-all) override it.
+    fn mine_parallel(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        threads: usize,
+    ) -> MiningResult {
+        let _ = threads;
+        self.mine(db, min_support)
+    }
 }
 
 impl<M: SequentialMiner + ?Sized> SequentialMiner for &M {
@@ -58,6 +75,14 @@ impl<M: SequentialMiner + ?Sized> SequentialMiner for &M {
     ) -> GuardedResult {
         (**self).mine_guarded(db, min_support, guard)
     }
+    fn mine_parallel(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        threads: usize,
+    ) -> MiningResult {
+        (**self).mine_parallel(db, min_support, threads)
+    }
 }
 
 impl<M: SequentialMiner + ?Sized> SequentialMiner for Box<M> {
@@ -74,5 +99,13 @@ impl<M: SequentialMiner + ?Sized> SequentialMiner for Box<M> {
         guard: &MineGuard,
     ) -> GuardedResult {
         (**self).mine_guarded(db, min_support, guard)
+    }
+    fn mine_parallel(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        threads: usize,
+    ) -> MiningResult {
+        (**self).mine_parallel(db, min_support, threads)
     }
 }

@@ -85,7 +85,7 @@ impl QuestConfig {
         }
     }
 
-    /// The Figure 9 / Tables 12–13 setting from Lesh–Zaki–Ogihara [8]:
+    /// The Figure 9 / Tables 12–13 setting from Lesh–Zaki–Ogihara \[8\]:
     /// `slen = tlen = seq.patlen = 8`, 10K customers.
     pub fn paper_fig9() -> QuestConfig {
         QuestConfig {

@@ -3,7 +3,7 @@
 //! A from-scratch reimplementation of the **IBM Quest synthetic
 //! customer-sequence generator** used by the DISC paper's evaluation
 //! (Agrawal & Srikant, *Mining Sequential Patterns*, ICDE 1995 — the paper's
-//! reference [1]; the original binary "version dated July 22, 1997" is not
+//! reference \[1\]; the original binary "version dated July 22, 1997" is not
 //! available).
 //!
 //! The generative model follows the published description:

@@ -85,6 +85,17 @@ impl SequentialMiner for DiscAll {
     ) -> GuardedResult {
         run_guarded(guard, |result| self.mine_inner(db, min_support, guard, result))
     }
+
+    fn mine_parallel(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        threads: usize,
+    ) -> MiningResult {
+        crate::parallel::ParallelDiscAll::with_threads(threads)
+            .with_config(self.config)
+            .mine(db, min_support)
+    }
 }
 
 impl DiscAll {
@@ -104,17 +115,7 @@ impl DiscAll {
         let n_items = max_item.id() as usize + 1;
 
         // Step 1: frequent 1-sequences + first-level partitions.
-        guard.charge(db.len() as u64)?;
-        let root = count_extensions(&Sequence::empty(), db.sequences(), n_items);
-        let mut freq1 = vec![false; n_items];
-        for id in 0..n_items as u32 {
-            let support = root.seq_support(Item(id));
-            if support >= delta {
-                freq1[id as usize] = true;
-                guard.note_pattern()?;
-                result.insert(Sequence::single(Item(id)), support);
-            }
-        }
+        let freq1 = frequent_one_sequences(db, delta, n_items, guard, result)?;
 
         // Step 2: walk first-level partitions in ascending key order.
         let mut first_level = group_by_min_item_guarded(db, guard)?;
@@ -138,8 +139,15 @@ impl DiscAll {
     }
 
     /// Steps 2.1.1–2.1.3 for one `<(λ)>`-partition.
+    ///
+    /// Crate-visible because this is also the **shard body** of
+    /// [`crate::parallel::ParallelDiscAll`]: the member list of the
+    /// `<(λ)>`-partition at its processing time is exactly the rows
+    /// containing `λ` (the reassignment chains enumerate, per row, every
+    /// frequent item it contains), so first-level partitions are mutually
+    /// independent and can run concurrently.
     #[allow(clippy::too_many_arguments)]
-    fn process_first_level(
+    pub(crate) fn process_first_level(
         &self,
         db: &SequenceDatabase,
         lambda: Item,
@@ -228,6 +236,30 @@ impl DiscAll {
         // 2.1.3.2: DISC iterations for k ≥ 4.
         run_disc_levels(partition, freq3, delta, self.config.bi_level, n_items, guard, result)
     }
+}
+
+/// Step 1 of Figure 2, shared by the sequential and parallel miners: one
+/// counting-array scan finds the frequent 1-sequences, inserts them into
+/// `result`, and returns the `freq1` mask.
+pub(crate) fn frequent_one_sequences(
+    db: &SequenceDatabase,
+    delta: u64,
+    n_items: usize,
+    guard: &MineGuard,
+    result: &mut MiningResult,
+) -> Result<Vec<bool>, AbortReason> {
+    guard.charge(db.len() as u64)?;
+    let root = count_extensions(&Sequence::empty(), db.sequences(), n_items);
+    let mut freq1 = vec![false; n_items];
+    for id in 0..n_items as u32 {
+        let support = root.seq_support(Item(id));
+        if support >= delta {
+            freq1[id as usize] = true;
+            guard.note_pattern()?;
+            result.insert(Sequence::single(Item(id)), support);
+        }
+    }
+    Ok(freq1)
 }
 
 /// The `k = start, start+1, …` (or `start, start+2, …` under bi-level) DISC

@@ -29,6 +29,7 @@
 //! | [`discovery`] | frequent k-sequence discovery (Figure 4) + the bi-level optimization |
 //! | [`partition`] | multi-level partitioning, reduction, reassignment chains (§3.1) |
 //! | [`disc_all`] | the DISC-all algorithm (Figure 2) |
+//! | [`parallel`] | DISC-all with first-level partitions sharded across a thread pool |
 //! | [`dynamic`] | the Dynamic DISC-all algorithm (Appendix) |
 //! | [`stats`] | the NRR metric of §4.2 (Tables 12 and 14) |
 //! | [`weighted`] | the §5 future-work extension: weighted sequence mining |
@@ -60,6 +61,7 @@ pub mod disc_all;
 pub mod discovery;
 pub mod dynamic;
 pub mod kms;
+pub mod parallel;
 pub mod partition;
 pub mod sorted_db;
 pub mod stats;
@@ -67,5 +69,6 @@ pub mod weighted;
 
 pub use disc_all::{DiscAll, DiscConfig};
 pub use dynamic::{DynamicDiscAll, SplitPolicy};
+pub use parallel::ParallelDiscAll;
 pub use stats::nrr_by_level;
 pub use weighted::{WeightedDatabase, WeightedDisc};

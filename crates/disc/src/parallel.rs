@@ -1,0 +1,336 @@
+//! **Parallel DISC-all**: first-level partitions sharded across a
+//! [`ParallelExecutor`] thread pool, with results bit-identical to
+//! sequential [`DiscAll`] at any thread count.
+//!
+//! ## Why first-level partitions shard cleanly
+//!
+//! Sequential DISC-all walks first-level partitions in ascending key order
+//! and *reassigns* each member to the partition of its next frequent
+//! minimum after a partition is processed. The reassignment chain of a row
+//! therefore enumerates every frequent item the row contains, in ascending
+//! order — so when the `<(λ)>`-partition's turn comes, its member set is
+//! exactly **the rows containing λ**. That set can be computed up front
+//! with one scan, which makes the partitions mutually independent: each
+//! shard is one `<(λ)>`-partition with its full supporter set, and no shard
+//! needs anything another shard produced.
+//!
+//! ## Determinism guarantee
+//!
+//! Every per-shard quantity is a count or a key derived from the shard's
+//! member *multiset* (counting arrays sum, DISC buckets key on k-minimum
+//! subsequences), never from member order or scheduling; shard outputs are
+//! merged in ascending key order; and [`MiningResult`] orders patterns
+//! canonically. The merged result — patterns and exact supports — is
+//! therefore identical to sequential [`DiscAll`] at 1, 2, 4, 8, … threads,
+//! which `tests/parallel_determinism.rs` and CI enforce.
+//!
+//! Shard pattern sets are disjoint (every pattern found in the
+//! `<(λ)>`-partition starts with its minimum item `λ`), so the merge is a
+//! union; [`MiningResult::insert`] still cross-checks supports, so a shard
+//! disagreeing on a support is caught loudly rather than silently resolved.
+
+use crate::disc_all::{frequent_one_sequences, DiscAll};
+use crate::DiscConfig;
+use disc_core::{
+    run_guarded, AbortReason, GuardedResult, Item, MinSupport, MineGuard, MineOutcome,
+    MiningResult, ParallelExecutor, SequenceDatabase, SequentialMiner,
+};
+
+#[cfg(feature = "fault-injection")]
+use disc_core::FaultPlan;
+
+/// The parallel DISC-all miner: [`DiscAll`] semantics, executed one
+/// first-level partition per pool task.
+///
+/// Implements [`SequentialMiner`] like every other miner — `mine` and
+/// `mine_guarded` fan out internally — so it drops into fallback chains,
+/// the bench harness, and cross-algorithm tests unchanged. Cancellation,
+/// deadlines, and budgets are honored **globally** across workers: the
+/// guard's token and deadline clock are shared, and operation/pattern
+/// budgets are enforced through run-wide shared counters. A cancelled or
+/// aborted parallel run still returns a sound partial subset — completed
+/// shards contribute their full pattern sets, aborted shards whatever they
+/// had verified, and every reported support is exact.
+#[derive(Debug, Clone)]
+pub struct ParallelDiscAll {
+    /// DISC tuning knobs, shared with the sequential miner.
+    pub config: DiscConfig,
+    threads: usize,
+    name: String,
+    /// Panics the worker of shard `.0` at its `.1`-th full checkpoint, for
+    /// per-worker panic-isolation tests.
+    #[cfg(feature = "fault-injection")]
+    shard_panic: Option<(usize, u64)>,
+}
+
+impl Default for ParallelDiscAll {
+    fn default() -> ParallelDiscAll {
+        ParallelDiscAll::with_threads(ParallelExecutor::new().threads())
+    }
+}
+
+impl ParallelDiscAll {
+    /// A parallel miner sized by [`std::thread::available_parallelism`].
+    pub fn new() -> ParallelDiscAll {
+        ParallelDiscAll::default()
+    }
+
+    /// A parallel miner with an explicit worker count (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> ParallelDiscAll {
+        let threads = threads.max(1);
+        ParallelDiscAll {
+            config: DiscConfig::default(),
+            threads,
+            name: format!("Parallel DISC-all ×{threads}"),
+            #[cfg(feature = "fault-injection")]
+            shard_panic: None,
+        }
+    }
+
+    /// Overrides the DISC configuration (bi-level on/off).
+    pub fn with_config(mut self, config: DiscConfig) -> ParallelDiscAll {
+        self.config = config;
+        self
+    }
+
+    /// The worker-thread count this miner fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Injects a deterministic panic into the worker guard of shard
+    /// `shard` (0-based, ascending partition-key order) at its
+    /// `checkpoint`-th full check — the hook behind the poisoned-shard
+    /// isolation tests.
+    #[cfg(feature = "fault-injection")]
+    pub fn with_shard_panic(mut self, shard: usize, checkpoint: u64) -> ParallelDiscAll {
+        self.shard_panic = Some((shard, checkpoint));
+        self
+    }
+
+    /// The cooperative core behind both entry points.
+    fn mine_inner(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+        result: &mut MiningResult,
+    ) -> Result<(), AbortReason> {
+        let delta = min_support.resolve(db.len());
+        let Some(max_item) = db.max_item() else {
+            return Ok(());
+        };
+        let n_items = max_item.id() as usize + 1;
+
+        // Step 1 (sequential, one scan): frequent 1-sequences.
+        let freq1 = frequent_one_sequences(db, delta, n_items, guard, result)?;
+
+        // Step 2 (sequential, one scan): shard membership — for each
+        // frequent λ, every row containing λ, in ascending row order.
+        let shards = shard_members(db, &freq1, guard)?;
+
+        // Step 3 (parallel): one first-level partition per pool task.
+        let executor = ParallelExecutor::with_threads(self.threads);
+        let shard_miner = DiscAll { config: self.config };
+        let body = |worker: &MineGuard,
+                    (lambda, members): (Item, Vec<usize>),
+                    shard_result: &mut MiningResult| {
+            shard_miner.process_first_level(
+                db,
+                lambda,
+                &members,
+                delta,
+                n_items,
+                &freq1,
+                worker,
+                shard_result,
+            )
+        };
+        #[cfg(feature = "fault-injection")]
+        let run = {
+            let faults = match self.shard_panic {
+                Some((shard, at)) => {
+                    let mut faults: Vec<Option<FaultPlan>> =
+                        (0..shards.len()).map(|_| None).collect();
+                    if let Some(slot) = faults.get_mut(shard) {
+                        *slot = Some(FaultPlan::panic_at(at));
+                    }
+                    faults
+                }
+                None => Vec::new(),
+            };
+            executor.run_with_faults(guard, shards, faults, body)
+        };
+        #[cfg(not(feature = "fault-injection"))]
+        let run = executor.run(guard, shards, body);
+
+        // Step 4 (sequential): merge shard results in ascending key order.
+        // Shards report disjoint pattern sets keyed on their minimum item;
+        // `insert` re-checks supports on overlap, so any reconciliation
+        // failure panics instead of corrupting the result. Partial shards
+        // contribute too — their outputs are sound subsets by the
+        // cooperative mining contract.
+        for task in &run.tasks {
+            for (pattern, support) in task.output.iter() {
+                guard.note_pattern()?;
+                result.insert(pattern.clone(), support);
+            }
+        }
+        match run.outcome {
+            MineOutcome::Complete => Ok(()),
+            MineOutcome::Partial { reason } => Err(reason),
+        }
+    }
+}
+
+impl SequentialMiner for ParallelDiscAll {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
+        let guard = MineGuard::unlimited();
+        let mut result = MiningResult::new();
+        self.mine_inner(db, min_support, &guard, &mut result)
+            .expect("unlimited guard never aborts");
+        result
+    }
+
+    fn mine_guarded(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        run_guarded(guard, |result| self.mine_inner(db, min_support, guard, result))
+    }
+
+    fn mine_parallel(
+        &self,
+        db: &SequenceDatabase,
+        min_support: MinSupport,
+        threads: usize,
+    ) -> MiningResult {
+        ParallelDiscAll::with_threads(threads).with_config(self.config).mine(db, min_support)
+    }
+}
+
+/// One `(λ, members)` shard per frequent item: `members` lists every row
+/// containing `λ`, ascending — the `<(λ)>`-partition's full supporter set
+/// (see the module docs for why this equals the sequential membership).
+fn shard_members(
+    db: &SequenceDatabase,
+    freq1: &[bool],
+    guard: &MineGuard,
+) -> Result<Vec<(Item, Vec<usize>)>, AbortReason> {
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); freq1.len()];
+    // Per-row generation stamps dedup repeated items without re-allocating.
+    let mut last_row = vec![usize::MAX; freq1.len()];
+    for (idx, row) in db.rows().iter().enumerate() {
+        guard.checkpoint()?;
+        for set in row.sequence.itemsets() {
+            for &item in set.as_slice() {
+                let id = item.id() as usize;
+                if freq1[id] && last_row[id] != idx {
+                    last_row[id] = idx;
+                    members[id].push(idx);
+                }
+            }
+        }
+    }
+    Ok(members
+        .into_iter()
+        .enumerate()
+        .filter(|(id, _)| freq1[*id])
+        .map(|(id, rows)| (Item(id as u32), rows))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_core::BruteForce;
+
+    fn table6() -> SequenceDatabase {
+        SequenceDatabase::from_parsed(&[
+            "(a,d)(d)(a,g,h)(c)",
+            "(b)(a)(f)(a,c,e,g)",
+            "(a,f,g)(a,e,g,h)(c,g,h)",
+            "(f)(a,c,f)(a,c,e,g,h)",
+            "(a,g)",
+            "(a,f)(a,e,g,h)",
+            "(a,b,g)(a,e,g)(g,h)",
+            "(b,f)(b,e)(e,f,h)",
+            "(d,f)(d,f,g,h)",
+            "(b,f,g)(c,e,h)",
+            "(e,g)(f)(e,f)",
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn shard_membership_is_every_row_containing_the_key() {
+        let db = table6();
+        let mut freq1 = vec![true; 8];
+        freq1[3] = false; // pretend 'd' is non-frequent
+        let guard = MineGuard::unlimited();
+        let shards = shard_members(&db, &freq1, &guard).unwrap();
+        let a = shards.iter().find(|(i, _)| i.as_letter() == Some('a')).unwrap();
+        assert_eq!(a.1, vec![0, 1, 2, 3, 4, 5, 6]);
+        let c = shards.iter().find(|(i, _)| i.as_letter() == Some('c')).unwrap();
+        assert_eq!(c.1, vec![0, 1, 2, 3, 9]);
+        assert!(shards.iter().all(|(i, _)| i.as_letter() != Some('d')));
+        // Ascending key order — the merge relies on it.
+        let keys: Vec<Item> = shards.iter().map(|(i, _)| *i).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn matches_sequential_disc_all_on_table_6_at_every_thread_count() {
+        let db = table6();
+        for delta in 1..=5 {
+            let reference = DiscAll::default().mine(&db, MinSupport::Count(delta));
+            for threads in [1, 2, 4, 8] {
+                let got =
+                    ParallelDiscAll::with_threads(threads).mine(&db, MinSupport::Count(delta));
+                let diff = got.diff(&reference);
+                assert!(diff.is_empty(), "δ={delta} ×{threads}:\n{}", diff.join("\n"));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_without_bi_level() {
+        let db = table6();
+        let expected = BruteForce::default().mine(&db, MinSupport::Count(3));
+        let got = ParallelDiscAll::with_threads(4)
+            .with_config(DiscConfig { bi_level: false })
+            .mine(&db, MinSupport::Count(3));
+        assert!(got.diff(&expected).is_empty());
+    }
+
+    #[test]
+    fn empty_database() {
+        let result =
+            ParallelDiscAll::with_threads(4).mine(&SequenceDatabase::new(), MinSupport::Count(1));
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn mine_parallel_rethreads() {
+        let db = table6();
+        let reference = DiscAll::default().mine(&db, MinSupport::Count(3));
+        let got = ParallelDiscAll::with_threads(1).mine_parallel(&db, MinSupport::Count(3), 8);
+        assert!(got.diff(&reference).is_empty());
+        let via_disc_all = DiscAll::default().mine_parallel(&db, MinSupport::Count(3), 4);
+        assert!(via_disc_all.diff(&reference).is_empty());
+    }
+
+    #[test]
+    fn names_carry_the_thread_count() {
+        assert_eq!(ParallelDiscAll::with_threads(4).name(), "Parallel DISC-all ×4");
+        assert_eq!(ParallelDiscAll::with_threads(0).threads(), 1);
+    }
+}

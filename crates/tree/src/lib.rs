@@ -18,7 +18,7 @@
 //! position in `O(log n)`. The paper calls the rank bookkeeping the "access
 //! key"; the balance maintenance is the textbook AVL rotation set (Weiss,
 //! *Data Structures and Algorithm Analysis in C*, §4.4 — the paper's
-//! reference [14]).
+//! reference \[14\]).
 //!
 //! [`WeightedLocativeTree`] generalizes the augmentation from counts to
 //! per-value weights (`select_by_weight` finds the key at a cumulative

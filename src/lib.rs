@@ -8,12 +8,14 @@
 //!
 //! This facade crate re-exports the workspace:
 //!
-//! * [`core`](disc_core) — the sequence data model, comparative order, and
-//!   the [`SequentialMiner`] interface;
-//! * [`algo`](disc_algo) — [`DiscAll`] and [`DynamicDiscAll`];
-//! * [`baselines`](disc_baselines) — PrefixSpan, Pseudo, GSP, SPADE, SPAM;
-//! * [`datagen`](disc_datagen) — the synthetic customer-sequence generator;
-//! * [`tree`](disc_tree) — the locative AVL tree.
+//! * [`core`] — the sequence data model, comparative order, and the
+//!   [`SequentialMiner`](disc_core::SequentialMiner) interface;
+//! * [`algo`] — [`DiscAll`](disc_algo::DiscAll),
+//!   [`DynamicDiscAll`](disc_algo::DynamicDiscAll), and the sharded
+//!   [`ParallelDiscAll`](disc_algo::ParallelDiscAll);
+//! * [`baselines`] — PrefixSpan, Pseudo, GSP, SPADE, SPAM;
+//! * [`datagen`] — the synthetic customer-sequence generator;
+//! * [`tree`] — the locative AVL tree.
 //!
 //! ## Quickstart
 //!
@@ -45,12 +47,16 @@ pub use disc_tree as tree;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use disc_algo::{nrr_by_level, DiscAll, DynamicDiscAll, WeightedDatabase, WeightedDisc};
+    pub use disc_algo::{
+        nrr_by_level, DiscAll, DiscConfig, DynamicDiscAll, ParallelDiscAll, WeightedDatabase,
+        WeightedDisc,
+    };
     pub use disc_baselines::{Gsp, PrefixSpan, PseudoPrefixSpan, Spade, Spam};
     pub use disc_core::{
         parse_sequence, AbortReason, BruteForce, CancelToken, FallbackMiner, GuardStats,
         GuardedResult, Item, Itemset, MinSupport, MineGuard, MineOutcome, MiningResult,
-        ResourceBudget, Sequence, SequenceDatabase, SequentialMiner, StageReport, TopK,
+        ParallelExecutor, ResourceBudget, Sequence, SequenceDatabase, SequentialMiner, StageReport,
+        TopK,
     };
     pub use disc_datagen::QuestConfig;
 }
@@ -60,6 +66,7 @@ pub fn all_miners() -> Vec<Box<dyn disc_core::SequentialMiner>> {
     let mut miners: Vec<Box<dyn disc_core::SequentialMiner>> = vec![
         Box::new(disc_algo::DiscAll::default()),
         Box::new(disc_algo::DynamicDiscAll::default()),
+        Box::new(disc_algo::ParallelDiscAll::new()),
     ];
     miners.extend(disc_baselines::all_baselines());
     miners

@@ -39,6 +39,7 @@ fn every_miner() -> Vec<Box<dyn SequentialMiner>> {
     vec![
         Box::new(DiscAll::default()),
         Box::new(disc_miner::algo::DiscAll::without_bi_level()),
+        Box::new(ParallelDiscAll::with_threads(4)),
         Box::new(DynamicDiscAll::default()),
         Box::new(PrefixSpan::default()),
         Box::new(PseudoPrefixSpan::default()),

@@ -37,7 +37,7 @@ fn draw_len(rng: &mut TestRng, lo: usize, hi: usize) -> usize {
     lo + (rng.next_u64() as usize) % (hi - lo + 1)
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     lo: usize,
