@@ -17,12 +17,19 @@ pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(3600);
 /// bench-smoke job sets a short override so a hung run fails the job in
 /// seconds instead of an hour.
 pub fn deadline() -> Duration {
-    match std::env::var("DISC_BENCH_DEADLINE_SECS") {
-        Ok(v) => match v.trim().parse::<u64>() {
+    deadline_from(std::env::var("DISC_BENCH_DEADLINE_SECS").ok().as_deref())
+}
+
+/// The pure half of [`deadline`]: parses an optional
+/// `DISC_BENCH_DEADLINE_SECS` value, so tests can cover the override logic
+/// without mutating process-global environment state.
+fn deadline_from(override_secs: Option<&str>) -> Duration {
+    match override_secs {
+        Some(v) => match v.trim().parse::<u64>() {
             Ok(secs) if secs > 0 => Duration::from_secs(secs),
             _ => panic!("DISC_BENCH_DEADLINE_SECS must be a positive integer, got {v:?}"),
         },
-        Err(_) => DEFAULT_DEADLINE,
+        None => DEFAULT_DEADLINE,
     }
 }
 
@@ -134,13 +141,22 @@ mod tests {
     }
 
     #[test]
-    fn deadline_env_override() {
-        // A generous override value so concurrently running measure() tests
-        // are unaffected while this one observes the env var.
-        std::env::set_var("DISC_BENCH_DEADLINE_SECS", "7200");
-        assert_eq!(deadline(), Duration::from_secs(7200));
-        std::env::remove_var("DISC_BENCH_DEADLINE_SECS");
-        assert_eq!(deadline(), DEFAULT_DEADLINE);
+    fn deadline_override_parses() {
+        assert_eq!(deadline_from(Some("7200")), Duration::from_secs(7200));
+        assert_eq!(deadline_from(Some(" 5 ")), Duration::from_secs(5));
+        assert_eq!(deadline_from(None), DEFAULT_DEADLINE);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn deadline_override_rejects_zero() {
+        deadline_from(Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn deadline_override_rejects_garbage() {
+        deadline_from(Some("soon"));
     }
 
     #[test]

@@ -10,10 +10,14 @@
 //!
 //! * **Shared control** — every worker observes the coordinating guard's
 //!   token, budget, and deadline clock. Operation and pattern budgets are
-//!   enforced *globally* through [`SharedCounters`], not per worker.
+//!   enforced *globally* through [`SharedCounters`](crate::guard::SharedCounters) seeded with the
+//!   coordinator's pre-run spend, not per worker starting from zero.
 //! * **First-error propagation** — the first cooperative abort (deadline,
-//!   budget, external cancel) cancels the shared token, so sibling workers
-//!   stop at their next checkpoint instead of burning the rest of the queue.
+//!   budget, external cancel) cancels a run-local **child** of the caller's
+//!   token, so sibling workers stop at their next checkpoint instead of
+//!   burning the rest of the queue — while the caller's own token is never
+//!   cancelled by the run, so it stays usable afterwards (fallback chains
+//!   that retry after a budget abort depend on this).
 //! * **Per-worker panic isolation** — a panic inside one task is caught at
 //!   that task's boundary and recorded as [`AbortReason::Panicked`]; sibling
 //!   shards keep running and the panicking task's partial output survives.
@@ -29,7 +33,7 @@
 
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::guard::FaultPlan;
-use crate::guard::{AbortReason, GuardStats, MineGuard, MineOutcome, SharedCounters};
+use crate::guard::{AbortReason, GuardStats, MineGuard, MineOutcome};
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -111,8 +115,10 @@ struct QueueItem<T> {
 impl ParallelExecutor {
     /// Runs `tasks` on the pool under the control of `parent`.
     ///
-    /// Each task gets a fresh worker [`MineGuard`] sharing `parent`'s token,
-    /// budget, deadline clock, and checkpoint interval, with run-global
+    /// Each task gets a fresh worker [`MineGuard`] on a run-scoped child of
+    /// `parent`'s token (cancelling `parent`'s token stops the run; a run
+    /// abort never cancels `parent`'s token), sharing `parent`'s budget,
+    /// deadline clock, and checkpoint interval, with run-global
     /// operation/pattern accounting. `task_fn` receives the worker guard,
     /// the task, and an output slot that survives panics — fill it
     /// incrementally (patterns as their exact support is known) so aborted
@@ -189,10 +195,14 @@ impl ParallelExecutor {
                 stats: GuardStats { elapsed: start.elapsed(), ..GuardStats::default() },
             };
         }
-        let token = parent.token().clone();
+        // First-error propagation runs on a child of the caller's token:
+        // workers observe both, a sibling abort cancels only the child, and
+        // the caller's token comes out of the run un-poisoned — a later
+        // fallback stage on the same token must still be able to run.
+        let token = parent.token().child();
         let budget = parent.budget();
         let interval = parent.interval();
-        let shared = Arc::new(SharedCounters::new());
+        let shared = parent.run_counters();
         let queue = Mutex::new(items);
         let slots: Vec<Mutex<Option<TaskOutcome<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(n);
@@ -230,8 +240,10 @@ impl ParallelExecutor {
                         Ok(Ok(())) => MineOutcome::Complete,
                         Ok(Err(reason)) => {
                             // First-error propagation: stop the siblings —
-                            // they share the same deadline/budget/token, so
-                            // the first cooperative abort dooms them all.
+                            // they share the same deadline/budget/run token,
+                            // so the first cooperative abort dooms them all.
+                            // Cancelling the run-local child leaves the
+                            // caller's token untouched.
                             token.cancel();
                             MineOutcome::Partial { reason }
                         }
@@ -344,7 +356,96 @@ mod tests {
             run.tasks[0].outcome,
             MineOutcome::Partial { reason: AbortReason::BudgetExhausted }
         );
-        assert!(parent.token().is_cancelled());
+        assert!(
+            !parent.token().is_cancelled(),
+            "sibling propagation must not poison the caller's token"
+        );
+    }
+
+    #[test]
+    fn budget_abort_leaves_the_callers_token_usable() {
+        let token = CancelToken::new();
+        let budget = ResourceBudget::unlimited().with_max_ops(8);
+        let parent = MineGuard::new(token.clone(), budget).with_checkpoint_interval(1);
+        let run = ParallelExecutor::with_threads(2).run(
+            &parent,
+            (0..4usize).collect(),
+            |g, _, _: &mut ()| loop {
+                g.checkpoint()?;
+            },
+        );
+        assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::BudgetExhausted });
+        assert!(!token.is_cancelled());
+        // A fresh guard on the same caller-held token — a fallback stage,
+        // say — must still be able to run after the aborted fan-out.
+        let retry = MineGuard::new(token, ResourceBudget::unlimited()).with_checkpoint_interval(1);
+        assert_eq!(retry.checkpoint(), Ok(()));
+    }
+
+    #[test]
+    fn external_cancel_still_stops_the_workers() {
+        let token = CancelToken::new();
+        token.cancel();
+        let parent = MineGuard::new(token, ResourceBudget::unlimited()).with_checkpoint_interval(1);
+        let run = ParallelExecutor::with_threads(2).run(
+            &parent,
+            (0..4usize).collect(),
+            |_, _, _: &mut ()| panic!("task body must not run under a cancelled caller token"),
+        );
+        assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::Cancelled });
+    }
+
+    #[test]
+    fn run_budget_counts_the_coordinators_pre_run_spend() {
+        let budget = ResourceBudget::unlimited().with_max_ops(100);
+        let parent = MineGuard::new(CancelToken::new(), budget).with_checkpoint_interval(1);
+        parent.charge(90).unwrap();
+        let run = ParallelExecutor::with_threads(2).run(
+            &parent,
+            (0..4usize).collect(),
+            |g, _, _: &mut ()| {
+                for _ in 0..1_000_000 {
+                    g.checkpoint()?;
+                }
+                Ok(())
+            },
+        );
+        assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::BudgetExhausted });
+        // The workers inherit the coordinator's 90 already-spent ops, so
+        // they get roughly 10 more between them — not a fresh 100.
+        assert!(run.stats.ops < 50, "coordinator pre-run spend ignored: {:?}", run.stats);
+    }
+
+    #[test]
+    fn nested_runs_publish_into_the_outer_budget() {
+        let budget = ResourceBudget::unlimited().with_max_ops(64);
+        let parent = MineGuard::new(CancelToken::new(), budget).with_checkpoint_interval(1);
+        let run =
+            ParallelExecutor::with_threads(1).run(&parent, vec![0usize], |outer, _, _: &mut ()| {
+                // Each nested run completes well inside the budget on its
+                // own; the spend it publishes outward must accumulate until
+                // the outer budget trips.
+                for _ in 0..100 {
+                    let inner = ParallelExecutor::with_threads(2).run(
+                        outer,
+                        vec![0usize, 1],
+                        |g, _, _: &mut ()| {
+                            for _ in 0..10 {
+                                g.checkpoint()?;
+                            }
+                            Ok(())
+                        },
+                    );
+                    if let MineOutcome::Partial { reason } = inner.outcome {
+                        return Err(reason);
+                    }
+                }
+                Ok(())
+            });
+        assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::BudgetExhausted });
+        // 100 nested runs of ~20 ops would charge ~2000 ops if each one
+        // restarted the global counter at zero.
+        assert!(run.stats.ops < 200, "nested runs escaped the outer budget: {:?}", run.stats);
     }
 
     #[test]

@@ -43,25 +43,52 @@ use std::rc::Rc;
 /// Clone it, hand one copy to the mining thread (inside a [`MineGuard`]) and
 /// keep the other; [`CancelToken::cancel`] flips a shared atomic flag that
 /// the guard observes at its next checkpoint.
+///
+/// Tokens form a hierarchy: [`CancelToken::child`] derives a token that
+/// observes its parent's cancellation but can be cancelled on its own
+/// without touching the parent. The parallel executor scopes first-error
+/// propagation to a child per run, so an aborted run never poisons the
+/// caller's token (a cancelled token cannot be un-cancelled).
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    parent: Option<Arc<CancelToken>>,
 }
 
 impl CancelToken {
-    /// A fresh, un-cancelled token.
+    /// A fresh, un-cancelled token with no parent.
     pub fn new() -> CancelToken {
         CancelToken::default()
     }
 
-    /// Requests cancellation. Idempotent; never blocks.
+    /// Requests cancellation of this token — and, through observation, of
+    /// every child derived from it. Idempotent; never blocks. Cancelling a
+    /// child leaves its parent un-cancelled.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested on this token or any of its
+    /// ancestors.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        let mut next = self.parent.as_deref();
+        while let Some(token) = next {
+            if token.flag.load(Ordering::Relaxed) {
+                return true;
+            }
+            next = token.parent.as_deref();
+        }
+        false
+    }
+
+    /// A child token: cancelled when either it or this token (or any
+    /// ancestor) is cancelled, while cancelling the child has no effect on
+    /// this token.
+    pub fn child(&self) -> CancelToken {
+        CancelToken { flag: Arc::new(AtomicBool::new(false)), parent: Some(Arc::new(self.clone())) }
     }
 }
 
@@ -364,10 +391,36 @@ impl MineGuard {
     /// pattern as it merges shard results, which keeps the pattern cap exact.
     pub(crate) fn absorb_work(&self, stats: &GuardStats) {
         self.ops.set(self.ops.get().saturating_add(stats.ops));
-        // The absorbed ops were already budget-checked by the worker guards;
-        // mark them flushed so a shared-counter guard does not re-flush them.
+        // The absorbed ops were already budget-checked by the worker guards.
+        // Publish them to this guard's own run counters — when this guard is
+        // itself a worker of an outer run, a nested fan-out's work must reach
+        // the outer run's budget — and mark them flushed so the next full
+        // check does not publish them a second time.
+        if let Some(shared) = &self.shared {
+            shared.ops.fetch_add(stats.ops, Ordering::Relaxed);
+        }
         self.flushed.set(self.flushed.get().saturating_add(stats.ops));
         self.checkpoints.set(self.checkpoints.get().saturating_add(stats.checkpoints));
+    }
+
+    /// Fresh [`SharedCounters`] for a parallel run coordinated by this
+    /// guard, seeded with the guard's run-wide spend so far: workers then
+    /// enforce `max_ops`/`max_patterns` against the total *including* the
+    /// coordinator's pre-run work (and, in a nested run, everything already
+    /// published to the outer run's counters), instead of against counters
+    /// that restart at zero.
+    pub(crate) fn run_counters(&self) -> Arc<SharedCounters> {
+        let counters = SharedCounters::new();
+        let (ops, patterns) = match &self.shared {
+            Some(shared) => (
+                shared.ops().saturating_add(self.ops.get() - self.flushed.get()),
+                shared.patterns(),
+            ),
+            None => (self.ops.get(), self.patterns.get()),
+        };
+        counters.ops.store(ops, Ordering::Relaxed);
+        counters.patterns.store(patterns, Ordering::Relaxed);
+        Arc::new(counters)
     }
 
     /// A fresh guard for the next stage of a fallback chain: same token,
@@ -645,6 +698,30 @@ mod tests {
         guard.checkpoint().unwrap();
         token.cancel();
         assert_eq!(guard.checkpoint(), Err(AbortReason::Cancelled));
+    }
+
+    #[test]
+    fn child_token_observes_the_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        assert!(!child.is_cancelled());
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "cancelling a child must not cancel the parent");
+        let sibling = parent.child();
+        assert!(!sibling.is_cancelled(), "siblings are independent");
+        let grandchild = sibling.child();
+        parent.cancel();
+        assert!(sibling.is_cancelled());
+        assert!(grandchild.is_cancelled(), "cancellation is observed through the whole chain");
+    }
+
+    #[test]
+    fn child_token_clones_share_the_flag() {
+        let child = CancelToken::new().child();
+        let clone = child.clone();
+        child.cancel();
+        assert!(clone.is_cancelled());
     }
 
     #[test]

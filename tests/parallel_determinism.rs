@@ -290,6 +290,64 @@ fn poisoned_shard_does_not_tear_down_its_siblings() {
     );
 }
 
+/// A deliberately tiny fallback stage: frequent 1-sequences only, found by
+/// direct support counting — cheap enough to finish under any ops budget, so
+/// the test below isolates whether the stage was *allowed* to run at all.
+struct OneSequences;
+
+impl SequentialMiner for OneSequences {
+    fn name(&self) -> &str {
+        "OneSequences"
+    }
+    fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
+        let delta = min_support.resolve(db.len());
+        let mut result = MiningResult::new();
+        let Some(max_item) = db.max_item() else { return result };
+        for id in 0..=max_item.id() {
+            let pattern = Sequence::single(Item(id));
+            let support = support_count(db, &pattern);
+            if support >= delta {
+                result.insert(pattern, support);
+            }
+        }
+        result
+    }
+}
+
+#[test]
+fn budget_exhausted_parallel_stage_advances_to_the_fallback_stage() {
+    // The ops budget is sized to survive ParallelDiscAll's sequential prefix
+    // (two ~db.len()-op scans) and run dry inside the worker phase. The
+    // executor's first-error propagation must stop the sibling workers
+    // WITHOUT poisoning the caller's token: the fallback stage still runs,
+    // and its complete result — not an empty Cancelled echo — decides the
+    // chain.
+    let db = quest(33, 150, 5.0);
+    let threshold = MinSupport::Fraction(0.12);
+    let delta = threshold.resolve(db.len());
+    let chain = FallbackMiner::new(vec![
+        Box::new(ParallelDiscAll::with_threads(4)),
+        Box::new(OneSequences),
+    ]);
+    let budget = ResourceBudget::unlimited().with_max_ops(3 * db.len() as u64);
+    let guard = MineGuard::new(CancelToken::new(), budget).with_checkpoint_interval(16);
+    let (run, reports) = chain.run(&db, threshold, &guard);
+    assert_eq!(reports.len(), 2, "the chain must reach the fallback stage");
+    assert_eq!(reports[0].outcome, MineOutcome::Partial { reason: AbortReason::BudgetExhausted });
+    assert!(
+        reports[1].outcome.is_complete(),
+        "fallback stage was poisoned by the aborted parallel stage: {:?}",
+        reports[1].outcome
+    );
+    assert!(run.outcome.is_complete());
+    assert!(
+        !guard.token().is_cancelled(),
+        "the caller's token must survive a budget-aborted parallel run"
+    );
+    assert!(!run.result.is_empty(), "the deciding result must be the fallback stage's output");
+    assert_sound_subset("fallback after budget abort", &db, &run.result, delta);
+}
+
 #[test]
 fn fallback_chain_recovers_from_a_poisoned_shard() {
     // A production-shaped chain: the parallel miner with a poisoned shard
