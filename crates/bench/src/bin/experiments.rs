@@ -8,12 +8,12 @@
 //! finishes on a laptop; `--full` restores the paper's sizes; `--smoke` is
 //! the CI-sized sanity run. Raw measurements land in `target/experiments/`.
 
-use disc_bench::experiments;
 use disc_bench::workloads::Scale;
+use disc_bench::{experiments, flatbench};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]"
+        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]\n       experiments bench-flat [--smoke] [--check <BENCH_flat.json>]"
     );
     std::process::exit(2);
 }
@@ -25,22 +25,43 @@ fn main() {
     }
     let mut scale = Scale::Default;
     let mut which: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut expect_check_path = false;
     for arg in &args {
         match arg.as_str() {
+            _ if expect_check_path => {
+                check = Some(arg.to_string());
+                expect_check_path = false;
+            }
             "--smoke" => scale = Scale::Smoke,
             "--full" => scale = Scale::Full,
             "--default" => scale = Scale::Default,
+            "--check" => expect_check_path = true,
             name if !name.starts_with('-') && which.is_none() => {
                 which = Some(name.to_string());
             }
             _ => usage(),
         }
     }
+    if expect_check_path {
+        usage();
+    }
     let which = which.unwrap_or_else(|| usage());
     if !matches!(
         which.as_str(),
-        "fig8" | "fig9" | "fig10" | "table12" | "table13" | "table14" | "parallel" | "all"
+        "fig8"
+            | "fig9"
+            | "fig10"
+            | "table12"
+            | "table13"
+            | "table14"
+            | "parallel"
+            | "all"
+            | "bench-flat"
     ) {
+        usage();
+    }
+    if check.is_some() && which != "bench-flat" {
         usage();
     }
 
@@ -54,6 +75,17 @@ fn main() {
         "table14" => experiments::table14(scale),
         "parallel" => experiments::parallel(scale),
         "all" => experiments::all(scale),
+        "bench-flat" => match check {
+            None => {
+                flatbench::run(scale == Scale::Smoke);
+            }
+            Some(path) => {
+                if let Err(msg) = flatbench::check(std::path::Path::new(&path)) {
+                    eprintln!("bench-regression FAILED: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        },
         _ => usage(),
     }
 }

@@ -1,0 +1,261 @@
+//! The flat-representation benchmark: the workload pair behind the
+//! committed `BENCH_flat.json` baseline and CI's bench-regression gate.
+//!
+//! Two fixed Figure 8 (Table 11, minsup 0.0025) workloads:
+//!
+//! | name | customers | role |
+//! |---|---|---|
+//! | `smoke` | 1 000 | CI regression gate (seconds-scale) |
+//! | `medium` | 5 000 | the headline before/after speedup number |
+//!
+//! Each workload times sequential DISC-all (best of [`REPEATS`] runs — the
+//! minimum is the standard noise filter for single-machine timings), and
+//! `medium` additionally times `ParallelDiscAll` at four threads so the
+//! parallel path's behaviour on top of the flat representation stays
+//! visible in the trajectory.
+//!
+//! `--check <BENCH_flat.json>` compares the fresh smoke run against the
+//! committed baseline and fails (exit code 1) only on a >
+//! [`REGRESSION_TOLERANCE`]x wall-clock regression — generous on purpose,
+//! because CI machines differ from the machine that recorded the baseline.
+
+use crate::report::{persist, ToJson};
+use crate::runner::{assert_agreement, measure, measure_with_threads, Measurement};
+use crate::workloads::{fig8_db, WorkloadCache};
+use disc_algo::{DiscAll, ParallelDiscAll};
+use disc_core::{MinSupport, SequentialMiner};
+
+/// Same fixed seed as the experiment sweeps.
+const SEED: u64 = 20040330;
+/// Minimum support shared by both workloads (the Figure 8 threshold).
+const MINSUP: f64 = 0.0025;
+/// Timed runs per measurement; the minimum is reported.
+pub const REPEATS: usize = 3;
+/// `--check` fails only when the fresh smoke run is more than this many
+/// times slower than the committed baseline.
+pub const REGRESSION_TOLERANCE: f64 = 2.0;
+
+/// One flat-bench workload definition.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatWorkload {
+    /// Stable name used in the JSON report (`smoke` / `medium`).
+    pub name: &'static str,
+    /// Customer count for the Table 11 generator.
+    pub ncust: usize,
+    /// Whether the parallel miner is also timed on this workload.
+    pub with_parallel: bool,
+}
+
+/// The workload grid. `smoke` must stay cheap — CI times it on every push.
+pub fn workloads() -> [FlatWorkload; 2] {
+    [
+        FlatWorkload { name: "smoke", ncust: 1_000, with_parallel: false },
+        FlatWorkload { name: "medium", ncust: 5_000, with_parallel: true },
+    ]
+}
+
+/// Results for one workload: the sequential measurement and, when enabled,
+/// the four-thread parallel one.
+#[derive(Debug, Clone)]
+pub struct FlatRun {
+    /// The workload this run measured.
+    pub workload: FlatWorkload,
+    /// Best-of-[`REPEATS`] sequential DISC-all measurement.
+    pub sequential: Measurement,
+    /// Best-of-[`REPEATS`] `ParallelDiscAll` ×4 measurement, if enabled.
+    pub parallel4: Option<Measurement>,
+}
+
+impl ToJson for FlatRun {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"ncust\":{},\"minsup\":{},\"sequential\":{},\"parallel4\":{}}}",
+            self.workload.name.to_string().to_json(),
+            self.workload.ncust.to_json(),
+            MINSUP.to_json(),
+            self.sequential.to_json(),
+            self.parallel4.to_json()
+        )
+    }
+}
+
+fn best_of<F: FnMut() -> Measurement>(mut run: F) -> Measurement {
+    let mut best = run();
+    for _ in 1..REPEATS {
+        let m = run();
+        if m.seconds < best.seconds {
+            best = m;
+        }
+    }
+    best
+}
+
+/// Runs one workload and prints its rows.
+fn run_workload(cache: &WorkloadCache, w: FlatWorkload) -> FlatRun {
+    let db = cache.get(&fig8_db(w.ncust, SEED));
+    let minsup = MinSupport::Fraction(MINSUP);
+    let mut reference = None;
+    let sequential = best_of(|| {
+        let (m, result) = measure(&DiscAll::default(), &db, minsup, w.ncust as f64);
+        reference = Some(result);
+        m
+    });
+    let reference = reference.expect("at least one sequential run");
+    eprintln!(
+        "    {:<8} seq       {:>8.3}s  {:>10.0} rows/s  peak {:>6.1} MiB  {} patterns",
+        w.name,
+        sequential.seconds,
+        sequential.rows_per_sec,
+        sequential.peak_alloc_bytes as f64 / (1 << 20) as f64,
+        sequential.patterns
+    );
+    let parallel4 = w.with_parallel.then(|| {
+        let miner = ParallelDiscAll::with_threads(4);
+        let m = best_of(|| {
+            let (m, result) = measure_with_threads(&miner, &db, minsup, w.ncust as f64, 4);
+            assert_agreement(miner.name(), &result, &reference);
+            m
+        });
+        eprintln!(
+            "    {:<8} par ×4    {:>8.3}s  {:>10.0} rows/s  peak {:>6.1} MiB  {} patterns",
+            w.name,
+            m.seconds,
+            m.rows_per_sec,
+            m.peak_alloc_bytes as f64 / (1 << 20) as f64,
+            m.patterns
+        );
+        m
+    });
+    FlatRun { workload: w, sequential, parallel4 }
+}
+
+/// Runs the flat benchmark (smoke only, or both workloads), persists the
+/// report to `target/experiments/bench_flat.json`, and returns the runs.
+pub fn run(smoke_only: bool) -> Vec<FlatRun> {
+    println!("## Flat representation benchmark (Table 11, minsup {MINSUP})\n");
+    let cache = WorkloadCache::new();
+    let runs: Vec<FlatRun> = workloads()
+        .into_iter()
+        .filter(|w| !smoke_only || w.name == "smoke")
+        .map(|w| run_workload(&cache, w))
+        .collect();
+    println!("| workload | customers | seq (s) | rows/s | peak MiB | par ×4 (s) |");
+    println!("|---|---|---|---|---|---|");
+    for r in &runs {
+        println!(
+            "| {} | {} | {:.3} | {:.0} | {:.1} | {} |",
+            r.workload.name,
+            r.workload.ncust,
+            r.sequential.seconds,
+            r.sequential.rows_per_sec,
+            r.sequential.peak_alloc_bytes as f64 / (1 << 20) as f64,
+            r.parallel4.as_ref().map_or("-".to_string(), |m| format!("{:.3}", m.seconds)),
+        );
+    }
+    println!();
+    let _ = persist("bench_flat", &runs);
+    runs
+}
+
+/// Extracts `"<field>":<number>` from the named workload's object in a
+/// `BENCH_flat.json`-shaped document. Scans the text directly — the offline
+/// environment has no JSON parser, and the file format is produced by this
+/// crate's own `ToJson`, so `"name":"<workload>"` anchors the object and
+/// the first `"<field>":` after it belongs to that object's sequential
+/// measurement.
+pub fn extract_baseline(json: &str, workload: &str, field: &str) -> Option<f64> {
+    let anchor = format!("\"name\":\"{workload}\"");
+    let at = json.find(&anchor)? + anchor.len();
+    let rest = &json[at..];
+    let key = format!("\"{field}\":");
+    let v = &rest[rest.find(&key)? + key.len()..];
+    let end = v.find([',', '}', ']']).unwrap_or(v.len());
+    v[..end].trim().parse().ok()
+}
+
+/// The `--check` gate: compares a fresh smoke run against the committed
+/// baseline. Returns `Err` with a human-readable message on regression or
+/// on an unreadable baseline.
+pub fn check(baseline_path: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let committed = extract_baseline(&text, "smoke", "seconds")
+        .ok_or_else(|| format!("no smoke seconds in baseline {}", baseline_path.display()))?;
+    let committed_patterns = extract_baseline(&text, "smoke", "patterns");
+    let runs = run(true);
+    let fresh = &runs[0].sequential;
+    if let Some(expected) = committed_patterns {
+        if (fresh.patterns as f64 - expected).abs() > 0.5 {
+            return Err(format!(
+                "smoke pattern count changed: baseline {expected}, fresh {} — the workload or \
+                 miner semantics drifted, so the timing comparison is meaningless",
+                fresh.patterns
+            ));
+        }
+    }
+    let ratio = fresh.seconds / committed.max(1e-9);
+    println!(
+        "bench-regression: smoke {:.3}s vs committed {:.3}s ({}x, tolerance {}x)",
+        fresh.seconds,
+        committed,
+        crate::report::trim_float((ratio * 1000.0).round() / 1000.0),
+        REGRESSION_TOLERANCE
+    );
+    if ratio > REGRESSION_TOLERANCE {
+        return Err(format!(
+            "smoke workload regressed: {:.3}s is {ratio:.2}x the committed {committed:.3}s \
+             (tolerance {REGRESSION_TOLERANCE}x)",
+            fresh.seconds
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"machine":"x","runs":[
+        {"name":"smoke","ncust":1000,"minsup":0.0025,"sequential":{"miner":"DISC-all","param":1000,"seconds":0.123,"patterns":4242,"max_length":7,"threads":1,"rows_per_sec":8130.0,"peak_alloc_bytes":1048576},"parallel4":null},
+        {"name":"medium","ncust":5000,"minsup":0.0025,"sequential":{"miner":"DISC-all","param":5000,"seconds":0.9,"patterns":54169,"max_length":10,"threads":1,"rows_per_sec":5555.0,"peak_alloc_bytes":2097152},"parallel4":null}]}"#;
+
+    #[test]
+    fn extracts_the_right_workload() {
+        assert_eq!(extract_baseline(SAMPLE, "smoke", "seconds"), Some(0.123));
+        assert_eq!(extract_baseline(SAMPLE, "medium", "seconds"), Some(0.9));
+        assert_eq!(extract_baseline(SAMPLE, "smoke", "patterns"), Some(4242.0));
+        assert_eq!(extract_baseline(SAMPLE, "absent", "seconds"), None);
+        assert_eq!(extract_baseline(SAMPLE, "smoke", "absent_field"), None);
+    }
+
+    #[test]
+    fn workload_grid_is_stable() {
+        let ws = workloads();
+        assert_eq!(ws[0].name, "smoke");
+        assert!(!ws[0].with_parallel);
+        assert_eq!(ws[1].name, "medium");
+        assert!(ws[1].with_parallel);
+        assert!(ws[0].ncust < ws[1].ncust);
+    }
+
+    #[test]
+    fn flat_run_json_roundtrips_through_extractor() {
+        let run = FlatRun {
+            workload: workloads()[0],
+            sequential: Measurement {
+                miner: "DISC-all".into(),
+                param: 1000.0,
+                seconds: 0.25,
+                patterns: 17,
+                max_length: 4,
+                threads: 1,
+                rows_per_sec: 4000.0,
+                peak_alloc_bytes: 4096,
+            },
+            parallel4: None,
+        };
+        let json = vec![run].to_json();
+        assert_eq!(extract_baseline(&json, "smoke", "seconds"), Some(0.25));
+        assert_eq!(extract_baseline(&json, "smoke", "patterns"), Some(17.0));
+    }
+}

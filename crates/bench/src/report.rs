@@ -169,13 +169,15 @@ impl<A: ToJson, B: ToJson, C: ToJson, D: ToJson> ToJson for (A, B, C, D) {
 impl ToJson for Measurement {
     fn to_json(&self) -> String {
         format!(
-            "{{\"miner\":{},\"param\":{},\"seconds\":{},\"patterns\":{},\"max_length\":{},\"threads\":{}}}",
+            "{{\"miner\":{},\"param\":{},\"seconds\":{},\"patterns\":{},\"max_length\":{},\"threads\":{},\"rows_per_sec\":{},\"peak_alloc_bytes\":{}}}",
             self.miner.to_json(),
             self.param.to_json(),
             self.seconds.to_json(),
             self.patterns.to_json(),
             self.max_length.to_json(),
-            self.threads.to_json()
+            self.threads.to_json(),
+            self.rows_per_sec.to_json(),
+            self.peak_alloc_bytes.to_json()
         )
     }
 }
@@ -204,6 +206,8 @@ mod tests {
                 patterns: 10,
                 max_length: 3,
                 threads: 1,
+                rows_per_sec: 2.0,
+                peak_alloc_bytes: 1024,
             },
             Measurement {
                 miner: "B".into(),
@@ -212,6 +216,8 @@ mod tests {
                 patterns: 10,
                 max_length: 3,
                 threads: 1,
+                rows_per_sec: 0.8,
+                peak_alloc_bytes: 2048,
             },
         ];
         let t = runtime_table("n", &[1.0, 2.0], &miners, &measurements);
@@ -230,6 +236,23 @@ mod tests {
         assert!(t.contains("| δ | Original | 1 | 2 |"));
         assert!(t.contains("| 0.02 | 0.0027 | 0.1800 | - |"));
         assert!(t.contains("| 0.01 | 0.0022 | 0.1400 | 0.9200 |"));
+    }
+
+    #[test]
+    fn measurement_json_includes_throughput_and_peak() {
+        let m = Measurement {
+            miner: "A".into(),
+            param: 1.0,
+            seconds: 0.5,
+            patterns: 10,
+            max_length: 3,
+            threads: 1,
+            rows_per_sec: 2.0,
+            peak_alloc_bytes: 1024,
+        };
+        let json = m.to_json();
+        assert!(json.contains("\"rows_per_sec\":2"));
+        assert!(json.contains("\"peak_alloc_bytes\":1024"));
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub struct Measurement {
     pub max_length: usize,
     /// Worker threads the run used (1 = sequential).
     pub threads: usize,
+    /// Throughput: database rows mined per second.
+    pub rows_per_sec: f64,
+    /// The run's heap growth: high-water mark of live bytes during the run
+    /// minus live bytes at its start (from the harness's tracking
+    /// allocator), so retained data from earlier repeats — cached workloads,
+    /// the reference result — doesn't pollute the number. Representation
+    /// wins show up here even when wall time is noisy.
+    pub peak_alloc_bytes: usize,
 }
 
 /// Runs one miner once under [`deadline`] and records the measurement.
@@ -61,9 +69,12 @@ pub fn measure(
 ) -> (Measurement, MiningResult) {
     let guard =
         MineGuard::new(CancelToken::new(), ResourceBudget::unlimited().with_deadline(deadline()));
+    crate::alloc_track::reset_peak();
+    let live_at_start = crate::alloc_track::live_bytes();
     let start = Instant::now();
     let run = miner.mine_guarded(db, min_support, &guard);
     let seconds = start.elapsed().as_secs_f64();
+    let peak_alloc_bytes = crate::alloc_track::peak_bytes().saturating_sub(live_at_start);
     assert!(
         run.outcome.is_complete(),
         "{} aborted ({:?}) after {seconds:.1}s — raise the deadline or shrink the workload",
@@ -79,6 +90,8 @@ pub fn measure(
             patterns: result.len(),
             max_length: result.max_length(),
             threads: 1,
+            rows_per_sec: db.len() as f64 / seconds.max(1e-9),
+            peak_alloc_bytes,
         },
         result,
     )
@@ -128,6 +141,8 @@ mod tests {
         assert_eq!(m.patterns, 3);
         assert_eq!(m.max_length, 2);
         assert!(m.seconds >= 0.0);
+        assert!(m.rows_per_sec > 0.0);
+        assert!(m.peak_alloc_bytes > 0, "mining allocates, so the peak must be nonzero");
         assert_eq!(result.len(), 3);
     }
 

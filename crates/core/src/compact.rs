@@ -23,17 +23,40 @@ pub struct ItemMapping {
 }
 
 impl ItemMapping {
-    /// Builds the mapping for a database and returns the compacted copy.
-    pub fn compact(db: &SequenceDatabase) -> (ItemMapping, SequenceDatabase) {
+    /// Builds the mapping for a database **without** copying it — one scan
+    /// over the items, no remapped rows. Callers that find
+    /// [`is_identity`](ItemMapping::is_identity) or decide the mapping is
+    /// not [worthwhile](ItemMapping::is_worthwhile) can mine the original
+    /// database directly and skip the copy entirely.
+    pub fn analyze(db: &SequenceDatabase) -> ItemMapping {
         let mut originals: Vec<Item> =
             db.sequences().flat_map(|s| s.itemsets().iter().flat_map(|set| set.iter())).collect();
         originals.sort_unstable();
         originals.dedup();
-        let mapping = ItemMapping { originals };
-        let compacted = SequenceDatabase::from_rows(db.rows().iter().map(|row| {
-            (row.cid, map_sequence(&row.sequence, |i| mapping.to_compact(i).expect("item seen")))
-        }));
+        ItemMapping { originals }
+    }
+
+    /// Builds the mapping for a database and returns the compacted copy.
+    ///
+    /// When the ids are already dense from 0 the mapping is the identity
+    /// and the "copy" is a plain clone — no per-item remapping work.
+    pub fn compact(db: &SequenceDatabase) -> (ItemMapping, SequenceDatabase) {
+        let mapping = ItemMapping::analyze(db);
+        let compacted = mapping.remap_database(db);
         (mapping, compacted)
+    }
+
+    /// Rewrites a database onto compact ids. The database must be the one
+    /// (or a sub-database of the one) this mapping was
+    /// [analyzed](ItemMapping::analyze) from. Identity mappings clone
+    /// instead of remapping item by item.
+    pub fn remap_database(&self, db: &SequenceDatabase) -> SequenceDatabase {
+        if self.is_identity() {
+            return db.clone();
+        }
+        SequenceDatabase::from_rows(db.rows().iter().map(|row| {
+            (row.cid, map_sequence(&row.sequence, |i| self.to_compact(i).expect("item seen")))
+        }))
     }
 
     /// Number of distinct items (the compact id space is `0..len`).
@@ -137,6 +160,17 @@ mod tests {
         assert!(mapping.is_identity());
         assert!(!mapping.is_worthwhile());
         assert_eq!(db, compacted);
+    }
+
+    #[test]
+    fn analyze_matches_compact_mapping() {
+        let db = sparse_db();
+        let analyzed = ItemMapping::analyze(&db);
+        let (compacted_mapping, _) = ItemMapping::compact(&db);
+        assert_eq!(analyzed, compacted_mapping);
+        // A gapless id space analyzes to the identity without any copy.
+        let dense = SequenceDatabase::from_parsed(&["(a)(b, c)", "(c)"]).unwrap();
+        assert!(ItemMapping::analyze(&dense).is_identity());
     }
 
     #[test]

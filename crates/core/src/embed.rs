@@ -9,7 +9,8 @@
 //! pattern's last item), which is what the Apriori-KMS algorithm (Fig. 5)
 //! relies on.
 
-use crate::itemset::Itemset;
+use crate::flat::SeqView;
+use crate::itemset::{is_sorted_subset, Itemset};
 use crate::sequence::Sequence;
 
 /// Where the leftmost embedding of a pattern ends inside a customer sequence.
@@ -88,10 +89,29 @@ pub fn leftmost_end_txn(hay: &Sequence, pat: &Sequence) -> Option<usize> {
 /// transaction 0" (`Some(usize::MAX)` would be wrong; we return an
 /// `EmbeddingEnd` instead).
 pub fn leftmost_end_txn_or_start(hay: &Sequence, pat: &Sequence) -> Option<EmbeddingEnd> {
-    if pat.is_empty() {
-        return Some(EmbeddingEnd::BeforeStart);
+    view_leftmost_end(hay, pat.itemsets())
+}
+
+/// Allocation-free generic form of [`leftmost_end_txn_or_start`]: where the
+/// leftmost embedding of the pattern `pat_sets` ends inside the view `hay`,
+/// or `None` when not contained. Tracks only the last matched transaction —
+/// no embedding vector is built — so the mining hot loops call it per member
+/// without touching the heap.
+pub fn view_leftmost_end<'a, S: SeqView<'a>>(hay: S, pat_sets: &[Itemset]) -> Option<EmbeddingEnd> {
+    let mut from = 0usize;
+    let mut end = EmbeddingEnd::BeforeStart;
+    for set in pat_sets {
+        let n = hay.n_transactions();
+        let t = (from..n).find(|&t| is_sorted_subset(set.as_slice(), hay.itemset_items(t)))?;
+        end = EmbeddingEnd::At(t);
+        from = t + 1;
     }
-    leftmost_end_txn(hay, pat).map(EmbeddingEnd::At)
+    Some(end)
+}
+
+/// [`contains`] generalized over [`SeqView`]s.
+pub fn view_contains<'a, S: SeqView<'a>>(hay: S, pat: &Sequence) -> bool {
+    view_leftmost_end(hay, pat.itemsets()).is_some()
 }
 
 /// Where an embedding of a (possibly empty) pattern ends.

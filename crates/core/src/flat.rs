@@ -1,0 +1,567 @@
+//! Flat (CSR-style) sequence storage and zero-copy sequence views.
+//!
+//! The miners' hot paths — k-minimum-subsequence computation, counting-array
+//! scans, containment tests — spend their time walking itemsets of customer
+//! sequences. The nested [`Sequence`] → [`crate::Itemset`] → `Vec<Item>`
+//! representation scatters every transaction behind its own heap allocation,
+//! so those walks are pointer chases; and the partition machinery used to
+//! clone whole sequences (or reference-count them) just to regroup members.
+//!
+//! This module stores a whole collection of sequences in one contiguous
+//! **arena** of three parallel arrays (the classic CSR layout):
+//!
+//! ```text
+//! items:      [ a e g | b | h | f | c | b f | b | d f | e | ... ]
+//! set_starts: [ 0     3   4   5   6   7     9  10    12  13 ... ]   (+ final sentinel)
+//! row_sets:   [ 0, 6, 9, ... ]           row r's itemset boundaries are
+//!                                        set_starts[row_sets[r] ..= row_sets[r+1]]
+//! ```
+//!
+//! * a [`FlatSeq`] is a `Copy` **view** of one row — two borrowed slices, no
+//!   allocation, no reference counting;
+//! * the [`SeqView`] trait abstracts over `&Sequence` and [`FlatSeq`] so one
+//!   generic kernel (compare, embed, count, extend) serves both, selected by
+//!   monomorphization — the nested representation keeps working everywhere,
+//!   the flat one is used on the hot paths;
+//! * a [`FlatKey`] caches a sequence's flattened `(item, transaction-number)`
+//!   pairs so repeated comparisons (AVL-tree descents in the k-sorted
+//!   database) are a single slice comparison instead of re-deriving the
+//!   flattened form each time.
+//!
+//! Views never materialize owned [`Sequence`]s during mining; patterns are
+//! still built as owned sequences, but only at result-reporting time (they
+//! come from `prefix.extended(elem)` chains, never from members).
+
+use crate::database::SequenceDatabase;
+use crate::item::Item;
+use crate::itemset::Itemset;
+use crate::sequence::{ExtElem, ExtMode, Sequence};
+use std::marker::PhantomData;
+
+/// A read-only, `Copy`-able view of a sequence: everything the mining
+/// kernels need, implementable without owning the data.
+///
+/// Transaction numbers are positional — the flattened pair of the `i`-th
+/// item of transaction `t` is `(item, t + 1)` — so a view carries no
+/// explicit transaction-number storage.
+pub trait SeqView<'a>: Copy {
+    /// Number of transactions (itemsets).
+    fn n_transactions(self) -> usize;
+
+    /// The sorted items of transaction `t`.
+    fn itemset_items(self, t: usize) -> &'a [Item];
+
+    /// The paper's *length*: total item occurrences.
+    fn length(self) -> usize {
+        (0..self.n_transactions()).map(|t| self.itemset_items(t).len()).sum()
+    }
+
+    /// Index of the leftmost transaction containing `item` (the *minimum
+    /// point* of the `<(item)>`-partition the sequence lives in).
+    fn first_txn_containing(self, item: Item) -> Option<usize> {
+        (0..self.n_transactions()).find(|&t| self.itemset_items(t).binary_search(&item).is_ok())
+    }
+}
+
+impl<'a> SeqView<'a> for &'a Sequence {
+    #[inline]
+    fn n_transactions(self) -> usize {
+        Sequence::n_transactions(self)
+    }
+
+    #[inline]
+    fn itemset_items(self, t: usize) -> &'a [Item] {
+        self.itemset(t).as_slice()
+    }
+
+    #[inline]
+    fn length(self) -> usize {
+        Sequence::length(self)
+    }
+
+    fn first_txn_containing(self, item: Item) -> Option<usize> {
+        Sequence::first_txn_containing(self, item)
+    }
+}
+
+/// Iterates a view's flattened `(item, transaction-number)` pairs with
+/// 1-based transaction numbers — the generic counterpart of
+/// [`Sequence::flat_iter`].
+pub fn flat_pairs<'a, S: SeqView<'a>>(view: S) -> FlatPairs<'a, S> {
+    FlatPairs { view, txn: 0, idx: 0, _marker: PhantomData }
+}
+
+/// Iterator returned by [`flat_pairs`].
+#[derive(Debug, Clone)]
+pub struct FlatPairs<'a, S: SeqView<'a>> {
+    view: S,
+    txn: usize,
+    idx: usize,
+    _marker: PhantomData<&'a ()>,
+}
+
+impl<'a, S: SeqView<'a>> Iterator for FlatPairs<'a, S> {
+    type Item = (Item, u32);
+
+    fn next(&mut self) -> Option<(Item, u32)> {
+        while self.txn < self.view.n_transactions() {
+            let set = self.view.itemset_items(self.txn);
+            if self.idx < set.len() {
+                let item = set[self.idx];
+                self.idx += 1;
+                return Some((item, self.txn as u32 + 1));
+            }
+            self.txn += 1;
+            self.idx = 0;
+        }
+        None
+    }
+}
+
+/// One row of a [`FlatArena`]: a zero-copy sequence view (two slices).
+#[derive(Debug, Clone, Copy)]
+pub struct FlatSeq<'a> {
+    /// The arena's full item array; `sets` holds global indices into it.
+    items: &'a [Item],
+    /// This row's itemset boundaries: `n_transactions + 1` entries, so
+    /// transaction `t` spans `items[sets[t]..sets[t + 1]]`.
+    sets: &'a [u32],
+}
+
+impl<'a> FlatSeq<'a> {
+    /// Materializes an owned [`Sequence`] — tests and result conversion
+    /// only; mining kernels stay on the view.
+    pub fn to_sequence(self) -> Sequence {
+        Sequence::new(
+            (0..self.n_transactions())
+                .map(|t| Itemset::from_sorted(self.itemset_items(t).to_vec())),
+        )
+    }
+}
+
+impl<'a> SeqView<'a> for FlatSeq<'a> {
+    #[inline]
+    fn n_transactions(self) -> usize {
+        self.sets.len() - 1
+    }
+
+    #[inline]
+    fn itemset_items(self, t: usize) -> &'a [Item] {
+        &self.items[self.sets[t] as usize..self.sets[t + 1] as usize]
+    }
+
+    #[inline]
+    fn length(self) -> usize {
+        (self.sets[self.sets.len() - 1] - self.sets[0]) as usize
+    }
+}
+
+/// Contiguous CSR storage for a collection of sequences.
+///
+/// Rows are append-only except for [`FlatArena::pop_row`], which rolls back
+/// the most recent append — the reduction loop uses it to discard rows that
+/// shrink below usefulness without leaving holes.
+#[derive(Debug, Clone)]
+pub struct FlatArena {
+    /// All items of all rows, row-major, transactions in order, items
+    /// ascending within a transaction.
+    items: Vec<Item>,
+    /// Itemset boundaries into `items`, across all rows, with a trailing
+    /// sentinel (`set_starts[0] == 0`, last entry `== items.len()`).
+    set_starts: Vec<u32>,
+    /// Row `r`'s boundaries live at `set_starts[row_sets[r]..=row_sets[r+1]]`
+    /// (`row_sets.len() == n_rows + 1`).
+    row_sets: Vec<u32>,
+}
+
+impl Default for FlatArena {
+    fn default() -> FlatArena {
+        FlatArena::new()
+    }
+}
+
+impl FlatArena {
+    /// An empty arena.
+    pub fn new() -> FlatArena {
+        FlatArena { items: Vec::new(), set_starts: vec![0], row_sets: vec![0] }
+    }
+
+    /// An empty arena with item capacity reserved up front.
+    pub fn with_capacity(items: usize, sets: usize, rows: usize) -> FlatArena {
+        let mut arena = FlatArena::new();
+        arena.items.reserve(items);
+        arena.set_starts.reserve(sets);
+        arena.row_sets.reserve(rows);
+        arena
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.row_sets.len() - 1
+    }
+
+    /// True when no rows are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> FlatSeq<'_> {
+        let s0 = self.row_sets[r] as usize;
+        let s1 = self.row_sets[r + 1] as usize;
+        FlatSeq { items: &self.items, sets: &self.set_starts[s0..=s1] }
+    }
+
+    /// Iterates all row views in order.
+    pub fn rows(&self) -> impl Iterator<Item = FlatSeq<'_>> + '_ {
+        (0..self.len()).map(|r| self.row(r))
+    }
+
+    /// Appends a sequence as a new row; returns its row index.
+    pub fn push_sequence(&mut self, s: &Sequence) -> usize {
+        for set in s.itemsets() {
+            self.items.extend_from_slice(set.as_slice());
+            self.set_starts.push(self.items.len() as u32);
+        }
+        self.finish_row()
+    }
+
+    /// Appends a filtered copy of `src` as a new row, keeping only item
+    /// occurrences accepted by `keep(txn_index, item)`. Emptied transactions
+    /// disappear (later transactions renumber implicitly — boundaries are
+    /// positional). Returns the new row index; the row may be empty.
+    pub fn push_filtered<'a, S: SeqView<'a>>(
+        &mut self,
+        src: S,
+        mut keep: impl FnMut(usize, Item) -> bool,
+    ) -> usize {
+        for t in 0..src.n_transactions() {
+            let before = self.items.len();
+            for &item in src.itemset_items(t) {
+                if keep(t, item) {
+                    self.items.push(item);
+                }
+            }
+            if self.items.len() > before {
+                self.set_starts.push(self.items.len() as u32);
+            }
+        }
+        self.finish_row()
+    }
+
+    fn finish_row(&mut self) -> usize {
+        self.row_sets.push((self.set_starts.len() - 1) as u32);
+        self.len() - 1
+    }
+
+    /// Rolls back the most recently appended row, reclaiming its storage.
+    pub fn pop_row(&mut self) {
+        let r = self.len().checked_sub(1).expect("pop_row on an empty arena");
+        let first_set = self.row_sets[r] as usize;
+        self.row_sets.pop();
+        self.set_starts.truncate(first_set + 1);
+        self.items.truncate(self.set_starts[first_set] as usize);
+    }
+}
+
+/// A whole [`SequenceDatabase`] in flat storage: built once per mining run,
+/// shared read-only across partition walks and parallel shards.
+#[derive(Debug, Clone)]
+pub struct FlatDb {
+    arena: FlatArena,
+}
+
+impl FlatDb {
+    /// Copies every database row into one contiguous arena.
+    pub fn from_database(db: &SequenceDatabase) -> FlatDb {
+        let total_items: usize = db.sequences().map(Sequence::length).sum();
+        let total_sets: usize = db.sequences().map(Sequence::n_transactions).sum();
+        let mut arena = FlatArena::with_capacity(total_items, total_sets + 1, db.len() + 1);
+        for seq in db.sequences() {
+            arena.push_sequence(seq);
+        }
+        FlatDb { arena }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// True when the database had no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// The view of row `i` (same index space as the source database).
+    #[inline]
+    pub fn row(&self, i: usize) -> FlatSeq<'_> {
+        self.arena.row(i)
+    }
+
+    /// Iterates all row views in database order.
+    pub fn rows(&self) -> impl Iterator<Item = FlatSeq<'_>> + '_ {
+        self.arena.rows()
+    }
+}
+
+/// A sequence key stored directly in flattened form: the `(item,
+/// transaction-number)` pairs of Definition 2.1, compared lexicographically
+/// — which is exactly the comparative order (Definition 2.2), since Rust
+/// orders `Vec<(Item, u32)>` lexicographically with shorter prefixes
+/// smaller.
+///
+/// Keying the k-sorted database's AVL tree by `FlatKey` memoizes the
+/// flattening (every tree descent is one slice compare), and because the
+/// flattened form is invertible, no nested [`Sequence`] is stored at all:
+/// one is reconstructed only when a key is reported or split into a
+/// re-keying condition. Keys drained and discarded by the Lemma 2.2 skips
+/// never materialize one.
+#[derive(Debug, Clone)]
+pub struct FlatKey {
+    flat: Vec<(Item, u32)>,
+}
+
+impl FlatKey {
+    /// Flattens `seq` into a key.
+    pub fn new(seq: &Sequence) -> FlatKey {
+        let mut flat = Vec::with_capacity(seq.length());
+        flat.extend(seq.flat_iter());
+        FlatKey { flat }
+    }
+
+    /// The key of `self` extended by `elem` — an extension element always
+    /// appends exactly one flattened pair, so no sequence is built.
+    pub fn extended(&self, elem: ExtElem) -> FlatKey {
+        let last_txn = self.flat.last().map_or(0, |&(_, t)| t);
+        debug_assert!(
+            last_txn > 0 || elem.mode == ExtMode::Sequence,
+            "itemset extension of an empty key"
+        );
+        let txn = match elem.mode {
+            ExtMode::Itemset => last_txn,
+            ExtMode::Sequence => last_txn + 1,
+        };
+        let mut flat = Vec::with_capacity(self.flat.len() + 1);
+        flat.extend_from_slice(&self.flat);
+        flat.push((elem.item, txn));
+        FlatKey { flat }
+    }
+
+    /// Reconstructs the nested sequence (the flattening is invertible:
+    /// transaction numbers recover the grouping).
+    pub fn to_sequence(&self) -> Sequence {
+        let mut itemsets = Vec::with_capacity(self.flat.last().map_or(0, |&(_, t)| t as usize));
+        let mut i = 0;
+        while i < self.flat.len() {
+            let txn = self.flat[i].1;
+            let mut items = Vec::new();
+            while i < self.flat.len() && self.flat[i].1 == txn {
+                items.push(self.flat[i].0);
+                i += 1;
+            }
+            itemsets.push(Itemset::from_sorted(items));
+        }
+        Sequence::new(itemsets)
+    }
+
+    /// [`FlatKey::to_sequence`], consuming the key.
+    pub fn into_sequence(self) -> Sequence {
+        self.to_sequence()
+    }
+
+    /// The flattened pairs.
+    #[inline]
+    pub fn pairs(&self) -> &[(Item, u32)] {
+        &self.flat
+    }
+}
+
+// The flattened form is invertible (transaction numbers recover the
+// grouping), so pair equality coincides with sequence equality and the
+// manual impls below stay consistent with each other.
+impl PartialEq for FlatKey {
+    fn eq(&self, other: &FlatKey) -> bool {
+        self.flat == other.flat
+    }
+}
+
+impl Eq for FlatKey {}
+
+impl PartialOrd for FlatKey {
+    fn partial_cmp(&self, other: &FlatKey) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FlatKey {
+    fn cmp(&self, other: &FlatKey) -> std::cmp::Ordering {
+        self.flat.cmp(&other.flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::cmp_sequences;
+    use crate::parse::parse_sequence;
+
+    fn seq(s: &str) -> Sequence {
+        parse_sequence(s).unwrap()
+    }
+
+    fn item(c: char) -> Item {
+        Item::from_letter(c).unwrap()
+    }
+
+    #[test]
+    fn arena_round_trips_sequences() {
+        let texts = ["(a,e,g)(b)(h)(f)(c)(b,f)", "(b)(d,f)(e)", "(b,f,g)", "(f)(a,g)(b,f,h)(b,f)"];
+        let mut arena = FlatArena::new();
+        for t in &texts {
+            arena.push_sequence(&seq(t));
+        }
+        assert_eq!(arena.len(), texts.len());
+        for (r, t) in texts.iter().enumerate() {
+            let original = seq(t);
+            let view = arena.row(r);
+            assert_eq!(view.to_sequence(), original, "row {r}");
+            assert_eq!(view.length(), original.length());
+            assert_eq!(view.n_transactions(), original.n_transactions());
+        }
+    }
+
+    #[test]
+    fn view_flat_pairs_match_flat_iter() {
+        let s = seq("(a)(b)(c,d)(e)");
+        let mut arena = FlatArena::new();
+        arena.push_sequence(&s);
+        let via_view: Vec<(Item, u32)> = flat_pairs(arena.row(0)).collect();
+        let via_seq: Vec<(Item, u32)> = s.flat_iter().collect();
+        assert_eq!(via_view, via_seq);
+        // And through the &Sequence impl of the trait.
+        let via_ref: Vec<(Item, u32)> = flat_pairs(&s).collect();
+        assert_eq!(via_ref, via_seq);
+    }
+
+    #[test]
+    fn push_filtered_drops_occurrences_and_renumbers() {
+        // Table 6 -> Table 7: CID 1 (a,d)(d)(a,g,h)(c) reduced to (a)(a,g,h)(c).
+        let s = seq("(a,d)(d)(a,g,h)(c)");
+        let mut arena = FlatArena::new();
+        let r = arena.push_filtered(&s, |_, i| i != item('d'));
+        assert_eq!(arena.row(r).to_sequence(), seq("(a)(a,g,h)(c)"));
+        // The emptied second transaction vanished: 3 transactions remain.
+        assert_eq!(arena.row(r).n_transactions(), 3);
+    }
+
+    #[test]
+    fn pop_row_reclaims_storage() {
+        let mut arena = FlatArena::new();
+        arena.push_sequence(&seq("(a,b)(c)"));
+        let before = arena.clone();
+        arena.push_sequence(&seq("(d)(e,f)"));
+        arena.pop_row();
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.items, before.items);
+        assert_eq!(arena.set_starts, before.set_starts);
+        assert_eq!(arena.row_sets, before.row_sets);
+        // The arena stays usable after a rollback.
+        let r = arena.push_sequence(&seq("(g)"));
+        assert_eq!(arena.row(r).to_sequence(), seq("(g)"));
+    }
+
+    #[test]
+    fn empty_rows_are_representable() {
+        let mut arena = FlatArena::new();
+        let r = arena.push_filtered(&seq("(a)(b)"), |_, _| false);
+        assert_eq!(arena.row(r).n_transactions(), 0);
+        assert_eq!(arena.row(r).length(), 0);
+        assert_eq!(arena.row(r).to_sequence(), Sequence::empty());
+    }
+
+    #[test]
+    fn flat_db_mirrors_the_database() {
+        let db = SequenceDatabase::from_parsed(&["(a,e,g)(b)", "(b)(d,f)(e)", "(b,f,g)"]).unwrap();
+        let flat = FlatDb::from_database(&db);
+        assert_eq!(flat.len(), db.len());
+        for i in 0..db.len() {
+            assert_eq!(&flat.row(i).to_sequence(), db.sequence(i));
+        }
+        assert!(FlatDb::from_database(&SequenceDatabase::new()).is_empty());
+    }
+
+    #[test]
+    fn view_first_txn_containing_matches_sequence() {
+        let s = seq("(b)(a)(f)(a,c,e,g)");
+        let mut arena = FlatArena::new();
+        arena.push_sequence(&s);
+        let view = arena.row(0);
+        for c in ['a', 'b', 'c', 'f', 'g', 'z'] {
+            assert_eq!(
+                view.first_txn_containing(item(c)),
+                s.first_txn_containing(item(c)),
+                "item {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_key_order_is_the_comparative_order() {
+        let texts = [
+            "(a)(b)(h)",
+            "(a)(c)(f)",
+            "(a,b)(c)",
+            "(a)(b,c)",
+            "(a)(b)",
+            "(a)(b)(c)",
+            "(b,f,g)",
+            "(a,c,d)(b,d)",
+            "(a,d,e)(a)",
+        ];
+        for x in &texts {
+            for y in &texts {
+                let (sx, sy) = (seq(x), seq(y));
+                assert_eq!(
+                    FlatKey::new(&sx).cmp(&FlatKey::new(&sy)),
+                    cmp_sequences(&sx, &sy),
+                    "{x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_key_round_trips_its_sequence() {
+        let s = seq("(a)(b,c)");
+        let key = FlatKey::new(&s);
+        assert_eq!(key.pairs(), &[(item('a'), 1), (item('b'), 2), (item('c'), 2)]);
+        assert_eq!(key.to_sequence(), s);
+        assert_eq!(key.into_sequence(), s);
+        for t in ["(a)", "(a,b,c)", "(a)(a)(a)", "(b,f,g)(a)(c,d)"] {
+            assert_eq!(FlatKey::new(&seq(t)).to_sequence(), seq(t), "{t}");
+        }
+    }
+
+    #[test]
+    fn flat_key_extension_appends_one_pair() {
+        let key = FlatKey::new(&seq("(a)(b)"));
+        let itemset_ext = key.extended(ExtElem { item: item('c'), mode: ExtMode::Itemset });
+        assert_eq!(itemset_ext.to_sequence(), seq("(a)(b,c)"));
+        let seq_ext = key.extended(ExtElem { item: item('a'), mode: ExtMode::Sequence });
+        assert_eq!(seq_ext.to_sequence(), seq("(a)(b)(a)"));
+        // Agrees with the nested extension for both modes.
+        for (elem, text) in [
+            (ExtElem { item: item('z'), mode: ExtMode::Itemset }, "(a)(b)"),
+            (ExtElem { item: item('a'), mode: ExtMode::Sequence }, "(a)(b)"),
+        ] {
+            let s = seq(text);
+            assert_eq!(FlatKey::new(&s).extended(elem), FlatKey::new(&s.extended(elem)));
+        }
+    }
+}

@@ -129,8 +129,9 @@ impl Itemset {
     }
 }
 
-/// `a ⊆ b` for sorted duplicate-free slices.
-pub(crate) fn is_sorted_subset(a: &[Item], b: &[Item]) -> bool {
+/// `a ⊆ b` for sorted duplicate-free slices — the raw-slice form of
+/// [`Itemset::is_subset_of`], for callers walking flat storage.
+pub fn is_sorted_subset(a: &[Item], b: &[Item]) -> bool {
     let mut bi = b.iter();
     'outer: for x in a {
         for y in bi.by_ref() {

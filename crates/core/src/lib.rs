@@ -57,6 +57,7 @@ pub mod database;
 pub mod embed;
 pub mod error;
 pub mod executor;
+pub mod flat;
 pub mod guard;
 pub mod item;
 pub mod itemset;
@@ -77,6 +78,7 @@ pub use database::{CustomerId, CustomerSequence, SequenceDatabase};
 pub use embed::{contains, leftmost_embedding, leftmost_match_end, MatchPoint};
 pub use error::ParseError;
 pub use executor::{ParallelExecutor, ParallelRun, TaskOutcome};
+pub use flat::{flat_pairs, FlatArena, FlatDb, FlatKey, FlatSeq, SeqView};
 #[cfg(any(test, feature = "fault-injection"))]
 pub use guard::FaultPlan;
 pub use guard::{
@@ -84,10 +86,10 @@ pub use guard::{
     MineOutcome, ResourceBudget, SharedCounters, StageReport,
 };
 pub use item::Item;
-pub use itemset::Itemset;
+pub use itemset::{is_sorted_subset, Itemset};
 pub use kmin::{all_k_subsequences, min_k_subsequence_naive};
 pub use miner::SequentialMiner;
-pub use order::{cmp_sequences, differential_point};
+pub use order::{cmp_sequences, cmp_views, differential_point};
 pub use parse::{parse_item, parse_sequence};
 pub use result::MiningResult;
 pub use sequence::{ExtElem, ExtMode, Sequence};

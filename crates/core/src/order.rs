@@ -17,6 +17,7 @@
 //! order, which is what lets DISC sort a database by k-minimum subsequences
 //! and read frequency off ranks.
 
+use crate::flat::{flat_pairs, SeqView};
 use crate::sequence::Sequence;
 use std::cmp::Ordering;
 
@@ -38,6 +39,25 @@ use std::cmp::Ordering;
 pub fn cmp_sequences(a: &Sequence, b: &Sequence) -> Ordering {
     let mut ia = a.flat_iter();
     let mut ib = b.flat_iter();
+    loop {
+        match (ia.next(), ib.next()) {
+            (None, None) => return Ordering::Equal,
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+            (Some((xi, xn)), Some((yi, yn))) => match xi.cmp(&yi).then(xn.cmp(&yn)) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            },
+        }
+    }
+}
+
+/// [`cmp_sequences`] generalized over [`SeqView`]s, so flat storage rows
+/// compare against each other (or against nested sequences) without
+/// materializing anything.
+pub fn cmp_views<'x, 'y>(a: impl SeqView<'x>, b: impl SeqView<'y>) -> Ordering {
+    let mut ia = flat_pairs(a);
+    let mut ib = flat_pairs(b);
     loop {
         match (ia.next(), ib.next()) {
             (None, None) => return Ordering::Equal,
@@ -150,6 +170,18 @@ mod tests {
         // No: Table 4 lists (b)(d)(e), (b,f)(b), (b,f,g), (b)(f)(b) — check pairwise).
         assert!(seq("(b)(d)(e)") < seq("(b,f)(b)"));
         assert!(seq("(b,f)(b)") < seq("(b,f,g)"));
+    }
+
+    #[test]
+    fn cmp_views_agrees_with_cmp_sequences() {
+        let texts =
+            ["(a)(b)(h)", "(a)(c)(f)", "(a,b)(c)", "(a)(b,c)", "(a)(b)", "(a)(b)(c)", "(b,f,g)"];
+        for x in &texts {
+            for y in &texts {
+                let (sx, sy) = (seq(x), seq(y));
+                assert_eq!(cmp_views(&sx, &sy), cmp_sequences(&sx, &sy), "{x} vs {y}");
+            }
+        }
     }
 
     #[test]

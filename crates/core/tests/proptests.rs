@@ -3,10 +3,11 @@
 //! subsequences really are minima, and the brute-force miner is exactly the
 //! definitional frequent set.
 
+use disc_core::embed::view_contains;
 use disc_core::{
-    all_k_subsequences, cmp_sequences, contains, min_k_subsequence_naive, parse_sequence,
-    support_count, BruteForce, Item, Itemset, MinSupport, ParseError, Sequence, SequenceDatabase,
-    SequentialMiner,
+    all_k_subsequences, cmp_sequences, cmp_views, contains, flat_pairs, min_k_subsequence_naive,
+    parse_sequence, support_count, BruteForce, FlatDb, FlatKey, Item, Itemset, MinSupport,
+    ParseError, Sequence, SequenceDatabase, SequentialMiner,
 };
 use proptest::prelude::*;
 use std::cmp::Ordering;
@@ -207,6 +208,43 @@ proptest! {
     #[test]
     fn parse_accepts_what_display_produces(s in arb_sequence(40)) {
         prop_assert_eq!(parse_sequence(&s.to_string()).unwrap(), s);
+    }
+
+    #[test]
+    fn flat_rows_mirror_their_sequences(db in arb_db(8, 8)) {
+        // The CSR arena is a lossless re-layout: every row converts back to
+        // its source sequence, and the borrowed view flattens to exactly the
+        // same (item, transaction-number) stream as the nested walk.
+        let flat = FlatDb::from_database(&db);
+        prop_assert_eq!(flat.len(), db.len());
+        for (row, src) in flat.rows().zip(db.sequences()) {
+            prop_assert_eq!(&row.to_sequence(), src);
+            let via_view: Vec<(Item, u32)> = flat_pairs(row).collect();
+            let via_seq: Vec<(Item, u32)> = src.flat_iter().collect();
+            prop_assert_eq!(via_view, via_seq);
+        }
+    }
+
+    #[test]
+    fn flat_comparisons_match_the_comparative_order(
+        a in arb_sequence(6), b in arb_sequence(6)
+    ) {
+        // Both memoized forms of the comparison — the borrowed-view walk and
+        // the precomputed FlatKey — agree with the nested reference.
+        let reference = cmp_sequences(&a, &b);
+        let db = SequenceDatabase::from_sequences([a.clone(), b.clone()]);
+        let flat = FlatDb::from_database(&db);
+        prop_assert_eq!(cmp_views(flat.row(0), flat.row(1)), reference);
+        prop_assert_eq!(FlatKey::new(&a).cmp(&FlatKey::new(&b)), reference);
+        prop_assert_eq!(&FlatKey::new(&a).to_sequence(), &a);
+    }
+
+    #[test]
+    fn view_containment_matches_contains(db in arb_db(5, 6), pat in arb_sequence(5)) {
+        let flat = FlatDb::from_database(&db);
+        for (row, src) in flat.rows().zip(db.sequences()) {
+            prop_assert_eq!(view_contains(row, &pat), contains(src, &pat));
+        }
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //!   prefix `> X` makes the whole k-sequence exceed `α_δ` regardless of the
 //!   element, so the plain minimum extension applies (step 13).
 
-use crate::kms::{min_extension_where, Kms};
-use disc_core::{ExtElem, ExtMode, Sequence};
+use crate::kms::{min_extension_where, Kms, RawKms};
+use disc_core::{ExtElem, ExtMode, SeqView, Sequence};
 
 /// The bound comparison mode `Ω` of Definition 2.5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,18 +62,19 @@ impl Condition {
     }
 }
 
-/// Apriori-CKMS (Figure 6): the conditional k-minimum subsequence of `s`
-/// under `cond`, starting the prefix walk at the apriori pointer `ptr`.
+/// Apriori-CKMS (Figure 6) in raw form: the conditional k-minimum
+/// subsequence of `s` under `cond`, starting the prefix walk at the apriori
+/// pointer `ptr`, as a prefix index plus extension element.
 ///
 /// Returns `None` when the customer sequence supports no k-sequence (with a
 /// frequent prefix) past the bound — the customer leaves the k-sorted
 /// database.
-pub fn apriori_ckms(
-    s: &Sequence,
+pub fn apriori_ckms_raw<'a, S: SeqView<'a>>(
+    s: S,
     freq_prev: &[Sequence],
     ptr: usize,
     cond: &Condition,
-) -> Option<Kms> {
+) -> Option<RawKms> {
     // Steps 4–7: advance to the first frequent (k-1)-sequence ≥ X.
     let mut p = ptr;
     while p < freq_prev.len() && freq_prev[p] < cond.prefix {
@@ -90,11 +91,21 @@ pub fn apriori_ckms(
             min_extension_where(s, f, |_| true)
         };
         if let Some(elem) = elem {
-            return Some(Kms { key: f.extended(elem), ptr: p });
+            return Some(RawKms { ptr: p, elem });
         }
         p += 1;
     }
     None
+}
+
+/// [`apriori_ckms_raw`] with the key sequence materialized.
+pub fn apriori_ckms<'a, S: SeqView<'a>>(
+    s: S,
+    freq_prev: &[Sequence],
+    ptr: usize,
+    cond: &Condition,
+) -> Option<Kms> {
+    apriori_ckms_raw(s, freq_prev, ptr, cond).map(|raw| raw.into_kms(freq_prev))
 }
 
 #[cfg(test)]

@@ -16,8 +16,8 @@
 //! transaction, so they dominate every other embedding's candidate set.
 
 use disc_core::{
-    embed::{leftmost_end_txn_or_start, EmbeddingEnd},
-    ExtElem, ExtMode, Item, Itemset, Sequence,
+    embed::{view_leftmost_end, EmbeddingEnd},
+    is_sorted_subset, ExtElem, ExtMode, Item, Itemset, SeqView, Sequence,
 };
 
 /// The counting array: per item, the supports of the two extension forms.
@@ -58,22 +58,30 @@ impl CountingArray {
     ///
     /// Members are expected to contain `prefix` (partition membership
     /// guarantees it); a member that does not contributes nothing.
-    pub fn add_member(&mut self, member: &Sequence, prefix: &Sequence) {
+    pub fn add_member<'a, S: SeqView<'a>>(&mut self, member: S, prefix: &Sequence) {
         self.add_member_weighted(member, prefix, 1);
     }
 
     /// Like [`CountingArray::add_member`], but the member contributes
     /// `weight` units of support to each of its extensions — the weighted
     /// counting used by [`crate::weighted`].
-    pub fn add_member_weighted(&mut self, member: &Sequence, prefix: &Sequence, weight: u64) {
+    ///
+    /// Generic over [`SeqView`] and allocation-free: β is a borrowed slice
+    /// of the prefix's itemsets.
+    pub fn add_member_weighted<'a, S: SeqView<'a>>(
+        &mut self,
+        member: S,
+        prefix: &Sequence,
+        weight: u64,
+    ) {
         self.current += 1;
         self.current_weight = weight;
 
         if prefix.is_empty() {
             // Root scan: frequent 1-sequences. Every distinct item counts as
             // a sequence extension of the empty prefix.
-            for set in member.itemsets() {
-                for item in set.iter() {
+            for t in 0..member.n_transactions() {
+                for &item in member.itemset_items(t) {
                     self.mark_seq(item);
                 }
             }
@@ -82,27 +90,27 @@ impl CountingArray {
 
         // Sequence extensions: items strictly after the leftmost embedding
         // of the whole prefix.
-        let Some(EmbeddingEnd::At(end_pi)) = leftmost_end_txn_or_start(member, prefix) else {
+        let Some(EmbeddingEnd::At(end_pi)) = view_leftmost_end(member, prefix.itemsets()) else {
             return; // prefix not contained
         };
-        for set in &member.itemsets()[end_pi + 1..] {
-            for item in set.iter() {
+        for t in end_pi + 1..member.n_transactions() {
+            for &item in member.itemset_items(t) {
                 self.mark_seq(item);
             }
         }
 
         // Itemset extensions: β = prefix minus its last itemset.
         let last = prefix.last_itemset().expect("non-empty prefix");
-        let beta = Sequence::new(prefix.itemsets()[..prefix.n_transactions() - 1].to_vec());
-        let beta_end = leftmost_end_txn_or_start(member, &beta)
-            .expect("prefix contained implies beta contained");
+        let beta_sets = &prefix.itemsets()[..prefix.n_transactions() - 1];
+        let beta_end =
+            view_leftmost_end(member, beta_sets).expect("prefix contained implies beta contained");
         let max_last = last.max_item();
-        for set in &member.itemsets()[beta_end.next_txn()..] {
-            if last.is_subset_of(set) {
-                for item in set.iter() {
-                    if item > max_last {
-                        self.mark_item(item);
-                    }
+        for t in beta_end.next_txn()..member.n_transactions() {
+            let set = member.itemset_items(t);
+            if is_sorted_subset(last.as_slice(), set) {
+                let from = set.partition_point(|&i| i <= max_last);
+                for &item in &set[from..] {
+                    self.mark_item(item);
                 }
             }
         }
@@ -164,9 +172,9 @@ impl CountingArray {
 
 /// Convenience: scans `members` once and returns the counting array for
 /// `prefix`.
-pub fn count_extensions<'a>(
+pub fn count_extensions<'a, S: SeqView<'a>>(
     prefix: &Sequence,
-    members: impl IntoIterator<Item = &'a Sequence>,
+    members: impl IntoIterator<Item = S>,
     n_items: usize,
 ) -> CountingArray {
     let mut array = CountingArray::new(n_items);

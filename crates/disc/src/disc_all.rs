@@ -3,15 +3,12 @@
 
 use crate::counting::count_extensions;
 use crate::discovery::discover_frequent_k_guarded;
-use crate::partition::{
-    group_by_min_item_guarded, min_ext_elem, next_frequent_item, reduce_sequence,
-};
+use crate::partition::{group_by_min_item_guarded, min_ext_elem, next_frequent_item, reduce_into};
 use disc_core::{
-    run_guarded, AbortReason, ExtElem, GuardedResult, Item, MinSupport, MineGuard, MiningResult,
-    Sequence, SequenceDatabase, SequentialMiner,
+    run_guarded, AbortReason, ExtElem, FlatArena, FlatDb, GuardedResult, Item, MinSupport,
+    MineGuard, MiningResult, SeqView, Sequence, SequenceDatabase, SequentialMiner,
 };
 use std::collections::BTreeMap;
-use std::rc::Rc;
 
 /// Tuning knobs for [`DiscAll`] (and the DISC stages of the dynamic
 /// variant).
@@ -114,8 +111,11 @@ impl DiscAll {
         };
         let n_items = max_item.id() as usize + 1;
 
+        // Flatten once; every hot scan below walks the contiguous arena.
+        let flat = FlatDb::from_database(db);
+
         // Step 1: frequent 1-sequences + first-level partitions.
-        let freq1 = frequent_one_sequences(db, delta, n_items, guard, result)?;
+        let freq1 = frequent_one_sequences(&flat, delta, n_items, guard, result)?;
 
         // Step 2: walk first-level partitions in ascending key order.
         let mut first_level = group_by_min_item_guarded(db, guard)?;
@@ -124,13 +124,13 @@ impl DiscAll {
             let members = first_level.remove(&lambda).expect("key just observed");
             if freq1[lambda.id() as usize] {
                 self.process_first_level(
-                    db, lambda, &members, delta, n_items, &freq1, guard, result,
+                    &flat, lambda, &members, delta, n_items, &freq1, guard, result,
                 )?;
             }
             // Step 2.2: reassignment chains.
             for idx in members {
                 guard.checkpoint()?;
-                if let Some(next) = next_frequent_item(db.sequence(idx), lambda, &freq1) {
+                if let Some(next) = next_frequent_item(flat.row(idx), lambda, &freq1) {
                     first_level.entry(next).or_default().push(idx);
                 }
             }
@@ -149,7 +149,7 @@ impl DiscAll {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn process_first_level(
         &self,
-        db: &SequenceDatabase,
+        flat: &FlatDb,
         lambda: Item,
         members: &[usize],
         delta: u64,
@@ -163,29 +163,32 @@ impl DiscAll {
         // 2.1.1: frequent 2-sequences by counting array (over the originals —
         // every supporter of a 2-sequence starting with λ is a member now).
         guard.charge(members.len() as u64)?;
-        let array = count_extensions(&prefix1, members.iter().map(|&i| db.sequence(i)), n_items);
+        let array = count_extensions(&prefix1, members.iter().map(|&i| flat.row(i)), n_items);
         let (i_mask, s_mask) = array.frequency_masks(delta);
         for (elem, support) in array.frequent_extensions(delta) {
             guard.note_pattern()?;
             result.insert(prefix1.extended(elem), support);
         }
 
-        // 2.1.2: reduce and group by 2-minimum subsequence.
-        let mut arena: Vec<Rc<Sequence>> = Vec::new();
+        // 2.1.2: reduce into a partition-local flat arena and group by
+        // 2-minimum subsequence. Partition slots are arena row indices;
+        // reduced members never exist as nested sequences.
+        let mut arena = FlatArena::new();
         let mut second_level: BTreeMap<ExtElem, Vec<usize>> = BTreeMap::new();
         for &idx in members {
             guard.checkpoint()?;
-            let seq = db.sequence(idx);
+            let seq = flat.row(idx);
             let min_point =
                 seq.first_txn_containing(lambda).expect("partition members contain their key item");
-            let Some(reduced) = reduce_sequence(seq, lambda, min_point, freq1, &i_mask, &s_mask)
+            let Some(row) =
+                reduce_into(&mut arena, seq, lambda, min_point, freq1, &i_mask, &s_mask)
             else {
                 continue;
             };
-            if let Some(elem) = min_ext_elem(&reduced, &prefix1, &i_mask, &s_mask, None) {
-                let slot = arena.len();
-                arena.push(Rc::new(reduced));
-                second_level.entry(elem).or_default().push(slot);
+            if let Some(elem) = min_ext_elem(arena.row(row), &prefix1, &i_mask, &s_mask, None) {
+                second_level.entry(elem).or_default().push(row);
+            } else {
+                arena.pop_row(); // unextendable: the row just appended is dead
             }
         }
 
@@ -195,15 +198,14 @@ impl DiscAll {
             let slots = second_level.remove(&elem).expect("key just observed");
             if slots.len() as u64 >= delta {
                 let prefix2 = prefix1.extended(elem);
-                let partition: Vec<Rc<Sequence>> =
-                    slots.iter().map(|&s| Rc::clone(&arena[s])).collect();
+                let partition: Vec<_> = slots.iter().map(|&s| arena.row(s)).collect();
                 self.process_second_level(&prefix2, &partition, delta, n_items, guard, result)?;
             }
             // 2.1.3.3: reassign by the next 2-minimum subsequence.
             for slot in slots {
                 guard.checkpoint()?;
                 if let Some(next) =
-                    min_ext_elem(&arena[slot], &prefix1, &i_mask, &s_mask, Some(elem))
+                    min_ext_elem(arena.row(slot), &prefix1, &i_mask, &s_mask, Some(elem))
                 {
                     second_level.entry(next).or_default().push(slot);
                 }
@@ -213,10 +215,10 @@ impl DiscAll {
     }
 
     /// Steps 2.1.3.1–2.1.3.2 for one second-level partition.
-    fn process_second_level(
+    fn process_second_level<'a, S: SeqView<'a>>(
         &self,
         prefix2: &Sequence,
-        partition: &[Rc<Sequence>],
+        partition: &[S],
         delta: u64,
         n_items: usize,
         guard: &MineGuard,
@@ -224,7 +226,7 @@ impl DiscAll {
     ) -> Result<(), AbortReason> {
         // 2.1.3.1: frequent 3-sequences by counting array.
         guard.charge(partition.len() as u64)?;
-        let array = count_extensions(prefix2, partition.iter().map(Rc::as_ref), n_items);
+        let array = count_extensions(prefix2, partition.iter().copied(), n_items);
         let mut freq3 = Vec::new();
         for (elem, support) in array.frequent_extensions(delta) {
             let pat = prefix2.extended(elem);
@@ -242,14 +244,14 @@ impl DiscAll {
 /// counting-array scan finds the frequent 1-sequences, inserts them into
 /// `result`, and returns the `freq1` mask.
 pub(crate) fn frequent_one_sequences(
-    db: &SequenceDatabase,
+    flat: &FlatDb,
     delta: u64,
     n_items: usize,
     guard: &MineGuard,
     result: &mut MiningResult,
 ) -> Result<Vec<bool>, AbortReason> {
-    guard.charge(db.len() as u64)?;
-    let root = count_extensions(&Sequence::empty(), db.sequences(), n_items);
+    guard.charge(flat.len() as u64)?;
+    let root = count_extensions(&Sequence::empty(), flat.rows(), n_items);
     let mut freq1 = vec![false; n_items];
     for id in 0..n_items as u32 {
         let support = root.seq_support(Item(id));
@@ -268,8 +270,8 @@ pub(crate) fn frequent_one_sequences(
 /// Patterns reach `result` only from *completed* discovery calls, so an
 /// abort mid-discovery never records unverified supports.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_disc_levels<M: AsRef<Sequence>>(
-    members: &[M],
+pub(crate) fn run_disc_levels<'a, S: SeqView<'a>>(
+    members: &[S],
     mut freq_prev: Vec<Sequence>,
     delta: u64,
     bi_level: bool,

@@ -28,11 +28,11 @@
 //! hence a key `≤ α₁` — i.e. exactly `α₁`. Members evicted earlier had *no*
 //! k-subsequence past their bound, so they cannot contain `α₁` either.
 
-use crate::ckms::{apriori_ckms, BoundMode, Condition};
+use crate::ckms::{apriori_ckms_raw, BoundMode, Condition};
 use crate::counting::CountingArray;
-use crate::kms::apriori_kms;
+use crate::kms::apriori_kms_raw;
 use crate::sorted_db::{Entry, KSortedDb};
-use disc_core::{AbortReason, MineGuard, Sequence};
+use disc_core::{AbortReason, FlatKey, MineGuard, SeqView, Sequence};
 
 /// The output of one discovery call.
 #[derive(Debug, Clone, Default)]
@@ -58,8 +58,9 @@ pub fn discover_frequent_k<M: AsRef<Sequence>>(
     bi_level: bool,
     n_items: usize,
 ) -> DiscoveryOutput {
+    let views: Vec<&Sequence> = members.iter().map(AsRef::as_ref).collect();
     discover_frequent_k_guarded(
-        members,
+        &views,
         freq_prev,
         delta,
         bi_level,
@@ -76,8 +77,8 @@ pub fn discover_frequent_k<M: AsRef<Sequence>>(
 /// callers record patterns into their [`disc_core::MiningResult`] only from
 /// completed discovery calls, keeping partial results sound without
 /// re-checking supports.
-pub fn discover_frequent_k_guarded<M: AsRef<Sequence>>(
-    members: &[M],
+pub fn discover_frequent_k_guarded<'a, S: SeqView<'a>>(
+    members: &[S],
     freq_prev: &[Sequence],
     delta: u64,
     bi_level: bool,
@@ -90,49 +91,49 @@ pub fn discover_frequent_k_guarded<M: AsRef<Sequence>>(
         return Ok(out);
     }
 
-    // Step 1: build the k-sorted database.
+    // Step 1: build the k-sorted database. The (k-1)-sorted list is
+    // flattened once; every key is then prefix-pairs + one appended pair,
+    // with no nested sequence built per insert.
+    let prev_keys: Vec<FlatKey> = freq_prev.iter().map(FlatKey::new).collect();
     let mut db = KSortedDb::new();
-    for (m, seq) in members.iter().enumerate() {
+    for (m, &seq) in members.iter().enumerate() {
         guard.checkpoint()?;
-        if let Some(kms) = apriori_kms(seq.as_ref(), freq_prev) {
-            db.insert(m, kms);
+        if let Some(raw) = apriori_kms_raw(seq, freq_prev) {
+            db.insert_key(m, prev_keys[raw.ptr].extended(raw.elem), raw.ptr);
         }
     }
 
     // Step 2: compare / re-key until fewer than δ members remain.
     while db.len() as u64 >= delta {
         guard.checkpoint()?;
-        let alpha_1 = db.alpha_1().expect("non-empty").clone();
-        let alpha_delta = db.alpha_delta(delta).expect("len >= delta").clone();
-
-        if alpha_1 == alpha_delta {
+        if db.alpha_1_equals_delta(delta) {
             // Lemma 2.1: frequent; the whole bucket keys on α₁.
             let (key, bucket) = db.take_min().expect("non-empty");
-            debug_assert_eq!(key, alpha_1);
-            out.freq_k.push((key.clone(), bucket.len() as u64));
+            let support = bucket.len() as u64;
 
             if bi_level {
                 // §3.2: the bucket is the virtual partition of α₁.
-                guard.charge(bucket.len() as u64)?;
+                guard.charge(support)?;
                 let mut array = CountingArray::new(n_items);
                 for e in &bucket {
-                    array.add_member(members[e.member].as_ref(), &key);
+                    array.add_member(members[e.member], &key);
                 }
-                for (elem, support) in array.frequent_extensions(delta) {
-                    out.freq_k1.push((key.extended(elem), support));
+                for (elem, support_k1) in array.frequent_extensions(delta) {
+                    out.freq_k1.push((key.extended(elem), support_k1));
                 }
             }
 
             let cond = Condition::new(&key, BoundMode::Strictly);
-            guard.charge(bucket.len() as u64)?;
-            rekey(&mut db, members, freq_prev, &cond, bucket);
+            guard.charge(support)?;
+            rekey(&mut db, members, freq_prev, &prev_keys, &cond, bucket);
+            out.freq_k.push((key, support));
         } else {
             // Lemma 2.2: everything in [α₁, α_δ) is non-frequent; skip it.
-            let cond = Condition::new(&alpha_delta, BoundMode::AtLeast);
-            let below = db.take_less_than(&alpha_delta);
-            for (_, bucket) in below {
+            let bound = db.alpha_delta_key(delta).expect("len >= delta").clone();
+            let cond = Condition::new(&bound.to_sequence(), BoundMode::AtLeast);
+            for bucket in db.take_buckets_less_than(&bound) {
                 guard.charge(bucket.len() as u64)?;
-                rekey(&mut db, members, freq_prev, &cond, bucket);
+                rekey(&mut db, members, freq_prev, &prev_keys, &cond, bucket);
             }
         }
     }
@@ -141,16 +142,17 @@ pub fn discover_frequent_k_guarded<M: AsRef<Sequence>>(
 
 /// Re-keys a drained bucket by Apriori-CKMS; members without a conditional
 /// minimum leave the k-sorted database.
-fn rekey<M: AsRef<Sequence>>(
+fn rekey<'a, S: SeqView<'a>>(
     db: &mut KSortedDb,
-    members: &[M],
+    members: &[S],
     freq_prev: &[Sequence],
+    prev_keys: &[FlatKey],
     cond: &Condition,
     bucket: Vec<Entry>,
 ) {
     for e in bucket {
-        if let Some(kms) = apriori_ckms(members[e.member].as_ref(), freq_prev, e.ptr, cond) {
-            db.insert(e.member, kms);
+        if let Some(raw) = apriori_ckms_raw(members[e.member], freq_prev, e.ptr, cond) {
+            db.insert_key(e.member, prev_keys[raw.ptr].extended(raw.elem), raw.ptr);
         }
     }
 }

@@ -12,15 +12,12 @@
 
 use crate::counting::count_extensions;
 use crate::disc_all::run_disc_levels;
-use crate::partition::{
-    group_by_min_item_guarded, min_ext_elem, next_frequent_item, reduce_sequence,
-};
+use crate::partition::{group_by_min_item_guarded, min_ext_elem, next_frequent_item, reduce_into};
 use disc_core::{
-    run_guarded, AbortReason, ExtElem, GuardedResult, Item, MinSupport, MineGuard, MiningResult,
-    Sequence, SequenceDatabase, SequentialMiner,
+    run_guarded, AbortReason, ExtElem, FlatArena, FlatDb, GuardedResult, Item, MinSupport,
+    MineGuard, MiningResult, SeqView, Sequence, SequenceDatabase, SequentialMiner,
 };
 use std::collections::BTreeMap;
-use std::rc::Rc;
 
 /// When does a partition get split into next-level partitions instead of
 /// being handed to the DISC strategy?
@@ -122,9 +119,12 @@ impl DynamicDiscAll {
         };
         let n_items = max_item.id() as usize + 1;
 
+        // Flatten once; all scans below walk the contiguous arena.
+        let flat = FlatDb::from_database(db);
+
         // Root (λ = NULL, k = 0): scan for frequent 1-sequences.
-        guard.charge(db.len() as u64)?;
-        let root = count_extensions(&Sequence::empty(), db.sequences(), n_items);
+        guard.charge(flat.len() as u64)?;
+        let root = count_extensions(&Sequence::empty(), flat.rows(), n_items);
         let mut freq1 = vec![false; n_items];
         let mut supports1 = Vec::new();
         for id in 0..n_items as u32 {
@@ -140,10 +140,10 @@ impl DynamicDiscAll {
             return Ok(());
         }
 
-        if !self.policy.split(0, nrr(&supports1, db.len())) {
+        if !self.policy.split(0, nrr(&supports1, flat.len())) {
             // Degenerate but well-defined: DISC over the whole database from
             // k = 2, seeded by the 1-sorted list.
-            let members: Vec<Rc<Sequence>> = db.sequences().map(|s| Rc::new(s.clone())).collect();
+            let members: Vec<_> = flat.rows().collect();
             let list: Vec<Sequence> = (0..n_items as u32)
                 .filter(|&id| freq1[id as usize])
                 .map(|id| Sequence::single(Item(id)))
@@ -158,12 +158,12 @@ impl DynamicDiscAll {
             let members = first_level.remove(&lambda).expect("key just observed");
             if freq1[lambda.id() as usize] {
                 self.process_first_level(
-                    db, lambda, &members, delta, n_items, &freq1, guard, result,
+                    &flat, lambda, &members, delta, n_items, &freq1, guard, result,
                 )?;
             }
             for idx in members {
                 guard.checkpoint()?;
-                if let Some(next) = next_frequent_item(db.sequence(idx), lambda, &freq1) {
+                if let Some(next) = next_frequent_item(flat.row(idx), lambda, &freq1) {
                     first_level.entry(next).or_default().push(idx);
                 }
             }
@@ -176,7 +176,7 @@ impl DynamicDiscAll {
     #[allow(clippy::too_many_arguments)]
     fn process_first_level(
         &self,
-        db: &SequenceDatabase,
+        flat: &FlatDb,
         lambda: Item,
         members: &[usize],
         delta: u64,
@@ -187,7 +187,7 @@ impl DynamicDiscAll {
     ) -> Result<(), AbortReason> {
         let prefix1 = Sequence::single(lambda);
         guard.charge(members.len() as u64)?;
-        let array = count_extensions(&prefix1, members.iter().map(|&i| db.sequence(i)), n_items);
+        let array = count_extensions(&prefix1, members.iter().map(|&i| flat.row(i)), n_items);
         let (i_mask, s_mask) = array.frequency_masks(delta);
         let exts = array.frequent_extensions(delta);
         if exts.is_empty() {
@@ -205,27 +205,28 @@ impl DynamicDiscAll {
 
         if !self.policy.split(1, nrr(&supports, members.len())) {
             // DISC from k = 3 over the (unreduced) partition members.
-            let owned: Vec<Rc<Sequence>> =
-                members.iter().map(|&i| Rc::new(db.sequence(i).clone())).collect();
-            return run_disc_levels(&owned, freq2, delta, self.bi_level, n_items, guard, result);
+            let views: Vec<_> = members.iter().map(|&i| flat.row(i)).collect();
+            return run_disc_levels(&views, freq2, delta, self.bi_level, n_items, guard, result);
         }
 
-        // Reduce, split by 2-minimum subsequence, recurse.
-        let mut arena: Vec<Rc<Sequence>> = Vec::new();
+        // Reduce into a partition-local flat arena, split by 2-minimum
+        // subsequence, recurse. Slots are arena row indices.
+        let mut arena = FlatArena::new();
         let mut second: BTreeMap<ExtElem, Vec<usize>> = BTreeMap::new();
         for &idx in members {
             guard.checkpoint()?;
-            let seq = db.sequence(idx);
+            let seq = flat.row(idx);
             let min_point =
                 seq.first_txn_containing(lambda).expect("partition members contain their key item");
-            let Some(reduced) = reduce_sequence(seq, lambda, min_point, freq1, &i_mask, &s_mask)
+            let Some(row) =
+                reduce_into(&mut arena, seq, lambda, min_point, freq1, &i_mask, &s_mask)
             else {
                 continue;
             };
-            if let Some(elem) = min_ext_elem(&reduced, &prefix1, &i_mask, &s_mask, None) {
-                let slot = arena.len();
-                arena.push(Rc::new(reduced));
-                second.entry(elem).or_default().push(slot);
+            if let Some(elem) = min_ext_elem(arena.row(row), &prefix1, &i_mask, &s_mask, None) {
+                second.entry(elem).or_default().push(row);
+            } else {
+                arena.pop_row(); // unextendable: the row just appended is dead
             }
         }
         while let Some((&elem, _)) = second.iter().next() {
@@ -233,14 +234,13 @@ impl DynamicDiscAll {
             let slots = second.remove(&elem).expect("key just observed");
             if slots.len() as u64 >= delta {
                 let prefix2 = prefix1.extended(elem);
-                let partition: Vec<Rc<Sequence>> =
-                    slots.iter().map(|&s| Rc::clone(&arena[s])).collect();
+                let partition: Vec<_> = slots.iter().map(|&s| arena.row(s)).collect();
                 self.process_deeper(&prefix2, &partition, delta, n_items, guard, result)?;
             }
             for slot in slots {
                 guard.checkpoint()?;
                 if let Some(next) =
-                    min_ext_elem(&arena[slot], &prefix1, &i_mask, &s_mask, Some(elem))
+                    min_ext_elem(arena.row(slot), &prefix1, &i_mask, &s_mask, Some(elem))
                 {
                     second.entry(next).or_default().push(slot);
                 }
@@ -250,18 +250,20 @@ impl DynamicDiscAll {
     }
 
     /// A `<π>`-partition with `|π| = j ≥ 2`: count (j+1)-extensions, decide
-    /// by policy, then recurse or run DISC from k = j + 2.
-    fn process_deeper(
+    /// by policy, then recurse or run DISC from k = j + 2. Partitions are
+    /// slices of `Copy` views, so recursion copies 32-byte handles, not
+    /// sequences.
+    fn process_deeper<'a, S: SeqView<'a>>(
         &self,
         prefix: &Sequence,
-        partition: &[Rc<Sequence>],
+        partition: &[S],
         delta: u64,
         n_items: usize,
         guard: &MineGuard,
         result: &mut MiningResult,
     ) -> Result<(), AbortReason> {
         guard.charge(partition.len() as u64)?;
-        let array = count_extensions(prefix, partition.iter().map(Rc::as_ref), n_items);
+        let array = count_extensions(prefix, partition.iter().copied(), n_items);
         let (i_mask, s_mask) = array.frequency_masks(delta);
         let exts = array.frequent_extensions(delta);
         if exts.is_empty() {
@@ -290,7 +292,7 @@ impl DynamicDiscAll {
         }
 
         let mut children: BTreeMap<ExtElem, Vec<usize>> = BTreeMap::new();
-        for (slot, seq) in partition.iter().enumerate() {
+        for (slot, &seq) in partition.iter().enumerate() {
             guard.checkpoint()?;
             if let Some(elem) = min_ext_elem(seq, prefix, &i_mask, &s_mask, None) {
                 children.entry(elem).or_default().push(slot);
@@ -301,14 +303,13 @@ impl DynamicDiscAll {
             let slots = children.remove(&elem).expect("key just observed");
             if slots.len() as u64 >= delta {
                 let child_prefix = prefix.extended(elem);
-                let child: Vec<Rc<Sequence>> =
-                    slots.iter().map(|&s| Rc::clone(&partition[s])).collect();
+                let child: Vec<S> = slots.iter().map(|&s| partition[s]).collect();
                 self.process_deeper(&child_prefix, &child, delta, n_items, guard, result)?;
             }
             for slot in slots {
                 guard.checkpoint()?;
                 if let Some(next) =
-                    min_ext_elem(&partition[slot], prefix, &i_mask, &s_mask, Some(elem))
+                    min_ext_elem(partition[slot], prefix, &i_mask, &s_mask, Some(elem))
                 {
                     children.entry(next).or_default().push(slot);
                 }

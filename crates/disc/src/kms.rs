@@ -27,27 +27,28 @@
 //! requirements force it, and the brute-force cross-checks in this module
 //! and the property tests confirm the enumeration is exact.)
 
-use disc_core::embed::{leftmost_end_txn_or_start, EmbeddingEnd};
-use disc_core::{ExtElem, ExtMode, Sequence};
+use disc_core::embed::view_leftmost_end;
+use disc_core::{is_sorted_subset, ExtElem, ExtMode, SeqView, Sequence};
 
 /// The minimum extension element of pattern `f` within `s` among candidates
 /// accepted by `admits` — the shared core of Apriori-KMS (`admits` ≡ true),
 /// Apriori-CKMS (bound filters), and the partition keying helpers (frequency
 /// masks).
 ///
+/// Generic over [`SeqView`], and allocation-free: β (the prefix without its
+/// last itemset) is a borrowed slice of `f`'s itemsets, never a rebuilt
+/// sequence.
+///
 /// Returns `None` when `f ⊄ s` or no admissible extension exists.
-pub fn min_extension_where(
-    s: &Sequence,
+pub fn min_extension_where<'a, S: SeqView<'a>>(
+    s: S,
     f: &Sequence,
     mut admits: impl FnMut(ExtElem) -> bool,
 ) -> Option<ExtElem> {
     debug_assert!(!f.is_empty(), "extensions of the empty pattern are 1-sequences");
     let last = f.last_itemset()?;
-    let beta = Sequence::new(f.itemsets()[..f.n_transactions() - 1].to_vec());
-    let beta_end = match leftmost_end_txn_or_start(s, &beta)? {
-        EmbeddingEnd::BeforeStart => 0,
-        EmbeddingEnd::At(t) => t + 1,
-    };
+    let beta_sets = &f.itemsets()[..f.n_transactions() - 1];
+    let beta_end = view_leftmost_end(s, beta_sets)?.next_txn();
     let max_last = last.max_item();
 
     let mut best: Option<ExtElem> = None;
@@ -63,9 +64,10 @@ pub fn min_extension_where(
     // extensions. Items ascend within a transaction, so the first admissible
     // item dominates the rest of that transaction for either form.
     let mut past_f_end = false;
-    for set in &s.itemsets()[beta_end..] {
+    for t in beta_end..s.n_transactions() {
+        let set = s.itemset_items(t);
         if past_f_end {
-            for item in set.iter() {
+            for &item in set {
                 let e = ExtElem { item, mode: ExtMode::Sequence };
                 if admits(e) {
                     consider(e, &mut best);
@@ -73,9 +75,9 @@ pub fn min_extension_where(
                 }
             }
         }
-        if last.is_subset_of(set) {
-            let from = set.as_slice().partition_point(|&i| i <= max_last);
-            for &item in &set.as_slice()[from..] {
+        if is_sorted_subset(last.as_slice(), set) {
+            let from = set.partition_point(|&i| i <= max_last);
+            for &item in &set[from..] {
                 let e = ExtElem { item, mode: ExtMode::Itemset };
                 if admits(e) {
                     consider(e, &mut best);
@@ -99,18 +101,45 @@ pub struct Kms {
     pub ptr: usize,
 }
 
-/// Apriori-KMS (Figure 5): the minimum k-subsequence of `s` whose
-/// (k-1)-prefix appears in `freq_prev` (the ascending (k-1)-sorted list).
+/// A KMS/CKMS result in raw form: the prefix index and the appended
+/// extension element. The key sequence is always
+/// `freq_prev[ptr].extended(elem)` — callers that only need a flattened
+/// tree key (the discovery loop) build it from these two values without
+/// materializing any nested sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawKms {
+    /// Index into the (k-1)-sorted list of the key's (k-1)-prefix.
+    pub ptr: usize,
+    /// The extension element appended to that prefix.
+    pub elem: ExtElem,
+}
+
+impl RawKms {
+    /// Materializes the key sequence against the (k-1)-sorted list the raw
+    /// result was computed from.
+    pub fn into_kms(self, freq_prev: &[Sequence]) -> Kms {
+        Kms { key: freq_prev[self.ptr].extended(self.elem), ptr: self.ptr }
+    }
+}
+
+/// Apriori-KMS (Figure 5) in raw form: the minimum k-subsequence of `s`
+/// whose (k-1)-prefix appears in `freq_prev` (the ascending (k-1)-sorted
+/// list), as a prefix index plus extension element.
 ///
 /// Returns `None` when no frequent (k-1)-sequence contained in `s` admits an
 /// extension.
-pub fn apriori_kms(s: &Sequence, freq_prev: &[Sequence]) -> Option<Kms> {
+pub fn apriori_kms_raw<'a, S: SeqView<'a>>(s: S, freq_prev: &[Sequence]) -> Option<RawKms> {
     for (ptr, f) in freq_prev.iter().enumerate() {
         if let Some(elem) = min_extension_where(s, f, |_| true) {
-            return Some(Kms { key: f.extended(elem), ptr });
+            return Some(RawKms { ptr, elem });
         }
     }
     None
+}
+
+/// [`apriori_kms_raw`] with the key sequence materialized.
+pub fn apriori_kms<'a, S: SeqView<'a>>(s: S, freq_prev: &[Sequence]) -> Option<Kms> {
+    apriori_kms_raw(s, freq_prev).map(|raw| raw.into_kms(freq_prev))
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@
 use crate::disc_all::{frequent_one_sequences, DiscAll};
 use crate::DiscConfig;
 use disc_core::{
-    run_guarded, AbortReason, GuardedResult, Item, MinSupport, MineGuard, MineOutcome,
+    run_guarded, AbortReason, FlatDb, GuardedResult, Item, MinSupport, MineGuard, MineOutcome,
     MiningResult, ParallelExecutor, SequenceDatabase, SequentialMiner,
 };
 
@@ -122,8 +122,11 @@ impl ParallelDiscAll {
         };
         let n_items = max_item.id() as usize + 1;
 
+        // One flat copy of the database, shared read-only by every worker.
+        let flat = FlatDb::from_database(db);
+
         // Step 1 (sequential, one scan): frequent 1-sequences.
-        let freq1 = frequent_one_sequences(db, delta, n_items, guard, result)?;
+        let freq1 = frequent_one_sequences(&flat, delta, n_items, guard, result)?;
 
         // Step 2 (sequential, one scan): shard membership — for each
         // frequent λ, every row containing λ, in ascending row order.
@@ -136,7 +139,7 @@ impl ParallelDiscAll {
                     (lambda, members): (Item, Vec<usize>),
                     shard_result: &mut MiningResult| {
             shard_miner.process_first_level(
-                db,
+                &flat,
                 lambda,
                 &members,
                 delta,

@@ -12,7 +12,9 @@
 
 use crate::counting::CountingArray;
 use crate::kms::min_extension_where;
-use disc_core::{AbortReason, ExtElem, ExtMode, Item, MineGuard, Sequence, SequenceDatabase};
+use disc_core::{
+    AbortReason, ExtElem, ExtMode, FlatArena, Item, MineGuard, SeqView, Sequence, SequenceDatabase,
+};
 use std::collections::BTreeMap;
 
 /// Groups database rows by their minimum 1-sequence (Step 1(b) of Figure 2).
@@ -40,11 +42,16 @@ pub fn group_by_min_item_guarded(
 
 /// The smallest *frequent* item strictly greater than `after` occurring in
 /// `seq` (Step 2.2 of Figure 2, restricted to keys worth visiting).
-pub fn next_frequent_item(seq: &Sequence, after: Item, frequent: &[bool]) -> Option<Item> {
+pub fn next_frequent_item<'a, S: SeqView<'a>>(
+    seq: S,
+    after: Item,
+    frequent: &[bool],
+) -> Option<Item> {
     let mut best: Option<Item> = None;
-    for set in seq.itemsets() {
-        let from = set.as_slice().partition_point(|&i| i <= after);
-        for &item in &set.as_slice()[from..] {
+    for t in 0..seq.n_transactions() {
+        let set = seq.itemset_items(t);
+        let from = set.partition_point(|&i| i <= after);
+        for &item in &set[from..] {
             if best.is_some_and(|b| item >= b) {
                 break; // items are sorted; nothing better in this transaction
             }
@@ -108,6 +115,48 @@ pub fn reduce_sequence(
     }
 }
 
+/// [`reduce_sequence`] into flat storage: appends the reduced copy of `seq`
+/// to `arena` and returns its row index, or rolls the row back and returns
+/// `None` when fewer than 3 items survive. The keep-predicate is identical
+/// to [`reduce_sequence`]'s; the reduced member never exists as a nested
+/// [`Sequence`], so the hot reduction loop allocates only arena growth.
+pub fn reduce_into<'a, S: SeqView<'a>>(
+    arena: &mut FlatArena,
+    seq: S,
+    lambda: Item,
+    min_point: usize,
+    freq1: &[bool],
+    i_mask: &[bool],
+    s_mask: &[bool],
+) -> Option<usize> {
+    let row = arena.push_filtered(seq, |t, x| {
+        if x == lambda || t < min_point {
+            return true;
+        }
+        if t == min_point && x < lambda {
+            return true; // left of the minimum point within its transaction
+        }
+        if !freq1[x.id() as usize] {
+            return false;
+        }
+        let cond1 = seq.itemset_items(t).binary_search(&lambda).is_ok();
+        let cond2 = t > min_point;
+        let i_ok = x > lambda && i_mask[x.id() as usize];
+        let s_ok = s_mask[x.id() as usize];
+        match (cond1, cond2) {
+            (false, _) => s_ok,
+            (true, false) => i_ok,
+            (true, true) => i_ok || s_ok,
+        }
+    });
+    if arena.row(row).length() >= 3 {
+        Some(row)
+    } else {
+        arena.pop_row();
+        None
+    }
+}
+
 /// The minimum *frequent* extension element of `prefix` contained in `seq`,
 /// strictly greater than `bound` when given — the generalized
 /// "(conditional) (j+1)-minimum subsequence" that keys next-level partitions
@@ -115,8 +164,8 @@ pub fn reduce_sequence(
 ///
 /// `i_mask`/`s_mask` flag the frequent itemset-/sequence-extension items of
 /// this partition's counting array.
-pub fn min_ext_elem(
-    seq: &Sequence,
+pub fn min_ext_elem<'a, S: SeqView<'a>>(
+    seq: S,
     prefix: &Sequence,
     i_mask: &[bool],
     s_mask: &[bool],
@@ -247,6 +296,26 @@ mod tests {
                 .map(|r| r.to_string());
             assert_eq!(got.as_deref(), *want, "CID {}", idx + 1);
         }
+    }
+
+    #[test]
+    fn reduce_into_matches_reduce_sequence() {
+        let db = table6();
+        let members: Vec<&Sequence> = (0..7).map(|i| db.sequence(i)).collect();
+        let prefix = Sequence::single(item('a'));
+        let array = count_extensions(&prefix, members.iter().copied(), 8);
+        let (i_mask, s_mask) = array.frequency_masks(3);
+        let freq1 = vec![true, true, true, false, true, true, true, true];
+        let mut arena = FlatArena::new();
+        for idx in 0..7 {
+            let s = db.sequence(idx);
+            let (_, min_point) = s.min_item_with_point().unwrap();
+            let nested = reduce_sequence(s, item('a'), min_point, &freq1, &i_mask, &s_mask);
+            let flat = reduce_into(&mut arena, s, item('a'), min_point, &freq1, &i_mask, &s_mask);
+            assert_eq!(flat.map(|r| arena.row(r).to_sequence()), nested, "CID {}", idx + 1);
+        }
+        // Rejected rows were rolled back: only the survivors occupy the arena.
+        assert_eq!(arena.len(), 6);
     }
 
     #[test]

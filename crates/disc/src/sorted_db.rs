@@ -1,8 +1,13 @@
 //! The **k-sorted database** (Section 3.2): partition members keyed by their
 //! conditional k-minimum subsequences in a locative AVL tree.
+//!
+//! Keys are stored as [`FlatKey`]s — the sequence plus its precomputed
+//! flattened `(item, transaction-number)` pairs — so every comparison on a
+//! tree descent is one slice comparison instead of a fresh walk through the
+//! nested representation. The public API stays in terms of [`Sequence`].
 
 use crate::kms::Kms;
-use disc_core::Sequence;
+use disc_core::{FlatKey, Sequence};
 use disc_tree::LocativeAvlTree;
 
 /// One entry of the k-sorted database: which partition member it is, plus
@@ -19,7 +24,7 @@ pub struct Entry {
 /// The k-sorted database.
 #[derive(Debug, Default)]
 pub struct KSortedDb {
-    tree: LocativeAvlTree<Sequence, Entry>,
+    tree: LocativeAvlTree<FlatKey, Entry>,
 }
 
 impl KSortedDb {
@@ -40,35 +45,68 @@ impl KSortedDb {
 
     /// Inserts a member under its freshly computed k-minimum subsequence.
     pub fn insert(&mut self, member: usize, kms: Kms) {
-        self.tree.insert(kms.key, Entry { member, ptr: kms.ptr });
+        self.insert_key(member, FlatKey::new(&kms.key), kms.ptr);
     }
 
-    /// `α₁`: the minimum key.
-    pub fn alpha_1(&self) -> Option<&Sequence> {
-        self.tree.min().map(|(k, _)| k)
+    /// Inserts a member under an already-flattened key — the raw-KMS path,
+    /// which never materializes a nested sequence.
+    pub fn insert_key(&mut self, member: usize, key: FlatKey, ptr: usize) {
+        self.tree.insert(key, Entry { member, ptr });
     }
 
-    /// `α_δ`: the key at customer position δ (1-based).
-    pub fn alpha_delta(&self, delta: u64) -> Option<&Sequence> {
+    /// `α₁`: the minimum key, reconstructed as a sequence.
+    pub fn alpha_1(&self) -> Option<Sequence> {
+        self.tree.min().map(|(k, _)| k.to_sequence())
+    }
+
+    /// `α_δ`: the key at customer position δ (1-based), reconstructed as a
+    /// sequence.
+    pub fn alpha_delta(&self, delta: u64) -> Option<Sequence> {
+        self.alpha_delta_key(delta).map(FlatKey::to_sequence)
+    }
+
+    /// `α_δ` as a borrowed flattened key.
+    pub fn alpha_delta_key(&self, delta: u64) -> Option<&FlatKey> {
         debug_assert!(delta >= 1);
         self.tree.select(delta as usize - 1)
+    }
+
+    /// `α₁ = α_δ`? — the Lemma 2.1 test, on the flattened keys (one slice
+    /// comparison, no sequence reconstruction).
+    pub fn alpha_1_equals_delta(&self, delta: u64) -> bool {
+        debug_assert!(delta >= 1);
+        match (self.tree.min(), self.tree.select(delta as usize - 1)) {
+            (Some((a, _)), Some(b)) => a == b,
+            _ => false,
+        }
     }
 
     /// Detaches the minimum node: `(α₁, its virtual partition)`. The bucket
     /// length is `α₁`'s exact support among the partition members.
     pub fn take_min(&mut self) -> Option<(Sequence, Vec<Entry>)> {
-        self.tree.take_min()
+        self.tree.take_min().map(|(k, vs)| (k.into_sequence(), vs))
     }
 
     /// Detaches every entry keyed strictly below `bound`, ascending.
     pub fn take_less_than(&mut self, bound: &Sequence) -> Vec<(Sequence, Vec<Entry>)> {
-        self.tree.take_less_than(bound)
+        self.tree
+            .take_less_than(&FlatKey::new(bound))
+            .into_iter()
+            .map(|(k, vs)| (k.into_sequence(), vs))
+            .collect()
+    }
+
+    /// Detaches every bucket keyed strictly below `bound`, ascending. The
+    /// keys themselves are dropped without ever being reconstructed — the
+    /// Lemma 2.2 skip only re-keys the members.
+    pub fn take_buckets_less_than(&mut self, bound: &FlatKey) -> Vec<Vec<Entry>> {
+        self.tree.take_less_than(bound).into_iter().map(|(_, vs)| vs).collect()
     }
 
     /// In-order view of `(key, entries)` — Table 3/9-style dumps for tests
     /// and debugging.
     pub fn snapshot(&self) -> Vec<(Sequence, Vec<Entry>)> {
-        self.tree.iter().map(|(k, vs)| (k.clone(), vs.to_vec())).collect()
+        self.tree.iter().map(|(k, vs)| (k.to_sequence(), vs.to_vec())).collect()
     }
 }
 
@@ -102,11 +140,13 @@ mod tests {
             db.insert(m, kms);
         }
         assert_eq!(db.len(), 6);
-        assert_eq!(db.alpha_1(), Some(&seq("(a)(a,e)(c)")));
+        assert_eq!(db.alpha_1(), Some(seq("(a)(a,e)(c)")));
         // δ = 3: the third customer position holds <(a)(a,e,g)>.
-        assert_eq!(db.alpha_delta(3), Some(&seq("(a)(a,e,g)")));
-        assert_eq!(db.alpha_delta(6), Some(&seq("(a)(a,g)(c)")));
+        assert_eq!(db.alpha_delta(3), Some(seq("(a)(a,e,g)")));
+        assert_eq!(db.alpha_delta(6), Some(seq("(a)(a,g)(c)")));
         assert_eq!(db.alpha_delta(7), None);
+        assert!(db.alpha_1_equals_delta(1));
+        assert!(!db.alpha_1_equals_delta(3));
 
         let snapshot = db.snapshot();
         let keys: Vec<String> = snapshot.iter().map(|(k, _)| k.to_string()).collect();
@@ -125,6 +165,6 @@ mod tests {
         let below = db.take_less_than(&seq("(b)(c)"));
         assert_eq!(below.len(), 2);
         assert_eq!(db.len(), 1);
-        assert_eq!(db.alpha_1(), Some(&seq("(b)(c)")));
+        assert_eq!(db.alpha_1(), Some(seq("(b)(c)")));
     }
 }

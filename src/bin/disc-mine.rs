@@ -142,11 +142,13 @@ fn main() {
     let start = std::time::Instant::now();
     // Sparse item-id spaces would make the miners' dense per-item arrays
     // huge; compact ids transparently and translate the patterns back.
-    let (mapping, compacted) = disc_miner::core::ItemMapping::compact(&db);
+    // Analyze first: the common dense case then never copies the database.
+    let mapping = disc_miner::core::ItemMapping::analyze(&db);
     let result = if mapping.is_worthwhile() {
         if args.stats {
             eprintln!("# compacted {} distinct items onto 0..{}", mapping.len(), mapping.len());
         }
+        let compacted = mapping.remap_database(&db);
         mapping.restore_result(&miner.mine(&compacted, args.minsup))
     } else {
         miner.mine(&db, args.minsup)
