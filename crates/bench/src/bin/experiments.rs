@@ -9,11 +9,11 @@
 //! the CI-sized sanity run. Raw measurements land in `target/experiments/`.
 
 use disc_bench::workloads::Scale;
-use disc_bench::{experiments, flatbench};
+use disc_bench::{ckptbench, experiments, flatbench};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]\n       experiments bench-flat [--smoke] [--check <BENCH_flat.json>]"
+        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]\n       experiments bench-flat [--smoke] [--check <BENCH_flat.json>]\n       experiments bench-checkpoint"
     );
     std::process::exit(2);
 }
@@ -58,6 +58,7 @@ fn main() {
             | "parallel"
             | "all"
             | "bench-flat"
+            | "bench-checkpoint"
     ) {
         usage();
     }
@@ -75,6 +76,11 @@ fn main() {
         "table14" => experiments::table14(scale),
         "parallel" => experiments::parallel(scale),
         "all" => experiments::all(scale),
+        // Informational only — never part of the bench-regression gate; see
+        // the module docs for why fsync timings must not gate CI.
+        "bench-checkpoint" => {
+            ckptbench::run();
+        }
         "bench-flat" => match check {
             None => {
                 flatbench::run(scale == Scale::Smoke);

@@ -33,6 +33,7 @@
 
 #[allow(unsafe_code)]
 pub mod alloc_track;
+pub mod ckptbench;
 pub mod experiments;
 pub mod flatbench;
 pub mod report;

@@ -2,7 +2,7 @@
 //! Criterion benches.
 
 use disc_core::{
-    CancelToken, MinSupport, MineGuard, MiningResult, ResourceBudget, SequenceDatabase,
+    CancelToken, DiscError, MinSupport, MineGuard, MiningResult, ResourceBudget, SequenceDatabase,
     SequentialMiner,
 };
 use std::time::{Duration, Instant};
@@ -17,19 +17,32 @@ pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(3600);
 /// bench-smoke job sets a short override so a hung run fails the job in
 /// seconds instead of an hour.
 pub fn deadline() -> Duration {
+    match try_deadline() {
+        Ok(d) => d,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`deadline`]: a malformed `DISC_BENCH_DEADLINE_SECS`
+/// comes back as a typed [`DiscError::Config`] instead of a panic, so
+/// harnesses with an error path can report it like any other bad option.
+pub fn try_deadline() -> Result<Duration, DiscError> {
     deadline_from(std::env::var("DISC_BENCH_DEADLINE_SECS").ok().as_deref())
 }
 
-/// The pure half of [`deadline`]: parses an optional
+/// The pure half of [`try_deadline`]: parses an optional
 /// `DISC_BENCH_DEADLINE_SECS` value, so tests can cover the override logic
 /// without mutating process-global environment state.
-fn deadline_from(override_secs: Option<&str>) -> Duration {
+fn deadline_from(override_secs: Option<&str>) -> Result<Duration, DiscError> {
     match override_secs {
         Some(v) => match v.trim().parse::<u64>() {
-            Ok(secs) if secs > 0 => Duration::from_secs(secs),
-            _ => panic!("DISC_BENCH_DEADLINE_SECS must be a positive integer, got {v:?}"),
+            Ok(secs) if secs > 0 => Ok(Duration::from_secs(secs)),
+            _ => Err(DiscError::Config {
+                option: "DISC_BENCH_DEADLINE_SECS".to_string(),
+                reason: format!("must be a positive integer of seconds, got {v:?}"),
+            }),
         },
-        None => DEFAULT_DEADLINE,
+        None => Ok(DEFAULT_DEADLINE),
     }
 }
 
@@ -157,21 +170,23 @@ mod tests {
 
     #[test]
     fn deadline_override_parses() {
-        assert_eq!(deadline_from(Some("7200")), Duration::from_secs(7200));
-        assert_eq!(deadline_from(Some(" 5 ")), Duration::from_secs(5));
-        assert_eq!(deadline_from(None), DEFAULT_DEADLINE);
+        assert_eq!(deadline_from(Some("7200")).unwrap(), Duration::from_secs(7200));
+        assert_eq!(deadline_from(Some(" 5 ")).unwrap(), Duration::from_secs(5));
+        assert_eq!(deadline_from(None).unwrap(), DEFAULT_DEADLINE);
     }
 
     #[test]
-    #[should_panic(expected = "positive integer")]
-    fn deadline_override_rejects_zero() {
-        deadline_from(Some("0"));
+    fn deadline_override_rejects_zero_with_typed_error() {
+        let err = deadline_from(Some("0")).unwrap_err();
+        assert!(matches!(err, DiscError::Config { .. }), "got {err:?}");
+        assert!(err.to_string().contains("positive integer"), "got {err}");
     }
 
     #[test]
-    #[should_panic(expected = "positive integer")]
-    fn deadline_override_rejects_garbage() {
-        deadline_from(Some("soon"));
+    fn deadline_override_rejects_garbage_with_typed_error() {
+        let err = deadline_from(Some("soon")).unwrap_err();
+        assert!(matches!(err, DiscError::Config { .. }), "got {err:?}");
+        assert!(err.to_string().contains("DISC_BENCH_DEADLINE_SECS"), "got {err}");
     }
 
     #[test]

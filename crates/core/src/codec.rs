@@ -21,6 +21,7 @@ use crate::database::{CustomerId, SequenceDatabase};
 use crate::item::Item;
 use crate::itemset::Itemset;
 use crate::sequence::Sequence;
+use std::collections::HashSet;
 use std::fmt;
 
 const MAGIC: &[u8] = b"DSCDB1\n";
@@ -34,6 +35,8 @@ pub enum CodecError {
     Truncated,
     /// A varint exceeded 64 bits.
     Overflow,
+    /// Two customers carried the same id — the file is not a database.
+    DuplicateCustomer(u64),
     /// A structural invariant was violated (empty transaction, item overflow).
     Invalid(&'static str),
 }
@@ -44,6 +47,9 @@ impl fmt::Display for CodecError {
             CodecError::BadMagic => write!(f, "not a DSCDB1 file"),
             CodecError::Truncated => write!(f, "input ended inside a value"),
             CodecError::Overflow => write!(f, "varint overflow"),
+            CodecError::DuplicateCustomer(cid) => {
+                write!(f, "customer id {cid} appears more than once")
+            }
             CodecError::Invalid(what) => write!(f, "invalid structure: {what}"),
         }
     }
@@ -51,7 +57,7 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -63,7 +69,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(input: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+pub(crate) fn get_varint(input: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -80,6 +86,53 @@ fn get_varint(input: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     }
 }
 
+/// Appends one sequence: transaction count, then per transaction an item
+/// count and delta-encoded sorted items. Shared by the database codec and
+/// the checkpoint pattern log.
+pub(crate) fn put_sequence(out: &mut Vec<u8>, seq: &Sequence) {
+    put_varint(out, seq.n_transactions() as u64);
+    for set in seq.itemsets() {
+        put_varint(out, set.len() as u64);
+        let mut prev = 0u64;
+        for (i, item) in set.iter().enumerate() {
+            let v = u64::from(item.id());
+            if i == 0 {
+                put_varint(out, v);
+            } else {
+                put_varint(out, v - prev);
+            }
+            prev = v;
+        }
+    }
+}
+
+/// Reads one sequence written by [`put_sequence`], validating every
+/// structural invariant (non-empty transactions, strictly ascending items
+/// within a transaction, ids within `u32`).
+pub(crate) fn get_sequence(input: &[u8], pos: &mut usize) -> Result<Sequence, CodecError> {
+    let n_txns = get_varint(input, pos)?;
+    let mut itemsets = Vec::with_capacity(n_txns as usize);
+    for _ in 0..n_txns {
+        let n_items = get_varint(input, pos)?;
+        if n_items == 0 {
+            return Err(CodecError::Invalid("empty transaction"));
+        }
+        let mut items = Vec::with_capacity(n_items as usize);
+        let mut prev = 0u64;
+        for i in 0..n_items {
+            let delta = get_varint(input, pos)?;
+            let v = if i == 0 { delta } else { prev + delta };
+            if v > u64::from(u32::MAX) || (i > 0 && delta == 0) {
+                return Err(CodecError::Invalid("item id out of range or duplicate"));
+            }
+            items.push(Item(v as u32));
+            prev = v;
+        }
+        itemsets.push(Itemset::from_sorted(items));
+    }
+    Ok(Sequence::new(itemsets))
+}
+
 /// Encodes a database to the binary format.
 pub fn encode_database(db: &SequenceDatabase) -> Vec<u8> {
     let mut out = Vec::with_capacity(MAGIC.len() + db.len() * 16);
@@ -87,25 +140,14 @@ pub fn encode_database(db: &SequenceDatabase) -> Vec<u8> {
     put_varint(&mut out, db.len() as u64);
     for row in db.rows() {
         put_varint(&mut out, row.cid.0);
-        put_varint(&mut out, row.sequence.n_transactions() as u64);
-        for set in row.sequence.itemsets() {
-            put_varint(&mut out, set.len() as u64);
-            let mut prev = 0u64;
-            for (i, item) in set.iter().enumerate() {
-                let v = u64::from(item.id());
-                if i == 0 {
-                    put_varint(&mut out, v);
-                } else {
-                    put_varint(&mut out, v - prev);
-                }
-                prev = v;
-            }
-        }
+        put_sequence(&mut out, &row.sequence);
     }
     out
 }
 
-/// Decodes a database from the binary format.
+/// Decodes a database from the binary format. Strict: a file carrying the
+/// same customer id twice, trailing bytes, or any malformed value is
+/// rejected with a typed error.
 pub fn decode_database(input: &[u8]) -> Result<SequenceDatabase, CodecError> {
     if input.len() < MAGIC.len() || &input[..MAGIC.len()] != MAGIC {
         return Err(CodecError::BadMagic);
@@ -113,29 +155,14 @@ pub fn decode_database(input: &[u8]) -> Result<SequenceDatabase, CodecError> {
     let mut pos = MAGIC.len();
     let n_rows = get_varint(input, &mut pos)?;
     let mut db = SequenceDatabase::new();
+    let mut seen = HashSet::with_capacity(n_rows.min(1 << 20) as usize);
     for _ in 0..n_rows {
         let cid = get_varint(input, &mut pos)?;
-        let n_txns = get_varint(input, &mut pos)?;
-        let mut itemsets = Vec::with_capacity(n_txns as usize);
-        for _ in 0..n_txns {
-            let n_items = get_varint(input, &mut pos)?;
-            if n_items == 0 {
-                return Err(CodecError::Invalid("empty transaction"));
-            }
-            let mut items = Vec::with_capacity(n_items as usize);
-            let mut prev = 0u64;
-            for i in 0..n_items {
-                let delta = get_varint(input, &mut pos)?;
-                let v = if i == 0 { delta } else { prev + delta };
-                if v > u64::from(u32::MAX) || (i > 0 && delta == 0) {
-                    return Err(CodecError::Invalid("item id out of range or duplicate"));
-                }
-                items.push(Item(v as u32));
-                prev = v;
-            }
-            itemsets.push(Itemset::from_sorted(items));
+        if !seen.insert(cid) {
+            return Err(CodecError::DuplicateCustomer(cid));
         }
-        db.push(CustomerId(cid), Sequence::new(itemsets));
+        let sequence = get_sequence(input, &mut pos)?;
+        db.push(CustomerId(cid), sequence);
     }
     if pos != input.len() {
         return Err(CodecError::Invalid("trailing bytes"));
@@ -202,6 +229,34 @@ mod tests {
         let mut extra = encode_database(&table1());
         extra.push(0);
         assert_eq!(decode_database(&extra), Err(CodecError::Invalid("trailing bytes")));
+    }
+
+    #[test]
+    fn rejects_duplicate_customer_ids() {
+        // Hand-build a file with cid 7 twice: a single-item sequence "(a)"
+        // encodes as n_txns=1, n_items=1, item=0.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        put_varint(&mut bytes, 2); // two customers
+        for _ in 0..2 {
+            put_varint(&mut bytes, 7); // the same cid
+            put_varint(&mut bytes, 1);
+            put_varint(&mut bytes, 1);
+            put_varint(&mut bytes, 0);
+        }
+        assert_eq!(decode_database(&bytes), Err(CodecError::DuplicateCustomer(7)));
+    }
+
+    #[test]
+    fn sequence_roundtrip() {
+        for text in ["(a)", "(a,e,g)(b)(h)", "(0, 300, 70000)(4294967295)"] {
+            let seq = crate::parse::parse_sequence(text).unwrap();
+            let mut buf = Vec::new();
+            put_sequence(&mut buf, &seq);
+            let mut pos = 0;
+            assert_eq!(get_sequence(&buf, &mut pos), Ok(seq));
+            assert_eq!(pos, buf.len());
+        }
     }
 
     #[test]

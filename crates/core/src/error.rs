@@ -1,6 +1,11 @@
-//! Error types for parsing sequences and databases.
+//! Error types for parsing sequences and databases, plus the workspace-wide
+//! [`DiscError`] umbrella that IO- and input-facing code returns instead of
+//! panicking.
 
+use crate::checkpoint::CheckpointError;
+use crate::codec::CodecError;
 use std::fmt;
+use std::path::PathBuf;
 
 /// An error produced while parsing a sequence or database from text.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,3 +70,75 @@ impl fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+/// The workspace-wide error type: everything that can go wrong between a
+/// user's input (text, binary files, environment configuration, checkpoint
+/// state) and a mining run. Code reachable from user input or file IO
+/// returns this instead of panicking, so corrupt inputs fail with a
+/// diagnostic rather than a backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscError {
+    /// Text input failed to parse.
+    Parse(ParseError),
+    /// A binary database failed to decode.
+    Codec(CodecError),
+    /// A checkpoint failed to write, load, or validate.
+    Checkpoint(CheckpointError),
+    /// An IO operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The OS error, stringified.
+        message: String,
+    },
+    /// A configuration value (CLI flag, environment variable) was invalid.
+    Config {
+        /// The option's name, e.g. `DISC_BENCH_DEADLINE_SECS`.
+        option: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DiscError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscError::Parse(e) => write!(f, "{e}"),
+            DiscError::Codec(e) => write!(f, "{e}"),
+            DiscError::Checkpoint(e) => write!(f, "{e}"),
+            DiscError::Io { path, message } => {
+                write!(f, "io error at {}: {message}", path.display())
+            }
+            DiscError::Config { option, reason } => write!(f, "invalid {option}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DiscError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiscError::Parse(e) => Some(e),
+            DiscError::Codec(e) => Some(e),
+            DiscError::Checkpoint(e) => Some(e),
+            DiscError::Io { .. } | DiscError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<ParseError> for DiscError {
+    fn from(e: ParseError) -> DiscError {
+        DiscError::Parse(e)
+    }
+}
+
+impl From<CodecError> for DiscError {
+    fn from(e: CodecError) -> DiscError {
+        DiscError::Codec(e)
+    }
+}
+
+impl From<CheckpointError> for DiscError {
+    fn from(e: CheckpointError) -> DiscError {
+        DiscError::Checkpoint(e)
+    }
+}

@@ -227,6 +227,11 @@ pub struct GuardedResult {
     pub result: MiningResult,
     /// Observed counters.
     pub stats: GuardStats,
+    /// Where the run left a durable snapshot, when it ran under a
+    /// checkpointing wrapper. An aborted run records the path here so a
+    /// fallback stage or a later resume picks the work up instead of
+    /// remining from scratch.
+    pub checkpoint: Option<std::path::PathBuf>,
 }
 
 /// A deterministic fault to inject at a numbered full checkpoint, for
@@ -239,6 +244,7 @@ pub struct GuardedResult {
 pub struct FaultPlan {
     panic_at_checkpoint: Option<u64>,
     stall_at_checkpoint: Option<(u64, Duration)>,
+    crash_at_snapshot_write: Option<(u64, crate::checkpoint::CheckpointCrash)>,
     armed: Cell<bool>,
 }
 
@@ -249,6 +255,7 @@ impl FaultPlan {
         FaultPlan {
             panic_at_checkpoint: Some(n),
             stall_at_checkpoint: None,
+            crash_at_snapshot_write: None,
             armed: Cell::new(true),
         }
     }
@@ -260,7 +267,36 @@ impl FaultPlan {
         FaultPlan {
             panic_at_checkpoint: None,
             stall_at_checkpoint: Some((n, stall)),
+            crash_at_snapshot_write: None,
             armed: Cell::new(true),
+        }
+    }
+
+    /// Kills the process-equivalent at the `n`-th durable snapshot write
+    /// (1-based): the checkpoint sink performs the on-disk effects of
+    /// `crash` and then panics, simulating a death at that exact point of
+    /// the write protocol. Fires once, like every fault.
+    pub fn crash_at_snapshot_write(n: u64, crash: crate::checkpoint::CheckpointCrash) -> FaultPlan {
+        FaultPlan {
+            panic_at_checkpoint: None,
+            stall_at_checkpoint: None,
+            crash_at_snapshot_write: Some((n, crash)),
+            armed: Cell::new(true),
+        }
+    }
+
+    /// Consulted by checkpoint sinks before the `write_n`-th (1-based)
+    /// snapshot write. Returns the crash to stage, disarming the plan.
+    pub fn fire_snapshot_write(&self, write_n: u64) -> Option<crate::checkpoint::CheckpointCrash> {
+        if !self.armed.get() {
+            return None;
+        }
+        match self.crash_at_snapshot_write {
+            Some((at, crash)) if at == write_n => {
+                self.armed.set(false);
+                Some(crash)
+            }
+            _ => None,
         }
     }
 
@@ -363,6 +399,14 @@ impl MineGuard {
     pub fn with_fault(mut self, fault: FaultPlan) -> MineGuard {
         self.fault = Some(Rc::new(fault));
         self
+    }
+
+    /// Consults the fault plan (if any) for an injected crash at the
+    /// `write_n`-th durable snapshot write of this run. Checkpoint sinks
+    /// call this immediately before each write.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn snapshot_write_crash(&self, write_n: u64) -> Option<crate::checkpoint::CheckpointCrash> {
+        self.fault.as_ref().and_then(|f| f.fire_snapshot_write(write_n))
     }
 
     /// The cancellation token this guard observes.
@@ -575,7 +619,7 @@ where
         Ok(Err(reason)) => MineOutcome::Partial { reason },
         Err(_) => MineOutcome::Partial { reason: AbortReason::Panicked },
     };
-    GuardedResult { outcome, result, stats: guard.stats() }
+    GuardedResult { outcome, result, stats: guard.stats(), checkpoint: None }
 }
 
 /// A report for one stage of a [`FallbackMiner`] chain.
@@ -587,6 +631,8 @@ pub struct StageReport {
     pub outcome: MineOutcome,
     /// The stage's counters.
     pub stats: GuardStats,
+    /// The durable snapshot the stage left behind, if it checkpoints.
+    pub checkpoint: Option<std::path::PathBuf>,
 }
 
 /// An ordered chain of miners: each stage runs under its own stage guard
@@ -625,6 +671,7 @@ impl FallbackMiner {
                 name: stage.name().to_string(),
                 outcome: run.outcome,
                 stats: run.stats,
+                checkpoint: run.checkpoint.clone(),
             });
             let advance = matches!(
                 run.outcome,

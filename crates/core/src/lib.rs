@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod bruteforce;
+pub mod checkpoint;
 pub mod codec;
 pub mod compact;
 pub mod constraints;
@@ -71,12 +72,18 @@ pub mod support;
 pub mod topk;
 
 pub use bruteforce::BruteForce;
-pub use codec::{decode_database, encode_database};
+pub use checkpoint::{
+    database_fingerprint, read_snapshot, write_snapshot, write_snapshot_view, CheckpointError,
+    MiningSnapshot, SnapshotView,
+};
+#[cfg(any(test, feature = "fault-injection"))]
+pub use checkpoint::{write_snapshot_crashing, CheckpointCrash};
+pub use codec::{decode_database, encode_database, CodecError};
 pub use compact::ItemMapping;
 pub use constraints::TimeConstraints;
 pub use database::{CustomerId, CustomerSequence, SequenceDatabase};
 pub use embed::{contains, leftmost_embedding, leftmost_match_end, MatchPoint};
-pub use error::ParseError;
+pub use error::{DiscError, ParseError};
 pub use executor::{ParallelExecutor, ParallelRun, TaskOutcome};
 pub use flat::{flat_pairs, FlatArena, FlatDb, FlatKey, FlatSeq, SeqView};
 #[cfg(any(test, feature = "fault-injection"))]

@@ -55,6 +55,7 @@ pub fn parse_sequence(input: &str) -> Result<Sequence, ParseError> {
         }
         i += 1;
         let mut items: Vec<Item> = Vec::new();
+        let close_offset;
         loop {
             skip_ws(&mut i);
             if i >= chars.len() {
@@ -66,6 +67,7 @@ pub fn parse_sequence(input: &str) -> Result<Sequence, ParseError> {
                     if items.is_empty() {
                         return Err(ParseError::EmptyItemset { offset });
                     }
+                    close_offset = offset;
                     i += 1;
                     break;
                 }
@@ -73,7 +75,10 @@ pub fn parse_sequence(input: &str) -> Result<Sequence, ParseError> {
                     i += 1;
                 }
                 c if c.is_ascii_lowercase() => {
-                    items.push(Item::from_letter(c).expect("checked lowercase"));
+                    match Item::from_letter(c) {
+                        Some(item) => items.push(item),
+                        None => return Err(ParseError::UnexpectedChar { offset, found: c }),
+                    }
                     i += 1;
                 }
                 c if c.is_ascii_digit() => {
@@ -90,7 +95,10 @@ pub fn parse_sequence(input: &str) -> Result<Sequence, ParseError> {
                 c => return Err(ParseError::UnexpectedChar { offset, found: c }),
             }
         }
-        itemsets.push(Itemset::new(items).expect("non-empty checked above"));
+        // Structurally unreachable (an empty transaction already returned
+        // above), but corrupt input must surface as an error, not a panic.
+        let set = Itemset::new(items).ok_or(ParseError::EmptyItemset { offset: close_offset })?;
+        itemsets.push(set);
         skip_ws(&mut i);
     }
     Ok(Sequence::new(itemsets))

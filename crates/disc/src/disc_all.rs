@@ -4,6 +4,7 @@
 use crate::counting::count_extensions;
 use crate::discovery::discover_frequent_k_guarded;
 use crate::partition::{group_by_min_item_guarded, min_ext_elem, next_frequent_item, reduce_into};
+use crate::resume::CheckpointSink;
 use disc_core::{
     run_guarded, AbortReason, ExtElem, FlatArena, FlatDb, GuardedResult, Item, MinSupport,
     MineGuard, MiningResult, SeqView, Sequence, SequenceDatabase, SequentialMiner,
@@ -69,7 +70,7 @@ impl SequentialMiner for DiscAll {
     fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
         let guard = MineGuard::unlimited();
         let mut result = MiningResult::new();
-        self.mine_inner(db, min_support, &guard, &mut result)
+        self.mine_inner(db, min_support, &guard, &mut result, None)
             .expect("unlimited guard never aborts");
         result
     }
@@ -80,7 +81,7 @@ impl SequentialMiner for DiscAll {
         min_support: MinSupport,
         guard: &MineGuard,
     ) -> GuardedResult {
-        run_guarded(guard, |result| self.mine_inner(db, min_support, guard, result))
+        run_guarded(guard, |result| self.mine_inner(db, min_support, guard, result, None))
     }
 
     fn mine_parallel(
@@ -98,12 +99,17 @@ impl SequentialMiner for DiscAll {
 impl DiscAll {
     /// The cooperative core behind both entry points: checkpoints on every
     /// partition-walk step and every per-member scan, notes every pattern.
-    fn mine_inner(
+    /// With a [`CheckpointSink`], snapshots the boundary-consistent state
+    /// after the frequent 1-sequences and after every completed first-level
+    /// partition, and skips partitions a resumed snapshot marks done (their
+    /// reassignment chains still run — later partitions need them).
+    pub(crate) fn mine_inner(
         &self,
         db: &SequenceDatabase,
         min_support: MinSupport,
         guard: &MineGuard,
         result: &mut MiningResult,
+        mut sink: Option<&mut CheckpointSink<'_>>,
     ) -> Result<(), AbortReason> {
         let delta = min_support.resolve(db.len());
         let Some(max_item) = db.max_item() else {
@@ -116,16 +122,23 @@ impl DiscAll {
 
         // Step 1: frequent 1-sequences + first-level partitions.
         let freq1 = frequent_one_sequences(&flat, delta, n_items, guard, result)?;
+        if let Some(s) = sink.as_deref_mut() {
+            s.level_one(result);
+        }
 
         // Step 2: walk first-level partitions in ascending key order.
         let mut first_level = group_by_min_item_guarded(db, guard)?;
         while let Some((&lambda, _)) = first_level.iter().next() {
             guard.checkpoint()?;
             let members = first_level.remove(&lambda).expect("key just observed");
-            if freq1[lambda.id() as usize] {
+            let resumed = sink.as_deref().is_some_and(|s| s.is_done(lambda));
+            if freq1[lambda.id() as usize] && !resumed {
                 self.process_first_level(
                     &flat, lambda, &members, delta, n_items, &freq1, guard, result,
                 )?;
+                if let Some(s) = sink.as_deref_mut() {
+                    s.partition_done(lambda, result);
+                }
             }
             // Step 2.2: reassignment chains.
             for idx in members {

@@ -13,6 +13,7 @@
 use crate::counting::count_extensions;
 use crate::disc_all::run_disc_levels;
 use crate::partition::{group_by_min_item_guarded, min_ext_elem, next_frequent_item, reduce_into};
+use crate::resume::CheckpointSink;
 use disc_core::{
     run_guarded, AbortReason, ExtElem, FlatArena, FlatDb, GuardedResult, Item, MinSupport,
     MineGuard, MiningResult, SeqView, Sequence, SequenceDatabase, SequentialMiner,
@@ -89,7 +90,7 @@ impl SequentialMiner for DynamicDiscAll {
     fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
         let guard = MineGuard::unlimited();
         let mut result = MiningResult::new();
-        self.mine_inner(db, min_support, &guard, &mut result)
+        self.mine_inner(db, min_support, &guard, &mut result, None)
             .expect("unlimited guard never aborts");
         result
     }
@@ -100,18 +101,23 @@ impl SequentialMiner for DynamicDiscAll {
         min_support: MinSupport,
         guard: &MineGuard,
     ) -> GuardedResult {
-        run_guarded(guard, |result| self.mine_inner(db, min_support, guard, result))
+        run_guarded(guard, |result| self.mine_inner(db, min_support, guard, result, None))
     }
 }
 
 impl DynamicDiscAll {
-    /// The cooperative core behind both entry points.
-    fn mine_inner(
+    /// The cooperative core behind both entry points. Snapshot hooks mirror
+    /// [`crate::DiscAll::mine_inner`]: boundaries at the frequent
+    /// 1-sequences and per completed first-level partition. The degenerate
+    /// no-split path has no partition boundaries — only the level-1
+    /// snapshot applies there.
+    pub(crate) fn mine_inner(
         &self,
         db: &SequenceDatabase,
         min_support: MinSupport,
         guard: &MineGuard,
         result: &mut MiningResult,
+        mut sink: Option<&mut CheckpointSink<'_>>,
     ) -> Result<(), AbortReason> {
         let delta = min_support.resolve(db.len());
         let Some(max_item) = db.max_item() else {
@@ -139,6 +145,9 @@ impl DynamicDiscAll {
         if supports1.is_empty() {
             return Ok(());
         }
+        if let Some(s) = sink.as_deref_mut() {
+            s.level_one(result);
+        }
 
         if !self.policy.split(0, nrr(&supports1, flat.len())) {
             // Degenerate but well-defined: DISC over the whole database from
@@ -156,10 +165,14 @@ impl DynamicDiscAll {
         while let Some((&lambda, _)) = first_level.iter().next() {
             guard.checkpoint()?;
             let members = first_level.remove(&lambda).expect("key just observed");
-            if freq1[lambda.id() as usize] {
+            let resumed = sink.as_deref().is_some_and(|s| s.is_done(lambda));
+            if freq1[lambda.id() as usize] && !resumed {
                 self.process_first_level(
                     &flat, lambda, &members, delta, n_items, &freq1, guard, result,
                 )?;
+                if let Some(s) = sink.as_deref_mut() {
+                    s.partition_done(lambda, result);
+                }
             }
             for idx in members {
                 guard.checkpoint()?;

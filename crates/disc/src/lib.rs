@@ -31,6 +31,7 @@
 //! | [`disc_all`] | the DISC-all algorithm (Figure 2) |
 //! | [`parallel`] | DISC-all with first-level partitions sharded across a thread pool |
 //! | [`dynamic`] | the Dynamic DISC-all algorithm (Appendix) |
+//! | [`resume`] | durable checkpoint/resume at first-level partition boundaries |
 //! | [`stats`] | the NRR metric of §4.2 (Tables 12 and 14) |
 //! | [`weighted`] | the §5 future-work extension: weighted sequence mining |
 //!
@@ -63,6 +64,7 @@ pub mod dynamic;
 pub mod kms;
 pub mod parallel;
 pub mod partition;
+pub mod resume;
 pub mod sorted_db;
 pub mod stats;
 pub mod weighted;
@@ -70,5 +72,6 @@ pub mod weighted;
 pub use disc_all::{DiscAll, DiscConfig};
 pub use dynamic::{DynamicDiscAll, SplitPolicy};
 pub use parallel::ParallelDiscAll;
+pub use resume::{CheckpointSink, CheckpointStats, Checkpointable, Resumable, CHECKPOINT_FILE};
 pub use stats::nrr_by_level;
 pub use weighted::{WeightedDatabase, WeightedDisc};

@@ -30,6 +30,7 @@
 //! disagreeing on a support is caught loudly rather than silently resolved.
 
 use crate::disc_all::{frequent_one_sequences, DiscAll};
+use crate::resume::CheckpointSink;
 use crate::DiscConfig;
 use disc_core::{
     run_guarded, AbortReason, FlatDb, GuardedResult, Item, MinSupport, MineGuard, MineOutcome,
@@ -108,13 +109,17 @@ impl ParallelDiscAll {
         self
     }
 
-    /// The cooperative core behind both entry points.
-    fn mine_inner(
+    /// The cooperative core behind both entry points. Snapshot boundaries:
+    /// after the frequent 1-sequences and once at the merge point, marking
+    /// every shard whose task completed — so an aborted parallel run
+    /// resumes with only the unfinished shards.
+    pub(crate) fn mine_inner(
         &self,
         db: &SequenceDatabase,
         min_support: MinSupport,
         guard: &MineGuard,
         result: &mut MiningResult,
+        mut sink: Option<&mut CheckpointSink<'_>>,
     ) -> Result<(), AbortReason> {
         let delta = min_support.resolve(db.len());
         let Some(max_item) = db.max_item() else {
@@ -127,10 +132,19 @@ impl ParallelDiscAll {
 
         // Step 1 (sequential, one scan): frequent 1-sequences.
         let freq1 = frequent_one_sequences(&flat, delta, n_items, guard, result)?;
+        if let Some(s) = sink.as_deref_mut() {
+            s.level_one(result);
+        }
 
         // Step 2 (sequential, one scan): shard membership — for each
         // frequent λ, every row containing λ, in ascending row order.
-        let shards = shard_members(db, &freq1, guard)?;
+        // Shards a resumed snapshot marks done are dropped up front; their
+        // patterns were seeded from the snapshot.
+        let mut shards = shard_members(db, &freq1, guard)?;
+        if let Some(s) = sink.as_deref() {
+            shards.retain(|(lambda, _)| !s.is_done(*lambda));
+        }
+        let keys: Vec<Item> = shards.iter().map(|(lambda, _)| *lambda).collect();
 
         // Step 3 (parallel): one first-level partition per pool task.
         let executor = ParallelExecutor::with_threads(self.threads);
@@ -173,7 +187,25 @@ impl ParallelDiscAll {
         // failure panics instead of corrupting the result. Partial shards
         // contribute too — their outputs are sound subsets by the
         // cooperative mining contract.
-        for task in &run.tasks {
+        //
+        // Completed shards merge first so the boundary snapshot between the
+        // two passes is *consistent*: it holds exactly the finished shards'
+        // full pattern sets, never a partial shard's fragment.
+        let mut completed: Vec<Item> = Vec::new();
+        for (i, task) in run.tasks.iter().enumerate() {
+            if !task.outcome.is_complete() {
+                continue;
+            }
+            completed.push(keys[i]);
+            for (pattern, support) in task.output.iter() {
+                guard.note_pattern()?;
+                result.insert(pattern.clone(), support);
+            }
+        }
+        if let Some(s) = sink {
+            s.partitions_done(&completed, result);
+        }
+        for task in run.tasks.iter().filter(|t| !t.outcome.is_complete()) {
             for (pattern, support) in task.output.iter() {
                 guard.note_pattern()?;
                 result.insert(pattern.clone(), support);
@@ -194,7 +226,7 @@ impl SequentialMiner for ParallelDiscAll {
     fn mine(&self, db: &SequenceDatabase, min_support: MinSupport) -> MiningResult {
         let guard = MineGuard::unlimited();
         let mut result = MiningResult::new();
-        self.mine_inner(db, min_support, &guard, &mut result)
+        self.mine_inner(db, min_support, &guard, &mut result, None)
             .expect("unlimited guard never aborts");
         result
     }
@@ -205,7 +237,7 @@ impl SequentialMiner for ParallelDiscAll {
         min_support: MinSupport,
         guard: &MineGuard,
     ) -> GuardedResult {
-        run_guarded(guard, |result| self.mine_inner(db, min_support, guard, result))
+        run_guarded(guard, |result| self.mine_inner(db, min_support, guard, result, None))
     }
 
     fn mine_parallel(

@@ -1,8 +1,9 @@
 //! `disc-mine` — command-line frequent-sequence mining.
 //!
 //! ```text
-//! disc-mine <database.txt> --minsup 0.01 [--algo disc-all|dynamic|prefixspan|pseudo|gsp|spade|spam]
+//! disc-mine <database.txt> --minsup 0.01 [--algo disc-all|dynamic|parallel|prefixspan|pseudo|gsp|spade|spam]
 //!           [--min-length N] [--max-patterns N] [--stats]
+//!           [--checkpoint-dir DIR] [--resume FILE.dscck]
 //! ```
 //!
 //! The database format is one customer per line: `cid: (a, b)(c)(a, d)` —
@@ -19,13 +20,20 @@ struct Args {
     min_length: usize,
     max_patterns: usize,
     stats: bool,
+    checkpoint_dir: Option<String>,
+    resume: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: disc-mine <database.txt> [--minsup FRACTION | --delta COUNT]\n\
-         \t[--algo disc-all|dynamic|prefixspan|pseudo|gsp|spade|spam|brute]\n\
-         \t[--min-length N] [--max-patterns N] [--stats]"
+         \t[--algo disc-all|dynamic|parallel|prefixspan|pseudo|gsp|spade|spam|brute]\n\
+         \t[--min-length N] [--max-patterns N] [--stats]\n\
+         \t[--checkpoint-dir DIR] [--resume FILE.dscck]\n\
+         --checkpoint-dir writes durable snapshots at partition boundaries (and\n\
+         auto-resumes a valid one); --resume continues from an explicit snapshot\n\
+         file, rejecting corrupted or mismatched files. Both support the\n\
+         disc-all, dynamic, and parallel algorithms only."
     );
     exit(2);
 }
@@ -39,6 +47,8 @@ fn parse_args() -> Args {
         min_length: 1,
         max_patterns: usize::MAX,
         stats: false,
+        checkpoint_dir: None,
+        resume: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -60,6 +70,10 @@ fn parse_args() -> Args {
                     args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
             }
             "--stats" => out.stats = true,
+            "--checkpoint-dir" => {
+                out.checkpoint_dir = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--resume" => out.resume = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             path if !path.starts_with('-') && out.path.is_empty() => out.path = path.to_string(),
             _ => usage(),
@@ -68,13 +82,31 @@ fn parse_args() -> Args {
     if out.path.is_empty() {
         usage();
     }
+    if out.checkpoint_dir.is_some() && out.resume.is_some() {
+        eprintln!("--checkpoint-dir and --resume are mutually exclusive; --resume already writes further snapshots next to the resumed file");
+        usage();
+    }
     out
 }
 
-fn miner_by_name(name: &str) -> Box<dyn SequentialMiner> {
+fn miner_by_name(name: &str, checkpoint_dir: Option<&str>) -> Box<dyn SequentialMiner> {
+    // With --checkpoint-dir the DISC miners are wrapped in `Resumable`:
+    // durable snapshots at partition boundaries, auto-resuming a valid one.
+    if let Some(dir) = checkpoint_dir {
+        return match name {
+            "disc-all" => Box::new(Resumable::new(DiscAll::default(), dir)),
+            "dynamic" => Box::new(Resumable::new(DynamicDiscAll::default(), dir)),
+            "parallel" => Box::new(Resumable::new(ParallelDiscAll::default(), dir)),
+            other => {
+                eprintln!("--checkpoint-dir supports disc-all, dynamic, parallel; got {other:?}");
+                usage();
+            }
+        };
+    }
     match name {
         "disc-all" => Box::new(DiscAll::default()),
         "dynamic" => Box::new(DynamicDiscAll::default()),
+        "parallel" => Box::new(ParallelDiscAll::default()),
         "prefixspan" => Box::new(PrefixSpan::default()),
         "pseudo" => Box::new(PseudoPrefixSpan::default()),
         "gsp" => Box::new(Gsp::default()),
@@ -83,6 +115,46 @@ fn miner_by_name(name: &str) -> Box<dyn SequentialMiner> {
         "brute" => Box::new(BruteForce::default()),
         other => {
             eprintln!("unknown algorithm {other:?}");
+            usage();
+        }
+    }
+}
+
+/// Continues from an explicit snapshot file; typed rejection (corrupted,
+/// truncated, stale-version, wrong database, wrong δ) exits with code 1.
+/// Further snapshots are written next to the file being resumed.
+fn run_resume(
+    algo: &str,
+    file: &str,
+    db: &SequenceDatabase,
+    minsup: MinSupport,
+) -> (String, MiningResult) {
+    fn go<M: Checkpointable>(
+        miner: M,
+        file: &str,
+        db: &SequenceDatabase,
+        minsup: MinSupport,
+    ) -> (String, MiningResult) {
+        let path = std::path::Path::new(file);
+        let dir = match path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d,
+            _ => std::path::Path::new("."),
+        };
+        let wrapped = Resumable::new(miner, dir);
+        match wrapped.resume_from(path, db, minsup, &MineGuard::unlimited()) {
+            Ok(run) => (wrapped.name().to_string(), run.result),
+            Err(e) => {
+                eprintln!("cannot resume from {file}: {e}");
+                exit(1);
+            }
+        }
+    }
+    match algo {
+        "disc-all" => go(DiscAll::default(), file, db, minsup),
+        "dynamic" => go(DynamicDiscAll::default(), file, db, minsup),
+        "parallel" => go(ParallelDiscAll::default(), file, db, minsup),
+        other => {
+            eprintln!("--resume supports disc-all, dynamic, parallel; got {other:?}");
             usage();
         }
     }
@@ -131,7 +203,6 @@ fn main() {
         );
     }
 
-    let miner = miner_by_name(&args.algo);
     let resolved = args.minsup.resolve(db.len());
     if resolved <= 2 && db.len() > 100 {
         eprintln!(
@@ -140,23 +211,36 @@ fn main() {
         );
     }
     let start = std::time::Instant::now();
+    let mine = |db: &SequenceDatabase| -> (String, MiningResult) {
+        if let Some(file) = &args.resume {
+            run_resume(&args.algo, file, db, args.minsup)
+        } else {
+            let miner = miner_by_name(&args.algo, args.checkpoint_dir.as_deref());
+            let result = miner.mine(db, args.minsup);
+            (miner.name().to_string(), result)
+        }
+    };
     // Sparse item-id spaces would make the miners' dense per-item arrays
     // huge; compact ids transparently and translate the patterns back.
     // Analyze first: the common dense case then never copies the database.
+    // Checkpoints fingerprint the database *after* this step; the mapping
+    // is a pure function of the database, so snapshots stay valid across
+    // invocations on the same input.
     let mapping = disc_miner::core::ItemMapping::analyze(&db);
-    let result = if mapping.is_worthwhile() {
+    let (miner_name, result) = if mapping.is_worthwhile() {
         if args.stats {
             eprintln!("# compacted {} distinct items onto 0..{}", mapping.len(), mapping.len());
         }
         let compacted = mapping.remap_database(&db);
-        mapping.restore_result(&miner.mine(&compacted, args.minsup))
+        let (name, result) = mine(&compacted);
+        (name, mapping.restore_result(&result))
     } else {
-        miner.mine(&db, args.minsup)
+        mine(&db)
     };
     if args.stats {
         eprintln!(
             "# {}: {} frequent sequences (max length {}) in {:.3?}",
-            miner.name(),
+            miner_name,
             result.len(),
             result.max_length(),
             start.elapsed()

@@ -48,15 +48,15 @@ pub use disc_tree as tree;
 /// The most common imports in one place.
 pub mod prelude {
     pub use disc_algo::{
-        nrr_by_level, DiscAll, DiscConfig, DynamicDiscAll, ParallelDiscAll, WeightedDatabase,
-        WeightedDisc,
+        nrr_by_level, CheckpointStats, Checkpointable, DiscAll, DiscConfig, DynamicDiscAll,
+        ParallelDiscAll, Resumable, WeightedDatabase, WeightedDisc, CHECKPOINT_FILE,
     };
     pub use disc_baselines::{Gsp, PrefixSpan, PseudoPrefixSpan, Spade, Spam};
     pub use disc_core::{
-        parse_sequence, AbortReason, BruteForce, CancelToken, FallbackMiner, GuardStats,
-        GuardedResult, Item, Itemset, MinSupport, MineGuard, MineOutcome, MiningResult,
-        ParallelExecutor, ResourceBudget, Sequence, SequenceDatabase, SequentialMiner, StageReport,
-        TopK,
+        parse_sequence, AbortReason, BruteForce, CancelToken, CheckpointError, DiscError,
+        FallbackMiner, GuardStats, GuardedResult, Item, Itemset, MinSupport, MineGuard,
+        MineOutcome, MiningResult, ParallelExecutor, ResourceBudget, Sequence, SequenceDatabase,
+        SequentialMiner, StageReport, TopK,
     };
     pub use disc_datagen::QuestConfig;
 }
