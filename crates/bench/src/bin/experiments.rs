@@ -9,11 +9,11 @@
 //! the CI-sized sanity run. Raw measurements land in `target/experiments/`.
 
 use disc_bench::workloads::Scale;
-use disc_bench::{ckptbench, experiments, flatbench};
+use disc_bench::{ckptbench, experiments, flatbench, storebench};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]\n       experiments bench-flat [--smoke] [--check <BENCH_flat.json>]\n       experiments bench-checkpoint"
+        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]\n       experiments bench-flat [--smoke] [--check <BENCH_flat.json>]\n       experiments bench-checkpoint\n       experiments bench-store"
     );
     std::process::exit(2);
 }
@@ -59,6 +59,7 @@ fn main() {
             | "all"
             | "bench-flat"
             | "bench-checkpoint"
+            | "bench-store"
     ) {
         usage();
     }
@@ -80,6 +81,9 @@ fn main() {
         // the module docs for why fsync timings must not gate CI.
         "bench-checkpoint" => {
             ckptbench::run();
+        }
+        "bench-store" => {
+            storebench::run();
         }
         "bench-flat" => match check {
             None => {

@@ -38,4 +38,5 @@ pub mod experiments;
 pub mod flatbench;
 pub mod report;
 pub mod runner;
+pub mod storebench;
 pub mod workloads;

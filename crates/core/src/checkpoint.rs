@@ -84,6 +84,10 @@ pub enum CheckpointError {
         path: PathBuf,
         /// The OS error, stringified.
         message: String,
+        /// Whether the failure is transient (`EINTR`/`EAGAIN`-class) —
+        /// already retried once by the writer, but still worth a coarser
+        /// retry by a supervisor, unlike corruption or `ENOSPC`.
+        transient: bool,
     },
     /// The input does not start with the checkpoint magic.
     BadMagic,
@@ -124,7 +128,7 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Missing { path } => {
                 write!(f, "no checkpoint at {}", path.display())
             }
-            CheckpointError::Io { path, message } => {
+            CheckpointError::Io { path, message, .. } => {
                 write!(f, "checkpoint io error at {}: {message}", path.display())
             }
             CheckpointError::BadMagic => write!(f, "not a DSCCK1 checkpoint file"),
@@ -168,7 +172,11 @@ fn io_err(path: &Path, e: std::io::Error) -> CheckpointError {
     if e.kind() == std::io::ErrorKind::NotFound {
         CheckpointError::Missing { path: path.to_path_buf() }
     } else {
-        CheckpointError::Io { path: path.to_path_buf(), message: e.to_string() }
+        CheckpointError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+            transient: crate::guard::is_transient_io_kind(e.kind()),
+        }
     }
 }
 
@@ -587,13 +595,13 @@ pub fn decode_snapshot(input: &[u8]) -> Result<MiningSnapshot, CheckpointError> 
 // -------------------------------------------------------------------------
 // Durable IO.
 
-fn tmp_path(path: &Path) -> PathBuf {
+pub(crate) fn tmp_path(path: &Path) -> PathBuf {
     let mut os = path.as_os_str().to_os_string();
     os.push(".tmp");
     PathBuf::from(os)
 }
 
-fn sync_parent_dir(path: &Path) {
+pub(crate) fn sync_parent_dir(path: &Path) {
     // Best-effort: directory fsync is what makes the rename itself durable
     // on crash, but not every platform/filesystem allows opening a directory
     // for sync, and a failure here never invalidates the data already synced.
@@ -605,13 +613,20 @@ fn sync_parent_dir(path: &Path) {
 }
 
 fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> Result<usize, CheckpointError> {
+    // Each step retries EINTR/EAGAIN-class failures with bounded, jittered
+    // backoff before surfacing; permanent errors surface on first touch.
+    let policy = crate::guard::RetryPolicy::io_default();
     let tmp = tmp_path(path);
-    {
-        let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
-        file.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
-        file.sync_all().map_err(|e| io_err(&tmp, e))?;
-    }
-    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    // The create+write+sync triple retries as a unit: `File::create`
+    // truncates, so a retry never appends after a partial first attempt.
+    crate::guard::retry_transient(policy, || {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()
+    })
+    .map_err(|e| io_err(&tmp, e))?;
+    crate::guard::retry_transient(policy, || fs::rename(&tmp, path))
+        .map_err(|e| io_err(path, e))?;
     sync_parent_dir(path);
     Ok(bytes.len())
 }

@@ -4,6 +4,7 @@
 
 use crate::checkpoint::CheckpointError;
 use crate::codec::CodecError;
+use crate::store::StoreError;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -84,12 +85,17 @@ pub enum DiscError {
     Codec(CodecError),
     /// A checkpoint failed to write, load, or validate.
     Checkpoint(CheckpointError),
+    /// The durable ingest store failed to append, recover, or compact.
+    Store(StoreError),
     /// An IO operation failed.
     Io {
         /// The path involved.
         path: PathBuf,
         /// The OS error, stringified.
         message: String,
+        /// Whether the failure is transient (`EINTR`/`EAGAIN`-class) and
+        /// worth retrying, per [`crate::guard::is_transient_io_kind`].
+        transient: bool,
     },
     /// A configuration value (CLI flag, environment variable) was invalid.
     Config {
@@ -106,10 +112,38 @@ impl fmt::Display for DiscError {
             DiscError::Parse(e) => write!(f, "{e}"),
             DiscError::Codec(e) => write!(f, "{e}"),
             DiscError::Checkpoint(e) => write!(f, "{e}"),
-            DiscError::Io { path, message } => {
+            DiscError::Store(e) => write!(f, "{e}"),
+            DiscError::Io { path, message, .. } => {
                 write!(f, "io error at {}: {message}", path.display())
             }
             DiscError::Config { option, reason } => write!(f, "invalid {option}: {reason}"),
+        }
+    }
+}
+
+impl DiscError {
+    /// Whether the failure is transient — an `EINTR`/`EAGAIN`-class IO
+    /// error that a supervisor can reasonably retry — as opposed to a
+    /// permanent one (corrupt input, bad configuration, `ENOSPC`).
+    ///
+    /// `disc-mine` maps this to its exit code (75, `EX_TEMPFAIL`, for
+    /// transient; 1 for permanent) so restart policies can tell the two
+    /// apart without parsing stderr.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            DiscError::Io { transient, .. } => *transient,
+            DiscError::Store(e) => e.is_transient(),
+            DiscError::Checkpoint(CheckpointError::Io { transient, .. }) => *transient,
+            _ => false,
+        }
+    }
+
+    /// Builds [`DiscError::Io`] from an `io::Error`, classifying transience.
+    pub fn from_io(path: impl Into<PathBuf>, e: &std::io::Error) -> DiscError {
+        DiscError::Io {
+            path: path.into(),
+            message: e.to_string(),
+            transient: crate::guard::is_transient_io_kind(e.kind()),
         }
     }
 }
@@ -120,6 +154,7 @@ impl std::error::Error for DiscError {
             DiscError::Parse(e) => Some(e),
             DiscError::Codec(e) => Some(e),
             DiscError::Checkpoint(e) => Some(e),
+            DiscError::Store(e) => Some(e),
             DiscError::Io { .. } | DiscError::Config { .. } => None,
         }
     }
@@ -140,5 +175,11 @@ impl From<CodecError> for DiscError {
 impl From<CheckpointError> for DiscError {
     fn from(e: CheckpointError) -> DiscError {
         DiscError::Checkpoint(e)
+    }
+}
+
+impl From<StoreError> for DiscError {
+    fn from(e: StoreError) -> DiscError {
+        DiscError::Store(e)
     }
 }

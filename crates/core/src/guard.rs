@@ -38,6 +38,203 @@ use std::time::{Duration, Instant};
 #[cfg(any(test, feature = "fault-injection"))]
 use std::rc::Rc;
 
+// -------------------------------------------------------------------------
+// Transient-error classification and bounded retry with jittered backoff.
+
+/// Whether an [`std::io::ErrorKind`] is **transient** — the `EINTR`/`EAGAIN`
+/// class of failures that a short, bounded retry is likely to clear — as
+/// opposed to permanent conditions (missing files, permissions, a full disk,
+/// corrupt data) where retrying only delays the real diagnostic.
+pub fn is_transient_io_kind(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        kind,
+        ErrorKind::Interrupted
+            | ErrorKind::WouldBlock
+            | ErrorKind::TimedOut
+            | ErrorKind::ResourceBusy
+    )
+}
+
+/// A bounded retry schedule with exponential, jittered backoff, shared by
+/// every durable writer in the workspace (WAL appends, checkpoint snapshots,
+/// store snapshot publication).
+///
+/// The jitter is deterministic per process *sequence* (a splitmix64 stream),
+/// not wall-clock random — retries stay reproducible under test while
+/// concurrent writers still decorrelate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// The default schedule for local-filesystem IO: 4 attempts, 1 ms base,
+    /// 20 ms cap — under 50 ms worst case, enough to clear an interrupted
+    /// syscall without masking a real failure.
+    pub const fn io_default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+        }
+    }
+
+    /// No retries at all: every failure surfaces on first touch.
+    pub const fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, base_delay: Duration::ZERO, max_delay: Duration::ZERO }
+    }
+
+    /// The backoff before retry number `retry` (0-based), jittered into
+    /// `[50%, 100%]` of the exponential step by `salt`.
+    fn backoff(&self, retry: u32, salt: u64) -> Duration {
+        let step =
+            self.base_delay.saturating_mul(1u32 << retry.min(16)).min(self.max_delay).as_nanos()
+                as u64;
+        let jittered = step / 2 + splitmix64(salt ^ u64::from(retry)) % (step / 2 + 1);
+        Duration::from_nanos(jittered)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::io_default()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Per-process jitter stream; each retried operation draws a fresh salt so
+/// concurrent writers back off on decorrelated schedules.
+static RETRY_SALT: AtomicU64 = AtomicU64::new(0x243F_6A88_85A3_08D3);
+
+/// Runs `op`, retrying **transient** IO failures (see
+/// [`is_transient_io_kind`]) up to `policy.max_attempts` total attempts with
+/// jittered exponential backoff. Permanent failures — and the final
+/// transient failure once attempts run out — are returned unchanged, so the
+/// caller's diagnostics always carry the real error.
+pub fn retry_transient<T>(
+    policy: RetryPolicy,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let salt = RETRY_SALT.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    let mut retry = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if retry + 1 < policy.max_attempts.max(1) && is_transient_io_kind(e.kind()) => {
+                std::thread::sleep(policy.backoff(retry, salt));
+                retry += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+// -------------------------------------------------------------------------
+// The writer-agnostic IO fault surface (tests / `fault-injection` only).
+
+/// Which durable writer an injected [`IoFault`] targets. One injection
+/// surface serves every writer in the workspace — the checkpoint snapshot
+/// path, WAL appends, and store snapshot publication — instead of each
+/// growing a bespoke flag.
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoWriter {
+    /// The mining checkpoint snapshot writer (`core::checkpoint`).
+    Checkpoint,
+    /// A WAL frame append (`core::store::wal`).
+    WalAppend,
+    /// A store snapshot publication during compaction (`core::store`).
+    StoreSnapshot,
+    /// A store file read during recovery or fsck (`core::store`). Targets
+    /// the n-th file opened, for short-read and `EINTR` injection.
+    StoreRead,
+}
+
+/// A deterministic IO fault to inject at a numbered write (or read) of one
+/// [`IoWriter`]. Crash-class faults leave on disk exactly what a real kill
+/// at that point would, then panic to simulate the death; error-class faults
+/// make the targeted syscall fail once with the corresponding `io::Error`,
+/// exercising the retry/classification paths.
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Crash mid-write: only a prefix of the bytes reaches the file.
+    TornWrite,
+    /// Crash between fsync and rename: the temp file is complete but the
+    /// final path never updated.
+    CrashBeforeRename,
+    /// Crash after rename but before post-publication cleanup (e.g. WAL
+    /// segment deletion after a compaction).
+    CrashAfterRename,
+    /// The write "succeeds" but a payload byte flipped — silent corruption
+    /// that only the frame/section CRCs can catch.
+    CorruptByte,
+    /// The file is written whole, in a format version this build rejects.
+    StaleVersion,
+    /// The write fails with `ENOSPC` — a permanent error the retry helper
+    /// must *not* retry.
+    Enospc,
+    /// The write fails once with `EINTR` — a transient error the retry
+    /// helper clears on the next attempt.
+    Interrupted,
+    /// A read returns fewer bytes than the file holds, as a torn tail would.
+    ShortRead,
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+impl IoFault {
+    /// The `io::Error` this fault injects, for error-class faults; `None`
+    /// for crash-class faults, which are staged on disk instead.
+    pub fn as_io_error(self) -> Option<std::io::Error> {
+        match self {
+            IoFault::Enospc => {
+                Some(std::io::Error::new(std::io::ErrorKind::StorageFull, "injected ENOSPC"))
+            }
+            IoFault::Interrupted => {
+                Some(std::io::Error::new(std::io::ErrorKind::Interrupted, "injected EINTR"))
+            }
+            _ => None,
+        }
+    }
+
+    /// The legacy checkpoint crash this fault corresponds to, when it maps.
+    pub fn as_checkpoint_crash(self) -> Option<crate::checkpoint::CheckpointCrash> {
+        use crate::checkpoint::CheckpointCrash;
+        match self {
+            IoFault::TornWrite => Some(CheckpointCrash::TornTempWrite),
+            IoFault::CrashBeforeRename => Some(CheckpointCrash::CrashBeforeRename),
+            IoFault::CorruptByte => Some(CheckpointCrash::CorruptSection),
+            IoFault::StaleVersion => Some(CheckpointCrash::StaleVersion),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+impl From<crate::checkpoint::CheckpointCrash> for IoFault {
+    fn from(crash: crate::checkpoint::CheckpointCrash) -> IoFault {
+        use crate::checkpoint::CheckpointCrash;
+        match crash {
+            CheckpointCrash::TornTempWrite => IoFault::TornWrite,
+            CheckpointCrash::CrashBeforeRename => IoFault::CrashBeforeRename,
+            CheckpointCrash::CorruptSection => IoFault::CorruptByte,
+            CheckpointCrash::StaleVersion => IoFault::StaleVersion,
+        }
+    }
+}
+
 /// A cheap, cloneable cancellation handle.
 ///
 /// Clone it, hand one copy to the mining thread (inside a [`MineGuard`]) and
@@ -244,7 +441,7 @@ pub struct GuardedResult {
 pub struct FaultPlan {
     panic_at_checkpoint: Option<u64>,
     stall_at_checkpoint: Option<(u64, Duration)>,
-    crash_at_snapshot_write: Option<(u64, crate::checkpoint::CheckpointCrash)>,
+    io_fault: Option<(IoWriter, u64, IoFault)>,
     armed: Cell<bool>,
 }
 
@@ -255,7 +452,7 @@ impl FaultPlan {
         FaultPlan {
             panic_at_checkpoint: Some(n),
             stall_at_checkpoint: None,
-            crash_at_snapshot_write: None,
+            io_fault: None,
             armed: Cell::new(true),
         }
     }
@@ -267,7 +464,19 @@ impl FaultPlan {
         FaultPlan {
             panic_at_checkpoint: None,
             stall_at_checkpoint: Some((n, stall)),
-            crash_at_snapshot_write: None,
+            io_fault: None,
+            armed: Cell::new(true),
+        }
+    }
+
+    /// Injects `fault` at the `n`-th (1-based) write of `writer` — the one
+    /// injection surface shared by the WAL, checkpoint, and store snapshot
+    /// writers. Fires once, then disarms, like every fault.
+    pub fn io_fault_at(writer: IoWriter, n: u64, fault: IoFault) -> FaultPlan {
+        FaultPlan {
+            panic_at_checkpoint: None,
+            stall_at_checkpoint: None,
+            io_fault: Some((writer, n, fault)),
             armed: Cell::new(true),
         }
     }
@@ -275,29 +484,34 @@ impl FaultPlan {
     /// Kills the process-equivalent at the `n`-th durable snapshot write
     /// (1-based): the checkpoint sink performs the on-disk effects of
     /// `crash` and then panics, simulating a death at that exact point of
-    /// the write protocol. Fires once, like every fault.
+    /// the write protocol. A thin wrapper over [`FaultPlan::io_fault_at`]
+    /// targeting [`IoWriter::Checkpoint`].
     pub fn crash_at_snapshot_write(n: u64, crash: crate::checkpoint::CheckpointCrash) -> FaultPlan {
-        FaultPlan {
-            panic_at_checkpoint: None,
-            stall_at_checkpoint: None,
-            crash_at_snapshot_write: Some((n, crash)),
-            armed: Cell::new(true),
+        FaultPlan::io_fault_at(IoWriter::Checkpoint, n, crash.into())
+    }
+
+    /// Consulted by a writer before its `n`-th (1-based) write. Returns the
+    /// fault to apply when this plan targets that (writer, n), disarming
+    /// the plan.
+    pub fn fire_io(&self, writer: IoWriter, n: u64) -> Option<IoFault> {
+        if !self.armed.get() {
+            return None;
+        }
+        match self.io_fault {
+            Some((w, at, fault)) if w == writer && at == n => {
+                self.armed.set(false);
+                Some(fault)
+            }
+            _ => None,
         }
     }
 
     /// Consulted by checkpoint sinks before the `write_n`-th (1-based)
     /// snapshot write. Returns the crash to stage, disarming the plan.
+    /// Error-class faults are surfaced through
+    /// [`MineGuard::io_write_fault`] instead.
     pub fn fire_snapshot_write(&self, write_n: u64) -> Option<crate::checkpoint::CheckpointCrash> {
-        if !self.armed.get() {
-            return None;
-        }
-        match self.crash_at_snapshot_write {
-            Some((at, crash)) if at == write_n => {
-                self.armed.set(false);
-                Some(crash)
-            }
-            _ => None,
-        }
+        self.fire_io(IoWriter::Checkpoint, write_n).and_then(IoFault::as_checkpoint_crash)
     }
 
     fn fire(&self, checkpoint: u64) {
@@ -406,7 +620,15 @@ impl MineGuard {
     /// call this immediately before each write.
     #[cfg(any(test, feature = "fault-injection"))]
     pub fn snapshot_write_crash(&self, write_n: u64) -> Option<crate::checkpoint::CheckpointCrash> {
-        self.fault.as_ref().and_then(|f| f.fire_snapshot_write(write_n))
+        self.io_write_fault(IoWriter::Checkpoint, write_n).and_then(IoFault::as_checkpoint_crash)
+    }
+
+    /// Consults the fault plan (if any) for an injected IO fault at the
+    /// `n`-th write of `writer` — the generalized surface behind
+    /// [`MineGuard::snapshot_write_crash`].
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn io_write_fault(&self, writer: IoWriter, n: u64) -> Option<IoFault> {
+        self.fault.as_ref().and_then(|f| f.fire_io(writer, n))
     }
 
     /// The cancellation token this guard observes.
@@ -909,6 +1131,115 @@ mod tests {
         assert_eq!(reports.len(), 1);
         assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::Cancelled });
         assert!(run.result.is_empty());
+    }
+
+    #[test]
+    fn retry_clears_a_transient_failure() {
+        let mut failures = 2;
+        let out = retry_transient(RetryPolicy::io_default(), || {
+            if failures > 0 {
+                failures -= 1;
+                Err(std::io::Error::new(std::io::ErrorKind::Interrupted, "EINTR"))
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(failures, 0);
+    }
+
+    #[test]
+    fn retry_never_retries_permanent_failures() {
+        let mut attempts = 0;
+        let err = retry_transient(RetryPolicy::io_default(), || -> std::io::Result<()> {
+            attempts += 1;
+            Err(std::io::Error::new(std::io::ErrorKind::StorageFull, "ENOSPC"))
+        })
+        .unwrap_err();
+        assert_eq!(attempts, 1, "a permanent error must surface on first touch");
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+    }
+
+    #[test]
+    fn retry_is_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(50),
+        };
+        let mut attempts = 0;
+        let err = retry_transient(policy, || -> std::io::Result<()> {
+            attempts += 1;
+            Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "EAGAIN"))
+        })
+        .unwrap_err();
+        assert_eq!(attempts, 3);
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        // max_attempts = 1 means "no retry", and 0 is treated as 1.
+        for max_attempts in [1, 0] {
+            let mut attempts = 0;
+            let _ = retry_transient(
+                RetryPolicy { max_attempts, ..policy },
+                || -> std::io::Result<()> {
+                    attempts += 1;
+                    Err(std::io::Error::new(std::io::ErrorKind::Interrupted, "EINTR"))
+                },
+            );
+            assert_eq!(attempts, 1);
+        }
+    }
+
+    #[test]
+    fn transient_classification_matches_the_eintr_class() {
+        use std::io::ErrorKind;
+        for kind in [
+            ErrorKind::Interrupted,
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+            ErrorKind::ResourceBusy,
+        ] {
+            assert!(is_transient_io_kind(kind), "{kind:?} should be transient");
+        }
+        for kind in [
+            ErrorKind::NotFound,
+            ErrorKind::PermissionDenied,
+            ErrorKind::StorageFull,
+            ErrorKind::InvalidData,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert!(!is_transient_io_kind(kind), "{kind:?} should be permanent");
+        }
+    }
+
+    #[test]
+    fn io_faults_fire_once_at_the_targeted_writer_and_index() {
+        let plan = FaultPlan::io_fault_at(IoWriter::WalAppend, 3, IoFault::TornWrite);
+        assert_eq!(plan.fire_io(IoWriter::StoreSnapshot, 3), None, "wrong writer");
+        assert_eq!(plan.fire_io(IoWriter::WalAppend, 2), None, "wrong index");
+        assert_eq!(plan.fire_io(IoWriter::WalAppend, 3), Some(IoFault::TornWrite));
+        assert_eq!(plan.fire_io(IoWriter::WalAppend, 3), None, "fires once, then disarms");
+    }
+
+    #[test]
+    fn checkpoint_crashes_round_trip_through_the_io_fault_surface() {
+        use crate::checkpoint::CheckpointCrash;
+        for crash in [
+            CheckpointCrash::TornTempWrite,
+            CheckpointCrash::CrashBeforeRename,
+            CheckpointCrash::CorruptSection,
+            CheckpointCrash::StaleVersion,
+        ] {
+            let plan = FaultPlan::crash_at_snapshot_write(5, crash);
+            assert_eq!(plan.fire_snapshot_write(5), Some(crash));
+        }
+        assert_eq!(IoFault::Enospc.as_checkpoint_crash(), None);
+        assert_eq!(IoFault::Enospc.as_io_error().unwrap().kind(), std::io::ErrorKind::StorageFull);
+        assert_eq!(
+            IoFault::Interrupted.as_io_error().unwrap().kind(),
+            std::io::ErrorKind::Interrupted
+        );
+        assert!(IoFault::TornWrite.as_io_error().is_none());
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub mod order;
 pub mod parse;
 pub mod result;
 pub mod sequence;
+pub mod store;
 pub mod support;
 pub mod topk;
 
@@ -86,12 +87,13 @@ pub use embed::{contains, leftmost_embedding, leftmost_match_end, MatchPoint};
 pub use error::{DiscError, ParseError};
 pub use executor::{ParallelExecutor, ParallelRun, TaskOutcome};
 pub use flat::{flat_pairs, FlatArena, FlatDb, FlatKey, FlatSeq, SeqView};
-#[cfg(any(test, feature = "fault-injection"))]
-pub use guard::FaultPlan;
 pub use guard::{
-    run_guarded, AbortReason, CancelToken, FallbackMiner, GuardStats, GuardedResult, MineGuard,
-    MineOutcome, ResourceBudget, SharedCounters, StageReport,
+    is_transient_io_kind, retry_transient, run_guarded, AbortReason, CancelToken, FallbackMiner,
+    GuardStats, GuardedResult, MineGuard, MineOutcome, ResourceBudget, RetryPolicy, SharedCounters,
+    StageReport,
 };
+#[cfg(any(test, feature = "fault-injection"))]
+pub use guard::{FaultPlan, IoFault, IoWriter};
 pub use item::Item;
 pub use itemset::{is_sorted_subset, Itemset};
 pub use kmin::{all_k_subsequences, min_k_subsequence_naive};
@@ -100,5 +102,9 @@ pub use order::{cmp_sequences, cmp_views, differential_point};
 pub use parse::{parse_item, parse_sequence};
 pub use result::MiningResult;
 pub use sequence::{ExtElem, ExtMode, Sequence};
+pub use store::fsck::{fsck, FsckReport, SegmentStatus, SnapshotStatus};
+pub use store::{
+    CompactionReport, RecoveryReport, SequenceStore, StoreConfig, StoreError, SyncPolicy,
+};
 pub use support::{support_count, MinSupport};
 pub use topk::TopK;

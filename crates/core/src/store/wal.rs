@@ -1,0 +1,384 @@
+//! WAL segment format and frame codec.
+//!
+//! A segment file is a fixed header followed by a run of frames:
+//!
+//! ```text
+//! magic "DSCWL1\n"
+//! u64le   segment id (must match the id in the file name)
+//! u32le   CRC-32 of the 8 id bytes
+//! frames:
+//!   varint  payload length
+//!   payload bytes
+//!   u32le   CRC-32 of the payload
+//! payload:
+//!   u8      record kind (1 = APPEND)
+//!   varint  customer id
+//!   one sequence, in the DSCDB1 encoding
+//! ```
+//!
+//! The CRC covers the payload, not the length prefix: a damaged length
+//! varint misaligns framing and the very next CRC check catches it. Frames
+//! carry no sync markers — the store is append-only, so the only damage an
+//! honest crash can produce is a *torn tail*: the last frame cut short by a
+//! partial `write(2)` or a partially flushed page. [`scan_frames`]
+//! classifies exactly that case as recoverable and everything else —
+//! damage strictly inside the file — as corruption.
+
+use crate::codec::{self, CodecError};
+use crate::database::CustomerId;
+use crate::sequence::Sequence;
+
+/// Magic bytes opening every WAL segment file.
+pub const SEGMENT_MAGIC: &[u8] = b"DSCWL1\n";
+/// Total size of the fixed segment header (magic, id, id CRC).
+pub const SEGMENT_HEADER_LEN: usize = SEGMENT_MAGIC.len() + 8 + 4;
+/// File-name prefix and extension of segment files: `wal-00000001.dscwl`.
+pub const SEGMENT_PREFIX: &str = "wal-";
+/// File-name extension of segment files.
+pub const SEGMENT_EXT: &str = ".dscwl";
+
+const KIND_APPEND: u8 = 1;
+
+/// One acknowledged ingest record: a customer and their sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The customer id.
+    pub cid: CustomerId,
+    /// The customer's transaction history.
+    pub sequence: Sequence,
+}
+
+/// The file name of segment `id`, e.g. `wal-00000007.dscwl`.
+pub fn segment_file_name(id: u64) -> String {
+    format!("{SEGMENT_PREFIX}{id:08}{SEGMENT_EXT}")
+}
+
+/// Parses a segment id back out of a file name; `None` for foreign files.
+pub fn parse_segment_file_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix(SEGMENT_PREFIX)?.strip_suffix(SEGMENT_EXT)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Encodes the fixed segment header for segment `id`.
+pub fn encode_segment_header(id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEGMENT_HEADER_LEN);
+    out.extend_from_slice(SEGMENT_MAGIC);
+    let id_bytes = id.to_le_bytes();
+    out.extend_from_slice(&id_bytes);
+    out.extend_from_slice(&crate::checkpoint::crc32(&id_bytes).to_le_bytes());
+    out
+}
+
+/// Why a segment header was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderError {
+    /// The file is shorter than the fixed header.
+    Truncated,
+    /// The file does not start with the segment magic.
+    BadMagic,
+    /// The id's CRC does not match — a torn or damaged header.
+    BadCrc,
+}
+
+/// Decodes and verifies the fixed segment header, returning the segment id.
+pub fn decode_segment_header(bytes: &[u8]) -> Result<u64, HeaderError> {
+    if bytes.len() < SEGMENT_HEADER_LEN {
+        return Err(HeaderError::Truncated);
+    }
+    if &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Err(HeaderError::BadMagic);
+    }
+    let id_bytes = &bytes[SEGMENT_MAGIC.len()..SEGMENT_MAGIC.len() + 8];
+    let crc_bytes = &bytes[SEGMENT_MAGIC.len() + 8..SEGMENT_HEADER_LEN];
+    if crate::checkpoint::crc32(id_bytes).to_le_bytes() != *crc_bytes {
+        return Err(HeaderError::BadCrc);
+    }
+    Ok(u64::from_le_bytes(id_bytes.try_into().expect("8 id bytes")))
+}
+
+/// Encodes one record as a complete frame (length prefix, payload, CRC).
+pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16 + record.sequence.length() * 2);
+    payload.push(KIND_APPEND);
+    codec::put_varint(&mut payload, record.cid.0);
+    codec::put_sequence(&mut payload, &record.sequence);
+    let mut out = Vec::with_capacity(payload.len() + 9);
+    codec::put_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crate::checkpoint::crc32(&payload).to_le_bytes());
+    out
+}
+
+/// Decodes one CRC-verified frame payload into a record.
+pub fn decode_payload(payload: &[u8]) -> Result<WalRecord, CodecError> {
+    let (&kind, rest) = payload.split_first().ok_or(CodecError::Truncated)?;
+    if kind != KIND_APPEND {
+        return Err(CodecError::Invalid("unknown WAL record kind"));
+    }
+    let mut pos = 0usize;
+    let cid = codec::get_varint(rest, &mut pos)?;
+    let sequence = codec::get_sequence(rest, &mut pos)?;
+    if pos != rest.len() {
+        return Err(CodecError::Invalid("trailing bytes in WAL payload"));
+    }
+    Ok(WalRecord { cid: CustomerId(cid), sequence })
+}
+
+/// The outcome of scanning a segment's frame region (everything after the
+/// fixed header).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanOutcome {
+    /// Every frame decoded and the last one ends exactly at EOF.
+    Clean {
+        /// The decoded records, in append order.
+        records: Vec<WalRecord>,
+    },
+    /// A valid prefix of frames, then a tail cut short by a crash. Only
+    /// this is repairable: truncating to `valid_bytes` restores a clean
+    /// segment without touching any complete frame.
+    TornTail {
+        /// The records of the valid prefix, in append order.
+        records: Vec<WalRecord>,
+        /// Bytes of valid frames (relative to the start of the frame
+        /// region); everything past this offset is the torn tail.
+        valid_bytes: u64,
+    },
+    /// Damage strictly inside the file — a frame that fails its CRC or
+    /// decodes to garbage *with more data after it*. A crash in an
+    /// append-only file cannot produce this; refuse to guess.
+    Corrupt {
+        /// Frames decoded before the damage.
+        valid_frames: usize,
+        /// Offset of the damaged frame, relative to the frame region.
+        offset: u64,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+}
+
+/// Scans the frame region of a segment, classifying its state.
+///
+/// Torn-tail policy: damage is recoverable if and only if it is confined
+/// to a final frame that reaches EOF — an incomplete length prefix, a
+/// frame whose declared extent runs past EOF, or a CRC failure on a frame
+/// ending exactly at EOF (a partially flushed page). Any frame that fails
+/// *with bytes after it* is mid-file corruption.
+pub fn scan_frames(frames: &[u8]) -> ScanOutcome {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if pos == frames.len() {
+            return ScanOutcome::Clean { records };
+        }
+        let frame_start = pos;
+        let len = match codec::get_varint(frames, &mut pos) {
+            Ok(len) => len,
+            Err(CodecError::Truncated) => {
+                // The length prefix itself ran off EOF: torn.
+                return ScanOutcome::TornTail { records, valid_bytes: frame_start as u64 };
+            }
+            Err(_) => {
+                return ScanOutcome::Corrupt {
+                    valid_frames: records.len(),
+                    offset: frame_start as u64,
+                    what: "frame length varint overflowed",
+                };
+            }
+        };
+        let payload_end = match (pos as u64).checked_add(len) {
+            Some(end) if end <= usize::MAX as u64 => end as usize,
+            _ => {
+                // An absurd length claim can only reach past EOF: torn if
+                // this is the tail, otherwise unreachable (checked below).
+                return ScanOutcome::TornTail { records, valid_bytes: frame_start as u64 };
+            }
+        };
+        let frame_end = payload_end.saturating_add(4);
+        if frame_end > frames.len() {
+            // The frame's declared extent reaches past EOF: torn.
+            return ScanOutcome::TornTail { records, valid_bytes: frame_start as u64 };
+        }
+        let payload = &frames[pos..payload_end];
+        let crc_stored = u32::from_le_bytes(frames[payload_end..frame_end].try_into().expect("4"));
+        if crate::checkpoint::crc32(payload) != crc_stored {
+            if frame_end == frames.len() {
+                // Final frame, all bytes present but wrong: a partially
+                // flushed page at the tail. Recoverable.
+                return ScanOutcome::TornTail { records, valid_bytes: frame_start as u64 };
+            }
+            return ScanOutcome::Corrupt {
+                valid_frames: records.len(),
+                offset: frame_start as u64,
+                what: "frame CRC mismatch before EOF",
+            };
+        }
+        match decode_payload(payload) {
+            Ok(record) => records.push(record),
+            Err(_) => {
+                // The CRC matched, so these bytes are what the writer wrote
+                // — and the writer never writes an undecodable payload.
+                return ScanOutcome::Corrupt {
+                    valid_frames: records.len(),
+                    offset: frame_start as u64,
+                    what: "frame payload does not decode",
+                };
+            }
+        }
+        pos = frame_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_sequence;
+    use proptest::prelude::*;
+
+    fn record(cid: u64, text: &str) -> WalRecord {
+        WalRecord { cid: CustomerId(cid), sequence: parse_sequence(text).unwrap() }
+    }
+
+    #[test]
+    fn segment_file_names_roundtrip() {
+        for id in [0u64, 1, 7, 99_999_999, 100_000_000] {
+            assert_eq!(parse_segment_file_name(&segment_file_name(id)), Some(id));
+        }
+        for name in ["wal-.dscwl", "wal-1x.dscwl", "store.dscsn", "wal-1.tmp", "wal-1"] {
+            assert_eq!(parse_segment_file_name(name), None);
+        }
+    }
+
+    #[test]
+    fn header_roundtrip_and_rejection() {
+        let header = encode_segment_header(42);
+        assert_eq!(header.len(), SEGMENT_HEADER_LEN);
+        assert_eq!(decode_segment_header(&header), Ok(42));
+        assert_eq!(decode_segment_header(&header[..10]), Err(HeaderError::Truncated));
+        let mut bad_magic = header.clone();
+        bad_magic[0] ^= 1;
+        assert_eq!(decode_segment_header(&bad_magic), Err(HeaderError::BadMagic));
+        let mut bad_id = header;
+        bad_id[SEGMENT_MAGIC.len()] ^= 1;
+        assert_eq!(decode_segment_header(&bad_id), Err(HeaderError::BadCrc));
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let rec = record(7, "(a,e,g)(b)(h)(f)(c)(b,f)");
+        let frame = encode_frame(&rec);
+        match scan_frames(&frame) {
+            ScanOutcome::Clean { records } => assert_eq!(records, vec![rec]),
+            other => panic!("expected clean scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_a_frame_run_is_a_torn_tail() {
+        let mut frames = Vec::new();
+        let recs = [record(1, "(a)(b,c)"), record(2, "(d)"), record(3, "(a,b,c)(d)(e,f)")];
+        let mut ends = vec![0usize];
+        for r in &recs {
+            frames.extend_from_slice(&encode_frame(r));
+            ends.push(frames.len());
+        }
+        for cut in 0..frames.len() {
+            let expect_records = ends.iter().filter(|&&e| e <= cut).count() - 1;
+            match scan_frames(&frames[..cut]) {
+                ScanOutcome::Clean { records } => {
+                    assert_eq!(records.len(), expect_records, "cut at {cut}");
+                    assert!(ends.contains(&cut), "clean scan only at a frame boundary");
+                }
+                ScanOutcome::TornTail { records, valid_bytes } => {
+                    assert_eq!(records.len(), expect_records, "cut at {cut}");
+                    assert_eq!(valid_bytes as usize, ends[expect_records], "cut at {cut}");
+                }
+                ScanOutcome::Corrupt { .. } => panic!("truncation at {cut} is never corruption"),
+            }
+        }
+    }
+
+    #[test]
+    fn mid_file_damage_is_corruption_not_a_torn_tail() {
+        let mut frames = encode_frame(&record(1, "(a)(b)"));
+        let first_len = frames.len();
+        frames.extend_from_slice(&encode_frame(&record(2, "(c,d)")));
+        // Flip a payload byte of the *first* frame: CRC fails with data after.
+        let mut damaged = frames.clone();
+        damaged[2] ^= 0x55;
+        match scan_frames(&damaged) {
+            ScanOutcome::Corrupt { valid_frames, offset, .. } => {
+                assert_eq!((valid_frames, offset), (0, 0));
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        // The same flip in the *last* frame is a torn tail.
+        let mut tail_damaged = frames.clone();
+        let n = tail_damaged.len();
+        tail_damaged[n - 5] ^= 0x55; // inside the second payload
+        match scan_frames(&tail_damaged) {
+            ScanOutcome::TornTail { records, valid_bytes } => {
+                assert_eq!(records.len(), 1);
+                assert_eq!(valid_bytes as usize, first_len);
+            }
+            other => panic!("expected torn tail, got {other:?}"),
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Property tests (satellite: frame codec under arbitrary records).
+
+    fn arb_record() -> impl Strategy<Value = WalRecord> {
+        let items = proptest::collection::btree_set(0u32..50, 1..4);
+        let itemset = items.prop_map(|set| {
+            crate::itemset::Itemset::from_sorted(set.into_iter().map(crate::item::Item).collect())
+        });
+        let seq = proptest::collection::vec(itemset, 1..6).prop_map(Sequence::new);
+        (0u64..1_000_000, seq)
+            .prop_map(|(cid, sequence)| WalRecord { cid: CustomerId(cid), sequence })
+    }
+
+    proptest! {
+        #[test]
+        fn frame_runs_roundtrip_under_arbitrary_records(
+            recs in proptest::collection::vec(arb_record(), 0..12)
+        ) {
+            let mut frames = Vec::new();
+            for r in &recs {
+                frames.extend_from_slice(&encode_frame(r));
+            }
+            match scan_frames(&frames) {
+                ScanOutcome::Clean { records } => prop_assert_eq!(records, recs),
+                other => {
+                    return Err(proptest::test_runner::TestCaseError::fail(
+                        format!("expected clean scan, got {other:?}"),
+                    ))
+                }
+            }
+        }
+
+        #[test]
+        fn truncated_frame_runs_never_lose_a_complete_frame(
+            recs in proptest::collection::vec(arb_record(), 1..8),
+            cut_seed in 0usize..10_000
+        ) {
+            let mut frames = Vec::new();
+            let mut ends = vec![0usize];
+            for r in &recs {
+                frames.extend_from_slice(&encode_frame(r));
+                ends.push(frames.len());
+            }
+            let cut = cut_seed % frames.len();
+            let expect = ends.iter().filter(|&&e| e <= cut).count() - 1;
+            match scan_frames(&frames[..cut]) {
+                ScanOutcome::Clean { records } | ScanOutcome::TornTail { records, .. } => {
+                    prop_assert_eq!(records.len(), expect);
+                    prop_assert_eq!(&records[..], &recs[..expect]);
+                }
+                ScanOutcome::Corrupt { .. } => prop_assert!(false, "truncation is never corruption"),
+            }
+        }
+    }
+}

@@ -77,7 +77,8 @@ struct SnapshotMeta {
 
 /// The per-run checkpoint writer. Miners call it at partition boundaries;
 /// it decides when to persist, performs the atomic write protocol, and
-/// consults the guard's [`disc_core::FaultPlan`] for injected crashes.
+/// consults the guard's `FaultPlan` (fault-injection builds) for injected
+/// crashes.
 pub struct CheckpointSink<'g> {
     guard: &'g MineGuard,
     path: PathBuf,
@@ -189,11 +190,25 @@ impl<'g> CheckpointSink<'g> {
         }
         let write_n = self.stats.writes + 1;
         #[cfg(feature = "fault-injection")]
-        if let Some(crash) = self.guard.snapshot_write_crash(write_n) {
-            // Crash injection is test-only; materializing the owned
-            // snapshot here keeps the clone off the production write path.
-            checkpoint::write_snapshot_crashing(&self.path, &view.to_snapshot(), crash);
-            panic!("injected crash at snapshot write {write_n}: {crash:?}");
+        if let Some(fault) = self.guard.io_write_fault(disc_core::IoWriter::Checkpoint, write_n) {
+            if let Some(crash) = fault.as_checkpoint_crash() {
+                // Crash injection is test-only; materializing the owned
+                // snapshot here keeps the clone off the production write path.
+                checkpoint::write_snapshot_crashing(&self.path, &view.to_snapshot(), crash);
+                panic!("injected crash at snapshot write {write_n}: {crash:?}");
+            }
+            match fault {
+                // A transient interruption is what the retry loop inside
+                // the atomic writer absorbs — proceed with the real write.
+                disc_core::IoFault::Interrupted => {}
+                // Permanent error-class faults (ENOSPC and friends) take
+                // the same path a real write failure would: durability
+                // degrades, mining does not.
+                _ => {
+                    self.stats.failed = true;
+                    return;
+                }
+            }
         }
         let start = Instant::now();
         match checkpoint::write_snapshot_view(&self.path, &view) {

@@ -4,14 +4,28 @@
 //! disc-mine <database.txt> --minsup 0.01 [--algo disc-all|dynamic|parallel|prefixspan|pseudo|gsp|spade|spam]
 //!           [--min-length N] [--max-patterns N] [--stats]
 //!           [--checkpoint-dir DIR] [--resume FILE.dscck]
+//! disc-mine store ingest <database.txt> --dir DIR [--sync always|never|N]
+//!           [--segment-bytes N] [--compact] [--stats]
+//! disc-mine store compact --dir DIR
+//! disc-mine store fsck --dir DIR
+//! disc-mine store mine --dir DIR [mining flags as above]
 //! ```
 //!
 //! The database format is one customer per line: `cid: (a, b)(c)(a, d)` —
 //! items are lowercase letters or decimal numbers; `#` starts a comment.
 //! Output: one pattern per line with its support, in comparative order.
+//!
+//! Exit codes: 0 on success, 1 on permanent failure (corrupt input, bad
+//! store, out of space), 2 on usage errors, 75 (`EX_TEMPFAIL`) when the
+//! failure was transient (interrupted IO that retries did not clear) and
+//! re-running the same command may succeed.
 
 use disc_miner::prelude::*;
+use std::path::{Path, PathBuf};
 use std::process::exit;
+
+/// `EX_TEMPFAIL`: the sysexits.h convention for "try again later".
+const EXIT_TRANSIENT: i32 = 75;
 
 struct Args {
     path: String,
@@ -30,6 +44,7 @@ fn usage() -> ! {
          \t[--algo disc-all|dynamic|parallel|prefixspan|pseudo|gsp|spade|spam|brute]\n\
          \t[--min-length N] [--max-patterns N] [--stats]\n\
          \t[--checkpoint-dir DIR] [--resume FILE.dscck]\n\
+         or:    disc-mine store <ingest|compact|fsck|mine> ... (see `disc-mine store --help`)\n\
          --checkpoint-dir writes durable snapshots at partition boundaries (and\n\
          auto-resumes a valid one); --resume continues from an explicit snapshot\n\
          file, rejecting corrupted or mismatched files. Both support the\n\
@@ -38,8 +53,8 @@ fn usage() -> ! {
     exit(2);
 }
 
-fn parse_args() -> Args {
-    let mut args = std::env::args().skip(1);
+fn parse_args(argv: Vec<String>) -> Args {
+    let mut args = argv.into_iter();
     let mut out = Args {
         path: String::new(),
         minsup: MinSupport::Fraction(0.01),
@@ -135,10 +150,10 @@ fn run_resume(
         db: &SequenceDatabase,
         minsup: MinSupport,
     ) -> (String, MiningResult) {
-        let path = std::path::Path::new(file);
+        let path = Path::new(file);
         let dir = match path.parent() {
             Some(d) if !d.as_os_str().is_empty() => d,
-            _ => std::path::Path::new("."),
+            _ => Path::new("."),
         };
         let wrapped = Resumable::new(miner, dir);
         match wrapped.resume_from(path, db, minsup, &MineGuard::unlimited()) {
@@ -160,22 +175,21 @@ fn run_resume(
     }
 }
 
-fn main() {
-    let args = parse_args();
-    let bytes = match std::fs::read(&args.path) {
+/// Loads a database file, accepting both formats disc-gen writes: the text
+/// line format and the compact DSCDB1 binary (detected by its magic).
+fn load_database(path: &str) -> SequenceDatabase {
+    let bytes = match std::fs::read(path) {
         Ok(b) => b,
         Err(e) => {
-            eprintln!("cannot read {}: {e}", args.path);
-            exit(1);
+            eprintln!("cannot read {path}: {e}");
+            exit(if disc_miner::core::is_transient_io_kind(e.kind()) { EXIT_TRANSIENT } else { 1 });
         }
     };
-    // Accept both formats disc-gen writes: the text line format and the
-    // compact DSCDB1 binary (detected by its magic).
-    let db = if bytes.starts_with(b"DSCDB1\n") {
+    if bytes.starts_with(b"DSCDB1\n") {
         match disc_miner::core::decode_database(&bytes) {
             Ok(db) => db,
             Err(e) => {
-                eprintln!("cannot decode {}: {e}", args.path);
+                eprintln!("cannot decode {path}: {e}");
                 exit(1);
             }
         }
@@ -183,18 +197,23 @@ fn main() {
         let text = match String::from_utf8(bytes) {
             Ok(t) => t,
             Err(_) => {
-                eprintln!("cannot parse {}: neither DSCDB1 binary nor UTF-8 text", args.path);
+                eprintln!("cannot parse {path}: neither DSCDB1 binary nor UTF-8 text");
                 exit(1);
             }
         };
         match SequenceDatabase::from_text(&text) {
             Ok(db) => db,
             Err(e) => {
-                eprintln!("cannot parse {}: {e}", args.path);
+                eprintln!("cannot parse {path}: {e}");
                 exit(1);
             }
         }
-    };
+    }
+}
+
+/// Mines `db` per `args` and prints the patterns — the shared back half of
+/// `disc-mine <file>` and `disc-mine store mine`.
+fn run_mining(db: &SequenceDatabase, args: &Args) {
     if args.stats {
         let s = db.stats();
         eprintln!(
@@ -226,16 +245,16 @@ fn main() {
     // Checkpoints fingerprint the database *after* this step; the mapping
     // is a pure function of the database, so snapshots stay valid across
     // invocations on the same input.
-    let mapping = disc_miner::core::ItemMapping::analyze(&db);
+    let mapping = disc_miner::core::ItemMapping::analyze(db);
     let (miner_name, result) = if mapping.is_worthwhile() {
         if args.stats {
             eprintln!("# compacted {} distinct items onto 0..{}", mapping.len(), mapping.len());
         }
-        let compacted = mapping.remap_database(&db);
+        let compacted = mapping.remap_database(db);
         let (name, result) = mine(&compacted);
         (name, mapping.restore_result(&result))
     } else {
-        mine(&db)
+        mine(db)
     };
     if args.stats {
         eprintln!(
@@ -257,4 +276,198 @@ fn main() {
             break; // downstream pipe closed (e.g. `| head`)
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// The `store` subcommand family: durable WAL-backed ingestion.
+// ---------------------------------------------------------------------------
+
+fn store_usage() -> ! {
+    eprintln!(
+        "usage: disc-mine store <subcommand> ...\n\
+         \tingest <database.txt|.dscdb> --dir DIR [--sync always|never|N]\n\
+         \t\t[--segment-bytes N] [--compact] [--stats]\n\
+         \tcompact --dir DIR\n\
+         \tfsck --dir DIR\n\
+         \tmine --dir DIR [--minsup FRACTION | --delta COUNT] [--algo NAME]\n\
+         \t\t[--min-length N] [--max-patterns N] [--stats]\n\
+         ingest appends each customer sequence to a crash-safe write-ahead log;\n\
+         every acknowledged append survives a crash (`--sync always`, the\n\
+         default). compact folds sealed segments into a verified immutable\n\
+         snapshot. fsck audits without mutating: exit 0 when open() would\n\
+         succeed, 1 when the store is corrupt. mine recovers the store and\n\
+         mines the restored database.\n\
+         Exit codes: 0 ok, 1 permanent failure, 2 usage, 75 transient failure."
+    );
+    exit(2);
+}
+
+/// Reports a store failure and exits 75 for transient faults, 1 otherwise.
+fn fail_store(what: &str, e: &StoreError) -> ! {
+    eprintln!("{what}: {e}");
+    exit(if e.is_transient() { EXIT_TRANSIENT } else { 1 });
+}
+
+/// Opens an existing store directory, refusing to invent one: recovery on a
+/// missing path would silently create an empty store.
+fn open_existing(dir: &str, cfg: StoreConfig) -> SequenceStore {
+    if !Path::new(dir).is_dir() {
+        eprintln!("no store at {dir}: not a directory");
+        exit(1);
+    }
+    SequenceStore::open(dir, cfg).unwrap_or_else(|e| fail_store("cannot open store", &e))
+}
+
+fn print_recovery(store: &SequenceStore) {
+    let r = store.recovery_report();
+    eprintln!(
+        "# recovered {} rows ({} from snapshot, {} replayed from {} segments), \
+         {} torn bytes truncated, {} stale segments removed{}",
+        store.len(),
+        r.snapshot_rows,
+        r.replayed_records,
+        r.segments_replayed,
+        r.truncated_bytes,
+        r.stale_segments_removed,
+        if r.removed_tmp { ", stray temp file removed" } else { "" },
+    );
+}
+
+fn store_main(argv: Vec<String>) -> ! {
+    let mut args = argv.into_iter();
+    let sub = args.next().unwrap_or_else(|| store_usage());
+    let mut input: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut cfg = StoreConfig::default();
+    let mut do_compact = false;
+    let mut mine_args = Args {
+        path: String::new(),
+        minsup: MinSupport::Fraction(0.01),
+        algo: "disc-all".into(),
+        min_length: 1,
+        max_patterns: usize::MAX,
+        stats: false,
+        checkpoint_dir: None,
+        resume: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(args.next().unwrap_or_else(|| store_usage())),
+            "--sync" => {
+                let v = args.next().unwrap_or_else(|| store_usage());
+                cfg.sync = match v.as_str() {
+                    "always" => SyncPolicy::Always,
+                    "never" => SyncPolicy::Never,
+                    n => match n.parse::<u64>() {
+                        Ok(n) if n > 0 => SyncPolicy::EveryN(n),
+                        _ => store_usage(),
+                    },
+                };
+            }
+            "--segment-bytes" => {
+                cfg.segment_max_bytes =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| store_usage());
+            }
+            "--compact" => do_compact = true,
+            "--minsup" => {
+                let v: f64 =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| store_usage());
+                mine_args.minsup = MinSupport::Fraction(v);
+            }
+            "--delta" => {
+                let v: u64 =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| store_usage());
+                mine_args.minsup = MinSupport::Count(v);
+            }
+            "--algo" => mine_args.algo = args.next().unwrap_or_else(|| store_usage()),
+            "--min-length" => {
+                mine_args.min_length =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| store_usage());
+            }
+            "--max-patterns" => {
+                mine_args.max_patterns =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| store_usage());
+            }
+            "--stats" => mine_args.stats = true,
+            "--help" | "-h" => store_usage(),
+            path if !path.starts_with('-') && input.is_none() => input = Some(path.to_string()),
+            _ => store_usage(),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| store_usage());
+
+    match sub.as_str() {
+        "ingest" => {
+            let input = input.unwrap_or_else(|| store_usage());
+            let db = load_database(&input);
+            let mut store = SequenceStore::open(&dir, cfg)
+                .unwrap_or_else(|e| fail_store("cannot open store", &e));
+            if mine_args.stats {
+                print_recovery(&store);
+            }
+            let before = store.len();
+            for row in db.rows() {
+                store
+                    .append(row.cid, row.sequence.clone())
+                    .unwrap_or_else(|e| fail_store("append failed", &e));
+            }
+            let appended = store.len() - before;
+            if do_compact {
+                let report =
+                    store.compact().unwrap_or_else(|e| fail_store("compaction failed", &e));
+                eprintln!(
+                    "# compacted {} segments into a {}-byte snapshot ({} rows, fingerprint {:#018x})",
+                    report.folded_segments, report.snapshot_bytes, report.rows, report.fingerprint
+                );
+            }
+            let total = store.len();
+            store.close().unwrap_or_else(|e| fail_store("close failed", &e));
+            eprintln!("# ingested {appended} sequences into {dir} ({total} total)");
+            exit(0);
+        }
+        "compact" => {
+            let mut store = open_existing(&dir, cfg);
+            if mine_args.stats {
+                print_recovery(&store);
+            }
+            let report = store.compact().unwrap_or_else(|e| fail_store("compaction failed", &e));
+            store.close().unwrap_or_else(|e| fail_store("close failed", &e));
+            eprintln!(
+                "# compacted {} segments into a {}-byte snapshot ({} rows, fingerprint {:#018x})",
+                report.folded_segments, report.snapshot_bytes, report.rows, report.fingerprint
+            );
+            exit(0);
+        }
+        "fsck" => {
+            if !Path::new(&dir).is_dir() {
+                eprintln!("no store at {dir}: not a directory");
+                exit(1);
+            }
+            let report =
+                fsck(&PathBuf::from(&dir)).unwrap_or_else(|e| fail_store("cannot audit store", &e));
+            println!("{report}");
+            exit(if report.is_recoverable() { 0 } else { 1 });
+        }
+        "mine" => {
+            let store = open_existing(&dir, cfg);
+            if mine_args.stats {
+                print_recovery(&store);
+            }
+            let view = store.view();
+            store.close().unwrap_or_else(|e| fail_store("close failed", &e));
+            run_mining(&view, &mine_args);
+            exit(0);
+        }
+        _ => store_usage(),
+    }
+}
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("store") {
+        store_main(argv.split_off(1));
+    }
+    let args = parse_args(argv);
+    let db = load_database(&args.path);
+    run_mining(&db, &args);
 }

@@ -53,10 +53,11 @@ pub mod prelude {
     };
     pub use disc_baselines::{Gsp, PrefixSpan, PseudoPrefixSpan, Spade, Spam};
     pub use disc_core::{
-        parse_sequence, AbortReason, BruteForce, CancelToken, CheckpointError, DiscError,
-        FallbackMiner, GuardStats, GuardedResult, Item, Itemset, MinSupport, MineGuard,
-        MineOutcome, MiningResult, ParallelExecutor, ResourceBudget, Sequence, SequenceDatabase,
-        SequentialMiner, StageReport, TopK,
+        fsck, parse_sequence, retry_transient, AbortReason, BruteForce, CancelToken,
+        CheckpointError, CompactionReport, DiscError, FallbackMiner, FsckReport, GuardStats,
+        GuardedResult, Item, Itemset, MinSupport, MineGuard, MineOutcome, MiningResult,
+        ParallelExecutor, RecoveryReport, ResourceBudget, RetryPolicy, Sequence, SequenceDatabase,
+        SequenceStore, SequentialMiner, StageReport, StoreConfig, StoreError, SyncPolicy, TopK,
     };
     pub use disc_datagen::QuestConfig;
 }
