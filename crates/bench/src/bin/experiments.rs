@@ -9,11 +9,11 @@
 //! the CI-sized sanity run. Raw measurements land in `target/experiments/`.
 
 use disc_bench::workloads::Scale;
-use disc_bench::{ckptbench, experiments, flatbench, storebench};
+use disc_bench::{ckptbench, experiments, flatbench, simdbench, storebench};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]\n       experiments bench-flat [--smoke] [--check <BENCH_flat.json>]\n       experiments bench-checkpoint\n       experiments bench-store"
+        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]\n       experiments bench-flat [--smoke] [--check <BENCH_flat.json>]\n       experiments bench-simd [--smoke] [--check <BENCH_simd.json>] [--dump-patterns <path>]\n       experiments bench-checkpoint\n       experiments bench-store"
     );
     std::process::exit(2);
 }
@@ -26,24 +26,31 @@ fn main() {
     let mut scale = Scale::Default;
     let mut which: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut dump: Option<String> = None;
     let mut expect_check_path = false;
+    let mut expect_dump_path = false;
     for arg in &args {
         match arg.as_str() {
             _ if expect_check_path => {
                 check = Some(arg.to_string());
                 expect_check_path = false;
             }
+            _ if expect_dump_path => {
+                dump = Some(arg.to_string());
+                expect_dump_path = false;
+            }
             "--smoke" => scale = Scale::Smoke,
             "--full" => scale = Scale::Full,
             "--default" => scale = Scale::Default,
             "--check" => expect_check_path = true,
+            "--dump-patterns" => expect_dump_path = true,
             name if !name.starts_with('-') && which.is_none() => {
                 which = Some(name.to_string());
             }
             _ => usage(),
         }
     }
-    if expect_check_path {
+    if expect_check_path || expect_dump_path {
         usage();
     }
     let which = which.unwrap_or_else(|| usage());
@@ -58,12 +65,16 @@ fn main() {
             | "parallel"
             | "all"
             | "bench-flat"
+            | "bench-simd"
             | "bench-checkpoint"
             | "bench-store"
     ) {
         usage();
     }
-    if check.is_some() && which != "bench-flat" {
+    if check.is_some() && !matches!(which.as_str(), "bench-flat" | "bench-simd") {
+        usage();
+    }
+    if dump.is_some() && (which != "bench-simd" || check.is_some()) {
         usage();
     }
 
@@ -94,6 +105,23 @@ fn main() {
                     eprintln!("bench-regression FAILED: {msg}");
                     std::process::exit(1);
                 }
+            }
+        },
+        "bench-simd" => match (check, dump) {
+            (Some(path), _) => {
+                if let Err(msg) = simdbench::check(std::path::Path::new(&path)) {
+                    eprintln!("simd-differential FAILED: {msg}");
+                    std::process::exit(1);
+                }
+            }
+            (None, Some(path)) => {
+                if let Err(e) = simdbench::dump_patterns(std::path::Path::new(&path)) {
+                    eprintln!("pattern dump FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+            (None, None) => {
+                simdbench::run(scale == Scale::Smoke);
             }
         },
         _ => usage(),

@@ -25,10 +25,10 @@ use crate::workloads::{fig8_db, WorkloadCache};
 use disc_algo::{DiscAll, ParallelDiscAll};
 use disc_core::{MinSupport, SequentialMiner};
 
-/// Same fixed seed as the experiment sweeps.
-const SEED: u64 = 20040330;
+/// Same fixed seed as the experiment sweeps (shared with `simdbench`).
+pub(crate) const SEED: u64 = 20040330;
 /// Minimum support shared by both workloads (the Figure 8 threshold).
-const MINSUP: f64 = 0.0025;
+pub(crate) const MINSUP: f64 = 0.0025;
 /// Timed runs per measurement; the minimum is reported.
 pub const REPEATS: usize = 3;
 /// `--check` fails only when the fresh smoke run is more than this many
@@ -79,7 +79,8 @@ impl ToJson for FlatRun {
     }
 }
 
-fn best_of<F: FnMut() -> Measurement>(mut run: F) -> Measurement {
+/// Best-of-[`REPEATS`] noise filter shared with `simdbench`.
+pub(crate) fn best_of<F: FnMut() -> Measurement>(mut run: F) -> Measurement {
     let mut best = run();
     for _ in 1..REPEATS {
         let m = run();

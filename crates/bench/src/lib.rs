@@ -38,5 +38,6 @@ pub mod experiments;
 pub mod flatbench;
 pub mod report;
 pub mod runner;
+pub mod simdbench;
 pub mod storebench;
 pub mod workloads;

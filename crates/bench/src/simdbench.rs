@@ -1,0 +1,255 @@
+//! The SIMD comparison-kernel benchmark: the workloads behind the committed
+//! `BENCH_simd.json` baseline and CI's `simd-differential` matrix.
+//!
+//! Reuses the flat-representation workload pair (`smoke` / `medium`, Table
+//! 11 at minsup 0.0025) but records **which kernel dispatch level the
+//! process resolved** ([`disc_core::dispatch_level`]) alongside every
+//! measurement, so a report is meaningful evidence: a scalar-build number
+//! and an AVX2 number are labelled as such instead of silently mixed.
+//!
+//! The module backs two CI gates:
+//!
+//! * **`--check <BENCH_simd.json>`** — re-runs the smoke workload and fails
+//!   on a > [`REGRESSION_TOLERANCE`]x wall-clock regression, or on *any*
+//!   pattern-count / max-length drift (checked exactly: the mined result
+//!   must be bit-identical at every dispatch level, so a count that moves
+//!   under one build mode is a kernel bug, not noise).
+//! * **`--dump-patterns <path>`** — mines the smoke workload once and
+//!   writes the *full* sorted pattern set (one `pattern\tsupport` line per
+//!   frequent sequence). The `simd-differential` job runs this under each
+//!   dispatch level and diffs the files byte-for-byte — the strongest
+//!   bit-identity check available without a second machine.
+
+use crate::flatbench::{
+    best_of, extract_baseline, workloads, FlatWorkload, MINSUP, REGRESSION_TOLERANCE, SEED,
+};
+use crate::report::{persist, ToJson};
+use crate::runner::{measure, Measurement};
+use crate::workloads::{fig8_db, WorkloadCache};
+use disc_algo::DiscAll;
+use disc_core::{dispatch_level, MinSupport};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Results for one workload at one kernel dispatch level.
+#[derive(Debug, Clone)]
+pub struct SimdRun {
+    /// The workload this run measured (same grid as the flat bench).
+    pub workload: FlatWorkload,
+    /// Kernel dispatch level the process resolved (`scalar`/`sse2`/`avx2`).
+    pub dispatch: &'static str,
+    /// Best-of-[`crate::flatbench::REPEATS`] sequential DISC-all measurement.
+    pub sequential: Measurement,
+}
+
+impl ToJson for SimdRun {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"ncust\":{},\"minsup\":{},\"dispatch\":{},\"sequential\":{}}}",
+            self.workload.name.to_string().to_json(),
+            self.workload.ncust.to_json(),
+            MINSUP.to_json(),
+            self.dispatch.to_string().to_json(),
+            self.sequential.to_json()
+        )
+    }
+}
+
+/// Runs one workload (sequential only — the kernels are per-thread, so the
+/// parallel axis belongs to the flat bench) and prints its row.
+fn run_workload(cache: &WorkloadCache, w: FlatWorkload, dispatch: &'static str) -> SimdRun {
+    let db = cache.get(&fig8_db(w.ncust, SEED));
+    let sequential = best_of(|| {
+        measure(&DiscAll::default(), &db, MinSupport::Fraction(MINSUP), w.ncust as f64).0
+    });
+    eprintln!(
+        "    {:<8} {:<6} {:>8.3}s  {:>10.0} rows/s  {} patterns (max len {})",
+        w.name,
+        dispatch,
+        sequential.seconds,
+        sequential.rows_per_sec,
+        sequential.patterns,
+        sequential.max_length
+    );
+    SimdRun { workload: w, dispatch, sequential }
+}
+
+/// Runs the SIMD benchmark (smoke only, or both workloads), persists the
+/// report to `target/experiments/bench_simd.json`, and returns the runs.
+/// When a committed `BENCH_flat.json` is readable from the working
+/// directory, also prints the speedup against its per-workload baseline —
+/// the headline number the packed+SIMD work is accountable to.
+pub fn run(smoke_only: bool) -> Vec<SimdRun> {
+    let dispatch = dispatch_level().name();
+    println!("## SIMD comparison-kernel benchmark (dispatch: {dispatch}, minsup {MINSUP})\n");
+    let cache = WorkloadCache::new();
+    let runs: Vec<SimdRun> = workloads()
+        .into_iter()
+        .filter(|w| !smoke_only || w.name == "smoke")
+        .map(|w| run_workload(&cache, w, dispatch))
+        .collect();
+    println!("| workload | customers | dispatch | seq (s) | rows/s | patterns |");
+    println!("|---|---|---|---|---|---|");
+    for r in &runs {
+        println!(
+            "| {} | {} | {} | {:.3} | {:.0} | {} |",
+            r.workload.name,
+            r.workload.ncust,
+            r.dispatch,
+            r.sequential.seconds,
+            r.sequential.rows_per_sec,
+            r.sequential.patterns,
+        );
+    }
+    println!();
+    if let Ok(text) = std::fs::read_to_string("BENCH_flat.json") {
+        for r in &runs {
+            let base = extract_baseline(&text, r.workload.name, "seconds");
+            let base_patterns = extract_baseline(&text, r.workload.name, "patterns");
+            if let (Some(base), Some(base_patterns)) = (base, base_patterns) {
+                let agree = (r.sequential.patterns as f64 - base_patterns).abs() < 0.5;
+                println!(
+                    "{}: {:.3}s vs flat baseline {:.3}s → {:.2}x speedup ({})",
+                    r.workload.name,
+                    r.sequential.seconds,
+                    base,
+                    base / r.sequential.seconds.max(1e-9),
+                    if agree { "pattern counts agree" } else { "PATTERN COUNTS DIFFER" },
+                );
+            }
+        }
+        println!();
+    }
+    let _ = persist("bench_simd", &runs);
+    runs
+}
+
+/// The `--check` gate: re-runs the smoke workload and compares against a
+/// committed `BENCH_simd.json`. Pattern count and max length must match
+/// **exactly** — they are dispatch-level invariants, so any drift means the
+/// kernels (or the miner above them) broke bit-identity. Wall clock gets
+/// the same loose [`REGRESSION_TOLERANCE`] as the flat bench.
+pub fn check(baseline_path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let committed = extract_baseline(&text, "smoke", "seconds")
+        .ok_or_else(|| format!("no smoke seconds in baseline {}", baseline_path.display()))?;
+    let committed_patterns = extract_baseline(&text, "smoke", "patterns")
+        .ok_or_else(|| format!("no smoke patterns in baseline {}", baseline_path.display()))?;
+    let committed_max_len = extract_baseline(&text, "smoke", "max_length");
+    let runs = run(true);
+    let fresh = &runs[0].sequential;
+    if (fresh.patterns as f64 - committed_patterns).abs() > 0.5 {
+        return Err(format!(
+            "smoke pattern count broke bit-identity at dispatch level {}: baseline \
+             {committed_patterns}, fresh {}",
+            runs[0].dispatch, fresh.patterns
+        ));
+    }
+    if let Some(expected) = committed_max_len {
+        if (fresh.max_length as f64 - expected).abs() > 0.5 {
+            return Err(format!(
+                "smoke max pattern length broke bit-identity at dispatch level {}: baseline \
+                 {expected}, fresh {}",
+                runs[0].dispatch, fresh.max_length
+            ));
+        }
+    }
+    let ratio = fresh.seconds / committed.max(1e-9);
+    println!(
+        "simd-differential [{}]: smoke {:.3}s vs committed {:.3}s ({}x, tolerance {}x), {} patterns",
+        runs[0].dispatch,
+        fresh.seconds,
+        committed,
+        crate::report::trim_float((ratio * 1000.0).round() / 1000.0),
+        REGRESSION_TOLERANCE,
+        fresh.patterns
+    );
+    if ratio > REGRESSION_TOLERANCE {
+        return Err(format!(
+            "smoke workload regressed at dispatch level {}: {:.3}s is {ratio:.2}x the committed \
+             {committed:.3}s (tolerance {REGRESSION_TOLERANCE}x)",
+            runs[0].dispatch, fresh.seconds
+        ));
+    }
+    Ok(())
+}
+
+/// Mines the smoke workload once at the process's dispatch level and writes
+/// the full sorted pattern set to `path`, one `pattern\tsupport` line per
+/// frequent sequence. `MiningResult` iterates its `BTreeMap` in pattern
+/// order, so two files from bit-identical results are byte-identical — CI's
+/// `simd-differential` job diffs the dumps from all three dispatch levels.
+pub fn dump_patterns(path: &Path) -> std::io::Result<()> {
+    let w = workloads()[0];
+    let cache = WorkloadCache::new();
+    let db = cache.get(&fig8_db(w.ncust, SEED));
+    let (m, result) =
+        measure(&DiscAll::default(), &db, MinSupport::Fraction(MINSUP), w.ncust as f64);
+    let mut out = String::new();
+    for (p, s) in result.iter() {
+        writeln!(out, "{p}\t{s}").expect("string write");
+    }
+    std::fs::write(path, &out)?;
+    eprintln!(
+        "dumped {} patterns (dispatch {}, {:.3}s) to {}",
+        m.patterns,
+        dispatch_level().name(),
+        m.seconds,
+        path.display()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run(seconds: f64) -> SimdRun {
+        SimdRun {
+            workload: workloads()[0],
+            dispatch: "scalar",
+            sequential: Measurement {
+                miner: "DISC-all".into(),
+                param: 1000.0,
+                seconds,
+                patterns: 260_120,
+                max_length: 17,
+                threads: 1,
+                rows_per_sec: 4000.0,
+                peak_alloc_bytes: 4096,
+            },
+        }
+    }
+
+    #[test]
+    fn simd_run_json_roundtrips_through_extractor() {
+        let json = vec![sample_run(0.25)].to_json();
+        assert_eq!(extract_baseline(&json, "smoke", "seconds"), Some(0.25));
+        assert_eq!(extract_baseline(&json, "smoke", "patterns"), Some(260_120.0));
+        assert_eq!(extract_baseline(&json, "smoke", "max_length"), Some(17.0));
+        assert!(json.contains("\"dispatch\":\"scalar\""));
+    }
+
+    #[test]
+    fn report_records_a_known_dispatch_level() {
+        // Whatever the build/CPU/env resolves, it must be one of the three
+        // documented names — the differential CI job keys on these strings.
+        let name = dispatch_level().name();
+        assert!(["scalar", "sse2", "avx2"].contains(&name), "unexpected dispatch level {name}");
+    }
+
+    #[test]
+    fn check_rejects_pattern_drift_in_baseline_shape() {
+        // extract_baseline on a SimdRun report must see the fields check()
+        // gates on; guard the JSON shape here so a field rename cannot
+        // silently turn the CI gate into a no-op.
+        let json = vec![sample_run(1.0)].to_json();
+        for field in ["seconds", "patterns", "max_length"] {
+            assert!(
+                extract_baseline(&json, "smoke", field).is_some(),
+                "field {field} missing from SimdRun JSON — the --check gate depends on it"
+            );
+        }
+    }
+}

@@ -104,6 +104,19 @@ pub enum DiscError {
         /// Why the value was rejected.
         reason: String,
     },
+    /// A database exceeds the packed-word budget of
+    /// [`crate::packed::PackedDb`]: its dictionary-remapped item count or a
+    /// transaction index does not fit the fixed bit fields. Callers fall
+    /// back to the wide ([`crate::flat::FlatKey`]) representation rather
+    /// than silently truncating.
+    PackedOverflow {
+        /// Which budget was exceeded (`"item id"` or `"transaction index"`).
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+        /// The largest representable value.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for DiscError {
@@ -117,6 +130,9 @@ impl fmt::Display for DiscError {
                 write!(f, "io error at {}: {message}", path.display())
             }
             DiscError::Config { option, reason } => write!(f, "invalid {option}: {reason}"),
+            DiscError::PackedOverflow { what, value, limit } => {
+                write!(f, "packed-word budget exceeded: {what} {value} > {limit}")
+            }
         }
     }
 }
@@ -155,7 +171,9 @@ impl std::error::Error for DiscError {
             DiscError::Codec(e) => Some(e),
             DiscError::Checkpoint(e) => Some(e),
             DiscError::Store(e) => Some(e),
-            DiscError::Io { .. } | DiscError::Config { .. } => None,
+            DiscError::Io { .. } | DiscError::Config { .. } | DiscError::PackedOverflow { .. } => {
+                None
+            }
         }
     }
 }

@@ -195,6 +195,15 @@ impl FlatArena {
         arena
     }
 
+    /// Empties the arena, keeping its allocations for reuse.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.set_starts.clear();
+        self.set_starts.push(0);
+        self.row_sets.clear();
+        self.row_sets.push(0);
+    }
+
     /// Number of rows.
     #[inline]
     pub fn len(&self) -> usize {
@@ -310,35 +319,95 @@ impl FlatDb {
     }
 }
 
-/// A sequence key stored directly in flattened form: the `(item,
-/// transaction-number)` pairs of Definition 2.1, compared lexicographically
-/// — which is exactly the comparative order (Definition 2.2), since Rust
-/// orders `Vec<(Item, u32)>` lexicographically with shorter prefixes
-/// smaller.
+/// A flattened-pair sequence key in some word encoding — the abstraction the
+/// k-sorted database is generic over.
+///
+/// An implementation stores a sequence's flattened `(item,
+/// transaction-number)` pairs in a form whose `Ord` **is** the comparative
+/// order of Definition 2.2, and supports the one mutation mining needs:
+/// appending the single pair contributed by an extension element. The
+/// encoding must be invertible so results can be reported as nested
+/// sequences.
+///
+/// Two encodings exist: [`FlatKey`] (one `u64` word per pair — lossless,
+/// always applicable) and [`crate::packed::PackedKey`] (one `u32` word per
+/// pair — half the bytes per compare, applicable when the database fits the
+/// packed budget; see [`crate::packed::fits_packed_budget`]).
+pub trait SeqKey: Ord + Clone + std::fmt::Debug {
+    /// Builds the key of `seq`.
+    fn key_of(seq: &Sequence) -> Self;
+
+    /// The key of `self` extended by `elem` (appends exactly one pair).
+    fn extended_key(&self, elem: ExtElem) -> Self;
+
+    /// Reconstructs the nested sequence.
+    fn to_sequence(&self) -> Sequence;
+
+    /// [`SeqKey::to_sequence`], consuming the key.
+    fn into_sequence(self) -> Sequence;
+
+    /// Number of flattened pairs (the sequence's length `k`).
+    fn n_pairs(&self) -> usize;
+
+    /// Compares `self` (whole) against `bound` *without its last pair* —
+    /// i.e. against the flattened `(k-1)`-prefix `X` of a condition
+    /// k-sequence. Dropping a sequence's last flattened pair is exactly
+    /// taking its `(k-1)`-prefix (whether the last itemset shrinks or
+    /// disappears), so this compares in the comparative order of
+    /// Definition 2.2 without materializing any nested sequence.
+    fn cmp_to_bound_prefix(&self, bound: &Self) -> std::cmp::Ordering;
+
+    /// The last flattened pair, as an extension element of the key without
+    /// it (`Itemset` when it shares its transaction with the previous pair).
+    /// Requires at least two pairs — condition sequences have length ≥ 2.
+    fn last_ext(&self) -> ExtElem;
+}
+
+/// Packs one flattened pair into a `u64` word: item id in the high 32 bits,
+/// transaction number in the low 32. The fields don't overlap, so unsigned
+/// word order equals the lexicographic `(item, txn)` pair order — and
+/// word-*sequence* order equals the comparative order of Definition 2.2.
+#[inline]
+pub(crate) fn pack64(item: Item, txn: u32) -> u64 {
+    ((item.0 as u64) << 32) | txn as u64
+}
+
+/// Inverse of [`pack64`].
+#[inline]
+pub(crate) fn unpack64(word: u64) -> (Item, u32) {
+    (Item((word >> 32) as u32), word as u32)
+}
+
+/// A sequence key stored directly in flattened form: each `(item,
+/// transaction-number)` pair of Definition 2.1 packed into one `u64` word
+/// (item in the high half), so the lexicographic word order — which Rust's
+/// slice `Ord` and the vectorized [`crate::simd::cmp_u64`] both compute,
+/// with shorter prefixes smaller — is exactly the comparative order of
+/// Definition 2.2.
 ///
 /// Keying the k-sorted database's AVL tree by `FlatKey` memoizes the
-/// flattening (every tree descent is one slice compare), and because the
-/// flattened form is invertible, no nested [`Sequence`] is stored at all:
-/// one is reconstructed only when a key is reported or split into a
+/// flattening (every tree descent is one word-slice compare), and because
+/// the flattened form is invertible, no nested [`Sequence`] is stored at
+/// all: one is reconstructed only when a key is reported or split into a
 /// re-keying condition. Keys drained and discarded by the Lemma 2.2 skips
 /// never materialize one.
 #[derive(Debug, Clone)]
 pub struct FlatKey {
-    flat: Vec<(Item, u32)>,
+    words: Vec<u64>,
 }
 
 impl FlatKey {
     /// Flattens `seq` into a key.
     pub fn new(seq: &Sequence) -> FlatKey {
-        let mut flat = Vec::with_capacity(seq.length());
-        flat.extend(seq.flat_iter());
-        FlatKey { flat }
+        let mut words = Vec::with_capacity(seq.length());
+        words.extend(seq.flat_iter().map(|(i, t)| pack64(i, t)));
+        FlatKey { words }
     }
 
     /// The key of `self` extended by `elem` — an extension element always
     /// appends exactly one flattened pair, so no sequence is built.
     pub fn extended(&self, elem: ExtElem) -> FlatKey {
-        let last_txn = self.flat.last().map_or(0, |&(_, t)| t);
+        let last_txn = self.words.last().map_or(0, |&w| w as u32);
         debug_assert!(
             last_txn > 0 || elem.mode == ExtMode::Sequence,
             "itemset extension of an empty key"
@@ -347,22 +416,22 @@ impl FlatKey {
             ExtMode::Itemset => last_txn,
             ExtMode::Sequence => last_txn + 1,
         };
-        let mut flat = Vec::with_capacity(self.flat.len() + 1);
-        flat.extend_from_slice(&self.flat);
-        flat.push((elem.item, txn));
-        FlatKey { flat }
+        let mut words = Vec::with_capacity(self.words.len() + 1);
+        words.extend_from_slice(&self.words);
+        words.push(pack64(elem.item, txn));
+        FlatKey { words }
     }
 
     /// Reconstructs the nested sequence (the flattening is invertible:
     /// transaction numbers recover the grouping).
     pub fn to_sequence(&self) -> Sequence {
-        let mut itemsets = Vec::with_capacity(self.flat.last().map_or(0, |&(_, t)| t as usize));
+        let mut itemsets = Vec::with_capacity(self.words.last().map_or(0, |&w| w as u32 as usize));
         let mut i = 0;
-        while i < self.flat.len() {
-            let txn = self.flat[i].1;
+        while i < self.words.len() {
+            let txn = self.words[i] as u32;
             let mut items = Vec::new();
-            while i < self.flat.len() && self.flat[i].1 == txn {
-                items.push(self.flat[i].0);
+            while i < self.words.len() && self.words[i] as u32 == txn {
+                items.push(unpack64(self.words[i]).0);
                 i += 1;
             }
             itemsets.push(Itemset::from_sorted(items));
@@ -375,19 +444,26 @@ impl FlatKey {
         self.to_sequence()
     }
 
-    /// The flattened pairs.
+    /// The flattened pairs, decoded from the packed words.
     #[inline]
-    pub fn pairs(&self) -> &[(Item, u32)] {
-        &self.flat
+    pub fn pairs(&self) -> impl Iterator<Item = (Item, u32)> + '_ {
+        self.words.iter().map(|&w| unpack64(w))
+    }
+
+    /// The packed `u64` words (one per flattened pair, comparison-ready).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 }
 
-// The flattened form is invertible (transaction numbers recover the
-// grouping), so pair equality coincides with sequence equality and the
-// manual impls below stay consistent with each other.
+// The packed flattened form is invertible (transaction numbers recover the
+// grouping, the fields don't overlap), so word equality coincides with
+// sequence equality and the manual impls below stay consistent with each
+// other.
 impl PartialEq for FlatKey {
     fn eq(&self, other: &FlatKey) -> bool {
-        self.flat == other.flat
+        self.words == other.words
     }
 }
 
@@ -401,7 +477,49 @@ impl PartialOrd for FlatKey {
 
 impl Ord for FlatKey {
     fn cmp(&self, other: &FlatKey) -> std::cmp::Ordering {
-        self.flat.cmp(&other.flat)
+        crate::simd::cmp_u64(&self.words, &other.words)
+    }
+}
+
+impl SeqKey for FlatKey {
+    #[inline]
+    fn key_of(seq: &Sequence) -> FlatKey {
+        FlatKey::new(seq)
+    }
+
+    #[inline]
+    fn extended_key(&self, elem: ExtElem) -> FlatKey {
+        self.extended(elem)
+    }
+
+    #[inline]
+    fn to_sequence(&self) -> Sequence {
+        FlatKey::to_sequence(self)
+    }
+
+    #[inline]
+    fn into_sequence(self) -> Sequence {
+        FlatKey::into_sequence(self)
+    }
+
+    #[inline]
+    fn n_pairs(&self) -> usize {
+        self.words.len()
+    }
+
+    #[inline]
+    fn cmp_to_bound_prefix(&self, bound: &FlatKey) -> std::cmp::Ordering {
+        self.words.as_slice().cmp(&bound.words[..bound.words.len() - 1])
+    }
+
+    #[inline]
+    fn last_ext(&self) -> ExtElem {
+        let n = self.words.len();
+        debug_assert!(n >= 2, "last_ext of a key shorter than 2 pairs");
+        let (item, txn) = unpack64(self.words[n - 1]);
+        let mode =
+            if txn == self.words[n - 2] as u32 { ExtMode::Itemset } else { ExtMode::Sequence };
+        ExtElem { item, mode }
     }
 }
 
@@ -540,7 +658,8 @@ mod tests {
     fn flat_key_round_trips_its_sequence() {
         let s = seq("(a)(b,c)");
         let key = FlatKey::new(&s);
-        assert_eq!(key.pairs(), &[(item('a'), 1), (item('b'), 2), (item('c'), 2)]);
+        let pairs: Vec<(Item, u32)> = key.pairs().collect();
+        assert_eq!(pairs, vec![(item('a'), 1), (item('b'), 2), (item('c'), 2)]);
         assert_eq!(key.to_sequence(), s);
         assert_eq!(key.into_sequence(), s);
         for t in ["(a)", "(a,b,c)", "(a)(a)(a)", "(b,f,g)(a)(c,d)"] {

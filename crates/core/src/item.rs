@@ -8,6 +8,7 @@ use std::fmt;
 /// order" on items is exactly this order (the worked examples map `a` to 0,
 /// `b` to 1, and so on — see [`Item::from_letter`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Item(pub u32);
 
 impl Item {

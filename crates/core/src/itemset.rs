@@ -131,19 +131,12 @@ impl Itemset {
 
 /// `a ⊆ b` for sorted duplicate-free slices — the raw-slice form of
 /// [`Itemset::is_subset_of`], for callers walking flat storage.
+///
+/// Delegates to the dispatched kernel in [`crate::simd`]; the portable
+/// reference loop lives in [`crate::simd::scalar::is_sorted_subset_u32`].
+#[inline]
 pub fn is_sorted_subset(a: &[Item], b: &[Item]) -> bool {
-    let mut bi = b.iter();
-    'outer: for x in a {
-        for y in bi.by_ref() {
-            match y.cmp(x) {
-                std::cmp::Ordering::Less => continue,
-                std::cmp::Ordering::Equal => continue 'outer,
-                std::cmp::Ordering::Greater => return false,
-            }
-        }
-        return false;
-    }
-    true
+    crate::simd::is_sorted_subset_items(a, b)
 }
 
 impl fmt::Display for Itemset {

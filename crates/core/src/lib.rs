@@ -46,7 +46,7 @@
 //! assert_eq!(result.support_of(&pat), Some(2));
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bruteforce;
@@ -65,9 +65,11 @@ pub mod itemset;
 pub mod kmin;
 pub mod miner;
 pub mod order;
+pub mod packed;
 pub mod parse;
 pub mod result;
 pub mod sequence;
+pub mod simd;
 pub mod store;
 pub mod support;
 pub mod topk;
@@ -86,7 +88,7 @@ pub use database::{CustomerId, CustomerSequence, SequenceDatabase};
 pub use embed::{contains, leftmost_embedding, leftmost_match_end, MatchPoint};
 pub use error::{DiscError, ParseError};
 pub use executor::{ParallelExecutor, ParallelRun, TaskOutcome};
-pub use flat::{flat_pairs, FlatArena, FlatDb, FlatKey, FlatSeq, SeqView};
+pub use flat::{flat_pairs, FlatArena, FlatDb, FlatKey, FlatSeq, SeqKey, SeqView};
 pub use guard::{
     is_transient_io_kind, retry_transient, run_guarded, AbortReason, CancelToken, FallbackMiner,
     GuardStats, GuardedResult, MineGuard, MineOutcome, ResourceBudget, RetryPolicy, SharedCounters,
@@ -99,9 +101,14 @@ pub use itemset::{is_sorted_subset, Itemset};
 pub use kmin::{all_k_subsequences, min_k_subsequence_naive};
 pub use miner::SequentialMiner;
 pub use order::{cmp_sequences, cmp_views, differential_point};
+pub use packed::{
+    fits_packed_budget, pack_pair, unpack_pair, PackedDb, PackedKey, PackedSeq, MAX_PACKED_ITEM,
+    MAX_PACKED_TXNS, PACKED_ITEM_BITS, PACKED_TXN_BITS,
+};
 pub use parse::{parse_item, parse_sequence};
 pub use result::MiningResult;
 pub use sequence::{ExtElem, ExtMode, Sequence};
+pub use simd::{dispatch_level, DispatchLevel};
 pub use store::fsck::{fsck, FsckReport, SegmentStatus, SnapshotStatus};
 pub use store::{
     CompactionReport, RecoveryReport, SequenceStore, StoreConfig, StoreError, SyncPolicy,

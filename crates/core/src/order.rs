@@ -17,8 +17,9 @@
 //! order, which is what lets DISC sort a database by k-minimum subsequences
 //! and read frequency off ranks.
 
-use crate::flat::{flat_pairs, SeqView};
+use crate::flat::SeqView;
 use crate::sequence::Sequence;
+use crate::simd;
 use std::cmp::Ordering;
 
 /// Compares two sequences in the comparative order of Definition 2.2.
@@ -37,38 +38,62 @@ use std::cmp::Ordering;
 /// assert_eq!(cmp_sequences(&c, &d), Ordering::Less);
 /// ```
 pub fn cmp_sequences(a: &Sequence, b: &Sequence) -> Ordering {
-    let mut ia = a.flat_iter();
-    let mut ib = b.flat_iter();
-    loop {
-        match (ia.next(), ib.next()) {
-            (None, None) => return Ordering::Equal,
-            (None, Some(_)) => return Ordering::Less,
-            (Some(_), None) => return Ordering::Greater,
-            (Some((xi, xn)), Some((yi, yn))) => match xi.cmp(&yi).then(xn.cmp(&yn)) {
-                Ordering::Equal => continue,
-                ord => return ord,
-            },
-        }
-    }
+    cmp_views(a, b)
 }
 
 /// [`cmp_sequences`] generalized over [`SeqView`]s, so flat storage rows
 /// compare against each other (or against nested sequences) without
 /// materializing anything.
+///
+/// The comparison walks transaction by transaction rather than pair by pair:
+/// within one transaction both sides carry the same txn number, so the pair
+/// order reduces to item order and the shared item prefix can be skipped with
+/// one vectorized [`simd::first_diff`](simd::first_diff_u32) call. When the
+/// itemsets have different lengths the pair streams desynchronize, but the
+/// outcome is decided immediately at that point: the shorter side's next pair
+/// (if any) is the first item of its *next* transaction, which is compared
+/// against the longer side's surplus item — and on an item tie the shorter
+/// side's larger txn number loses. Itemsets are non-empty by the model's
+/// invariant, which is what makes "first item of the next transaction"
+/// well-defined.
 pub fn cmp_views<'x, 'y>(a: impl SeqView<'x>, b: impl SeqView<'y>) -> Ordering {
-    let mut ia = flat_pairs(a);
-    let mut ib = flat_pairs(b);
-    loop {
-        match (ia.next(), ib.next()) {
-            (None, None) => return Ordering::Equal,
-            (None, Some(_)) => return Ordering::Less,
-            (Some(_), None) => return Ordering::Greater,
-            (Some((xi, xn)), Some((yi, yn))) => match xi.cmp(&yi).then(xn.cmp(&yn)) {
-                Ordering::Equal => continue,
-                ord => return ord,
-            },
+    let na = a.n_transactions();
+    let nb = b.n_transactions();
+    let n = na.min(nb);
+    for t in 0..n {
+        let xa = a.itemset_items(t);
+        let xb = b.itemset_items(t);
+        let m = xa.len().min(xb.len());
+        let d = simd::first_diff_items(&xa[..m], &xb[..m]);
+        if d < m {
+            return xa[d].cmp(&xb[d]);
         }
+        if xa.len() == xb.len() {
+            continue;
+        }
+        // Itemset lengths differ: the side with the shorter itemset either
+        // ends here (prefix, smaller) or continues in transaction t+1, whose
+        // txn number exceeds the surplus pair's — so an item tie goes against
+        // it (Definition 2.2(b)).
+        return if xa.len() < xb.len() {
+            if t + 1 >= na {
+                Ordering::Less
+            } else {
+                match a.itemset_items(t + 1)[0].cmp(&xb[m]) {
+                    Ordering::Equal => Ordering::Greater,
+                    ord => ord,
+                }
+            }
+        } else if t + 1 >= nb {
+            Ordering::Greater
+        } else {
+            match xa[m].cmp(&b.itemset_items(t + 1)[0]) {
+                Ordering::Equal => Ordering::Less,
+                ord => ord,
+            }
+        };
     }
+    na.cmp(&nb)
 }
 
 /// The differential point of Definition 2.1: the 1-based flattened position

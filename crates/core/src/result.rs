@@ -34,13 +34,23 @@ impl MiningResult {
     /// # Panics
     /// If the pattern was already recorded with a different support.
     pub fn insert(&mut self, pattern: Sequence, support: u64) {
-        if let Some(&old) = self.by_pattern.get(&pattern) {
-            assert_eq!(
-                old, support,
-                "pattern {pattern} recorded twice with supports {old} and {support}"
-            );
+        // One tree descent for both the duplicate check and the insert —
+        // this is a comparison hot path (every descent is a cmp_sequences
+        // chain) once results reach hundreds of thousands of patterns.
+        match self.by_pattern.entry(pattern) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                let old = *e.get();
+                assert_eq!(
+                    old,
+                    support,
+                    "pattern {} recorded twice with supports {old} and {support}",
+                    e.key()
+                );
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(support);
+            }
         }
-        self.by_pattern.insert(pattern, support);
     }
 
     /// Number of frequent sequences.

@@ -1,0 +1,94 @@
+//! Portable scalar kernels — the reference semantics every vectorized
+//! implementation in this module must reproduce bit-for-bit.
+//!
+//! These are deliberately the most obvious possible loops: the property
+//! tests compare the SSE2/AVX2 kernels against them on arbitrary inputs,
+//! so their readability *is* their correctness argument.
+
+use std::cmp::Ordering;
+
+/// Index of the first differing position over the common prefix of `a` and
+/// `b`; `min(a.len(), b.len())` when the common prefix is identical.
+#[inline]
+pub fn first_diff_u32(a: &[u32], b: &[u32]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Index of the first differing position over the common prefix of `a` and
+/// `b`; `min(a.len(), b.len())` when the common prefix is identical.
+#[inline]
+pub fn first_diff_u64(a: &[u64], b: &[u64]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Lexicographic slice comparison, shorter prefix smaller — the same order
+/// as `<[u32]>::cmp`.
+#[inline]
+pub fn cmp_u32(a: &[u32], b: &[u32]) -> Ordering {
+    let n = a.len().min(b.len());
+    let d = first_diff_u32(a, b);
+    if d < n {
+        a[d].cmp(&b[d])
+    } else {
+        a.len().cmp(&b.len())
+    }
+}
+
+/// Lexicographic slice comparison, shorter prefix smaller — the same order
+/// as `<[u64]>::cmp`.
+#[inline]
+pub fn cmp_u64(a: &[u64], b: &[u64]) -> Ordering {
+    let n = a.len().min(b.len());
+    let d = first_diff_u64(a, b);
+    if d < n {
+        a[d].cmp(&b[d])
+    } else {
+        a.len().cmp(&b.len())
+    }
+}
+
+/// Whether `needle` occurs anywhere in `hay`.
+#[inline]
+pub fn contains_u32(hay: &[u32], needle: u32) -> bool {
+    hay.contains(&needle)
+}
+
+/// Index of the first element `≥ x` (unsigned), or `hay.len()`.
+#[inline]
+pub fn first_ge_u32(hay: &[u32], x: u32) -> usize {
+    hay.iter().position(|&h| h >= x).unwrap_or(hay.len())
+}
+
+/// Index of the first element `> x` (unsigned), or `hay.len()`.
+#[inline]
+pub fn first_gt_u32(hay: &[u32], x: u32) -> usize {
+    hay.iter().position(|&h| h > x).unwrap_or(hay.len())
+}
+
+/// `a ⊆ b` for sorted duplicate-free slices: the classic linear merge walk
+/// (this is the loop [`crate::itemset::is_sorted_subset`] shipped with
+/// before vectorization).
+pub fn is_sorted_subset_u32(a: &[u32], b: &[u32]) -> bool {
+    let mut bi = b.iter();
+    'outer: for x in a {
+        for y in bi.by_ref() {
+            match y.cmp(x) {
+                Ordering::Less => continue,
+                Ordering::Equal => continue 'outer,
+                Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}

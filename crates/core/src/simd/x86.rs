@@ -1,0 +1,317 @@
+//! `core::arch::x86_64` SSE2 and AVX2 kernels.
+//!
+//! Compiled only with the `simd` feature on x86_64; callers reach these
+//! through the safe dispatch wrappers at the bottom, which take the
+//! [`DispatchLevel`] the caller already resolved. Every function returns
+//! exactly what its [`super::scalar`] counterpart returns.
+//!
+//! ## Technique notes
+//!
+//! * **First-diff** scans compare raw *bytes* (`_mm_cmpeq_epi8`): two words
+//!   are equal iff all their bytes are, so the first differing byte's index
+//!   divided by the word size is the first differing word — no per-width
+//!   compare instruction needed, and one routine serves `u32` and `u64`.
+//!   `movemask` bit *i* is byte *i* in memory order (x86 is little-endian),
+//!   so `trailing_zeros` of the inverted equality mask is the byte offset.
+//! * **Unsigned lane compares**: SSE2/AVX2 only provide *signed* 32-bit
+//!   `cmpgt`; biasing both operands by `0x8000_0000` (XOR with the sign
+//!   bit) maps unsigned order onto signed order. Packed words use the full
+//!   `u32` range, so this matters.
+//!
+//! ## Safety
+//!
+//! Unsafe is confined to (a) unaligned vector loads at offsets the loop
+//! bounds keep in range, (b) byte-reinterpreting slices of `u32`/`u64`
+//! (always valid — plain old data, any alignment suffices for `u8`), and
+//! (c) `#[target_feature]` calls, guarded by the dispatch level which is
+//! only ever `Sse2`/`Avx2` after `is_x86_feature_detected!` confirmed the
+//! feature (see [`super::dispatch_level`] and [`DispatchLevel::available`]).
+
+use super::DispatchLevel;
+use core::arch::x86_64::*;
+
+/// A `u32` slice's bytes, in memory order.
+#[inline]
+fn u32_bytes(a: &[u32]) -> &[u8] {
+    // SAFETY: any initialized memory region is valid to view as bytes, and
+    // the length in bytes is exactly `4 * a.len()`.
+    unsafe { std::slice::from_raw_parts(a.as_ptr().cast::<u8>(), a.len() * 4) }
+}
+
+/// A `u64` slice's bytes, in memory order.
+#[inline]
+fn u64_bytes(a: &[u64]) -> &[u8] {
+    // SAFETY: as in `u32_bytes`, with an 8-byte element size.
+    unsafe { std::slice::from_raw_parts(a.as_ptr().cast::<u8>(), a.len() * 8) }
+}
+
+/// First differing byte index of two equal-length byte slices, or their
+/// length — 16 bytes per step.
+///
+/// # Safety
+/// Requires SSE2 (baseline on x86_64, still verified by the dispatcher).
+#[target_feature(enable = "sse2")]
+unsafe fn first_diff_bytes_sse2(a: &[u8], b: &[u8]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let len = a.len();
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i + 16 <= len {
+        // SAFETY: `i + 16 <= len`, so both 16-byte loads are in bounds;
+        // `loadu` has no alignment requirement.
+        let va = _mm_loadu_si128(pa.add(i).cast());
+        let vb = _mm_loadu_si128(pb.add(i).cast());
+        let eq = _mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)) as u32;
+        if eq != 0xFFFF {
+            return i + (!eq).trailing_zeros() as usize;
+        }
+        i += 16;
+    }
+    while i < len && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// First differing byte index of two equal-length byte slices, or their
+/// length — 32 bytes per step.
+///
+/// # Safety
+/// Requires AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn first_diff_bytes_avx2(a: &[u8], b: &[u8]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let len = a.len();
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut i = 0;
+    while i + 32 <= len {
+        // SAFETY: `i + 32 <= len` keeps both unaligned 32-byte loads in
+        // bounds.
+        let va = _mm256_loadu_si256(pa.add(i).cast());
+        let vb = _mm256_loadu_si256(pb.add(i).cast());
+        let eq = _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)) as u32;
+        if eq != u32::MAX {
+            return i + (!eq).trailing_zeros() as usize;
+        }
+        i += 32;
+    }
+    while i + 16 <= len {
+        // SAFETY: AVX2 implies SSE2; bounds as in the SSE2 routine.
+        let va = _mm_loadu_si128(pa.add(i).cast());
+        let vb = _mm_loadu_si128(pb.add(i).cast());
+        let eq = _mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)) as u32;
+        if eq != 0xFFFF {
+            return i + (!eq).trailing_zeros() as usize;
+        }
+        i += 16;
+    }
+    while i < len && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Membership scan, 4 lanes per step.
+///
+/// # Safety
+/// Requires SSE2.
+#[target_feature(enable = "sse2")]
+unsafe fn contains_u32_sse2(hay: &[u32], needle: u32) -> bool {
+    let p = hay.as_ptr();
+    let nv = _mm_set1_epi32(needle as i32);
+    let mut i = 0;
+    while i + 4 <= hay.len() {
+        // SAFETY: `i + 4 <= len` keeps the 16-byte load in bounds.
+        let v = _mm_loadu_si128(p.add(i).cast());
+        if _mm_movemask_epi8(_mm_cmpeq_epi32(v, nv)) != 0 {
+            return true;
+        }
+        i += 4;
+    }
+    hay[i..].contains(&needle)
+}
+
+/// Membership scan, 8 lanes per step.
+///
+/// # Safety
+/// Requires AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn contains_u32_avx2(hay: &[u32], needle: u32) -> bool {
+    let p = hay.as_ptr();
+    let nv = _mm256_set1_epi32(needle as i32);
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        // SAFETY: `i + 8 <= len` keeps the 32-byte load in bounds.
+        let v = _mm256_loadu_si256(p.add(i).cast());
+        if _mm256_movemask_epi8(_mm256_cmpeq_epi32(v, nv)) != 0 {
+            return true;
+        }
+        i += 8;
+    }
+    hay[i..].contains(&needle)
+}
+
+/// First index with `hay[i] >= x` (unsigned), 4 lanes per step.
+///
+/// # Safety
+/// Requires SSE2.
+#[target_feature(enable = "sse2")]
+unsafe fn first_ge_u32_sse2(hay: &[u32], x: u32) -> usize {
+    let p = hay.as_ptr();
+    let bias = _mm_set1_epi32(i32::MIN);
+    let xv = _mm_xor_si128(_mm_set1_epi32(x as i32), bias);
+    let mut i = 0;
+    while i + 4 <= hay.len() {
+        // SAFETY: `i + 4 <= len` keeps the 16-byte load in bounds.
+        let v = _mm_xor_si128(_mm_loadu_si128(p.add(i).cast()), bias);
+        // Byte mask of lanes with hay < x; the first lane where that fails
+        // is the first lane with hay >= x.
+        let lt = _mm_movemask_epi8(_mm_cmpgt_epi32(xv, v)) as u32;
+        if lt != 0xFFFF {
+            return i + (!lt).trailing_zeros() as usize / 4;
+        }
+        i += 4;
+    }
+    while i < hay.len() && hay[i] < x {
+        i += 1;
+    }
+    i
+}
+
+/// First index with `hay[i] >= x` (unsigned), 8 lanes per step.
+///
+/// # Safety
+/// Requires AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn first_ge_u32_avx2(hay: &[u32], x: u32) -> usize {
+    let p = hay.as_ptr();
+    let bias = _mm256_set1_epi32(i32::MIN);
+    let xv = _mm256_xor_si256(_mm256_set1_epi32(x as i32), bias);
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        // SAFETY: `i + 8 <= len` keeps the 32-byte load in bounds.
+        let v = _mm256_xor_si256(_mm256_loadu_si256(p.add(i).cast()), bias);
+        let lt = _mm256_movemask_epi8(_mm256_cmpgt_epi32(xv, v)) as u32;
+        if lt != u32::MAX {
+            return i + (!lt).trailing_zeros() as usize / 4;
+        }
+        i += 8;
+    }
+    while i < hay.len() && hay[i] < x {
+        i += 1;
+    }
+    i
+}
+
+/// First index with `hay[i] > x` (unsigned), 4 lanes per step.
+///
+/// # Safety
+/// Requires SSE2.
+#[target_feature(enable = "sse2")]
+unsafe fn first_gt_u32_sse2(hay: &[u32], x: u32) -> usize {
+    let p = hay.as_ptr();
+    let bias = _mm_set1_epi32(i32::MIN);
+    let xv = _mm_xor_si128(_mm_set1_epi32(x as i32), bias);
+    let mut i = 0;
+    while i + 4 <= hay.len() {
+        // SAFETY: `i + 4 <= len` keeps the 16-byte load in bounds.
+        let v = _mm_xor_si128(_mm_loadu_si128(p.add(i).cast()), bias);
+        let gt = _mm_movemask_epi8(_mm_cmpgt_epi32(v, xv)) as u32;
+        if gt != 0 {
+            return i + gt.trailing_zeros() as usize / 4;
+        }
+        i += 4;
+    }
+    while i < hay.len() && hay[i] <= x {
+        i += 1;
+    }
+    i
+}
+
+/// First index with `hay[i] > x` (unsigned), 8 lanes per step.
+///
+/// # Safety
+/// Requires AVX2.
+#[target_feature(enable = "avx2")]
+unsafe fn first_gt_u32_avx2(hay: &[u32], x: u32) -> usize {
+    let p = hay.as_ptr();
+    let bias = _mm256_set1_epi32(i32::MIN);
+    let xv = _mm256_xor_si256(_mm256_set1_epi32(x as i32), bias);
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        // SAFETY: `i + 8 <= len` keeps the 32-byte load in bounds.
+        let v = _mm256_xor_si256(_mm256_loadu_si256(p.add(i).cast()), bias);
+        let gt = _mm256_movemask_epi8(_mm256_cmpgt_epi32(v, xv)) as u32;
+        if gt != 0 {
+            return i + gt.trailing_zeros() as usize / 4;
+        }
+        i += 8;
+    }
+    while i < hay.len() && hay[i] <= x {
+        i += 1;
+    }
+    i
+}
+
+// ---- safe dispatch wrappers -------------------------------------------
+//
+// The `level` arguments below come from `dispatch_level()` /
+// `DispatchLevel::available()`, both of which only yield Sse2/Avx2 after
+// `is_x86_feature_detected!` reported the feature, so the
+// `#[target_feature]` contracts hold. `Scalar` never reaches here (the
+// wrappers in mod.rs route it to the scalar module first); it is mapped to
+// SSE2 — always present on x86_64 — rather than `unreachable!`.
+
+/// First differing `u32` index over equal-length slices (byte-scan / 4).
+pub fn first_diff_u32(level: DispatchLevel, a: &[u32], b: &[u32]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let byte = match level {
+        // SAFETY: AVX2 confirmed by feature detection (see above).
+        DispatchLevel::Avx2 => unsafe { first_diff_bytes_avx2(u32_bytes(a), u32_bytes(b)) },
+        // SAFETY: SSE2 is baseline on x86_64 and confirmed by detection.
+        _ => unsafe { first_diff_bytes_sse2(u32_bytes(a), u32_bytes(b)) },
+    };
+    byte / 4
+}
+
+/// First differing `u64` index over equal-length slices (byte-scan / 8).
+pub fn first_diff_u64(level: DispatchLevel, a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let byte = match level {
+        // SAFETY: AVX2 confirmed by feature detection (see above).
+        DispatchLevel::Avx2 => unsafe { first_diff_bytes_avx2(u64_bytes(a), u64_bytes(b)) },
+        // SAFETY: SSE2 is baseline on x86_64 and confirmed by detection.
+        _ => unsafe { first_diff_bytes_sse2(u64_bytes(a), u64_bytes(b)) },
+    };
+    byte / 8
+}
+
+/// Vectorized membership scan.
+pub fn contains_u32(level: DispatchLevel, hay: &[u32], needle: u32) -> bool {
+    match level {
+        // SAFETY: AVX2 confirmed by feature detection (see above).
+        DispatchLevel::Avx2 => unsafe { contains_u32_avx2(hay, needle) },
+        // SAFETY: SSE2 is baseline on x86_64 and confirmed by detection.
+        _ => unsafe { contains_u32_sse2(hay, needle) },
+    }
+}
+
+/// Vectorized first-`≥` scan (unsigned).
+pub fn first_ge_u32(level: DispatchLevel, hay: &[u32], x: u32) -> usize {
+    match level {
+        // SAFETY: AVX2 confirmed by feature detection (see above).
+        DispatchLevel::Avx2 => unsafe { first_ge_u32_avx2(hay, x) },
+        // SAFETY: SSE2 is baseline on x86_64 and confirmed by detection.
+        _ => unsafe { first_ge_u32_sse2(hay, x) },
+    }
+}
+
+/// Vectorized first-`>` scan (unsigned).
+pub fn first_gt_u32(level: DispatchLevel, hay: &[u32], x: u32) -> usize {
+    match level {
+        // SAFETY: AVX2 confirmed by feature detection (see above).
+        DispatchLevel::Avx2 => unsafe { first_gt_u32_avx2(hay, x) },
+        // SAFETY: SSE2 is baseline on x86_64 and confirmed by detection.
+        _ => unsafe { first_gt_u32_sse2(hay, x) },
+    }
+}

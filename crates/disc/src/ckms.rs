@@ -13,7 +13,7 @@
 //!   prefix `> X` makes the whole k-sequence exceed `α_δ` regardless of the
 //!   element, so the plain minimum extension applies (step 13).
 
-use crate::kms::{min_extension_where, Kms, RawKms};
+use crate::kms::{cached_min_extension_above, ExtensionCache, Kms, RawKms};
 use disc_core::{ExtElem, ExtMode, SeqView, Sequence};
 
 /// The bound comparison mode `Ω` of Definition 2.5.
@@ -60,6 +60,34 @@ impl Condition {
         };
         Condition { prefix, last: ExtElem { item, mode: ext_mode }, mode }
     }
+
+    /// Binds the condition to a (k-1)-sorted list: one binary search finds
+    /// the first entry `≥ X` (and whether it *is* `X`), so per-member CKMS
+    /// calls against the same bucket skip the linear advance of steps 4–7 —
+    /// and its per-step nested sequence comparisons — entirely.
+    pub fn resolve(&self, freq_prev: &[Sequence]) -> ResolvedCondition {
+        let start = freq_prev.partition_point(|f| f < &self.prefix);
+        let eq_at_start = freq_prev.get(start) == Some(&self.prefix);
+        ResolvedCondition { start, eq_at_start, last: self.last, mode: self.mode }
+    }
+}
+
+/// A condition pre-resolved against a specific (k-1)-sorted list (see
+/// [`Condition::resolve`]): everything per-member CKMS calls need, with no
+/// reference to the prefix sequence itself. The list is strictly ascending,
+/// so `X` can match at most the single index `start` — which is why `start`,
+/// `eq_at_start` and the last element fully replace `(X, Y)`. The discovery
+/// loop builds these directly from flattened keys without materializing `X`.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolvedCondition {
+    /// The first index `p` with `freq_prev[p] ≥ X`.
+    pub start: usize,
+    /// Whether `freq_prev[start]` equals `X` exactly.
+    pub eq_at_start: bool,
+    /// `Y`: the last flattened element of `α_δ`, as an extension of `X`.
+    pub last: ExtElem,
+    /// `Ω`.
+    pub mode: BoundMode,
 }
 
 /// Apriori-CKMS (Figure 6) in raw form: the conditional k-minimum
@@ -75,27 +103,48 @@ pub fn apriori_ckms_raw<'a, S: SeqView<'a>>(
     ptr: usize,
     cond: &Condition,
 ) -> Option<RawKms> {
-    // Steps 4–7: advance to the first frequent (k-1)-sequence ≥ X.
-    let mut p = ptr;
-    while p < freq_prev.len() && freq_prev[p] < cond.prefix {
-        p += 1;
-    }
+    apriori_ckms_resolved(
+        s,
+        freq_prev,
+        ptr,
+        &cond.resolve(freq_prev),
+        0,
+        &mut ExtensionCache::disabled(),
+    )
+}
 
-    // Steps 8–16: walk the remainder of the list.
-    while p < freq_prev.len() {
-        let f = &freq_prev[p];
-        let elem = if f == &cond.prefix {
-            min_extension_where(s, f, |e| cond.mode.admits(e, cond.last))
-        } else {
-            // f > X here, so any extension exceeds α_δ.
-            min_extension_where(s, f, |_| true)
-        };
-        if let Some(elem) = elem {
+/// [`apriori_ckms_raw`] against a pre-resolved condition, sharing an
+/// [`ExtensionCache`] across the members of a discovery pass.
+///
+/// The advance of steps 4–7 collapses to `ptr.max(rc.start)`: the linear walk
+/// of the figure stops at the first entry `≥ X`, which `resolve` already
+/// located by binary search. Because the (k-1)-sorted list is strictly
+/// ascending, the bounded step-14 filter can only apply at that single start
+/// index; every later prefix is `> X`, where the unconditional minimum
+/// extension — the memoizable quantity — is the answer (step 13).
+pub fn apriori_ckms_resolved<'a, S: SeqView<'a>>(
+    s: S,
+    freq_prev: &[Sequence],
+    ptr: usize,
+    rc: &ResolvedCondition,
+    member: usize,
+    cache: &mut ExtensionCache,
+) -> Option<RawKms> {
+    let p = ptr.max(rc.start);
+    if p == rc.start && rc.eq_at_start && p < freq_prev.len() {
+        // The bound filter `admits` is up-closed (e admissible ⇒ every
+        // e' > e admissible), so the bounded query is a partition point
+        // of the memoized extension set.
+        let strict = rc.mode == BoundMode::Strictly;
+        let found = cached_min_extension_above(s, freq_prev, p, member, cache, rc.last, strict);
+        debug_assert!(found.is_none_or(|e| rc.mode.admits(e, rc.last)));
+        if let Some(elem) = found {
             return Some(RawKms { ptr: p, elem });
         }
-        p += 1;
+        cache.first_with_extension(s, freq_prev, member, p + 1)
+    } else {
+        cache.first_with_extension(s, freq_prev, member, p)
     }
-    None
 }
 
 /// [`apriori_ckms_raw`] with the key sequence materialized.

@@ -16,8 +16,8 @@
 //! transaction, so they dominate every other embedding's candidate set.
 
 use disc_core::{
-    embed::{view_leftmost_end, EmbeddingEnd},
-    is_sorted_subset, ExtElem, ExtMode, Item, Itemset, SeqView, Sequence,
+    embed::view_leftmost_end, is_sorted_subset, simd, ExtElem, ExtMode, Item, Itemset, SeqView,
+    Sequence,
 };
 
 /// The counting array: per item, the supports of the two extension forms.
@@ -25,6 +25,13 @@ use disc_core::{
 /// Supports are weighted sums; the unweighted case is weight 1 per member
 /// (see [`CountingArray::add_member_weighted`] and the weighted DISC
 /// extension in [`crate::weighted`]).
+///
+/// The array is **reusable**: [`CountingArray::reset`] is O(1), counts are
+/// lazily zeroed on first touch per epoch, and the marked item ids are
+/// tracked so [`CountingArray::frequent_extensions`] walks only the items
+/// the current scan actually saw. The discovery loop counts one virtual
+/// partition per frequent pattern — re-zeroing (or even re-reading) all
+/// `n_items` entries each time would dwarf the counting itself.
 #[derive(Debug, Clone)]
 pub struct CountingArray {
     /// `<π>(x)` supports, indexed by item id.
@@ -34,10 +41,18 @@ pub struct CountingArray {
     /// Last member stamp per entry ("Last CID" in Figure 3).
     seq_stamp: Vec<u32>,
     item_stamp: Vec<u32>,
-    /// Current member stamp (1-based; 0 = untouched).
+    /// Current member stamp (1-based; 0 = untouched; monotone across
+    /// resets so stale stamps can never collide with a later member).
     current: u32,
     /// Weight of the member being accumulated.
     current_weight: u64,
+    /// Epoch stamp per entry: counts are valid only when it matches
+    /// `epoch`; anything older is logically zero.
+    touch_epoch: Vec<u32>,
+    /// The current epoch (1-based; bumped by [`CountingArray::reset`]).
+    epoch: u32,
+    /// Item ids touched this epoch, unordered.
+    touched: Vec<u32>,
 }
 
 impl CountingArray {
@@ -50,6 +65,29 @@ impl CountingArray {
             item_stamp: vec![0; n_items],
             current: 0,
             current_weight: 1,
+            touch_epoch: vec![0; n_items],
+            epoch: 1,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Logically zeroes every count in O(1): bumps the epoch, so all prior
+    /// marks become invisible. Member stamps stay monotone, so accumulation
+    /// can continue immediately.
+    pub fn reset(&mut self) {
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    /// Marks `i` as live this epoch, lazily zeroing its counts on the first
+    /// touch after a reset.
+    #[inline]
+    fn touch(&mut self, i: usize) {
+        if self.touch_epoch[i] != self.epoch {
+            self.touch_epoch[i] = self.epoch;
+            self.seq_counts[i] = 0;
+            self.item_counts[i] = 0;
+            self.touched.push(i as u32);
         }
     }
 
@@ -88,36 +126,41 @@ impl CountingArray {
             return;
         }
 
-        // Sequence extensions: items strictly after the leftmost embedding
-        // of the whole prefix.
-        let Some(EmbeddingEnd::At(end_pi)) = view_leftmost_end(member, prefix.itemsets()) else {
-            return; // prefix not contained
-        };
-        for t in end_pi + 1..member.n_transactions() {
-            for &item in member.itemset_items(t) {
-                self.mark_seq(item);
-            }
-        }
-
-        // Itemset extensions: β = prefix minus its last itemset.
+        // One embedding, one pass: β (the prefix minus its last itemset L)
+        // is embedded leftmost, then a single walk over the remaining
+        // transactions finds both forms. The first L-containing transaction
+        // is the leftmost end of the whole prefix, so transactions strictly
+        // after it host sequence extensions; every L-containing transaction
+        // hosts itemset extensions. If no transaction past β contains L the
+        // prefix is not contained and nothing gets marked — exactly the
+        // contribute-nothing contract.
         let last = prefix.last_itemset().expect("non-empty prefix");
         let beta_sets = &prefix.itemsets()[..prefix.n_transactions() - 1];
-        let beta_end =
-            view_leftmost_end(member, beta_sets).expect("prefix contained implies beta contained");
+        let Some(beta_end) = view_leftmost_end(member, beta_sets) else {
+            return; // β not contained, so neither is the prefix
+        };
         let max_last = last.max_item();
+        let mut past_pi = false;
         for t in beta_end.next_txn()..member.n_transactions() {
             let set = member.itemset_items(t);
+            if past_pi {
+                for &item in set {
+                    self.mark_seq(item);
+                }
+            }
             if is_sorted_subset(last.as_slice(), set) {
-                let from = set.partition_point(|&i| i <= max_last);
+                let from = simd::first_gt_items(set, max_last);
                 for &item in &set[from..] {
                     self.mark_item(item);
                 }
+                past_pi = true;
             }
         }
     }
 
     fn mark_seq(&mut self, item: Item) {
         let i = item.id() as usize;
+        self.touch(i);
         if self.seq_stamp[i] != self.current {
             self.seq_stamp[i] = self.current;
             self.seq_counts[i] += self.current_weight;
@@ -126,6 +169,7 @@ impl CountingArray {
 
     fn mark_item(&mut self, item: Item) {
         let i = item.id() as usize;
+        self.touch(i);
         if self.item_stamp[i] != self.current {
             self.item_stamp[i] = self.current;
             self.item_counts[i] += self.current_weight;
@@ -134,38 +178,64 @@ impl CountingArray {
 
     /// Support of the sequence-extension `<π>(x)`.
     pub fn seq_support(&self, item: Item) -> u64 {
-        self.seq_counts[item.id() as usize]
+        let i = item.id() as usize;
+        if self.touch_epoch[i] == self.epoch {
+            self.seq_counts[i]
+        } else {
+            0
+        }
     }
 
     /// Support of the itemset-extension `<π ⊕ᵢ x>`.
     pub fn item_support(&self, item: Item) -> u64 {
-        self.item_counts[item.id() as usize]
+        let i = item.id() as usize;
+        if self.touch_epoch[i] == self.epoch {
+            self.item_counts[i]
+        } else {
+            0
+        }
     }
 
     /// All extension elements with support ≥ δ, ascending in the comparative
     /// order of the extended sequences (item, then itemset-before-sequence),
-    /// with their supports.
-    pub fn frequent_extensions(&self, delta: u64) -> Vec<(ExtElem, u64)> {
+    /// with their supports. Walks only the items the current epoch marked.
+    pub fn frequent_extensions(&mut self, delta: u64) -> Vec<(ExtElem, u64)> {
         let mut out = Vec::new();
-        for id in 0..self.seq_counts.len() {
-            let item = Item(id as u32);
-            let ic = self.item_counts[id];
+        self.frequent_extensions_into(delta, &mut out);
+        out
+    }
+
+    /// [`CountingArray::frequent_extensions`] into a caller-owned buffer —
+    /// the bi-level loop asks once per frequent pattern, and reusing the
+    /// buffer keeps those tens of thousands of queries allocation-free.
+    pub fn frequent_extensions_into(&mut self, delta: u64, out: &mut Vec<(ExtElem, u64)>) {
+        out.clear();
+        self.touched.sort_unstable();
+        for &id in &self.touched {
+            let item = Item(id);
+            let ic = self.item_counts[id as usize];
             if ic >= delta {
                 out.push((ExtElem { item, mode: ExtMode::Itemset }, ic));
             }
-            let sc = self.seq_counts[id];
+            let sc = self.seq_counts[id as usize];
             if sc >= delta {
                 out.push((ExtElem { item, mode: ExtMode::Sequence }, sc));
             }
         }
-        out
     }
 
     /// Boolean masks `(itemset_frequent, sequence_frequent)` per item id, for
     /// the reduction and reassignment machinery.
     pub fn frequency_masks(&self, delta: u64) -> (Vec<bool>, Vec<bool>) {
-        let i_mask = self.item_counts.iter().map(|&c| c >= delta).collect();
-        let s_mask = self.seq_counts.iter().map(|&c| c >= delta).collect();
+        let n = self.seq_counts.len();
+        let mut i_mask = vec![false; n];
+        let mut s_mask = vec![false; n];
+        for i in 0..n {
+            if self.touch_epoch[i] == self.epoch {
+                i_mask[i] = self.item_counts[i] >= delta;
+                s_mask[i] = self.seq_counts[i] >= delta;
+            }
+        }
         (i_mask, s_mask)
     }
 }
@@ -182,6 +252,20 @@ pub fn count_extensions<'a, S: SeqView<'a>>(
         array.add_member(m, prefix);
     }
     array
+}
+
+/// [`count_extensions`] into a reusable array: [`CountingArray::reset`] is
+/// O(1), so callers looping over partitions pay the `n_items`-sized
+/// zero-fill once per run instead of once per partition.
+pub fn count_extensions_into<'a, S: SeqView<'a>>(
+    array: &mut CountingArray,
+    prefix: &Sequence,
+    members: impl IntoIterator<Item = S>,
+) {
+    array.reset();
+    for m in members {
+        array.add_member(m, prefix);
+    }
 }
 
 /// Verifies that an itemset extension is expressible (used in debug builds
@@ -242,7 +326,7 @@ mod tests {
     #[test]
     fn figure_3_frequent_extensions_at_delta_3() {
         let prefix = Sequence::single(item('a'));
-        let array = count_extensions(&prefix, a_partition().iter(), 8);
+        let mut array = count_extensions(&prefix, a_partition().iter(), 8);
         // Example 3.2: only <(a)(b)>, <(a)(d)>, <(a)(f)>, <(ab)>, <(ac)>,
         // <(ad)> are not frequent (δ = 3) — among items with any support.
         let frequent: Vec<String> = array
@@ -288,7 +372,7 @@ mod tests {
         let members =
             [seq("(a,f,g)(a,e,g,h)(c,g,h)"), seq("(f)(a,f)(a,c,e,g,h)"), seq("(a,f)(a,e,g,h)")];
         let prefix = seq("(a)(a,e,g)");
-        let array = count_extensions(&prefix, members.iter(), 8);
+        let mut array = count_extensions(&prefix, members.iter(), 8);
         assert_eq!(array.seq_support(item('c')), 1);
         assert_eq!(array.seq_support(item('g')), 1);
         assert_eq!(array.seq_support(item('h')), 1);

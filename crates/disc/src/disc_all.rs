@@ -1,9 +1,9 @@
 //! The **DISC-all** algorithm (Figure 2): two-level partitioning + counting
 //! arrays for lengths 1–3, the DISC strategy for lengths ≥ 4.
 
-use crate::counting::count_extensions;
-use crate::discovery::discover_frequent_k_guarded;
-use crate::partition::{group_by_min_item_guarded, min_ext_elem, next_frequent_item, reduce_into};
+use crate::counting::{count_extensions, count_extensions_into, CountingArray};
+use crate::discovery::discover_frequent_k_into;
+use crate::partition::{group_by_min_item_guarded, reduce_into, RowExtensions};
 use crate::resume::CheckpointSink;
 use disc_core::{
     run_guarded, AbortReason, ExtElem, FlatArena, FlatDb, GuardedResult, Item, MinSupport,
@@ -119,6 +119,12 @@ impl DiscAll {
 
         // Flatten once; every hot scan below walks the contiguous arena.
         let flat = FlatDb::from_database(db);
+        // One counting array, reduction arena and extension table for the
+        // whole run: partitions reset them instead of re-allocating (the
+        // arena and table stabilize at the largest partition's footprint).
+        let mut carray = CountingArray::new(n_items);
+        let mut arena = FlatArena::new();
+        let mut exts = RowExtensions::new();
 
         // Step 1: frequent 1-sequences + first-level partitions.
         let freq1 = frequent_one_sequences(&flat, delta, n_items, guard, result)?;
@@ -126,7 +132,11 @@ impl DiscAll {
             s.level_one(result);
         }
 
-        // Step 2: walk first-level partitions in ascending key order.
+        // Step 2: walk first-level partitions in ascending key order. The
+        // reassignment chain of a row visits, ascending, exactly the
+        // distinct frequent items it contains — precompute those lists once
+        // so every chain turn is a binary search instead of a row walk.
+        let row_items = frequent_items_per_row(&flat, &freq1, guard)?;
         let mut first_level = group_by_min_item_guarded(db, guard)?;
         while let Some((&lambda, _)) = first_level.iter().next() {
             guard.checkpoint()?;
@@ -134,7 +144,16 @@ impl DiscAll {
             let resumed = sink.as_deref().is_some_and(|s| s.is_done(lambda));
             if freq1[lambda.id() as usize] && !resumed {
                 self.process_first_level(
-                    &flat, lambda, &members, delta, n_items, &freq1, guard, result,
+                    &flat,
+                    lambda,
+                    &members,
+                    delta,
+                    &freq1,
+                    guard,
+                    result,
+                    &mut carray,
+                    &mut arena,
+                    &mut exts,
                 )?;
                 if let Some(s) = sink.as_deref_mut() {
                     s.partition_done(lambda, result);
@@ -143,7 +162,9 @@ impl DiscAll {
             // Step 2.2: reassignment chains.
             for idx in members {
                 guard.checkpoint()?;
-                if let Some(next) = next_frequent_item(flat.row(idx), lambda, &freq1) {
+                let items = &row_items[idx];
+                let from = items.partition_point(|&x| x <= lambda);
+                if let Some(&next) = items.get(from) {
                     first_level.entry(next).or_default().push(idx);
                 }
             }
@@ -166,42 +187,50 @@ impl DiscAll {
         lambda: Item,
         members: &[usize],
         delta: u64,
-        n_items: usize,
         freq1: &[bool],
         guard: &MineGuard,
         result: &mut MiningResult,
+        carray: &mut CountingArray,
+        arena: &mut FlatArena,
+        exts: &mut RowExtensions,
     ) -> Result<(), AbortReason> {
         let prefix1 = Sequence::single(lambda);
 
         // 2.1.1: frequent 2-sequences by counting array (over the originals —
         // every supporter of a 2-sequence starting with λ is a member now).
         guard.charge(members.len() as u64)?;
-        let array = count_extensions(&prefix1, members.iter().map(|&i| flat.row(i)), n_items);
-        let (i_mask, s_mask) = array.frequency_masks(delta);
-        for (elem, support) in array.frequent_extensions(delta) {
+        count_extensions_into(carray, &prefix1, members.iter().map(|&i| flat.row(i)));
+        let (i_mask, s_mask) = carray.frequency_masks(delta);
+        for (elem, support) in carray.frequent_extensions(delta) {
             guard.note_pattern()?;
             result.insert(prefix1.extended(elem), support);
         }
 
         // 2.1.2: reduce into a partition-local flat arena and group by
         // 2-minimum subsequence. Partition slots are arena row indices;
-        // reduced members never exist as nested sequences.
-        let mut arena = FlatArena::new();
+        // reduced members never exist as nested sequences. Each row's
+        // extension set is computed once here; the keying below and every
+        // 2.1.3.3 reassignment turn are lookups into it.
+        arena.clear();
+        exts.clear();
         let mut second_level: BTreeMap<ExtElem, Vec<usize>> = BTreeMap::new();
         for &idx in members {
             guard.checkpoint()?;
             let seq = flat.row(idx);
             let min_point =
                 seq.first_txn_containing(lambda).expect("partition members contain their key item");
-            let Some(row) =
-                reduce_into(&mut arena, seq, lambda, min_point, freq1, &i_mask, &s_mask)
+            let Some(row) = reduce_into(arena, seq, lambda, min_point, freq1, &i_mask, &s_mask)
             else {
                 continue;
             };
-            if let Some(elem) = min_ext_elem(arena.row(row), &prefix1, &i_mask, &s_mask, None) {
+            let ext_row = exts.push_row(arena.row(row), &prefix1);
+            debug_assert_eq!(ext_row, row);
+            if let Some(elem) = exts.min_masked(row, &i_mask, &s_mask, None) {
                 second_level.entry(elem).or_default().push(row);
             } else {
-                arena.pop_row(); // unextendable: the row just appended is dead
+                // Unextendable: the row just appended is dead.
+                arena.pop_row();
+                exts.pop_row();
             }
         }
 
@@ -212,14 +241,12 @@ impl DiscAll {
             if slots.len() as u64 >= delta {
                 let prefix2 = prefix1.extended(elem);
                 let partition: Vec<_> = slots.iter().map(|&s| arena.row(s)).collect();
-                self.process_second_level(&prefix2, &partition, delta, n_items, guard, result)?;
+                self.process_second_level(&prefix2, &partition, delta, guard, result, carray)?;
             }
             // 2.1.3.3: reassign by the next 2-minimum subsequence.
             for slot in slots {
                 guard.checkpoint()?;
-                if let Some(next) =
-                    min_ext_elem(arena.row(slot), &prefix1, &i_mask, &s_mask, Some(elem))
-                {
+                if let Some(next) = exts.min_masked(slot, &i_mask, &s_mask, Some(elem)) {
                     second_level.entry(next).or_default().push(slot);
                 }
             }
@@ -233,15 +260,15 @@ impl DiscAll {
         prefix2: &Sequence,
         partition: &[S],
         delta: u64,
-        n_items: usize,
         guard: &MineGuard,
         result: &mut MiningResult,
+        carray: &mut CountingArray,
     ) -> Result<(), AbortReason> {
         // 2.1.3.1: frequent 3-sequences by counting array.
         guard.charge(partition.len() as u64)?;
-        let array = count_extensions(prefix2, partition.iter().copied(), n_items);
+        count_extensions_into(carray, prefix2, partition.iter().copied());
         let mut freq3 = Vec::new();
-        for (elem, support) in array.frequent_extensions(delta) {
+        for (elem, support) in carray.frequent_extensions(delta) {
             let pat = prefix2.extended(elem);
             guard.note_pattern()?;
             result.insert(pat.clone(), support);
@@ -249,8 +276,31 @@ impl DiscAll {
         }
 
         // 2.1.3.2: DISC iterations for k ≥ 4.
-        run_disc_levels(partition, freq3, delta, self.config.bi_level, n_items, guard, result)
+        run_disc_levels(partition, freq3, delta, self.config.bi_level, guard, result, carray)
     }
+}
+
+/// Per database row, the ascending distinct *frequent* items it contains —
+/// the full itinerary of the row's first-level reassignment chain, computed
+/// in one pass per row.
+fn frequent_items_per_row(
+    flat: &FlatDb,
+    freq1: &[bool],
+    guard: &MineGuard,
+) -> Result<Vec<Vec<Item>>, AbortReason> {
+    let mut out = Vec::with_capacity(flat.len());
+    let mut items: Vec<Item> = Vec::new();
+    for row in flat.rows() {
+        guard.checkpoint()?;
+        items.clear();
+        for t in 0..row.n_transactions() {
+            items.extend(row.itemset_items(t).iter().copied().filter(|x| freq1[x.id() as usize]));
+        }
+        items.sort_unstable();
+        items.dedup();
+        out.push(items.clone());
+    }
+    Ok(out)
 }
 
 /// Step 1 of Figure 2, shared by the sequential and parallel miners: one
@@ -288,26 +338,34 @@ pub(crate) fn run_disc_levels<'a, S: SeqView<'a>>(
     mut freq_prev: Vec<Sequence>,
     delta: u64,
     bi_level: bool,
-    n_items: usize,
     guard: &MineGuard,
     result: &mut MiningResult,
+    carray: &mut CountingArray,
 ) -> Result<(), AbortReason> {
     while !freq_prev.is_empty() && members.len() as u64 >= delta {
         guard.checkpoint()?;
-        let out =
-            discover_frequent_k_guarded(members, &freq_prev, delta, bi_level, n_items, guard)?;
-        for (p, s) in &out.freq_k {
-            guard.note_pattern()?;
-            result.insert(p.clone(), *s);
-        }
+        let out = discover_frequent_k_into(members, &freq_prev, delta, bi_level, guard, carray)?;
+        // Patterns that don't seed the next level are *moved* into the
+        // result; only the seeding level clones (its sequences live on as
+        // the next (k-1)-sorted list).
         if bi_level {
-            for (p, s) in &out.freq_k1 {
+            for (p, s) in out.freq_k {
                 guard.note_pattern()?;
-                result.insert(p.clone(), *s);
+                result.insert(p, s);
             }
-            freq_prev = out.freq_k1.into_iter().map(|(p, _)| p).collect();
+            freq_prev = Vec::with_capacity(out.freq_k1.len());
+            for (p, s) in out.freq_k1 {
+                guard.note_pattern()?;
+                freq_prev.push(p.clone());
+                result.insert(p, s);
+            }
         } else {
-            freq_prev = out.freq_k.into_iter().map(|(p, _)| p).collect();
+            freq_prev = Vec::with_capacity(out.freq_k.len());
+            for (p, s) in out.freq_k {
+                guard.note_pattern()?;
+                freq_prev.push(p.clone());
+                result.insert(p, s);
+            }
         }
     }
     Ok(())

@@ -28,11 +28,12 @@
 //! hence a key `≤ α₁` — i.e. exactly `α₁`. Members evicted earlier had *no*
 //! k-subsequence past their bound, so they cannot contain `α₁` either.
 
-use crate::ckms::{apriori_ckms_raw, BoundMode, Condition};
+use crate::ckms::{apriori_ckms_resolved, BoundMode, ResolvedCondition};
 use crate::counting::CountingArray;
-use crate::kms::apriori_kms_raw;
+use crate::kms::{apriori_kms_cached, ExtensionCache};
 use crate::sorted_db::{Entry, KSortedDb};
-use disc_core::{AbortReason, FlatKey, MineGuard, SeqView, Sequence};
+use disc_core::packed::fits_packed_budget;
+use disc_core::{AbortReason, ExtElem, FlatKey, MineGuard, PackedKey, SeqKey, SeqView, Sequence};
 
 /// The output of one discovery call.
 #[derive(Debug, Clone, Default)]
@@ -86,20 +87,96 @@ pub fn discover_frequent_k_guarded<'a, S: SeqView<'a>>(
     guard: &MineGuard,
 ) -> Result<DiscoveryOutput, AbortReason> {
     debug_assert!(freq_prev.windows(2).all(|w| w[0] < w[1]), "(k-1)-sorted list not sorted");
-    let mut out = DiscoveryOutput::default();
     if freq_prev.is_empty() || (members.len() as u64) < delta {
-        return Ok(out);
+        return Ok(DiscoveryOutput::default());
     }
+    // Every key the loop builds is a subsequence of some member (KMS/CKMS
+    // minima) or a flattened (k-1)-list entry plus one appended pair, so the
+    // maxima below bound every item id and transaction index that could ever
+    // be packed. When they fit the packed-word budget, run the whole loop on
+    // one-word-per-pair keys; otherwise fall back to the wide 64-bit keys.
+    let mut array = CountingArray::new(n_items);
+    discover_frequent_k_into(members, freq_prev, delta, bi_level, guard, &mut array)
+}
+
+/// [`discover_frequent_k_guarded`] against a caller-owned counting array
+/// (sized to the item universe): the DISC-all walk calls discovery once per
+/// second-level partition, and reusing one array across all of them turns
+/// thousands of `n_items`-sized allocations into O(1) epoch resets.
+pub(crate) fn discover_frequent_k_into<'a, S: SeqView<'a>>(
+    members: &[S],
+    freq_prev: &[Sequence],
+    delta: u64,
+    bi_level: bool,
+    guard: &MineGuard,
+    array: &mut CountingArray,
+) -> Result<DiscoveryOutput, AbortReason> {
+    debug_assert!(freq_prev.windows(2).all(|w| w[0] < w[1]), "(k-1)-sorted list not sorted");
+    if freq_prev.is_empty() || (members.len() as u64) < delta {
+        return Ok(DiscoveryOutput::default());
+    }
+    let fits =
+        fits_packed_budget(max_item_id(members, freq_prev), max_txn_count(members, freq_prev))
+            .is_ok();
+    if fits {
+        discover_impl::<S, PackedKey>(members, freq_prev, delta, bi_level, guard, array)
+    } else {
+        discover_impl::<S, FlatKey>(members, freq_prev, delta, bi_level, guard, array)
+    }
+}
+
+/// Largest item id appearing in any member or (k-1)-list entry. Itemsets
+/// are sorted, so only each transaction's last item is inspected.
+fn max_item_id<'a, S: SeqView<'a>>(members: &[S], freq_prev: &[Sequence]) -> u64 {
+    fn of_view<'b>(s: impl SeqView<'b>) -> u64 {
+        (0..s.n_transactions())
+            .filter_map(|t| s.itemset_items(t).last())
+            .map(|i| i.0 as u64)
+            .max()
+            .unwrap_or(0)
+    }
+    let members_max = members.iter().map(|&s| of_view(s)).max().unwrap_or(0);
+    let prev_max = freq_prev.iter().map(of_view).max().unwrap_or(0);
+    members_max.max(prev_max)
+}
+
+/// Largest transaction count any constructed key can reach: member
+/// transaction counts bound the KMS/CKMS minima, and a (k-1)-list entry can
+/// grow by at most one appended transaction.
+fn max_txn_count<'a, S: SeqView<'a>>(members: &[S], freq_prev: &[Sequence]) -> u64 {
+    let members_max = members.iter().map(|s| s.n_transactions() as u64).max().unwrap_or(0);
+    let prev_max = freq_prev.iter().map(|p| p.n_transactions() as u64 + 1).max().unwrap_or(0);
+    members_max.max(prev_max)
+}
+
+/// The discovery loop, generic over the flattened key representation.
+fn discover_impl<'a, S: SeqView<'a>, K: SeqKey>(
+    members: &[S],
+    freq_prev: &[Sequence],
+    delta: u64,
+    bi_level: bool,
+    guard: &MineGuard,
+    array: &mut CountingArray,
+) -> Result<DiscoveryOutput, AbortReason> {
+    let mut out = DiscoveryOutput::default();
 
     // Step 1: build the k-sorted database. The (k-1)-sorted list is
     // flattened once; every key is then prefix-pairs + one appended pair,
     // with no nested sequence built per insert.
-    let prev_keys: Vec<FlatKey> = freq_prev.iter().map(FlatKey::new).collect();
-    let mut db = KSortedDb::new();
+    let prev_keys: Vec<K> = freq_prev.iter().map(|p| K::key_of(p)).collect();
+    // Extension sets depend only on (member, prefix), so they are memoized
+    // across the whole compare/re-key loop: re-keys past a bound repeatedly
+    // re-ask extension questions the initial keying already answered.
+    let mut cache = ExtensionCache::new(members.len(), freq_prev.len());
+    // The caller-owned counting array serves every virtual partition
+    // (reset is O(1); allocating per frequent pattern would memset
+    // 4·n_items words tens of thousands of times per run).
+    let mut db: KSortedDb<K> = KSortedDb::new();
+    let mut ext_buf: Vec<(ExtElem, u64)> = Vec::new();
     for (m, &seq) in members.iter().enumerate() {
         guard.checkpoint()?;
-        if let Some(raw) = apriori_kms_raw(seq, freq_prev) {
-            db.insert_key(m, prev_keys[raw.ptr].extended(raw.elem), raw.ptr);
+        if let Some(raw) = apriori_kms_cached(seq, freq_prev, m, &mut cache) {
+            db.insert_key(m, prev_keys[raw.ptr].extended_key(raw.elem), raw.ptr);
         }
     }
 
@@ -108,53 +185,79 @@ pub fn discover_frequent_k_guarded<'a, S: SeqView<'a>>(
         guard.checkpoint()?;
         if db.alpha_1_equals_delta(delta) {
             // Lemma 2.1: frequent; the whole bucket keys on α₁.
-            let (key, bucket) = db.take_min().expect("non-empty");
+            let (min_key, bucket) = db.take_min().expect("non-empty");
+            let key = min_key.to_sequence();
             let support = bucket.len() as u64;
 
             if bi_level {
                 // §3.2: the bucket is the virtual partition of α₁.
                 guard.charge(support)?;
-                let mut array = CountingArray::new(n_items);
+                array.reset();
                 for e in &bucket {
                     array.add_member(members[e.member], &key);
                 }
-                for (elem, support_k1) in array.frequent_extensions(delta) {
+                array.frequent_extensions_into(delta, &mut ext_buf);
+                for &(elem, support_k1) in &ext_buf {
                     out.freq_k1.push((key.extended(elem), support_k1));
                 }
             }
 
-            let cond = Condition::new(&key, BoundMode::Strictly);
+            let rcond = resolve_key_condition(&min_key, &prev_keys, BoundMode::Strictly);
             guard.charge(support)?;
-            rekey(&mut db, members, freq_prev, &prev_keys, &cond, bucket);
+            rekey(&mut db, members, freq_prev, &prev_keys, &rcond, bucket, &mut cache);
             out.freq_k.push((key, support));
         } else {
             // Lemma 2.2: everything in [α₁, α_δ) is non-frequent; skip it.
             let bound = db.alpha_delta_key(delta).expect("len >= delta").clone();
-            let cond = Condition::new(&bound.to_sequence(), BoundMode::AtLeast);
-            for bucket in db.take_buckets_less_than(&bound) {
+            let rcond = resolve_key_condition(&bound, &prev_keys, BoundMode::AtLeast);
+            let buckets = db.take_buckets_less_than(&bound);
+            for bucket in buckets {
                 guard.charge(bucket.len() as u64)?;
-                rekey(&mut db, members, freq_prev, &prev_keys, &cond, bucket);
+                rekey(&mut db, members, freq_prev, &prev_keys, &rcond, bucket, &mut cache);
             }
         }
     }
     Ok(out)
 }
 
+/// [`Condition::resolve`](crate::ckms::Condition::resolve) computed directly
+/// on flattened keys: `prev_keys` is the (k-1)-sorted list in the same order
+/// as `freq_prev` (flattening is an order isomorphism), and a condition's
+/// prefix `X` is its key minus the last pair — so the binary search and the
+/// equality probe are word-slice comparisons, with no nested sequence (or
+/// `k_prefix` allocation) in sight.
+fn resolve_key_condition<K: SeqKey>(
+    bound: &K,
+    prev_keys: &[K],
+    mode: BoundMode,
+) -> ResolvedCondition {
+    use std::cmp::Ordering;
+    let start = prev_keys.partition_point(|k| k.cmp_to_bound_prefix(bound) == Ordering::Less);
+    let eq_at_start =
+        prev_keys.get(start).is_some_and(|k| k.cmp_to_bound_prefix(bound) == Ordering::Equal);
+    ResolvedCondition { start, eq_at_start, last: bound.last_ext(), mode }
+}
+
 /// Re-keys a drained bucket by Apriori-CKMS; members without a conditional
-/// minimum leave the k-sorted database.
-fn rekey<'a, S: SeqView<'a>>(
-    db: &mut KSortedDb,
+/// minimum leave the k-sorted database. The bucket allocation is recycled
+/// into the database's pool.
+fn rekey<'a, S: SeqView<'a>, K: SeqKey>(
+    db: &mut KSortedDb<K>,
     members: &[S],
     freq_prev: &[Sequence],
-    prev_keys: &[FlatKey],
-    cond: &Condition,
+    prev_keys: &[K],
+    rcond: &ResolvedCondition,
     bucket: Vec<Entry>,
+    cache: &mut ExtensionCache,
 ) {
-    for e in bucket {
-        if let Some(raw) = apriori_ckms_raw(members[e.member], freq_prev, e.ptr, cond) {
-            db.insert_key(e.member, prev_keys[raw.ptr].extended(raw.elem), raw.ptr);
+    for &e in &bucket {
+        let raw =
+            apriori_ckms_resolved(members[e.member], freq_prev, e.ptr, rcond, e.member, cache);
+        if let Some(raw) = raw {
+            db.insert_key(e.member, prev_keys[raw.ptr].extended_key(raw.elem), raw.ptr);
         }
     }
+    db.recycle(bucket);
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! partitioning at level 2; the dynamic variant measures the NRR of each
 //! partition from its counting-array scan and decides per partition.
 
-use crate::counting::count_extensions;
+use crate::counting::{count_extensions, CountingArray};
 use crate::disc_all::run_disc_levels;
 use crate::partition::{group_by_min_item_guarded, min_ext_elem, next_frequent_item, reduce_into};
 use crate::resume::CheckpointSink;
@@ -157,7 +157,16 @@ impl DynamicDiscAll {
                 .filter(|&id| freq1[id as usize])
                 .map(|id| Sequence::single(Item(id)))
                 .collect();
-            return run_disc_levels(&members, list, delta, self.bi_level, n_items, guard, result);
+            let mut carray = CountingArray::new(n_items);
+            return run_disc_levels(
+                &members,
+                list,
+                delta,
+                self.bi_level,
+                guard,
+                result,
+                &mut carray,
+            );
         }
 
         // First-level partitions with reassignment chains.
@@ -200,7 +209,7 @@ impl DynamicDiscAll {
     ) -> Result<(), AbortReason> {
         let prefix1 = Sequence::single(lambda);
         guard.charge(members.len() as u64)?;
-        let array = count_extensions(&prefix1, members.iter().map(|&i| flat.row(i)), n_items);
+        let mut array = count_extensions(&prefix1, members.iter().map(|&i| flat.row(i)), n_items);
         let (i_mask, s_mask) = array.frequency_masks(delta);
         let exts = array.frequent_extensions(delta);
         if exts.is_empty() {
@@ -219,7 +228,16 @@ impl DynamicDiscAll {
         if !self.policy.split(1, nrr(&supports, members.len())) {
             // DISC from k = 3 over the (unreduced) partition members.
             let views: Vec<_> = members.iter().map(|&i| flat.row(i)).collect();
-            return run_disc_levels(&views, freq2, delta, self.bi_level, n_items, guard, result);
+            let mut carray = CountingArray::new(n_items);
+            return run_disc_levels(
+                &views,
+                freq2,
+                delta,
+                self.bi_level,
+                guard,
+                result,
+                &mut carray,
+            );
         }
 
         // Reduce into a partition-local flat arena, split by 2-minimum
@@ -276,7 +294,7 @@ impl DynamicDiscAll {
         result: &mut MiningResult,
     ) -> Result<(), AbortReason> {
         guard.charge(partition.len() as u64)?;
-        let array = count_extensions(prefix, partition.iter().copied(), n_items);
+        let mut array = count_extensions(prefix, partition.iter().copied(), n_items);
         let (i_mask, s_mask) = array.frequency_masks(delta);
         let exts = array.frequent_extensions(delta);
         if exts.is_empty() {
@@ -293,14 +311,15 @@ impl DynamicDiscAll {
         }
 
         if !self.policy.split(prefix.length(), nrr(&supports, partition.len())) {
+            let mut carray = CountingArray::new(n_items);
             return run_disc_levels(
                 partition,
                 freq_next,
                 delta,
                 self.bi_level,
-                n_items,
                 guard,
                 result,
+                &mut carray,
             );
         }
 

@@ -28,7 +28,7 @@
 //! and the property tests confirm the enumeration is exact.)
 
 use disc_core::embed::view_leftmost_end;
-use disc_core::{is_sorted_subset, ExtElem, ExtMode, SeqView, Sequence};
+use disc_core::{is_sorted_subset, simd, ExtElem, ExtMode, SeqView, Sequence};
 
 /// The minimum extension element of pattern `f` within `s` among candidates
 /// accepted by `admits` — the shared core of Apriori-KMS (`admits` ≡ true),
@@ -76,7 +76,7 @@ pub fn min_extension_where<'a, S: SeqView<'a>>(
             }
         }
         if is_sorted_subset(last.as_slice(), set) {
-            let from = set.partition_point(|&i| i <= max_last);
+            let from = simd::first_gt_items(set, max_last);
             for &item in &set[from..] {
                 let e = ExtElem { item, mode: ExtMode::Itemset };
                 if admits(e) {
@@ -88,6 +88,232 @@ pub fn min_extension_where<'a, S: SeqView<'a>>(
         }
     }
     best
+}
+
+/// Enumerates *every* realizable one-element extension of `f` in `s` into
+/// `out`, encoded order-preservingly (see [`encode_elem`]), ascending and
+/// deduplicated. Same walk as [`min_extension_where`], but collecting the
+/// whole candidate set instead of the first admissible element — the
+/// enumeration in the module docs is exact, so the set is a property of
+/// `(s, f)` alone and any up-closed bound query reduces to a binary search
+/// over it.
+pub(crate) fn all_extensions<'a, S: SeqView<'a>>(s: S, f: &Sequence, out: &mut Vec<u64>) {
+    out.clear();
+    let Some(last) = f.last_itemset() else { return };
+    let beta_sets = &f.itemsets()[..f.n_transactions() - 1];
+    let Some(beta_end_r) = view_leftmost_end(s, beta_sets) else { return };
+    let beta_end = beta_end_r.next_txn();
+    let max_last = last.max_item();
+
+    let mut past_f_end = false;
+    for t in beta_end..s.n_transactions() {
+        let set = s.itemset_items(t);
+        if past_f_end {
+            for &item in set {
+                out.push(encode_elem(ExtElem { item, mode: ExtMode::Sequence }));
+            }
+        }
+        if is_sorted_subset(last.as_slice(), set) {
+            let from = simd::first_gt_items(set, max_last);
+            for &item in &set[from..] {
+                out.push(encode_elem(ExtElem { item, mode: ExtMode::Itemset }));
+            }
+            past_f_end = true;
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+}
+
+/// Order-preserving `u64` encoding of an [`ExtElem`]: item id in the high
+/// bits, the mode bit below it (`Itemset < Sequence`, matching the derived
+/// order).
+#[inline]
+pub(crate) fn encode_elem(e: ExtElem) -> u64 {
+    ((e.item.0 as u64) << 1) | (e.mode == ExtMode::Sequence) as u64
+}
+
+#[inline]
+pub(crate) fn decode_elem(w: u64) -> ExtElem {
+    ExtElem {
+        item: disc_core::Item((w >> 1) as u32),
+        mode: if w & 1 != 0 { ExtMode::Sequence } else { ExtMode::Itemset },
+    }
+}
+
+/// Memo of the *full extension sets* of `(member, prefix-index)` pairs,
+/// valid for one discovery call (fixed member views, fixed (k-1)-sorted
+/// list).
+///
+/// The KMS walk and every re-keying of a member probe the same
+/// `(member, prefix)` pairs over and over — each probe re-embedding the
+/// prefix from scratch — while the realizable extension set never changes
+/// within the call. Caching the whole sorted set (not just the minimum)
+/// means even the *bounded* CKMS queries, whose answers differ per bound,
+/// hit the cache: an up-closed bound query is a `partition_point` over the
+/// memoized set. Sets live in one shared arena; a per-pair slot table maps
+/// into it. Construction degrades to a disabled (always-recompute) cache
+/// when the slot table would exceed [`ExtensionCache::MAX_ENTRIES`].
+#[derive(Debug)]
+pub struct ExtensionCache {
+    width: usize,
+    /// `0` = not computed yet; else 1-based index into `spans`.
+    slots: Vec<u32>,
+    /// `(start, len)` extents in `arena`, one per computed pair.
+    spans: Vec<(u32, u32)>,
+    /// Encoded extension elements, ascending within each span.
+    arena: Vec<u64>,
+    /// Compute buffer (and the result home in disabled mode).
+    scratch: Vec<u64>,
+    /// Per-slot skip pointer: `0` = unknown, else 1 + the first prefix
+    /// index worth probing at or past this slot's prefix. Emptiness of an
+    /// extension set is permanent within a discovery call, so runs of empty
+    /// prefixes collapse to one jump (with path compression) instead of
+    /// being re-probed on every re-keying of the member.
+    skip: Vec<u32>,
+    /// Reusable trail buffer for the path compression of the skip walks.
+    trail: Vec<u32>,
+}
+
+impl ExtensionCache {
+    /// Slot tables above this many entries (4 bytes each) are not worth the
+    /// zero-fill; the cache silently disables itself instead.
+    pub const MAX_ENTRIES: usize = 1 << 22;
+
+    /// A cache for `members × prefixes` pairs (disabled when oversized).
+    pub fn new(members: usize, prefixes: usize) -> ExtensionCache {
+        let entries = members.saturating_mul(prefixes);
+        if entries == 0 || entries > Self::MAX_ENTRIES {
+            ExtensionCache::disabled()
+        } else {
+            ExtensionCache {
+                width: prefixes,
+                slots: vec![0; entries],
+                spans: Vec::new(),
+                arena: Vec::new(),
+                scratch: Vec::new(),
+                skip: vec![0; entries],
+                trail: Vec::new(),
+            }
+        }
+    }
+
+    /// A cache that never remembers anything — for one-shot callers.
+    pub fn disabled() -> ExtensionCache {
+        ExtensionCache {
+            width: 0,
+            slots: Vec::new(),
+            spans: Vec::new(),
+            arena: Vec::new(),
+            scratch: Vec::new(),
+            skip: Vec::new(),
+            trail: Vec::new(),
+        }
+    }
+
+    /// Whether this cache degraded to the always-recompute mode.
+    pub fn is_disabled(&self) -> bool {
+        self.width == 0
+    }
+
+    /// The extension set of prefix `p` in `member`, computing and memoizing
+    /// it on first touch.
+    fn ensure<'a, S: SeqView<'a>>(
+        &mut self,
+        s: S,
+        f: &Sequence,
+        p: usize,
+        member: usize,
+    ) -> &[u64] {
+        if self.width == 0 {
+            let mut buf = std::mem::take(&mut self.scratch);
+            all_extensions(s, f, &mut buf);
+            self.scratch = buf;
+            return &self.scratch;
+        }
+        let idx = member * self.width + p;
+        if self.slots[idx] == 0 {
+            let mut buf = std::mem::take(&mut self.scratch);
+            all_extensions(s, f, &mut buf);
+            let start = self.arena.len() as u32;
+            self.arena.extend_from_slice(&buf);
+            self.scratch = buf;
+            self.spans.push((start, self.arena.len() as u32 - start));
+            self.slots[idx] = self.spans.len() as u32;
+        }
+        let (start, len) = self.spans[(self.slots[idx] - 1) as usize];
+        &self.arena[start as usize..(start + len) as usize]
+    }
+
+    /// The first prefix index `p ≥ from` whose extension set in `member` is
+    /// non-empty, with its minimum element — the shared walk of Apriori-KMS
+    /// (step 13 of CKMS included). Skip pointers fast-forward over runs of
+    /// prefixes already known to be unextendable in this member.
+    pub(crate) fn first_with_extension<'a, S: SeqView<'a>>(
+        &mut self,
+        s: S,
+        freq_prev: &[Sequence],
+        member: usize,
+        from: usize,
+    ) -> Option<RawKms> {
+        if self.width == 0 {
+            for (p, prefix) in freq_prev.iter().enumerate().skip(from) {
+                let mut buf = std::mem::take(&mut self.scratch);
+                all_extensions(s, prefix, &mut buf);
+                let found = buf.first().map(|&w| decode_elem(w));
+                self.scratch = buf;
+                if let Some(elem) = found {
+                    return Some(RawKms { ptr: p, elem });
+                }
+            }
+            return None;
+        }
+        let base = member * self.width;
+        let mut trail = std::mem::take(&mut self.trail);
+        trail.clear();
+        let mut p = from;
+        let mut found = None;
+        while p < freq_prev.len() {
+            let idx = base + p;
+            let next = self.skip[idx];
+            if next != 0 {
+                trail.push(idx as u32);
+                p = (next - 1) as usize;
+                continue;
+            }
+            if let Some(&w) = self.ensure(s, &freq_prev[p], p, member).first() {
+                found = Some(RawKms { ptr: p, elem: decode_elem(w) });
+                break;
+            }
+            trail.push(idx as u32);
+            p += 1;
+        }
+        for &t in &trail {
+            self.skip[t as usize] = p as u32 + 1;
+        }
+        self.trail = trail;
+        found
+    }
+}
+
+/// The minimum extension `> y` (`strict`) or `≥ y` of prefix `p` in
+/// `member`, answered from the memoized extension set — the bounded CKMS
+/// step-14 query as a binary search.
+#[inline]
+pub(crate) fn cached_min_extension_above<'a, S: SeqView<'a>>(
+    s: S,
+    freq_prev: &[Sequence],
+    p: usize,
+    member: usize,
+    cache: &mut ExtensionCache,
+    y: ExtElem,
+    strict: bool,
+) -> Option<ExtElem> {
+    let set = cache.ensure(s, &freq_prev[p], p, member);
+    let ey = encode_elem(y);
+    let i =
+        if strict { set.partition_point(|&w| w <= ey) } else { set.partition_point(|&w| w < ey) };
+    set.get(i).map(|&w| decode_elem(w))
 }
 
 /// The result of a KMS/CKMS computation: the k-minimum subsequence plus the
@@ -129,12 +355,19 @@ impl RawKms {
 /// Returns `None` when no frequent (k-1)-sequence contained in `s` admits an
 /// extension.
 pub fn apriori_kms_raw<'a, S: SeqView<'a>>(s: S, freq_prev: &[Sequence]) -> Option<RawKms> {
-    for (ptr, f) in freq_prev.iter().enumerate() {
-        if let Some(elem) = min_extension_where(s, f, |_| true) {
-            return Some(RawKms { ptr, elem });
-        }
-    }
-    None
+    apriori_kms_cached(s, freq_prev, 0, &mut ExtensionCache::disabled())
+}
+
+/// [`apriori_kms_raw`] against a shared [`ExtensionCache`] — the discovery
+/// loop's entry point, where the same `(member, prefix)` probes recur across
+/// the initial keying and every later re-keying.
+pub fn apriori_kms_cached<'a, S: SeqView<'a>>(
+    s: S,
+    freq_prev: &[Sequence],
+    member: usize,
+    cache: &mut ExtensionCache,
+) -> Option<RawKms> {
+    cache.first_with_extension(s, freq_prev, member, 0)
 }
 
 /// [`apriori_kms_raw`] with the key sequence materialized.

@@ -157,10 +157,12 @@ impl ParallelDiscAll {
                 lambda,
                 &members,
                 delta,
-                n_items,
                 &freq1,
                 worker,
                 shard_result,
+                &mut crate::counting::CountingArray::new(n_items),
+                &mut disc_core::FlatArena::new(),
+                &mut crate::partition::RowExtensions::new(),
             )
         };
         #[cfg(feature = "fault-injection")]

@@ -11,7 +11,7 @@
 //! buckets inside a partition produce exact global supports.
 
 use crate::counting::CountingArray;
-use crate::kms::min_extension_where;
+use crate::kms::{all_extensions, decode_elem, encode_elem, min_extension_where};
 use disc_core::{
     AbortReason, ExtElem, ExtMode, FlatArena, Item, MineGuard, SeqView, Sequence, SequenceDatabase,
 };
@@ -50,7 +50,7 @@ pub fn next_frequent_item<'a, S: SeqView<'a>>(
     let mut best: Option<Item> = None;
     for t in 0..seq.n_transactions() {
         let set = seq.itemset_items(t);
-        let from = set.partition_point(|&i| i <= after);
+        let from = disc_core::simd::first_gt_items(set, after);
         for &item in &set[from..] {
             if best.is_some_and(|b| item >= b) {
                 break; // items are sorted; nothing better in this transaction
@@ -129,6 +129,10 @@ pub fn reduce_into<'a, S: SeqView<'a>>(
     i_mask: &[bool],
     s_mask: &[bool],
 ) -> Option<usize> {
+    // λ-containment is a property of the transaction, not the item — memoize
+    // it across the items of the transaction being filtered.
+    let mut memo_t = usize::MAX;
+    let mut memo_cond1 = false;
     let row = arena.push_filtered(seq, |t, x| {
         if x == lambda || t < min_point {
             return true;
@@ -139,7 +143,11 @@ pub fn reduce_into<'a, S: SeqView<'a>>(
         if !freq1[x.id() as usize] {
             return false;
         }
-        let cond1 = seq.itemset_items(t).binary_search(&lambda).is_ok();
+        if t != memo_t {
+            memo_t = t;
+            memo_cond1 = seq.itemset_items(t).binary_search(&lambda).is_ok();
+        }
+        let cond1 = memo_cond1;
         let cond2 = t > min_point;
         let i_ok = x > lambda && i_mask[x.id() as usize];
         let s_ok = s_mask[x.id() as usize];
@@ -180,10 +188,85 @@ pub fn min_ext_elem<'a, S: SeqView<'a>>(
     })
 }
 
+/// The precomputed extension sets of a partition's reduced rows: per arena
+/// row, every realizable one-element extension of the partition prefix,
+/// ascending in the order-preserving encoding of [`crate::kms`].
+///
+/// The second-level keying and reassignment chains ask "smallest masked
+/// extension (strictly past a bound)" once per chain turn — a fresh
+/// embedding walk each time through [`min_ext_elem`]. The extension set of
+/// a (row, prefix) pair never changes, so one walk per row at reduction
+/// time turns every later turn into a binary search plus a short masked
+/// scan. Sets live in one shared arena, indexed in lockstep with the
+/// partition's [`FlatArena`] rows.
+#[derive(Debug, Default)]
+pub struct RowExtensions {
+    /// Per row, its `(start, end)` span in `arena`.
+    spans: Vec<(u32, u32)>,
+    /// All encoded extension sets, back to back.
+    arena: Vec<u64>,
+    /// Reused per-row staging buffer.
+    scratch: Vec<u64>,
+}
+
+impl RowExtensions {
+    /// An empty table.
+    pub fn new() -> RowExtensions {
+        RowExtensions::default()
+    }
+
+    /// Empties the table, keeping its allocations for reuse.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.arena.clear();
+    }
+
+    /// Computes and appends the extension set of `s` (one embedding walk);
+    /// returns the new row index, which matches the caller's arena row.
+    pub fn push_row<'a, S: SeqView<'a>>(&mut self, s: S, prefix: &Sequence) -> usize {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        all_extensions(s, prefix, &mut scratch);
+        let start = self.arena.len() as u32;
+        self.arena.extend_from_slice(&scratch);
+        self.scratch = scratch;
+        self.spans.push((start, self.arena.len() as u32));
+        self.spans.len() - 1
+    }
+
+    /// Rolls back the most recently pushed row (mirrors
+    /// [`FlatArena::pop_row`] for rejected members).
+    pub fn pop_row(&mut self) {
+        let (start, _) = self.spans.pop().expect("pop_row on empty table");
+        self.arena.truncate(start as usize);
+    }
+
+    /// The smallest extension of `row` passing the masks, strictly greater
+    /// than `bound` when given — identical to [`min_ext_elem`] over the same
+    /// row, without re-walking the member.
+    pub fn min_masked(
+        &self,
+        row: usize,
+        i_mask: &[bool],
+        s_mask: &[bool],
+        bound: Option<ExtElem>,
+    ) -> Option<ExtElem> {
+        let (start, end) = self.spans[row];
+        let list = &self.arena[start as usize..end as usize];
+        let from = match bound {
+            Some(b) => list.partition_point(|&w| w <= encode_elem(b)),
+            None => 0,
+        };
+        list[from..].iter().map(|&w| decode_elem(w)).find(|e| match e.mode {
+            ExtMode::Itemset => i_mask[e.item.id() as usize],
+            ExtMode::Sequence => s_mask[e.item.id() as usize],
+        })
+    }
+}
+
 /// Builds `(i_mask, s_mask)` plus the ascending frequent extensions of a
 /// partition in one step.
 pub fn frequent_extension_masks(
-    array: &CountingArray,
+    array: &mut CountingArray,
     delta: u64,
 ) -> (Vec<bool>, Vec<bool>, Vec<(ExtElem, u64)>) {
     let (i_mask, s_mask) = array.frequency_masks(delta);

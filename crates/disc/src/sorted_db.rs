@@ -1,14 +1,26 @@
 //! The **k-sorted database** (Section 3.2): partition members keyed by their
-//! conditional k-minimum subsequences in a locative AVL tree.
+//! conditional k-minimum subsequences in an ordered bucket map.
 //!
-//! Keys are stored as [`FlatKey`]s — the sequence plus its precomputed
-//! flattened `(item, transaction-number)` pairs — so every comparison on a
-//! tree descent is one slice comparison instead of a fresh walk through the
-//! nested representation. The public API stays in terms of [`Sequence`].
+//! Keys are stored in a flattened [`SeqKey`] representation — the sequence's
+//! `(item, transaction-number)` pairs packed into comparison-ready words — so
+//! every comparison on a map descent is one slice comparison instead of a
+//! fresh walk through the nested representation. When the database fits the
+//! packed-word budget, the discovery loop instantiates this with
+//! [`disc_core::PackedKey`] (one `u32` per pair, SIMD-comparable); otherwise
+//! the wide [`FlatKey`] default applies. The public API stays in terms of
+//! [`Sequence`].
+//!
+//! The backing store is a `BTreeMap<K, Vec<Entry>>` with an explicitly
+//! tracked entry count. The discovery loop only ever asks order statistics
+//! about the *head* of the database — `α₁`, `α_δ` for the small rank
+//! `δ = ⌈minsup·|D|⌉` within a virtual partition, and head drains — so a
+//! short in-order walk over the first few buckets beats maintaining subtree
+//! counts on every insert (the former `LocativeAvlTree` backing, still used
+//! by [`disc_tree`] for the general rank-select case).
 
 use crate::kms::Kms;
-use disc_core::{FlatKey, Sequence};
-use disc_tree::LocativeAvlTree;
+use disc_core::{FlatKey, SeqKey, Sequence};
+use std::collections::BTreeMap;
 
 /// One entry of the k-sorted database: which partition member it is, plus
 /// its apriori pointer into the (k-1)-sorted list.
@@ -21,76 +33,118 @@ pub struct Entry {
     pub ptr: usize,
 }
 
-/// The k-sorted database.
-#[derive(Debug, Default)]
-pub struct KSortedDb {
-    tree: LocativeAvlTree<FlatKey, Entry>,
+/// The k-sorted database, generic over the flattened key representation.
+#[derive(Debug)]
+pub struct KSortedDb<K: SeqKey = FlatKey> {
+    map: BTreeMap<K, Vec<Entry>>,
+    len: usize,
+    /// Drained bucket allocations, reused by later inserts: most buckets are
+    /// singletons, so without the pool every re-keying would allocate one
+    /// small `Vec` per member movement.
+    pool: Vec<Vec<Entry>>,
 }
 
-impl KSortedDb {
+impl<K: SeqKey> Default for KSortedDb<K> {
+    fn default() -> KSortedDb<K> {
+        KSortedDb::new()
+    }
+}
+
+impl<K: SeqKey> KSortedDb<K> {
     /// An empty k-sorted database.
-    pub fn new() -> KSortedDb {
-        KSortedDb { tree: LocativeAvlTree::new() }
+    pub fn new() -> KSortedDb<K> {
+        KSortedDb { map: BTreeMap::new(), len: 0, pool: Vec::new() }
     }
 
     /// Number of customer positions (the paper's "size of SD").
     pub fn len(&self) -> usize {
-        self.tree.len()
+        self.len
     }
 
     /// True when no customers remain.
     pub fn is_empty(&self) -> bool {
-        self.tree.is_empty()
+        self.len == 0
     }
 
     /// Inserts a member under its freshly computed k-minimum subsequence.
     pub fn insert(&mut self, member: usize, kms: Kms) {
-        self.insert_key(member, FlatKey::new(&kms.key), kms.ptr);
+        self.insert_key(member, K::key_of(&kms.key), kms.ptr);
     }
 
     /// Inserts a member under an already-flattened key — the raw-KMS path,
     /// which never materializes a nested sequence.
-    pub fn insert_key(&mut self, member: usize, key: FlatKey, ptr: usize) {
-        self.tree.insert(key, Entry { member, ptr });
+    pub fn insert_key(&mut self, member: usize, key: K, ptr: usize) {
+        match self.map.entry(key) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.get_mut().push(Entry { member, ptr });
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                let mut bucket = self.pool.pop().unwrap_or_default();
+                bucket.push(Entry { member, ptr });
+                v.insert(bucket);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Returns a drained bucket's allocation to the pool for reuse.
+    pub fn recycle(&mut self, mut bucket: Vec<Entry>) {
+        if bucket.capacity() > 0 && self.pool.len() < 1024 {
+            bucket.clear();
+            self.pool.push(bucket);
+        }
     }
 
     /// `α₁`: the minimum key, reconstructed as a sequence.
     pub fn alpha_1(&self) -> Option<Sequence> {
-        self.tree.min().map(|(k, _)| k.to_sequence())
+        self.map.keys().next().map(SeqKey::to_sequence)
     }
 
     /// `α_δ`: the key at customer position δ (1-based), reconstructed as a
     /// sequence.
     pub fn alpha_delta(&self, delta: u64) -> Option<Sequence> {
-        self.alpha_delta_key(delta).map(FlatKey::to_sequence)
+        self.alpha_delta_key(delta).map(SeqKey::to_sequence)
     }
 
-    /// `α_δ` as a borrowed flattened key.
-    pub fn alpha_delta_key(&self, delta: u64) -> Option<&FlatKey> {
+    /// `α_δ` as a borrowed flattened key: an in-order walk accumulating
+    /// bucket sizes until the running customer count reaches δ. The rank δ
+    /// is the partition's support threshold — a small constant — so this
+    /// touches at most a handful of head buckets.
+    pub fn alpha_delta_key(&self, delta: u64) -> Option<&K> {
         debug_assert!(delta >= 1);
-        self.tree.select(delta as usize - 1)
+        let mut seen = 0u64;
+        for (k, vs) in &self.map {
+            seen += vs.len() as u64;
+            if seen >= delta {
+                return Some(k);
+            }
+        }
+        None
     }
 
-    /// `α₁ = α_δ`? — the Lemma 2.1 test, on the flattened keys (one slice
-    /// comparison, no sequence reconstruction).
+    /// `α₁ = α_δ`? — the Lemma 2.1 test: the minimum bucket alone holds at
+    /// least δ customers.
     pub fn alpha_1_equals_delta(&self, delta: u64) -> bool {
         debug_assert!(delta >= 1);
-        match (self.tree.min(), self.tree.select(delta as usize - 1)) {
-            (Some((a, _)), Some(b)) => a == b,
-            _ => false,
+        match self.map.values().next() {
+            Some(vs) => vs.len() as u64 >= delta,
+            None => false,
         }
     }
 
-    /// Detaches the minimum node: `(α₁, its virtual partition)`. The bucket
-    /// length is `α₁`'s exact support among the partition members.
-    pub fn take_min(&mut self) -> Option<(Sequence, Vec<Entry>)> {
-        self.tree.take_min().map(|(k, vs)| (k.into_sequence(), vs))
+    /// Detaches the minimum bucket: `(α₁, its virtual partition)`. The bucket
+    /// length is `α₁`'s exact support among the partition members. The key
+    /// stays flattened — the caller materializes a [`Sequence`] only when it
+    /// reports the pattern.
+    pub fn take_min(&mut self) -> Option<(K, Vec<Entry>)> {
+        let (k, vs) = self.map.pop_first()?;
+        self.len -= vs.len();
+        Some((k, vs))
     }
 
     /// Detaches every entry keyed strictly below `bound`, ascending.
     pub fn take_less_than(&mut self, bound: &Sequence) -> Vec<(Sequence, Vec<Entry>)> {
-        self.tree
-            .take_less_than(&FlatKey::new(bound))
+        self.split_below(&K::key_of(bound))
             .into_iter()
             .map(|(k, vs)| (k.into_sequence(), vs))
             .collect()
@@ -99,14 +153,23 @@ impl KSortedDb {
     /// Detaches every bucket keyed strictly below `bound`, ascending. The
     /// keys themselves are dropped without ever being reconstructed — the
     /// Lemma 2.2 skip only re-keys the members.
-    pub fn take_buckets_less_than(&mut self, bound: &FlatKey) -> Vec<Vec<Entry>> {
-        self.tree.take_less_than(bound).into_iter().map(|(_, vs)| vs).collect()
+    pub fn take_buckets_less_than(&mut self, bound: &K) -> Vec<Vec<Entry>> {
+        self.split_below(bound).into_values().collect()
+    }
+
+    /// Splits off and returns the `< bound` head of the map, adjusting the
+    /// tracked length.
+    fn split_below(&mut self, bound: &K) -> BTreeMap<K, Vec<Entry>> {
+        let rest = self.map.split_off(bound);
+        let below = std::mem::replace(&mut self.map, rest);
+        self.len -= below.values().map(Vec::len).sum::<usize>();
+        below
     }
 
     /// In-order view of `(key, entries)` — Table 3/9-style dumps for tests
     /// and debugging.
     pub fn snapshot(&self) -> Vec<(Sequence, Vec<Entry>)> {
-        self.tree.iter().map(|(k, vs)| (k.to_sequence(), vs.to_vec())).collect()
+        self.map.iter().map(|(k, vs)| (k.to_sequence(), vs.clone())).collect()
     }
 }
 
@@ -114,14 +177,13 @@ impl KSortedDb {
 mod tests {
     use super::*;
     use crate::kms::apriori_kms;
-    use disc_core::parse_sequence;
+    use disc_core::{parse_sequence, PackedKey};
 
     fn seq(s: &str) -> Sequence {
         parse_sequence(s).unwrap()
     }
 
-    #[test]
-    fn table_9_four_sorted_database() {
+    fn table_9_database<K: SeqKey>() -> KSortedDb<K> {
         // Build the 4-sorted database of the <(a)(a)>-partition (Table 9).
         let mut list: Vec<Sequence> =
             ["(a)(a,e)", "(a)(a,g)", "(a)(a,h)"].iter().map(|t| seq(t)).collect();
@@ -139,6 +201,10 @@ mod tests {
             let kms = apriori_kms(&seq(text), &list).unwrap();
             db.insert(m, kms);
         }
+        db
+    }
+
+    fn assert_table_9_shape<K: SeqKey>(db: &KSortedDb<K>) {
         assert_eq!(db.len(), 6);
         assert_eq!(db.alpha_1(), Some(seq("(a)(a,e)(c)")));
         // δ = 3: the third customer position holds <(a)(a,e,g)>.
@@ -157,8 +223,24 @@ mod tests {
     }
 
     #[test]
+    fn table_9_four_sorted_database() {
+        assert_table_9_shape(&table_9_database::<FlatKey>());
+    }
+
+    #[test]
+    fn table_9_agrees_under_packed_keys() {
+        // The same sorted database, keyed by packed u32 words, must produce
+        // an identical in-order snapshot — the order-preservation claim of
+        // the packing scheme exercised through the whole tree layer.
+        assert_table_9_shape(&table_9_database::<PackedKey>());
+        let flat = table_9_database::<FlatKey>().snapshot();
+        let packed = table_9_database::<PackedKey>().snapshot();
+        assert_eq!(flat, packed);
+    }
+
+    #[test]
     fn take_less_than_drains_the_head() {
-        let mut db = KSortedDb::new();
+        let mut db: KSortedDb = KSortedDb::new();
         db.insert(0, Kms { key: seq("(a)(b)"), ptr: 0 });
         db.insert(1, Kms { key: seq("(a)(c)"), ptr: 0 });
         db.insert(2, Kms { key: seq("(b)(c)"), ptr: 1 });
