@@ -9,11 +9,11 @@
 //! the CI-sized sanity run. Raw measurements land in `target/experiments/`.
 
 use disc_bench::workloads::Scale;
-use disc_bench::{ckptbench, experiments, flatbench, simdbench, storebench};
+use disc_bench::{ckptbench, experiments, flatbench, mmapbench, simdbench, storebench};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]\n       experiments bench-flat [--smoke] [--check <BENCH_flat.json>]\n       experiments bench-simd [--smoke] [--check <BENCH_simd.json>] [--dump-patterns <path>]\n       experiments bench-checkpoint\n       experiments bench-store"
+        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]\n       experiments bench-flat [--smoke] [--check <BENCH_flat.json>]\n       experiments bench-simd [--smoke] [--check <BENCH_simd.json>] [--dump-patterns <path>]\n       experiments bench-mmap [--smoke]\n       experiments bench-checkpoint\n       experiments bench-store"
     );
     std::process::exit(2);
 }
@@ -66,6 +66,7 @@ fn main() {
             | "all"
             | "bench-flat"
             | "bench-simd"
+            | "bench-mmap"
             | "bench-checkpoint"
             | "bench-store"
     ) {
@@ -95,6 +96,11 @@ fn main() {
         }
         "bench-store" => {
             storebench::run();
+        }
+        // The ceiling and bit-identity assertions live inside the run —
+        // a violation panics, so no separate --check gate is needed.
+        "bench-mmap" => {
+            mmapbench::run(scale == Scale::Smoke);
         }
         "bench-flat" => match check {
             None => {

@@ -149,6 +149,7 @@ mod tests {
                 threads: 1,
                 rows_per_sec: 2000.0,
                 peak_alloc_bytes: 4096,
+                peak_rss_bytes: 0,
             },
             stats: CheckpointStats {
                 writes: 9,

@@ -252,6 +252,7 @@ mod tests {
                 threads: 1,
                 rows_per_sec: 4000.0,
                 peak_alloc_bytes: 4096,
+                peak_rss_bytes: 0,
             },
             parallel4: None,
         };

@@ -36,6 +36,7 @@ pub mod alloc_track;
 pub mod ckptbench;
 pub mod experiments;
 pub mod flatbench;
+pub mod mmapbench;
 pub mod report;
 pub mod runner;
 pub mod simdbench;

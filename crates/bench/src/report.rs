@@ -169,7 +169,7 @@ impl<A: ToJson, B: ToJson, C: ToJson, D: ToJson> ToJson for (A, B, C, D) {
 impl ToJson for Measurement {
     fn to_json(&self) -> String {
         format!(
-            "{{\"miner\":{},\"param\":{},\"seconds\":{},\"patterns\":{},\"max_length\":{},\"threads\":{},\"rows_per_sec\":{},\"peak_alloc_bytes\":{}}}",
+            "{{\"miner\":{},\"param\":{},\"seconds\":{},\"patterns\":{},\"max_length\":{},\"threads\":{},\"rows_per_sec\":{},\"peak_alloc_bytes\":{},\"peak_rss_bytes\":{}}}",
             self.miner.to_json(),
             self.param.to_json(),
             self.seconds.to_json(),
@@ -177,7 +177,8 @@ impl ToJson for Measurement {
             self.max_length.to_json(),
             self.threads.to_json(),
             self.rows_per_sec.to_json(),
-            self.peak_alloc_bytes.to_json()
+            self.peak_alloc_bytes.to_json(),
+            self.peak_rss_bytes.to_json()
         )
     }
 }
@@ -208,6 +209,7 @@ mod tests {
                 threads: 1,
                 rows_per_sec: 2.0,
                 peak_alloc_bytes: 1024,
+                peak_rss_bytes: 0,
             },
             Measurement {
                 miner: "B".into(),
@@ -218,6 +220,7 @@ mod tests {
                 threads: 1,
                 rows_per_sec: 0.8,
                 peak_alloc_bytes: 2048,
+                peak_rss_bytes: 0,
             },
         ];
         let t = runtime_table("n", &[1.0, 2.0], &miners, &measurements);
@@ -249,6 +252,7 @@ mod tests {
             threads: 1,
             rows_per_sec: 2.0,
             peak_alloc_bytes: 1024,
+            peak_rss_bytes: 0,
         };
         let json = m.to_json();
         assert!(json.contains("\"rows_per_sec\":2"));

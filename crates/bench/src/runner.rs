@@ -69,6 +69,39 @@ pub struct Measurement {
     /// the reference result — doesn't pollute the number. Representation
     /// wins show up here even when wall time is noisy.
     pub peak_alloc_bytes: usize,
+    /// Peak resident set size (`VmHWM`) observed after the run, in bytes;
+    /// 0 where `/proc/self/status` is unavailable. Unlike
+    /// [`peak_alloc_bytes`](Measurement::peak_alloc_bytes) this counts
+    /// *everything* resident — mapped file pages included — which is
+    /// exactly what out-of-core runs need to watch. The harness resets the
+    /// kernel watermark before each run ([`reset_peak_rss`]); where that
+    /// reset is refused the value is a monotone upper bound across repeats.
+    pub peak_rss_bytes: usize,
+}
+
+/// Peak resident set size in bytes: `VmHWM` from `/proc/self/status`,
+/// or 0 where that file does not exist (non-Linux platforms).
+pub fn peak_rss_bytes() -> usize {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    parse_vm_hwm(&status).unwrap_or(0)
+}
+
+/// The pure half of [`peak_rss_bytes`]: extracts `VmHWM` (kB) from a
+/// `/proc/self/status` document.
+fn parse_vm_hwm(status: &str) -> Option<usize> {
+    let rest = status.lines().find_map(|l| l.strip_prefix("VmHWM:"))?;
+    let kb: usize = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Resets the kernel's peak-RSS watermark (writes `5` to
+/// `/proc/self/clear_refs`) so each run's `VmHWM` reflects that run alone.
+/// Best-effort: sandboxes that refuse the write leave `VmHWM` monotone,
+/// which only ever over-reports a later run's peak.
+pub fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
 }
 
 /// Runs one miner once under [`deadline`] and records the measurement.
@@ -83,11 +116,13 @@ pub fn measure(
     let guard =
         MineGuard::new(CancelToken::new(), ResourceBudget::unlimited().with_deadline(deadline()));
     crate::alloc_track::reset_peak();
+    reset_peak_rss();
     let live_at_start = crate::alloc_track::live_bytes();
     let start = Instant::now();
     let run = miner.mine_guarded(db, min_support, &guard);
     let seconds = start.elapsed().as_secs_f64();
     let peak_alloc_bytes = crate::alloc_track::peak_bytes().saturating_sub(live_at_start);
+    let peak_rss_bytes = peak_rss_bytes();
     assert!(
         run.outcome.is_complete(),
         "{} aborted ({:?}) after {seconds:.1}s — raise the deadline or shrink the workload",
@@ -105,6 +140,7 @@ pub fn measure(
             threads: 1,
             rows_per_sec: db.len() as f64 / seconds.max(1e-9),
             peak_alloc_bytes,
+            peak_rss_bytes,
         },
         result,
     )
@@ -166,6 +202,20 @@ mod tests {
             measure_with_threads(&BruteForce::default(), &db, MinSupport::Count(2), 2.0, 4);
         assert_eq!(m.threads, 4);
         assert_eq!(m.patterns, result.len());
+    }
+
+    #[test]
+    fn vm_hwm_parses_from_status_text() {
+        let status = "Name:\ttest\nVmPeak:\t  999 kB\nVmHWM:\t  2048 kB\nVmRSS:\t 1024 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(2048 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\ttest\n"), None);
+    }
+
+    #[test]
+    fn peak_rss_is_nonzero_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0, "a live process has resident pages");
+        }
     }
 
     #[test]

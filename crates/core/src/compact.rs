@@ -59,6 +59,21 @@ impl ItemMapping {
         }))
     }
 
+    /// Rebuilds a mapping from its sorted original-id column — the
+    /// [`crate::flatfile`] dictionary section round-trip. `originals` must
+    /// be strictly ascending (the encoder wrote it from a valid mapping;
+    /// the loader validates before calling).
+    pub fn from_originals(originals: Vec<Item>) -> ItemMapping {
+        debug_assert!(originals.windows(2).all(|w| w[0] < w[1]), "dictionary must be ascending");
+        ItemMapping { originals }
+    }
+
+    /// The sorted original-id column (index = compact id) — the
+    /// [`crate::flatfile`] dictionary section's encoding surface.
+    pub fn originals(&self) -> &[Item] {
+        &self.originals
+    }
+
     /// Number of distinct items (the compact id space is `0..len`).
     pub fn len(&self) -> usize {
         self.originals.len()

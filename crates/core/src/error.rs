@@ -104,6 +104,14 @@ pub enum DiscError {
         /// Why the value was rejected.
         reason: String,
     },
+    /// A DSCFD1 flat file failed structural or CRC verification — it is
+    /// refused whole; no partially-mapped database is ever returned.
+    FlatFile {
+        /// The flat file involved.
+        path: PathBuf,
+        /// What was wrong.
+        what: &'static str,
+    },
     /// A database exceeds the packed-word budget of
     /// [`crate::packed::PackedDb`]: its dictionary-remapped item count or a
     /// transaction index does not fit the fixed bit fields. Callers fall
@@ -130,6 +138,9 @@ impl fmt::Display for DiscError {
                 write!(f, "io error at {}: {message}", path.display())
             }
             DiscError::Config { option, reason } => write!(f, "invalid {option}: {reason}"),
+            DiscError::FlatFile { path, what } => {
+                write!(f, "corrupt flat file {}: {what}", path.display())
+            }
             DiscError::PackedOverflow { what, value, limit } => {
                 write!(f, "packed-word budget exceeded: {what} {value} > {limit}")
             }
@@ -171,9 +182,10 @@ impl std::error::Error for DiscError {
             DiscError::Codec(e) => Some(e),
             DiscError::Checkpoint(e) => Some(e),
             DiscError::Store(e) => Some(e),
-            DiscError::Io { .. } | DiscError::Config { .. } | DiscError::PackedOverflow { .. } => {
-                None
-            }
+            DiscError::Io { .. }
+            | DiscError::Config { .. }
+            | DiscError::FlatFile { .. }
+            | DiscError::PackedOverflow { .. } => None,
         }
     }
 }

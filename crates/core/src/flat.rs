@@ -36,6 +36,7 @@ use crate::database::SequenceDatabase;
 use crate::item::Item;
 use crate::itemset::Itemset;
 use crate::sequence::{ExtElem, ExtMode, Sequence};
+use crate::storage::DbStorage;
 use std::marker::PhantomData;
 
 /// A read-only, `Copy`-able view of a sequence: everything the mining
@@ -278,9 +279,23 @@ impl FlatArena {
 
 /// A whole [`SequenceDatabase`] in flat storage: built once per mining run,
 /// shared read-only across partition walks and parallel shards.
+///
+/// The three CSR columns live in [`DbStorage`], so a `FlatDb` is either
+/// heap-owned (built by [`FlatDb::from_database`]) or borrowed zero-copy
+/// from a memory-mapped [`crate::flatfile`] snapshot — the mining kernels
+/// cannot tell the difference: [`FlatDb::row`] hands out the same borrowed
+/// [`FlatSeq`] slices either way.
 #[derive(Debug, Clone)]
 pub struct FlatDb {
-    arena: FlatArena,
+    /// All items of all rows, row-major (the arena's `items` column).
+    items: DbStorage<Item>,
+    /// Itemset boundaries into `items`, with a trailing sentinel.
+    set_starts: DbStorage<u32>,
+    /// Row boundaries into `set_starts` (`row_sets.len() == n_rows + 1`).
+    row_sets: DbStorage<u32>,
+    /// The largest item id present, cached so miners can size counting
+    /// arrays without owning the source [`SequenceDatabase`].
+    max_item: Option<Item>,
 }
 
 impl FlatDb {
@@ -292,30 +307,78 @@ impl FlatDb {
         for seq in db.sequences() {
             arena.push_sequence(seq);
         }
-        FlatDb { arena }
+        FlatDb::from_arena(arena, db.max_item())
+    }
+
+    /// Wraps an already-built arena, taking ownership of its columns.
+    /// `max_item` must be the largest item present in the arena (`None`
+    /// for an item-free arena); callers that flattened a database pass its
+    /// known maximum instead of re-scanning.
+    pub fn from_arena(arena: FlatArena, max_item: Option<Item>) -> FlatDb {
+        debug_assert_eq!(max_item, arena.items.iter().max().copied());
+        FlatDb {
+            items: arena.items.into(),
+            set_starts: arena.set_starts.into(),
+            row_sets: arena.row_sets.into(),
+            max_item,
+        }
+    }
+
+    /// Assembles a database directly from its three CSR columns (any
+    /// storage backend) — the [`crate::flatfile`] loader's entry point.
+    /// The columns must satisfy the arena invariants (validated by the
+    /// loader): both boundary columns non-empty, starting at 0, monotone,
+    /// and in bounds of the next column out.
+    pub fn from_columns(
+        items: DbStorage<Item>,
+        set_starts: DbStorage<u32>,
+        row_sets: DbStorage<u32>,
+        max_item: Option<Item>,
+    ) -> FlatDb {
+        FlatDb { items, set_starts, row_sets, max_item }
     }
 
     /// Number of rows.
     #[inline]
     pub fn len(&self) -> usize {
-        self.arena.len()
+        self.row_sets.len() - 1
     }
 
     /// True when the database had no rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.arena.is_empty()
+        self.len() == 0
+    }
+
+    /// The largest item id present, or `None` for an item-free database —
+    /// the flat counterpart of [`SequenceDatabase::max_item`].
+    #[inline]
+    pub fn max_item(&self) -> Option<Item> {
+        self.max_item
     }
 
     /// The view of row `i` (same index space as the source database).
     #[inline]
     pub fn row(&self, i: usize) -> FlatSeq<'_> {
-        self.arena.row(i)
+        let s0 = self.row_sets[i] as usize;
+        let s1 = self.row_sets[i + 1] as usize;
+        FlatSeq { items: &self.items, sets: &self.set_starts[s0..=s1] }
     }
 
     /// Iterates all row views in database order.
     pub fn rows(&self) -> impl Iterator<Item = FlatSeq<'_>> + '_ {
-        self.arena.rows()
+        (0..self.len()).map(|i| self.row(i))
+    }
+
+    /// Whether the columns borrow from a memory mapping (diagnostics).
+    pub fn is_mapped(&self) -> bool {
+        self.items.is_mapped()
+    }
+
+    /// The raw CSR columns `(items, set_starts, row_sets)` — the encoding
+    /// surface for [`crate::flatfile`].
+    pub fn columns(&self) -> (&[Item], &[u32], &[u32]) {
+        (&self.items, &self.set_starts, &self.row_sets)
     }
 }
 

@@ -160,6 +160,9 @@ pub enum IoWriter {
     /// A store file read during recovery or fsck (`core::store`). Targets
     /// the n-th file opened, for short-read and `EINTR` injection.
     StoreRead,
+    /// A DSCFD1 flat-file publication (`core::flatfile`), standalone or as
+    /// the columnar mirror a store compaction emits.
+    FlatFile,
 }
 
 /// A deterministic IO fault to inject at a numbered write (or read) of one

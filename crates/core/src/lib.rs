@@ -59,17 +59,20 @@ pub mod embed;
 pub mod error;
 pub mod executor;
 pub mod flat;
+pub mod flatfile;
 pub mod guard;
 pub mod item;
 pub mod itemset;
 pub mod kmin;
 pub mod miner;
+pub mod mmap;
 pub mod order;
 pub mod packed;
 pub mod parse;
 pub mod result;
 pub mod sequence;
 pub mod simd;
+pub mod storage;
 pub mod store;
 pub mod support;
 pub mod topk;
@@ -89,6 +92,13 @@ pub use embed::{contains, leftmost_embedding, leftmost_match_end, MatchPoint};
 pub use error::{DiscError, ParseError};
 pub use executor::{ParallelExecutor, ParallelRun, TaskOutcome};
 pub use flat::{flat_pairs, FlatArena, FlatDb, FlatKey, FlatSeq, SeqKey, SeqView};
+#[cfg(any(test, feature = "fault-injection"))]
+pub use flatfile::write_flat_file_faulted;
+pub use flatfile::{
+    decode_flat_file, encode_database_flat_file, encode_flat_file, open_flat_file,
+    peek_flat_file_fingerprint, write_flat_file, FlatFileContents, Verify, FLAT_FILE_MAGIC,
+    FLAT_FILE_NAME,
+};
 pub use guard::{
     is_transient_io_kind, retry_transient, run_guarded, AbortReason, CancelToken, FallbackMiner,
     GuardStats, GuardedResult, MineGuard, MineOutcome, ResourceBudget, RetryPolicy, SharedCounters,
@@ -100,6 +110,7 @@ pub use item::Item;
 pub use itemset::{is_sorted_subset, Itemset};
 pub use kmin::{all_k_subsequences, min_k_subsequence_naive};
 pub use miner::SequentialMiner;
+pub use mmap::{Advice, Mmap};
 pub use order::{cmp_sequences, cmp_views, differential_point};
 pub use packed::{
     fits_packed_budget, pack_pair, unpack_pair, PackedDb, PackedKey, PackedSeq, MAX_PACKED_ITEM,
@@ -109,6 +120,7 @@ pub use parse::{parse_item, parse_sequence};
 pub use result::MiningResult;
 pub use sequence::{ExtElem, ExtMode, Sequence};
 pub use simd::{dispatch_level, DispatchLevel};
+pub use storage::{ColumnWord, DbStorage, MappedCol};
 pub use store::fsck::{fsck, FsckReport, SegmentStatus, SnapshotStatus};
 pub use store::{
     CompactionReport, RecoveryReport, SequenceStore, StoreConfig, StoreError, SyncPolicy,

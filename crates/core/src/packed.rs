@@ -38,6 +38,7 @@ use crate::item::Item;
 use crate::itemset::Itemset;
 use crate::sequence::{ExtElem, ExtMode, Sequence};
 use crate::simd;
+use crate::storage::DbStorage;
 use std::cmp::Ordering;
 
 /// Bits of the packed word holding the transaction number (low field).
@@ -101,12 +102,12 @@ pub fn fits_packed_budget(max_item_id: u64, max_txns: u64) -> Result<(), DiscErr
 #[derive(Debug, Clone)]
 pub struct PackedDb {
     /// All packed words of all rows, row-major.
-    words: Vec<u32>,
+    words: DbStorage<u32>,
     /// Itemset boundaries into `words`, across all rows, with a trailing
     /// sentinel.
-    set_starts: Vec<u32>,
+    set_starts: DbStorage<u32>,
     /// Row `r`'s boundaries live at `set_starts[row_sets[r]..=row_sets[r+1]]`.
-    row_sets: Vec<u32>,
+    row_sets: DbStorage<u32>,
 }
 
 impl PackedDb {
@@ -120,7 +121,9 @@ impl PackedDb {
     /// the wide representation instead.
     pub fn build(db: &FlatDb, mapping: &ItemMapping) -> Result<PackedDb, DiscError> {
         let identity = mapping.is_identity();
-        let mut packed = PackedDb { words: Vec::new(), set_starts: vec![0], row_sets: vec![0] };
+        let mut words = Vec::new();
+        let mut set_starts = vec![0u32];
+        let mut row_sets = vec![0u32];
         for row in db.rows() {
             let n = row.n_transactions();
             fits_packed_budget(0, n as u64)?;
@@ -132,13 +135,41 @@ impl PackedDb {
                         mapping.to_compact(item).expect("mapping analyzed from this database")
                     };
                     fits_packed_budget(id.id() as u64, 0)?;
-                    packed.words.push(pack_pair(id, t as u32 + 1));
+                    words.push(pack_pair(id, t as u32 + 1));
                 }
-                packed.set_starts.push(packed.words.len() as u32);
+                set_starts.push(words.len() as u32);
             }
-            packed.row_sets.push((packed.set_starts.len() - 1) as u32);
+            row_sets.push((set_starts.len() - 1) as u32);
         }
-        Ok(packed)
+        Ok(PackedDb {
+            words: words.into(),
+            set_starts: set_starts.into(),
+            row_sets: row_sets.into(),
+        })
+    }
+
+    /// Assembles a packed database directly from its three CSR columns (any
+    /// storage backend) — the [`crate::flatfile`] loader's entry point. The
+    /// shape columns are shared with the flat arena: the packed word column
+    /// is index-parallel to the item column, so one `(set_starts,
+    /// row_sets)` pair describes both.
+    pub fn from_columns(
+        words: DbStorage<u32>,
+        set_starts: DbStorage<u32>,
+        row_sets: DbStorage<u32>,
+    ) -> PackedDb {
+        PackedDb { words, set_starts, row_sets }
+    }
+
+    /// The raw packed word column — the encoding surface for
+    /// [`crate::flatfile`].
+    pub fn words_column(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Whether the columns borrow from a memory mapping (diagnostics).
+    pub fn is_mapped(&self) -> bool {
+        self.words.is_mapped()
     }
 
     /// Number of rows.

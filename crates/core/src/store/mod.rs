@@ -202,6 +202,12 @@ pub struct StoreConfig {
     /// Retry schedule for transient IO failures (default
     /// [`RetryPolicy::io_default`]).
     pub retry: RetryPolicy,
+    /// Whether compaction also publishes the columnar `DSCFD1` mirror
+    /// (`store.dscfd`, see [`crate::flatfile`]) next to the snapshot, so
+    /// miners can map the acknowledged prefix zero-copy (default: true).
+    /// The mirror is always exactly as fresh as the snapshot: recovery
+    /// deletes one whose fingerprint disagrees.
+    pub emit_flat_file: bool,
 }
 
 impl Default for StoreConfig {
@@ -210,6 +216,7 @@ impl Default for StoreConfig {
             sync: SyncPolicy::Always,
             segment_max_bytes: 8 << 20,
             retry: RetryPolicy::io_default(),
+            emit_flat_file: true,
         }
     }
 }
@@ -235,6 +242,13 @@ pub struct RecoveryReport {
     /// Whether a stray snapshot temp file from an interrupted compaction
     /// was removed.
     pub removed_tmp: bool,
+    /// Whether a stray flat-file temp from an interrupted publication was
+    /// removed.
+    pub removed_flat_tmp: bool,
+    /// Whether a `store.dscfd` mirror was removed because its fingerprint
+    /// disagreed with the snapshot (or there was no snapshot at all) — an
+    /// interrupted compaction left it behind.
+    pub stale_flat_file_removed: bool,
 }
 
 /// What a successful [`SequenceStore::compact`] did.
@@ -249,6 +263,9 @@ pub struct CompactionReport {
     /// FNV-1a fingerprint of the folded database — stable across encode /
     /// decode, and the designated key for a future result cache.
     pub fingerprint: u64,
+    /// Size of the published `DSCFD1` columnar mirror, or 0 when
+    /// [`StoreConfig::emit_flat_file`] is off.
+    pub flat_file_bytes: u64,
 }
 
 // -------------------------------------------------------------------------
@@ -299,6 +316,7 @@ pub struct SequenceStore {
     append_n: u64,
     snapshot_n: u64,
     read_n: u64,
+    flatfile_n: u64,
     #[cfg(any(test, feature = "fault-injection"))]
     fault: Option<crate::guard::FaultPlan>,
 }
@@ -353,6 +371,7 @@ impl SequenceStore {
             append_n: 0,
             snapshot_n: 0,
             read_n: 0,
+            flatfile_n: 0,
             #[cfg(any(test, feature = "fault-injection"))]
             fault: None,
         }
@@ -411,13 +430,39 @@ impl SequenceStore {
             self.recovery.removed_tmp = true;
         }
 
+        let mut snapshot_fp = None;
         if snap_path.exists() {
             let bytes = self.read_file(&snap_path)?;
             let snap = decode_store_snapshot(&snap_path, &bytes)?;
             self.first_live_segment = snap.first_live_segment;
             self.recovery.snapshot_rows = snap.db.len();
             self.cids = snap.db.rows().iter().map(|r| r.cid.0).collect();
+            snapshot_fp = Some(snap.fingerprint);
             self.db = Arc::new(snap.db);
+        }
+
+        // The columnar mirror is derived state: keep it only when its header
+        // fingerprint matches the snapshot it claims to mirror. Anything
+        // else — a stray temp, a mirror without a snapshot, a fingerprint
+        // mismatch from an interrupted compaction — is deleted; the next
+        // compaction re-publishes it.
+        let flat = self.dir.join(crate::flatfile::FLAT_FILE_NAME);
+        let flat_tmp = crate::checkpoint::tmp_path(&flat);
+        if flat_tmp.exists() {
+            retry_transient(retry, || fs::remove_file(&flat_tmp))
+                .map_err(|e| StoreError::io(&flat_tmp, e))?;
+            self.recovery.removed_flat_tmp = true;
+        }
+        if flat.exists() {
+            let fresh = match snapshot_fp {
+                Some(fp) => crate::flatfile::peek_flat_file_fingerprint(&flat) == Ok(fp),
+                None => false,
+            };
+            if !fresh {
+                retry_transient(retry, || fs::remove_file(&flat))
+                    .map_err(|e| StoreError::io(&flat, e))?;
+                self.recovery.stale_flat_file_removed = true;
+            }
         }
 
         let segments = list_segments(&self.dir)?;
@@ -883,12 +928,47 @@ impl SequenceStore {
                 folded += 1;
             }
         }
+
+        // Publish the columnar mirror, stamped with the snapshot's
+        // fingerprint, with the same temp-write → verify → rename
+        // discipline. The snapshot is already durable at this point: an
+        // error here leaves (at worst) a stale or absent mirror, which
+        // recovery and `open_flat_file` callers detect by fingerprint.
+        let mut flat_file_bytes = 0u64;
+        if self.cfg.emit_flat_file {
+            let flat = self.flat_file_path();
+            let encoded = crate::flatfile::encode_database_flat_file(&self.db);
+            let _fd_n = self.flatfile_n;
+            self.flatfile_n += 1;
+            #[cfg(any(test, feature = "fault-injection"))]
+            let written = crate::flatfile::write_flat_file_faulted(
+                &flat,
+                &encoded,
+                self.fault.as_ref(),
+                _fd_n,
+            );
+            #[cfg(not(any(test, feature = "fault-injection")))]
+            let written = crate::flatfile::write_flat_file(&flat, &encoded);
+            flat_file_bytes = written.map_err(|e| StoreError::Io {
+                path: flat,
+                message: e.to_string(),
+                transient: e.is_transient(),
+            })?;
+        }
+
         Ok(CompactionReport {
             folded_segments: folded,
             rows: self.db.len(),
             snapshot_bytes: bytes.len() as u64,
             fingerprint: crate::checkpoint::database_fingerprint(&self.db),
+            flat_file_bytes,
         })
+    }
+
+    /// Where this store's `DSCFD1` columnar mirror lives (the file exists
+    /// only after a compaction with [`StoreConfig::emit_flat_file`] on).
+    pub fn flat_file_path(&self) -> PathBuf {
+        self.dir.join(crate::flatfile::FLAT_FILE_NAME)
     }
 }
 

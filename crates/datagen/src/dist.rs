@@ -72,7 +72,6 @@ impl WeightedIndex {
     }
 
     /// Number of alternatives.
-    #[allow(dead_code)]
     pub fn len(&self) -> usize {
         self.cumulative.len()
     }

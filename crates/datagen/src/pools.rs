@@ -39,7 +39,9 @@ impl ItemsetPool {
             itemsets.push(Itemset::new(items).expect("size >= 1"));
             weights.push(exponential(rng));
         }
-        ItemsetPool { itemsets, weights: WeightedIndex::new(&weights) }
+        let pool = ItemsetPool { itemsets, weights: WeightedIndex::new(&weights) };
+        debug_assert_eq!(pool.weights.len(), pool.itemsets.len(), "one weight per itemset");
+        pool
     }
 
     /// Samples an itemset index by weight.
@@ -95,7 +97,9 @@ impl PatternPool {
             patterns.push(Pattern { elements, keep_prob });
             weights.push(exponential(rng));
         }
-        PatternPool { patterns, weights: WeightedIndex::new(&weights) }
+        let pool = PatternPool { patterns, weights: WeightedIndex::new(&weights) };
+        debug_assert_eq!(pool.weights.len(), pool.patterns.len(), "one weight per pattern");
+        pool
     }
 
     /// Samples a pattern by weight.

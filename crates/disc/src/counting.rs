@@ -151,6 +151,10 @@ impl CountingArray {
             if is_sorted_subset(last.as_slice(), set) {
                 let from = simd::first_gt_items(set, max_last);
                 for &item in &set[from..] {
+                    debug_assert!(
+                        extension_is_canonical(last, item),
+                        "first_gt_items must only admit items past max(L)"
+                    );
                     self.mark_item(item);
                 }
                 past_pi = true;
@@ -268,9 +272,10 @@ pub fn count_extensions_into<'a, S: SeqView<'a>>(
     }
 }
 
-/// Verifies that an itemset extension is expressible (used in debug builds
-/// by callers composing extended patterns).
-#[allow(dead_code)]
+/// Verifies that an itemset extension is expressible: `<π ⊕ᵢ x>` appends at
+/// the end of the flattened form only when `x > max(L)`. Backs the debug
+/// assertion in [`CountingArray::add_member_weighted`] guarding the items
+/// admitted by `first_gt_items`.
 fn extension_is_canonical(last: &Itemset, item: Item) -> bool {
     item > last.max_item()
 }

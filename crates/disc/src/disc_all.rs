@@ -97,6 +97,31 @@ impl SequentialMiner for DiscAll {
 }
 
 impl DiscAll {
+    /// Mines a [`FlatDb`] directly — the entry point for columns mapped
+    /// zero-copy from a `DSCFD1` flat file, where no nested
+    /// [`SequenceDatabase`] ever exists. Identical output to
+    /// [`SequentialMiner::mine`] on the database the columns came from
+    /// (item ids as stored: a mapped file yields compact-id patterns until
+    /// the caller restores them through the file's dictionary).
+    pub fn mine_flat(&self, flat: &FlatDb, min_support: MinSupport) -> MiningResult {
+        let guard = MineGuard::unlimited();
+        let mut result = MiningResult::new();
+        self.mine_flat_inner(flat, min_support.resolve(flat.len()), &guard, &mut result, None)
+            .expect("unlimited guard never aborts");
+        result
+    }
+
+    /// [`DiscAll::mine_flat`] under a [`MineGuard`].
+    pub fn mine_flat_guarded(
+        &self,
+        flat: &FlatDb,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        let delta = min_support.resolve(flat.len());
+        run_guarded(guard, |result| self.mine_flat_inner(flat, delta, guard, result, None))
+    }
+
     /// The cooperative core behind both entry points: checkpoints on every
     /// partition-walk step and every per-member scan, notes every pattern.
     /// With a [`CheckpointSink`], snapshots the boundary-consistent state
@@ -109,16 +134,28 @@ impl DiscAll {
         min_support: MinSupport,
         guard: &MineGuard,
         result: &mut MiningResult,
+        sink: Option<&mut CheckpointSink<'_>>,
+    ) -> Result<(), AbortReason> {
+        // Flatten once; every hot scan below walks the contiguous arena.
+        let flat = FlatDb::from_database(db);
+        self.mine_flat_inner(&flat, min_support.resolve(db.len()), guard, result, sink)
+    }
+
+    /// [`DiscAll::mine_inner`] over the flat columns themselves — heap or
+    /// mapped, the kernels cannot tell.
+    pub(crate) fn mine_flat_inner(
+        &self,
+        flat: &FlatDb,
+        delta: u64,
+        guard: &MineGuard,
+        result: &mut MiningResult,
         mut sink: Option<&mut CheckpointSink<'_>>,
     ) -> Result<(), AbortReason> {
-        let delta = min_support.resolve(db.len());
-        let Some(max_item) = db.max_item() else {
+        let Some(max_item) = flat.max_item() else {
             return Ok(());
         };
         let n_items = max_item.id() as usize + 1;
 
-        // Flatten once; every hot scan below walks the contiguous arena.
-        let flat = FlatDb::from_database(db);
         // One counting array, reduction arena and extension table for the
         // whole run: partitions reset them instead of re-allocating (the
         // arena and table stabilize at the largest partition's footprint).
@@ -127,7 +164,7 @@ impl DiscAll {
         let mut exts = RowExtensions::new();
 
         // Step 1: frequent 1-sequences + first-level partitions.
-        let freq1 = frequent_one_sequences(&flat, delta, n_items, guard, result)?;
+        let freq1 = frequent_one_sequences(flat, delta, n_items, guard, result)?;
         if let Some(s) = sink.as_deref_mut() {
             s.level_one(result);
         }
@@ -136,15 +173,15 @@ impl DiscAll {
         // reassignment chain of a row visits, ascending, exactly the
         // distinct frequent items it contains — precompute those lists once
         // so every chain turn is a binary search instead of a row walk.
-        let row_items = frequent_items_per_row(&flat, &freq1, guard)?;
-        let mut first_level = group_by_min_item_guarded(db, guard)?;
+        let row_items = frequent_items_per_row(flat, &freq1, guard)?;
+        let mut first_level = group_by_min_item_guarded(flat, guard)?;
         while let Some((&lambda, _)) = first_level.iter().next() {
             guard.checkpoint()?;
             let members = first_level.remove(&lambda).expect("key just observed");
             let resumed = sink.as_deref().is_some_and(|s| s.is_done(lambda));
             if freq1[lambda.id() as usize] && !resumed {
                 self.process_first_level(
-                    &flat,
+                    flat,
                     lambda,
                     &members,
                     delta,

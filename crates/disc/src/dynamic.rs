@@ -106,6 +106,27 @@ impl SequentialMiner for DynamicDiscAll {
 }
 
 impl DynamicDiscAll {
+    /// Mines a [`FlatDb`] directly — see [`crate::DiscAll::mine_flat`] for
+    /// the contract (identical patterns, item ids as stored).
+    pub fn mine_flat(&self, flat: &FlatDb, min_support: MinSupport) -> MiningResult {
+        let guard = MineGuard::unlimited();
+        let mut result = MiningResult::new();
+        self.mine_flat_inner(flat, min_support.resolve(flat.len()), &guard, &mut result, None)
+            .expect("unlimited guard never aborts");
+        result
+    }
+
+    /// [`DynamicDiscAll::mine_flat`] under a [`MineGuard`].
+    pub fn mine_flat_guarded(
+        &self,
+        flat: &FlatDb,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        let delta = min_support.resolve(flat.len());
+        run_guarded(guard, |result| self.mine_flat_inner(flat, delta, guard, result, None))
+    }
+
     /// The cooperative core behind both entry points. Snapshot hooks mirror
     /// [`crate::DiscAll::mine_inner`]: boundaries at the frequent
     /// 1-sequences and per completed first-level partition. The degenerate
@@ -117,16 +138,27 @@ impl DynamicDiscAll {
         min_support: MinSupport,
         guard: &MineGuard,
         result: &mut MiningResult,
+        sink: Option<&mut CheckpointSink<'_>>,
+    ) -> Result<(), AbortReason> {
+        // Flatten once; all scans below walk the contiguous arena.
+        let flat = FlatDb::from_database(db);
+        self.mine_flat_inner(&flat, min_support.resolve(db.len()), guard, result, sink)
+    }
+
+    /// [`DynamicDiscAll::mine_inner`] over the flat columns themselves —
+    /// heap or mapped, the kernels cannot tell.
+    pub(crate) fn mine_flat_inner(
+        &self,
+        flat: &FlatDb,
+        delta: u64,
+        guard: &MineGuard,
+        result: &mut MiningResult,
         mut sink: Option<&mut CheckpointSink<'_>>,
     ) -> Result<(), AbortReason> {
-        let delta = min_support.resolve(db.len());
-        let Some(max_item) = db.max_item() else {
+        let Some(max_item) = flat.max_item() else {
             return Ok(());
         };
         let n_items = max_item.id() as usize + 1;
-
-        // Flatten once; all scans below walk the contiguous arena.
-        let flat = FlatDb::from_database(db);
 
         // Root (λ = NULL, k = 0): scan for frequent 1-sequences.
         guard.charge(flat.len() as u64)?;
@@ -170,14 +202,14 @@ impl DynamicDiscAll {
         }
 
         // First-level partitions with reassignment chains.
-        let mut first_level = group_by_min_item_guarded(db, guard)?;
+        let mut first_level = group_by_min_item_guarded(flat, guard)?;
         while let Some((&lambda, _)) = first_level.iter().next() {
             guard.checkpoint()?;
             let members = first_level.remove(&lambda).expect("key just observed");
             let resumed = sink.as_deref().is_some_and(|s| s.is_done(lambda));
             if freq1[lambda.id() as usize] && !resumed {
                 self.process_first_level(
-                    &flat, lambda, &members, delta, n_items, &freq1, guard, result,
+                    flat, lambda, &members, delta, n_items, &freq1, guard, result,
                 )?;
                 if let Some(s) = sink.as_deref_mut() {
                     s.partition_done(lambda, result);

@@ -34,7 +34,7 @@ use crate::resume::CheckpointSink;
 use crate::DiscConfig;
 use disc_core::{
     run_guarded, AbortReason, FlatDb, GuardedResult, Item, MinSupport, MineGuard, MineOutcome,
-    MiningResult, ParallelExecutor, SequenceDatabase, SequentialMiner,
+    MiningResult, ParallelExecutor, SeqView, SequenceDatabase, SequentialMiner,
 };
 
 #[cfg(feature = "fault-injection")]
@@ -109,6 +109,28 @@ impl ParallelDiscAll {
         self
     }
 
+    /// Mines a [`FlatDb`] directly — see [`crate::DiscAll::mine_flat`] for
+    /// the contract. The flat columns (heap or mapped from a `DSCFD1`
+    /// file) are shared read-only across every worker thread.
+    pub fn mine_flat(&self, flat: &FlatDb, min_support: MinSupport) -> MiningResult {
+        let guard = MineGuard::unlimited();
+        let mut result = MiningResult::new();
+        self.mine_flat_inner(flat, min_support.resolve(flat.len()), &guard, &mut result, None)
+            .expect("unlimited guard never aborts");
+        result
+    }
+
+    /// [`ParallelDiscAll::mine_flat`] under a [`MineGuard`].
+    pub fn mine_flat_guarded(
+        &self,
+        flat: &FlatDb,
+        min_support: MinSupport,
+        guard: &MineGuard,
+    ) -> GuardedResult {
+        let delta = min_support.resolve(flat.len());
+        run_guarded(guard, |result| self.mine_flat_inner(flat, delta, guard, result, None))
+    }
+
     /// The cooperative core behind both entry points. Snapshot boundaries:
     /// after the frequent 1-sequences and once at the merge point, marking
     /// every shard whose task completed — so an aborted parallel run
@@ -119,19 +141,30 @@ impl ParallelDiscAll {
         min_support: MinSupport,
         guard: &MineGuard,
         result: &mut MiningResult,
+        sink: Option<&mut CheckpointSink<'_>>,
+    ) -> Result<(), AbortReason> {
+        // One flat copy of the database, shared read-only by every worker.
+        let flat = FlatDb::from_database(db);
+        self.mine_flat_inner(&flat, min_support.resolve(db.len()), guard, result, sink)
+    }
+
+    /// [`ParallelDiscAll::mine_inner`] over the flat columns themselves —
+    /// heap or mapped, the kernels cannot tell.
+    pub(crate) fn mine_flat_inner(
+        &self,
+        flat: &FlatDb,
+        delta: u64,
+        guard: &MineGuard,
+        result: &mut MiningResult,
         mut sink: Option<&mut CheckpointSink<'_>>,
     ) -> Result<(), AbortReason> {
-        let delta = min_support.resolve(db.len());
-        let Some(max_item) = db.max_item() else {
+        let Some(max_item) = flat.max_item() else {
             return Ok(());
         };
         let n_items = max_item.id() as usize + 1;
 
-        // One flat copy of the database, shared read-only by every worker.
-        let flat = FlatDb::from_database(db);
-
         // Step 1 (sequential, one scan): frequent 1-sequences.
-        let freq1 = frequent_one_sequences(&flat, delta, n_items, guard, result)?;
+        let freq1 = frequent_one_sequences(flat, delta, n_items, guard, result)?;
         if let Some(s) = sink.as_deref_mut() {
             s.level_one(result);
         }
@@ -140,7 +173,7 @@ impl ParallelDiscAll {
         // frequent λ, every row containing λ, in ascending row order.
         // Shards a resumed snapshot marks done are dropped up front; their
         // patterns were seeded from the snapshot.
-        let mut shards = shard_members(db, &freq1, guard)?;
+        let mut shards = shard_members(flat, &freq1, guard)?;
         if let Some(s) = sink.as_deref() {
             shards.retain(|(lambda, _)| !s.is_done(*lambda));
         }
@@ -153,7 +186,7 @@ impl ParallelDiscAll {
                     (lambda, members): (Item, Vec<usize>),
                     shard_result: &mut MiningResult| {
             shard_miner.process_first_level(
-                &flat,
+                flat,
                 lambda,
                 &members,
                 delta,
@@ -256,17 +289,17 @@ impl SequentialMiner for ParallelDiscAll {
 /// containing `λ`, ascending — the `<(λ)>`-partition's full supporter set
 /// (see the module docs for why this equals the sequential membership).
 fn shard_members(
-    db: &SequenceDatabase,
+    flat: &FlatDb,
     freq1: &[bool],
     guard: &MineGuard,
 ) -> Result<Vec<(Item, Vec<usize>)>, AbortReason> {
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); freq1.len()];
     // Per-row generation stamps dedup repeated items without re-allocating.
     let mut last_row = vec![usize::MAX; freq1.len()];
-    for (idx, row) in db.rows().iter().enumerate() {
+    for (idx, row) in flat.rows().enumerate() {
         guard.checkpoint()?;
-        for set in row.sequence.itemsets() {
-            for &item in set.as_slice() {
+        for t in 0..row.n_transactions() {
+            for &item in row.itemset_items(t) {
                 let id = item.id() as usize;
                 if freq1[id] && last_row[id] != idx {
                     last_row[id] = idx;
@@ -311,7 +344,7 @@ mod tests {
         let mut freq1 = vec![true; 8];
         freq1[3] = false; // pretend 'd' is non-frequent
         let guard = MineGuard::unlimited();
-        let shards = shard_members(&db, &freq1, &guard).unwrap();
+        let shards = shard_members(&FlatDb::from_database(&db), &freq1, &guard).unwrap();
         let a = shards.iter().find(|(i, _)| i.as_letter() == Some('a')).unwrap();
         assert_eq!(a.1, vec![0, 1, 2, 3, 4, 5, 6]);
         let c = shards.iter().find(|(i, _)| i.as_letter() == Some('c')).unwrap();

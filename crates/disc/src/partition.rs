@@ -13,27 +13,33 @@
 use crate::counting::CountingArray;
 use crate::kms::{all_extensions, decode_elem, encode_elem, min_extension_where};
 use disc_core::{
-    AbortReason, ExtElem, ExtMode, FlatArena, Item, MineGuard, SeqView, Sequence, SequenceDatabase,
+    AbortReason, ExtElem, ExtMode, FlatArena, FlatDb, Item, MineGuard, SeqView, Sequence,
 };
 use std::collections::BTreeMap;
 
 /// Groups database rows by their minimum 1-sequence (Step 1(b) of Figure 2).
 /// Keys include non-frequent items; mining skips those partitions but the
 /// reassignment chains still flow through them.
-pub fn group_by_min_item(db: &SequenceDatabase) -> BTreeMap<Item, Vec<usize>> {
+///
+/// Operates on the flat columns directly, so it works identically on a
+/// heap-built database and one mapped from a `DSCFD1` file.
+pub fn group_by_min_item(db: &FlatDb) -> BTreeMap<Item, Vec<usize>> {
     group_by_min_item_guarded(db, &MineGuard::unlimited()).expect("unlimited guard never aborts")
 }
 
 /// [`group_by_min_item`] under a [`MineGuard`]: one checkpoint per row, so
 /// the initial grouping scan of a huge database stays abortable.
 pub fn group_by_min_item_guarded(
-    db: &SequenceDatabase,
+    db: &FlatDb,
     guard: &MineGuard,
 ) -> Result<BTreeMap<Item, Vec<usize>>, AbortReason> {
     let mut groups: BTreeMap<Item, Vec<usize>> = BTreeMap::new();
-    for (idx, row) in db.rows().iter().enumerate() {
+    for (idx, row) in db.rows().enumerate() {
         guard.checkpoint()?;
-        if let Some((item, _)) = row.sequence.min_item_with_point() {
+        // Itemsets are sorted, so a row's minimum item is the smallest
+        // first element across its transactions.
+        let min = (0..row.n_transactions()).filter_map(|t| row.itemset_items(t).first()).min();
+        if let Some(&item) = min {
             groups.entry(item).or_default().push(idx);
         }
     }
@@ -278,7 +284,7 @@ pub fn frequent_extension_masks(
 mod tests {
     use super::*;
     use crate::counting::count_extensions;
-    use disc_core::parse_sequence;
+    use disc_core::{parse_sequence, SequenceDatabase};
 
     fn seq(s: &str) -> Sequence {
         parse_sequence(s).unwrap()
@@ -309,7 +315,7 @@ mod tests {
     fn table_6_initial_partitions() {
         // CIDs 1–7 fall in the <(a)>-partition, 8 and 10 in <(b)>, 9 in
         // <(d)>, 11 in <(e)>.
-        let groups = group_by_min_item(&table6());
+        let groups = group_by_min_item(&FlatDb::from_database(&table6()));
         let view: Vec<(char, Vec<usize>)> =
             groups.iter().map(|(i, v)| (i.as_letter().unwrap(), v.clone())).collect();
         assert_eq!(

@@ -18,7 +18,7 @@
 //!   children, then average over such `f`.
 
 use crate::partition::group_by_min_item;
-use disc_core::{MiningResult, Sequence, SequenceDatabase};
+use disc_core::{FlatDb, MiningResult, Sequence, SequenceDatabase};
 use std::collections::BTreeMap;
 
 /// Per-level average NRR: index 0 is the paper's "Original" column, index
@@ -32,7 +32,7 @@ pub fn nrr_by_level(result: &MiningResult, db: &SequenceDatabase) -> Vec<Option<
     out.push(if db.is_empty() {
         None
     } else {
-        let groups = group_by_min_item(db);
+        let groups = group_by_min_item(&FlatDb::from_database(db));
         if groups.is_empty() {
             None
         } else {

@@ -4,16 +4,24 @@
 //! disc-mine <database.txt> --minsup 0.01 [--algo disc-all|dynamic|parallel|prefixspan|pseudo|gsp|spade|spam]
 //!           [--min-length N] [--max-patterns N] [--stats]
 //!           [--checkpoint-dir DIR] [--resume FILE.dscck]
+//! disc-mine pack <database.txt|.dscdb> <out.dscfd>
 //! disc-mine store ingest <database.txt> --dir DIR [--sync always|never|N]
 //!           [--segment-bytes N] [--compact] [--stats]
 //! disc-mine store compact --dir DIR
 //! disc-mine store fsck --dir DIR
-//! disc-mine store mine --dir DIR [mining flags as above]
+//! disc-mine store mine --dir DIR [--mmap] [mining flags as above]
 //! ```
 //!
 //! The database format is one customer per line: `cid: (a, b)(c)(a, d)` —
 //! items are lowercase letters or decimal numbers; `#` starts a comment.
 //! Output: one pattern per line with its support, in comparative order.
+//!
+//! A `.dscfd` flat file (written by `disc-mine pack` or mirrored by
+//! `disc-mine store compact`) is detected by its magic and mined straight
+//! off a memory mapping — the columns are never copied to the heap, so
+//! databases larger than memory mine out-of-core. `store mine --mmap`
+//! mines the store's compacted mirror the same way, refusing stale
+//! mirrors (appends since the last compaction) rather than dropping rows.
 //!
 //! Exit codes: 0 on success, 1 on permanent failure (corrupt input, bad
 //! store, out of space), 2 on usage errors, 75 (`EX_TEMPFAIL`) when the
@@ -34,6 +42,7 @@ struct Args {
     min_length: usize,
     max_patterns: usize,
     stats: bool,
+    threads: Option<usize>,
     checkpoint_dir: Option<String>,
     resume: Option<String>,
 }
@@ -42,9 +51,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: disc-mine <database.txt> [--minsup FRACTION | --delta COUNT]\n\
          \t[--algo disc-all|dynamic|parallel|prefixspan|pseudo|gsp|spade|spam|brute]\n\
-         \t[--min-length N] [--max-patterns N] [--stats]\n\
+         \t[--min-length N] [--max-patterns N] [--stats] [--threads N]\n\
          \t[--checkpoint-dir DIR] [--resume FILE.dscck]\n\
+         or:    disc-mine pack <database.txt|.dscdb> <out.dscfd>\n\
          or:    disc-mine store <ingest|compact|fsck|mine> ... (see `disc-mine store --help`)\n\
+         A .dscfd input is memory-mapped and mined zero-copy (disc-all,\n\
+         dynamic, and parallel only); other inputs are loaded to the heap.\n\
          --checkpoint-dir writes durable snapshots at partition boundaries (and\n\
          auto-resumes a valid one); --resume continues from an explicit snapshot\n\
          file, rejecting corrupted or mismatched files. Both support the\n\
@@ -62,6 +74,7 @@ fn parse_args(argv: Vec<String>) -> Args {
         min_length: 1,
         max_patterns: usize::MAX,
         stats: false,
+        threads: None,
         checkpoint_dir: None,
         resume: None,
     };
@@ -85,6 +98,14 @@ fn parse_args(argv: Vec<String>) -> Args {
                     args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
             }
             "--stats" => out.stats = true,
+            "--threads" => {
+                let v: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| usage());
+                if v == 0 {
+                    eprintln!("--threads must be at least 1");
+                    usage();
+                }
+                out.threads = Some(v);
+            }
             "--checkpoint-dir" => {
                 out.checkpoint_dir = Some(args.next().unwrap_or_else(|| usage()));
             }
@@ -97,6 +118,10 @@ fn parse_args(argv: Vec<String>) -> Args {
     if out.path.is_empty() {
         usage();
     }
+    if out.threads.is_some() && out.algo != "parallel" {
+        eprintln!("--threads requires --algo parallel");
+        usage();
+    }
     if out.checkpoint_dir.is_some() && out.resume.is_some() {
         eprintln!("--checkpoint-dir and --resume are mutually exclusive; --resume already writes further snapshots next to the resumed file");
         usage();
@@ -104,14 +129,27 @@ fn parse_args(argv: Vec<String>) -> Args {
     out
 }
 
-fn miner_by_name(name: &str, checkpoint_dir: Option<&str>) -> Box<dyn SequentialMiner> {
+/// A parallel miner honoring `--threads` (pool sized by
+/// `available_parallelism` when the flag is absent).
+fn parallel_miner(threads: Option<usize>) -> ParallelDiscAll {
+    match threads {
+        Some(n) => ParallelDiscAll::with_threads(n),
+        None => ParallelDiscAll::default(),
+    }
+}
+
+fn miner_by_name(
+    name: &str,
+    threads: Option<usize>,
+    checkpoint_dir: Option<&str>,
+) -> Box<dyn SequentialMiner> {
     // With --checkpoint-dir the DISC miners are wrapped in `Resumable`:
     // durable snapshots at partition boundaries, auto-resuming a valid one.
     if let Some(dir) = checkpoint_dir {
         return match name {
             "disc-all" => Box::new(Resumable::new(DiscAll::default(), dir)),
             "dynamic" => Box::new(Resumable::new(DynamicDiscAll::default(), dir)),
-            "parallel" => Box::new(Resumable::new(ParallelDiscAll::default(), dir)),
+            "parallel" => Box::new(Resumable::new(parallel_miner(threads), dir)),
             other => {
                 eprintln!("--checkpoint-dir supports disc-all, dynamic, parallel; got {other:?}");
                 usage();
@@ -121,7 +159,7 @@ fn miner_by_name(name: &str, checkpoint_dir: Option<&str>) -> Box<dyn Sequential
     match name {
         "disc-all" => Box::new(DiscAll::default()),
         "dynamic" => Box::new(DynamicDiscAll::default()),
-        "parallel" => Box::new(ParallelDiscAll::default()),
+        "parallel" => Box::new(parallel_miner(threads)),
         "prefixspan" => Box::new(PrefixSpan::default()),
         "pseudo" => Box::new(PseudoPrefixSpan::default()),
         "gsp" => Box::new(Gsp::default()),
@@ -140,6 +178,7 @@ fn miner_by_name(name: &str, checkpoint_dir: Option<&str>) -> Box<dyn Sequential
 /// Further snapshots are written next to the file being resumed.
 fn run_resume(
     algo: &str,
+    threads: Option<usize>,
     file: &str,
     db: &SequenceDatabase,
     minsup: MinSupport,
@@ -167,7 +206,7 @@ fn run_resume(
     match algo {
         "disc-all" => go(DiscAll::default(), file, db, minsup),
         "dynamic" => go(DynamicDiscAll::default(), file, db, minsup),
-        "parallel" => go(ParallelDiscAll::default(), file, db, minsup),
+        "parallel" => go(parallel_miner(threads), file, db, minsup),
         other => {
             eprintln!("--resume supports disc-all, dynamic, parallel; got {other:?}");
             usage();
@@ -232,9 +271,9 @@ fn run_mining(db: &SequenceDatabase, args: &Args) {
     let start = std::time::Instant::now();
     let mine = |db: &SequenceDatabase| -> (String, MiningResult) {
         if let Some(file) = &args.resume {
-            run_resume(&args.algo, file, db, args.minsup)
+            run_resume(&args.algo, args.threads, file, db, args.minsup)
         } else {
-            let miner = miner_by_name(&args.algo, args.checkpoint_dir.as_deref());
+            let miner = miner_by_name(&args.algo, args.threads, args.checkpoint_dir.as_deref());
             let result = miner.mine(db, args.minsup);
             (miner.name().to_string(), result)
         }
@@ -266,6 +305,10 @@ fn run_mining(db: &SequenceDatabase, args: &Args) {
         );
     }
 
+    print_patterns(&result, args);
+}
+
+fn print_patterns(result: &MiningResult, args: &Args) {
     use std::io::Write;
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
@@ -274,6 +317,84 @@ fn run_mining(db: &SequenceDatabase, args: &Args) {
     {
         if writeln!(lock, "{support}\t{pattern}").is_err() {
             break; // downstream pipe closed (e.g. `| head`)
+        }
+    }
+}
+
+/// True when `path` starts with the `DSCFD1` flat-file magic. Reads only
+/// the first 8 bytes — the whole point is not to load the file.
+fn is_flat_file(path: &str) -> bool {
+    use std::io::Read;
+    let Ok(mut f) = std::fs::File::open(path) else { return false };
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic).is_ok() && magic == disc_miner::core::FLAT_FILE_MAGIC
+}
+
+/// Mines a memory-mapped flat file without ever materialising the heap
+/// database — the out-of-core back half shared by `disc-mine <file.dscfd>`
+/// and `disc-mine store mine --mmap`.
+fn run_mining_flat(contents: &disc_miner::core::FlatFileContents, args: &Args) {
+    if args.checkpoint_dir.is_some() || args.resume.is_some() {
+        eprintln!("--checkpoint-dir/--resume are not supported on memory-mapped flat files");
+        usage();
+    }
+    if args.stats {
+        eprintln!(
+            "# flat file: {} rows, {} bytes, {} item ids, columns {}",
+            contents.flat.len(),
+            contents.file_bytes,
+            contents.mapping.len(),
+            if contents.is_mapped() { "memory-mapped (zero-copy)" } else { "heap (mmap fallback)" },
+        );
+    }
+    let start = std::time::Instant::now();
+    let flat = &contents.flat;
+    let (name, compact_result) = match args.algo.as_str() {
+        "disc-all" => ("DISC-all", DiscAll::default().mine_flat(flat, args.minsup)),
+        "dynamic" => ("Dynamic DISC-all", DynamicDiscAll::default().mine_flat(flat, args.minsup)),
+        "parallel" => {
+            ("DISC-all (parallel)", parallel_miner(args.threads).mine_flat(flat, args.minsup))
+        }
+        other => {
+            eprintln!("flat-file mining supports disc-all, dynamic, parallel; got {other:?}");
+            usage();
+        }
+    };
+    // The file stores compact item ids; translate patterns back through the
+    // on-disk dictionary.
+    let result = contents.mapping.restore_result(&compact_result);
+    if args.stats {
+        eprintln!(
+            "# {}: {} frequent sequences (max length {}) in {:.3?}",
+            name,
+            result.len(),
+            result.max_length(),
+            start.elapsed()
+        );
+    }
+    print_patterns(&result, args);
+}
+
+/// `disc-mine pack`: convert a text or DSCDB1 database into the DSCFD1
+/// columnar flat file that mines straight off a memory mapping.
+fn pack_main(argv: Vec<String>) -> ! {
+    let (input, output) = match argv.as_slice() {
+        [i, o] if !i.starts_with('-') && !o.starts_with('-') => (i.clone(), o.clone()),
+        _ => {
+            eprintln!("usage: disc-mine pack <database.txt|.dscdb> <out.dscfd>");
+            exit(2);
+        }
+    };
+    let db = load_database(&input);
+    let bytes = disc_miner::core::encode_database_flat_file(&db);
+    match disc_miner::core::write_flat_file(Path::new(&output), &bytes) {
+        Ok(written) => {
+            eprintln!("# packed {} rows into {output} ({written} bytes)", db.len());
+            exit(0);
+        }
+        Err(e) => {
+            eprintln!("cannot write {output}: {e}");
+            exit(if e.is_transient() { EXIT_TRANSIENT } else { 1 });
         }
     }
 }
@@ -289,14 +410,16 @@ fn store_usage() -> ! {
          \t\t[--segment-bytes N] [--compact] [--stats]\n\
          \tcompact --dir DIR\n\
          \tfsck --dir DIR\n\
-         \tmine --dir DIR [--minsup FRACTION | --delta COUNT] [--algo NAME]\n\
+         \tmine --dir DIR [--mmap] [--minsup FRACTION | --delta COUNT] [--algo NAME]\n\
          \t\t[--min-length N] [--max-patterns N] [--stats]\n\
          ingest appends each customer sequence to a crash-safe write-ahead log;\n\
          every acknowledged append survives a crash (`--sync always`, the\n\
          default). compact folds sealed segments into a verified immutable\n\
          snapshot. fsck audits without mutating: exit 0 when open() would\n\
          succeed, 1 when the store is corrupt. mine recovers the store and\n\
-         mines the restored database.\n\
+         mines the restored database; with --mmap it instead memory-maps\n\
+         the compacted .dscfd mirror and mines it zero-copy, refusing a\n\
+         mirror that is stale relative to the recovered rows.\n\
          Exit codes: 0 ok, 1 permanent failure, 2 usage, 75 transient failure."
     );
     exit(2);
@@ -340,6 +463,7 @@ fn store_main(argv: Vec<String>) -> ! {
     let mut dir: Option<String> = None;
     let mut cfg = StoreConfig::default();
     let mut do_compact = false;
+    let mut use_mmap = false;
     let mut mine_args = Args {
         path: String::new(),
         minsup: MinSupport::Fraction(0.01),
@@ -347,6 +471,7 @@ fn store_main(argv: Vec<String>) -> ! {
         min_length: 1,
         max_patterns: usize::MAX,
         stats: false,
+        threads: None,
         checkpoint_dir: None,
         resume: None,
     };
@@ -369,6 +494,7 @@ fn store_main(argv: Vec<String>) -> ! {
                     args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| store_usage());
             }
             "--compact" => do_compact = true,
+            "--mmap" => use_mmap = true,
             "--minsup" => {
                 let v: f64 =
                     args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| store_usage());
@@ -389,12 +515,25 @@ fn store_main(argv: Vec<String>) -> ! {
                     args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| store_usage());
             }
             "--stats" => mine_args.stats = true,
+            "--threads" => {
+                let v: usize =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| store_usage());
+                if v == 0 {
+                    eprintln!("--threads must be at least 1");
+                    store_usage();
+                }
+                mine_args.threads = Some(v);
+            }
             "--help" | "-h" => store_usage(),
             path if !path.starts_with('-') && input.is_none() => input = Some(path.to_string()),
             _ => store_usage(),
         }
     }
     let dir = dir.unwrap_or_else(|| store_usage());
+    if mine_args.threads.is_some() && mine_args.algo != "parallel" {
+        eprintln!("--threads requires --algo parallel");
+        store_usage();
+    }
 
     match sub.as_str() {
         "ingest" => {
@@ -453,9 +592,43 @@ fn store_main(argv: Vec<String>) -> ! {
             if mine_args.stats {
                 print_recovery(&store);
             }
-            let view = store.view();
-            store.close().unwrap_or_else(|e| fail_store("close failed", &e));
-            run_mining(&view, &mine_args);
+            if use_mmap {
+                // Recovery already deleted a mirror whose fingerprint does
+                // not match the snapshot; what remains to check is appends
+                // replayed from the WAL *after* the last compaction.
+                let live_fp = store.fingerprint();
+                let flat_path = store.flat_file_path();
+                store.close().unwrap_or_else(|e| fail_store("close failed", &e));
+                let mirror_fp = match disc_miner::core::peek_flat_file_fingerprint(&flat_path) {
+                    Ok(fp) => fp,
+                    Err(e) => {
+                        eprintln!(
+                            "no usable flat mirror at {}: {e}\nrun `disc-mine store compact --dir {dir}` first",
+                            flat_path.display()
+                        );
+                        exit(1);
+                    }
+                };
+                if mirror_fp != live_fp {
+                    eprintln!(
+                        "flat mirror {} is stale (fingerprint {mirror_fp:#018x}, store {live_fp:#018x}); \
+                         run `disc-mine store compact --dir {dir}` first",
+                        flat_path.display()
+                    );
+                    exit(1);
+                }
+                let contents =
+                    disc_miner::core::open_flat_file(&flat_path, disc_miner::core::Verify::Full)
+                        .unwrap_or_else(|e| {
+                            eprintln!("cannot open flat mirror {}: {e}", flat_path.display());
+                            exit(1);
+                        });
+                run_mining_flat(&contents, &mine_args);
+            } else {
+                let view = store.view();
+                store.close().unwrap_or_else(|e| fail_store("close failed", &e));
+                run_mining(&view, &mine_args);
+            }
             exit(0);
         }
         _ => store_usage(),
@@ -467,7 +640,20 @@ fn main() {
     if argv.first().map(String::as_str) == Some("store") {
         store_main(argv.split_off(1));
     }
+    if argv.first().map(String::as_str) == Some("pack") {
+        pack_main(argv.split_off(1));
+    }
     let args = parse_args(argv);
+    if is_flat_file(&args.path) {
+        let contents =
+            disc_miner::core::open_flat_file(Path::new(&args.path), disc_miner::core::Verify::Full)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot open {}: {e}", args.path);
+                    exit(1);
+                });
+        run_mining_flat(&contents, &args);
+        return;
+    }
     let db = load_database(&args.path);
     run_mining(&db, &args);
 }
