@@ -9,11 +9,11 @@
 //! the CI-sized sanity run. Raw measurements land in `target/experiments/`.
 
 use disc_bench::workloads::Scale;
-use disc_bench::{ckptbench, experiments, flatbench, mmapbench, simdbench, storebench};
+use disc_bench::{ckptbench, experiments, flatbench, mmapbench, servebench, simdbench, storebench};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]\n       experiments bench-flat [--smoke] [--check <BENCH_flat.json>]\n       experiments bench-simd [--smoke] [--check <BENCH_simd.json>] [--dump-patterns <path>]\n       experiments bench-mmap [--smoke]\n       experiments bench-checkpoint\n       experiments bench-store"
+        "usage: experiments <fig8|fig9|fig10|table12|table13|table14|parallel|all> [--smoke|--full]\n       experiments bench-flat [--smoke] [--check <BENCH_flat.json>]\n       experiments bench-simd [--smoke] [--check <BENCH_simd.json>] [--dump-patterns <path>]\n       experiments bench-mmap [--smoke]\n       experiments bench-checkpoint\n       experiments bench-store\n       experiments bench-serve"
     );
     std::process::exit(2);
 }
@@ -69,6 +69,7 @@ fn main() {
             | "bench-mmap"
             | "bench-checkpoint"
             | "bench-store"
+            | "bench-serve"
     ) {
         usage();
     }
@@ -96,6 +97,12 @@ fn main() {
         }
         "bench-store" => {
             storebench::run();
+        }
+        // Serving latency varies with machine load; informational only,
+        // but its internal byte-identity and zero-invocation cache
+        // assertions panic on violation.
+        "bench-serve" => {
+            servebench::run();
         }
         // The ceiling and bit-identity assertions live inside the run —
         // a violation panics, so no separate --check gate is needed.

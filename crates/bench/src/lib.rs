@@ -39,6 +39,7 @@ pub mod flatbench;
 pub mod mmapbench;
 pub mod report;
 pub mod runner;
+pub mod servebench;
 pub mod simdbench;
 pub mod storebench;
 pub mod workloads;

@@ -1,0 +1,269 @@
+//! The serving benchmark: what mining-as-a-service costs over direct
+//! library calls, and what the result cache buys.
+//!
+//! Spins up a real [`disc_server::Server`] (TCP, own data directory under
+//! `target/`), then measures three things over the flat-bench smoke
+//! workload:
+//!
+//! | row | what is timed |
+//! |---|---|
+//! | `cold-job` | submit → poll → done, cache disabled (full mining path) |
+//! | `cached-job` | the same query resubmitted — served from the cache |
+//! | `tenants-2` | 2 tenants × jobs each, per-job latency p50/p99 + jobs/sec |
+//! | `tenants-8` | 8 tenants × jobs each, same, on the same 2-thread pool |
+//!
+//! Every mined result is checked byte-identical to a direct `DiscAll` run
+//! before any number is reported — the benchmark doubles as an end-to-end
+//! serving agreement gate. The cached row must show **zero** additional
+//! miner invocations (read from the scheduler's counter), or the run
+//! panics.
+//!
+//! Like the store and checkpoint benches, this is **exempt from the
+//! bench-regression gate**: scheduling latency under contention is too
+//! machine-dependent to gate CI. Numbers persist to
+//! `target/experiments/bench_serve.json`; the committed copy is
+//! `BENCH_serve.json` at the repo root.
+
+use crate::report::{persist, ToJson};
+use crate::workloads::{fig8_db, WorkloadCache};
+use disc_algo::DiscAll;
+use disc_core::{MinSupport, SequenceDatabase, SequentialMiner};
+use disc_server::{SchedulerConfig, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// Same fixed seed as the flat benchmark.
+const SEED: u64 = 20040330;
+/// Customers in the workload (the flat-bench `smoke` size).
+const NCUST: usize = 1_000;
+/// Jobs per tenant in the contention rows.
+const JOBS_PER_TENANT: usize = 4;
+/// The support-count thresholds the contention rows cycle through. Distinct
+/// per job so the cache never short-circuits the scheduling path.
+const DELTAS: [u64; 8] = [30, 35, 40, 45, 50, 55, 60, 65];
+
+/// One benchmark row.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Row name (see the module table).
+    pub name: &'static str,
+    /// Total wall-clock seconds for the row.
+    pub seconds: f64,
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Jobs per second over the row's wall clock.
+    pub jobs_per_sec: f64,
+    /// Median per-job latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-job latency, milliseconds (max for small n).
+    pub p99_ms: f64,
+    /// Miner invocations (slices) the row consumed.
+    pub mine_invocations: u64,
+}
+
+impl ToJson for ServeRun {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"seconds\":{},\"jobs\":{},\"jobs_per_sec\":{},\"p50_ms\":{},\"p99_ms\":{},\"mine_invocations\":{}}}",
+            self.name.to_string().to_json(),
+            self.seconds.to_json(),
+            self.jobs.to_json(),
+            self.jobs_per_sec.to_json(),
+            self.p50_ms.to_json(),
+            self.p99_ms.to_json(),
+            (self.mine_invocations as usize).to_json(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// A minimal blocking HTTP client (the server speaks Connection: close).
+
+fn http(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect to bench server");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).unwrap();
+    s.write_all(body).unwrap();
+    let mut resp = Vec::new();
+    s.read_to_end(&mut resp).unwrap();
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    let status: u16 = text.get(9..12).and_then(|v| v.parse().ok()).expect("status line");
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn field(json: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle).unwrap_or_else(|| panic!("no {key} in {json}"));
+    let rest = &json[at + needle.len()..];
+    let rest = rest.strip_prefix('"').unwrap_or(rest);
+    rest.split(['"', ',', '}']).next().unwrap().to_string()
+}
+
+/// Submits one job and blocks until it is done; returns the latency.
+fn run_job(addr: SocketAddr, target: &str) -> Duration {
+    let start = Instant::now();
+    let (status, body) = http(addr, "POST", target, b"");
+    assert!(status == 200 || status == 202, "submit failed: {status} {body}");
+    let id = field(&body, "id");
+    if field(&body, "state") == "done" {
+        return start.elapsed();
+    }
+    loop {
+        let (_, body) = http(addr, "GET", &format!("/jobs/{id}"), b"");
+        match field(&body, "state").as_str() {
+            "done" => return start.elapsed(),
+            "failed" | "cancelled" => panic!("bench job died: {body}"),
+            _ => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn row(
+    name: &'static str,
+    total: Duration,
+    latencies_ms: &mut [f64],
+    invocations: u64,
+) -> ServeRun {
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let seconds = total.as_secs_f64();
+    ServeRun {
+        name,
+        seconds,
+        jobs: latencies_ms.len(),
+        jobs_per_sec: latencies_ms.len() as f64 / seconds.max(1e-9),
+        p50_ms: percentile(latencies_ms, 0.50),
+        p99_ms: percentile(latencies_ms, 0.99),
+        mine_invocations: invocations,
+    }
+}
+
+fn print_row(r: &ServeRun) {
+    println!(
+        "  {:<12} {:>7.3}s  {:>3} jobs  {:>8.2} jobs/s  p50 {:>8.2} ms  p99 {:>8.2} ms  {:>3} slices",
+        r.name, r.seconds, r.jobs, r.jobs_per_sec, r.p50_ms, r.p99_ms, r.mine_invocations
+    );
+}
+
+/// The contention row: `tenants` tenants, each submitting
+/// [`JOBS_PER_TENANT`] cache-bypassing jobs from its own client thread.
+fn tenant_row(name: &'static str, addr: SocketAddr, server: &Server, tenants: usize) -> ServeRun {
+    let before = server.scheduler().mine_invocations.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..tenants)
+            .map(|t| {
+                scope.spawn(move || {
+                    (0..JOBS_PER_TENANT)
+                        .map(|j| {
+                            let delta = DELTAS[(t * JOBS_PER_TENANT + j) % DELTAS.len()];
+                            let target =
+                                format!("/jobs?db=bench&tenant=tenant{t}&delta={delta}&nocache=1");
+                            run_job(addr, &target).as_secs_f64() * 1e3
+                        })
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("tenant thread")).collect()
+    });
+    let total = start.elapsed();
+    let after = server.scheduler().mine_invocations.load(Ordering::Relaxed);
+    row(name, total, &mut latencies, after - before)
+}
+
+/// The exact bytes direct mining produces, for the agreement check.
+fn expected(db: &SequenceDatabase, delta: u64) -> String {
+    DiscAll::default()
+        .mine(db, MinSupport::Count(delta))
+        .iter()
+        .map(|(p, s)| format!("{s}\t{p}\n"))
+        .collect()
+}
+
+/// Runs the serving benchmark and persists the report to
+/// `target/experiments/bench_serve.json`.
+pub fn run() -> Vec<ServeRun> {
+    println!("## Serving benchmark (Table 11 smoke, {NCUST} customers, 2-thread pool)\n");
+    let cache = WorkloadCache::new();
+    let db = cache.get(&fig8_db(NCUST, SEED));
+
+    let data_dir = std::path::PathBuf::from("target/experiments/servebench-data");
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let server = Server::new(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir,
+        scheduler: SchedulerConfig { threads: 2, slice_ops: 2_000_000, checkpoint_every: 8 },
+        cache_entries: 64,
+        default_max_ops: None,
+    });
+    let runner = server.clone();
+    let handle = std::thread::spawn(move || runner.run().expect("bench server"));
+    let addr = loop {
+        if let Some(a) = server.local_addr() {
+            break a;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let (status, _) = http(addr, "POST", "/dbs?name=bench", &disc_core::encode_database(&db));
+    assert_eq!(status, 201, "database registration failed");
+
+    let mut rows = Vec::new();
+
+    // Cold: the full submit → schedule → mine → render path, no cache.
+    let cold_delta = DELTAS[0];
+    let invocations0 = server.scheduler().mine_invocations.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let cold = run_job(addr, &format!("/jobs?db=bench&delta={cold_delta}&nocache=1"));
+    let invocations_cold =
+        server.scheduler().mine_invocations.load(Ordering::Relaxed) - invocations0;
+    let mut cold_ms = vec![cold.as_secs_f64() * 1e3];
+    rows.push(row("cold-job", start.elapsed(), &mut cold_ms, invocations_cold));
+    print_row(&rows[0]);
+
+    // Prime the cache with the same query (cacheable this time), then the
+    // cached row: resubmits must be served with zero extra invocations.
+    run_job(addr, &format!("/jobs?db=bench&delta={cold_delta}"));
+    let before = server.scheduler().mine_invocations.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let mut cached_ms: Vec<f64> = (0..20)
+        .map(|_| run_job(addr, &format!("/jobs?db=bench&delta={cold_delta}")).as_secs_f64() * 1e3)
+        .collect();
+    let total = start.elapsed();
+    let extra = server.scheduler().mine_invocations.load(Ordering::Relaxed) - before;
+    assert_eq!(extra, 0, "cached resubmits must not invoke the miner");
+    rows.push(row("cached-job", total, &mut cached_ms, extra));
+    print_row(&rows[1]);
+
+    // Agreement gate before the contention rows: the served bytes are the
+    // direct-mining bytes.
+    let (_, listing) = http(addr, "GET", "/jobs/1/result", b"");
+    assert_eq!(listing, expected(&db, cold_delta), "served result differs from direct mining");
+
+    for (name, tenants) in [("tenants-2", 2usize), ("tenants-8", 8usize)] {
+        let r = tenant_row(name, addr, &server, tenants);
+        print_row(&r);
+        rows.push(r);
+    }
+
+    let (status, _) = http(addr, "POST", "/admin/drain", b"");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread");
+
+    println!("\n  cold/cached latency ratio: {:.1}x", rows[0].p50_ms / rows[1].p50_ms.max(1e-9));
+    match persist("bench_serve", &rows) {
+        Ok(path) => println!("  report: {}", path.display()),
+        Err(e) => eprintln!("  report NOT persisted: {e}"),
+    }
+    rows
+}

@@ -653,6 +653,90 @@ pub fn read_snapshot(path: &Path) -> Result<MiningSnapshot, CheckpointError> {
     decode_snapshot(&bytes)
 }
 
+/// A cheap summary of a snapshot's progress: everything a status endpoint
+/// wants to report, without decoding a single pattern.
+///
+/// Produced by [`peek_progress`], which validates the magic, version, and
+/// the CRCs of the sections it touches, but reads only the header, the
+/// completed-partition list, the leading pattern *count*, and the guard
+/// counters — never the pattern payload itself, which dominates snapshot
+/// size on real runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotProgress {
+    /// See [`MiningSnapshot::fingerprint`].
+    pub fingerprint: u64,
+    /// See [`MiningSnapshot::rows`].
+    pub rows: u64,
+    /// See [`MiningSnapshot::delta`].
+    pub delta: u64,
+    /// Number of completed first-level partitions.
+    pub done_partitions: u64,
+    /// Number of patterns in the boundary-consistent frequent set.
+    pub patterns: u64,
+    /// See [`MiningSnapshot::ops`].
+    pub ops: u64,
+}
+
+/// Reads just the progress summary from a snapshot file — section CRCs for
+/// the header/progress/counters sections are still verified, but the
+/// pattern payload is only counted, not decoded. A missing file returns
+/// [`CheckpointError::Missing`].
+///
+/// Intended for supervisors (a job server's status endpoint, a scheduler
+/// deciding whether a preempted slice advanced) that poll a checkpoint
+/// between runs: decoding cost is `O(done_partitions)` — the pattern bytes
+/// are CRC-summed but never parsed into sequences.
+pub fn peek_progress(path: &Path) -> Result<SnapshotProgress, CheckpointError> {
+    let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+    let input = bytes.as_slice();
+    if input.len() < CHECKPOINT_MAGIC.len() || &input[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC
+    {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut pos = CHECKPOINT_MAGIC.len();
+    let version = codec::get_varint(input, &mut pos)?;
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+
+    let mut header: Option<&[u8]> = None;
+    let mut done_partitions: Option<u64> = None;
+    let mut patterns: Option<u64> = None;
+    let mut counters: Option<&[u8]> = None;
+    loop {
+        let (tag, payload) = get_section(input, &mut pos)?;
+        match tag {
+            SEC_HEADER => header = Some(payload),
+            SEC_PROGRESS => {
+                let mut p = 0usize;
+                done_partitions = Some(codec::get_varint(payload, &mut p)?);
+            }
+            SEC_PATTERNS => {
+                let mut p = 0usize;
+                patterns = Some(codec::get_varint(payload, &mut p)?);
+            }
+            SEC_COUNTERS => counters = Some(payload),
+            SEC_END => break,
+            other => return Err(CheckpointError::UnknownSection(other)),
+        }
+    }
+    let header = header.ok_or(CheckpointError::Invalid("missing header section"))?;
+    let done_partitions =
+        done_partitions.ok_or(CheckpointError::Invalid("missing progress section"))?;
+    let patterns = patterns.ok_or(CheckpointError::Invalid("missing patterns section"))?;
+    let counters = counters.ok_or(CheckpointError::Invalid("missing counters section"))?;
+
+    let mut p = 0usize;
+    let fingerprint = get_u64_le(header, &mut p)?;
+    let rows = codec::get_varint(header, &mut p)?;
+    let delta = codec::get_varint(header, &mut p)?;
+
+    let mut p = 0usize;
+    let ops = codec::get_varint(counters, &mut p)?;
+
+    Ok(SnapshotProgress { fingerprint, rows, delta, done_partitions, patterns, ops })
+}
+
 // -------------------------------------------------------------------------
 // Crash injection (tests and the `fault-injection` feature).
 
@@ -884,6 +968,53 @@ mod tests {
     fn missing_file_is_a_typed_miss() {
         let path = std::env::temp_dir().join("definitely-absent.dscck");
         assert!(matches!(read_snapshot(&path), Err(CheckpointError::Missing { .. })));
+        assert!(matches!(peek_progress(&path), Err(CheckpointError::Missing { .. })));
+    }
+
+    #[test]
+    fn peek_progress_agrees_with_the_full_decode() {
+        let dir = std::env::temp_dir().join(format!("dscck-peek-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.dscck");
+        let snap = sample_snapshot();
+        write_snapshot(&path, &snap).unwrap();
+        let progress = peek_progress(&path).unwrap();
+        assert_eq!(
+            progress,
+            SnapshotProgress {
+                fingerprint: snap.fingerprint,
+                rows: snap.rows,
+                delta: snap.delta,
+                done_partitions: snap.done.len() as u64,
+                patterns: snap.patterns.len() as u64,
+                ops: snap.ops,
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peek_progress_still_rejects_damaged_files() {
+        let bytes = encode_snapshot(&sample_snapshot());
+        let dir = std::env::temp_dir().join(format!("dscck-peekbad-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.dscck");
+
+        // A flipped byte inside the (unparsed) pattern payload must still be
+        // caught: the peek CRC-checks every section it walks past.
+        let mut corrupt = bytes.clone();
+        let mid = bytes.len() / 2;
+        corrupt[mid] ^= 0x01;
+        fs::write(&path, &corrupt).unwrap();
+        assert!(peek_progress(&path).is_err(), "corruption at byte {mid} not detected");
+
+        // Truncation is never silently tolerated either.
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(peek_progress(&path).is_err());
+
+        fs::write(&path, b"not a checkpoint").unwrap();
+        assert_eq!(peek_progress(&path), Err(CheckpointError::BadMagic));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

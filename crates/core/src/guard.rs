@@ -360,6 +360,51 @@ impl SharedCounters {
     }
 }
 
+/// A point-in-time view of one budget's spend, cheap enough for a status
+/// endpoint to compute on every poll.
+///
+/// Built by [`ResourceBudget::snapshot`] from the [`SharedCounters`] a run
+/// publishes into — two relaxed atomic loads, no locks, and no access to the
+/// mining thread's [`MineGuard`] (which is deliberately not `Sync`). The
+/// counters lag the guard's private cells by at most one checkpoint interval
+/// of operations; the pattern counter is exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetSnapshot {
+    /// Operations published so far.
+    pub ops: u64,
+    /// Patterns noted so far.
+    pub patterns: usize,
+    /// Wall-clock elapsed the caller measured for the run.
+    pub elapsed: Duration,
+    /// Operations left before [`ResourceBudget::max_ops`] trips; `None` when
+    /// the budget sets no operation ceiling.
+    pub ops_remaining: Option<u64>,
+    /// Patterns left before [`ResourceBudget::max_patterns`] trips; `None`
+    /// when the budget sets no pattern ceiling.
+    pub patterns_remaining: Option<usize>,
+    /// Wall-clock left before [`ResourceBudget::deadline`] trips; `None`
+    /// when the budget sets no deadline.
+    pub deadline_remaining: Option<Duration>,
+}
+
+impl ResourceBudget {
+    /// Snapshots this budget's spend from run-published counters: what was
+    /// consumed, and how much of each configured limit remains (saturating
+    /// at zero once a limit is reached).
+    pub fn snapshot(&self, counters: &SharedCounters, elapsed: Duration) -> BudgetSnapshot {
+        let ops = counters.ops();
+        let patterns = counters.patterns();
+        BudgetSnapshot {
+            ops,
+            patterns,
+            elapsed,
+            ops_remaining: self.max_ops.map(|max| max.saturating_sub(ops)),
+            patterns_remaining: self.max_patterns.map(|max| max.saturating_sub(patterns)),
+            deadline_remaining: self.deadline.map(|d| d.saturating_sub(elapsed)),
+        }
+    }
+}
+
 /// Why a guarded run stopped early.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AbortReason {
@@ -608,6 +653,22 @@ impl MineGuard {
     pub fn with_checkpoint_interval(mut self, interval: u64) -> MineGuard {
         assert!(interval >= 1, "checkpoint interval must be at least 1");
         self.interval = interval;
+        self
+    }
+
+    /// Publishes this guard's spend into `shared` so other threads can
+    /// observe it while the run is in flight: operation counts are flushed
+    /// at every full checkpoint and pattern counts exactly on every
+    /// [`MineGuard::note_pattern`]. Budgets are then enforced against the
+    /// shared totals, so counters carried over from an earlier slice of the
+    /// same job count toward this run's limits.
+    ///
+    /// This is the observation hook a serving layer uses: the guard itself
+    /// is not `Sync`, but the counters are, and
+    /// [`ResourceBudget::snapshot`] turns them into a [`BudgetSnapshot`]
+    /// without touching the mining thread.
+    pub fn with_shared_counters(mut self, shared: Arc<SharedCounters>) -> MineGuard {
+        self.shared = Some(shared);
         self
     }
 
@@ -1134,6 +1195,74 @@ mod tests {
         assert_eq!(reports.len(), 1);
         assert_eq!(run.outcome, MineOutcome::Partial { reason: AbortReason::Cancelled });
         assert!(run.result.is_empty());
+    }
+
+    #[test]
+    fn shared_counters_expose_spend_across_threads() {
+        let counters = Arc::new(SharedCounters::new());
+        let budget = ResourceBudget::unlimited().with_max_ops(100).with_max_patterns(10);
+        let guard = MineGuard::new(CancelToken::new(), budget)
+            .with_checkpoint_interval(1)
+            .with_shared_counters(Arc::clone(&counters));
+        for _ in 0..7 {
+            guard.checkpoint().unwrap();
+        }
+        for _ in 0..3 {
+            guard.note_pattern().unwrap();
+        }
+        // Another thread reads the published counters without the guard.
+        let observed = std::thread::scope(|s| {
+            s.spawn(|| budget.snapshot(&counters, Duration::from_millis(5))).join().unwrap()
+        });
+        assert_eq!(observed.ops, 7);
+        assert_eq!(observed.patterns, 3);
+        assert_eq!(observed.ops_remaining, Some(93));
+        assert_eq!(observed.patterns_remaining, Some(7));
+        assert_eq!(observed.deadline_remaining, None);
+    }
+
+    #[test]
+    fn shared_counters_carry_spend_into_the_next_slice() {
+        // A serving layer reuses one counter set across preemption slices:
+        // the second slice's budget must see the first slice's spend.
+        let counters = Arc::new(SharedCounters::new());
+        let budget = ResourceBudget::unlimited().with_max_ops(10);
+        let first = MineGuard::new(CancelToken::new(), budget)
+            .with_checkpoint_interval(1)
+            .with_shared_counters(Arc::clone(&counters));
+        for _ in 0..6 {
+            first.checkpoint().unwrap();
+        }
+        let second = MineGuard::new(CancelToken::new(), budget)
+            .with_checkpoint_interval(1)
+            .with_shared_counters(Arc::clone(&counters));
+        assert_eq!(second.checkpoint(), Ok(()));
+        assert_eq!(second.checkpoint(), Ok(()));
+        assert_eq!(second.checkpoint(), Ok(()));
+        assert_eq!(second.checkpoint(), Err(AbortReason::BudgetExhausted));
+    }
+
+    #[test]
+    fn budget_snapshot_saturates_at_exhausted_limits() {
+        let counters = Arc::new(SharedCounters::new());
+        let budget = ResourceBudget::unlimited()
+            .with_max_ops(5)
+            .with_max_patterns(1)
+            .with_deadline(Duration::from_millis(1));
+        let guard = MineGuard::new(CancelToken::new(), budget)
+            .with_checkpoint_interval(1)
+            .with_shared_counters(Arc::clone(&counters));
+        let _ = guard.charge(20);
+        guard.note_pattern().unwrap();
+        let snap = budget.snapshot(&counters, Duration::from_secs(1));
+        assert_eq!(snap.ops_remaining, Some(0));
+        assert_eq!(snap.patterns_remaining, Some(0));
+        assert_eq!(snap.deadline_remaining, Some(Duration::ZERO));
+        // An unlimited budget reports no remaining fields at all.
+        let open = ResourceBudget::unlimited().snapshot(&counters, Duration::ZERO);
+        assert_eq!(open.ops_remaining, None);
+        assert_eq!(open.patterns_remaining, None);
+        assert_eq!(open.deadline_remaining, None);
     }
 
     #[test]

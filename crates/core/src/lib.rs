@@ -79,8 +79,8 @@ pub mod topk;
 
 pub use bruteforce::BruteForce;
 pub use checkpoint::{
-    database_fingerprint, read_snapshot, write_snapshot, write_snapshot_view, CheckpointError,
-    MiningSnapshot, SnapshotView,
+    database_fingerprint, peek_progress, read_snapshot, write_snapshot, write_snapshot_view,
+    CheckpointError, MiningSnapshot, SnapshotProgress, SnapshotView,
 };
 #[cfg(any(test, feature = "fault-injection"))]
 pub use checkpoint::{write_snapshot_crashing, CheckpointCrash};
@@ -100,9 +100,9 @@ pub use flatfile::{
     FLAT_FILE_NAME,
 };
 pub use guard::{
-    is_transient_io_kind, retry_transient, run_guarded, AbortReason, CancelToken, FallbackMiner,
-    GuardStats, GuardedResult, MineGuard, MineOutcome, ResourceBudget, RetryPolicy, SharedCounters,
-    StageReport,
+    is_transient_io_kind, retry_transient, run_guarded, AbortReason, BudgetSnapshot, CancelToken,
+    FallbackMiner, GuardStats, GuardedResult, MineGuard, MineOutcome, ResourceBudget, RetryPolicy,
+    SharedCounters, StageReport,
 };
 #[cfg(any(test, feature = "fault-injection"))]
 pub use guard::{FaultPlan, IoFault, IoWriter};

@@ -33,7 +33,8 @@
 //! miner at every injected crash point.
 
 use disc_core::checkpoint::{
-    self, database_fingerprint, read_snapshot, CheckpointError, MiningSnapshot, SnapshotView,
+    self, database_fingerprint, peek_progress, read_snapshot, CheckpointError, MiningSnapshot,
+    SnapshotProgress, SnapshotView,
 };
 use disc_core::{
     run_guarded, AbortReason, GuardedResult, Item, MinSupport, MineGuard, MiningResult,
@@ -348,6 +349,17 @@ impl<M: Checkpointable> Resumable<M> {
         self.last_stats.get()
     }
 
+    /// Cheap progress summary from the snapshot on disk: completed
+    /// partitions, pattern count, and guard spend, without decoding the
+    /// pattern payload. Safe to poll from another thread while a run is in
+    /// flight — snapshot writes are atomic renames, so a concurrent peek
+    /// sees either the previous boundary or the new one, never a torn file.
+    /// A missing snapshot (no boundary reached yet) returns
+    /// [`CheckpointError::Missing`].
+    pub fn progress(&self) -> Result<SnapshotProgress, CheckpointError> {
+        peek_progress(&self.checkpoint_path())
+    }
+
     /// Resumes explicitly from a snapshot file, validating it against `db`
     /// and the run's resolved δ. Typed rejection on a missing, torn,
     /// corrupted, stale-version, or foreign snapshot — a damaged file is
@@ -503,6 +515,39 @@ mod tests {
         let second = wrapped.mine_guarded(&db, MinSupport::Count(2), &MineGuard::unlimited());
         assert!(second.outcome.is_complete());
         assert!(second.result.diff(&reference).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_peek_tracks_boundaries_without_decoding_patterns() {
+        let db = table6();
+        let dir = fresh_dir("progress");
+        let wrapped = Resumable::new(DiscAll::default(), &dir);
+        assert!(
+            matches!(wrapped.progress(), Err(CheckpointError::Missing { .. })),
+            "no boundary reached yet — progress must be a typed miss"
+        );
+
+        // Starve a run so it checkpoints partway, then peek.
+        let budget = ResourceBudget::unlimited().with_max_ops(60);
+        let guard = MineGuard::new(CancelToken::new(), budget).with_checkpoint_interval(1);
+        let first = wrapped.mine_guarded(&db, MinSupport::Count(2), &guard);
+        assert_eq!(first.outcome, MineOutcome::Partial { reason: AbortReason::BudgetExhausted });
+        let partial = wrapped.progress().unwrap();
+        let full = read_snapshot(&wrapped.checkpoint_path()).unwrap();
+        assert_eq!(partial.fingerprint, full.fingerprint);
+        assert_eq!(partial.delta, full.delta);
+        assert_eq!(partial.done_partitions, full.done.len() as u64);
+        assert_eq!(partial.patterns, full.patterns.len() as u64);
+        assert_eq!(partial.ops, full.ops);
+
+        // Finishing the run advances the peeked progress monotonically.
+        let run = wrapped.mine_guarded(&db, MinSupport::Count(2), &MineGuard::unlimited());
+        assert!(run.outcome.is_complete());
+        let done = wrapped.progress().unwrap();
+        assert!(done.done_partitions >= partial.done_partitions);
+        assert!(done.patterns >= partial.patterns);
+        assert_eq!(done.patterns, run.result.len() as u64);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,783 @@
+//! The server: TCP accept loop, request routing, manifest persistence,
+//! and graceful drain.
+//!
+//! ## Endpoints
+//!
+//! | method & path            | action                                        |
+//! |--------------------------|-----------------------------------------------|
+//! | `GET /healthz`           | liveness                                      |
+//! | `GET /stats`             | cache/miner/job counters                      |
+//! | `POST /dbs?name=N`       | register database (body upload, or `attach=PATH`) |
+//! | `GET /dbs`, `GET /dbs/N` | list / inspect databases                      |
+//! | `POST /jobs?db=N&...`    | submit a mining job (cache-served when possible) |
+//! | `GET /jobs`, `GET /jobs/I` | list / poll jobs (budget snapshot, progress) |
+//! | `GET /jobs/I/result`     | fetch result lines (`offset`/`limit`/`min_length`) |
+//! | `POST /jobs/I/cancel`, `DELETE /jobs/I` | cancel                         |
+//! | `GET /tenants`           | per-tenant spend                              |
+//! | `POST /admin/drain`      | graceful drain (same path as SIGTERM)         |
+//!
+//! ## Durability
+//!
+//! The data directory holds everything a restart needs: uploaded databases
+//! (`dbs/<name>.dscdb`), per-job checkpoints and results
+//! (`jobs/<id>/mine.dscck`, `jobs/<id>/result.tsv`), and a line-based
+//! `manifest` (written atomically) recording databases, jobs, and the id
+//! counter. On SIGTERM (or `POST /admin/drain`) running slices are
+//! cancelled at their next checkpoint boundary, requeue with durable
+//! snapshots, and the manifest is written; a restarted server reloads the
+//! manifest and the requeued jobs resume from their snapshots —
+//! bit-identical to never having been interrupted, by the checkpoint
+//! layer's guarantee.
+
+use crate::cache::{CacheKey, RenderedResult};
+use crate::http::{json_escape, read_request, HttpError, Request, Response};
+use crate::job::{Job, JobError, JobSpec, JobState};
+use crate::registry::{valid_name, DbRegistry, DbSource, RegisterError};
+use crate::scheduler::{valid_algo, valid_mode, Scheduler, SchedulerConfig};
+use crate::signal;
+use crate::status::{error_response, plain_error};
+use disc_core::{DiscError, MinSupport};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7031`. Port 0 picks a free port
+    /// (reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Root of all persisted state.
+    pub data_dir: PathBuf,
+    /// Scheduler tuning.
+    pub scheduler: SchedulerConfig,
+    /// Result-cache capacity, in entries.
+    pub cache_entries: usize,
+    /// Default per-job operations cap applied when a submission carries no
+    /// `max_ops` — the per-tenant budget backstop.
+    pub default_max_ops: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: PathBuf::from("disc-server-data"),
+            scheduler: SchedulerConfig::default(),
+            cache_entries: 64,
+            default_max_ops: None,
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    registry: Mutex<DbRegistry>,
+    sched: Arc<Scheduler>,
+    next_job: AtomicU64,
+    started: Instant,
+    bound: Mutex<Option<SocketAddr>>,
+    /// Serializes manifest writes: concurrent submissions would otherwise
+    /// race on the shared `manifest.tmp` staging name.
+    manifest_lock: Mutex<()>,
+}
+
+/// The mining server. Cheap to clone (shared state behind an `Arc`);
+/// construct, then call [`Server::run`] — typically from a dedicated
+/// thread, since it blocks until drain.
+#[derive(Clone)]
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Builds a server over `cfg.data_dir`, reloading any manifest a
+    /// previous process left there.
+    pub fn new(cfg: ServerConfig) -> Server {
+        let sched = Arc::new(Scheduler::new(
+            cfg.scheduler.clone(),
+            cfg.data_dir.join("jobs"),
+            cfg.cache_entries,
+        ));
+        let registry = Mutex::new(DbRegistry::new(cfg.data_dir.join("dbs")));
+        let server = Server {
+            shared: Arc::new(Shared {
+                cfg,
+                registry,
+                sched,
+                next_job: AtomicU64::new(1),
+                started: Instant::now(),
+                bound: Mutex::new(None),
+                manifest_lock: Mutex::new(()),
+            }),
+        };
+        server.load_manifest();
+        server
+    }
+
+    /// The bound address once [`Server::run`] has bound its listener.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        *self.shared.bound.lock().unwrap()
+    }
+
+    /// The scheduler (stats surface for benches and tests).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.shared.sched
+    }
+
+    /// Binds, serves until a drain (SIGTERM or `POST /admin/drain`)
+    /// completes, persists the manifest, and returns the ids of the jobs
+    /// left queued with checkpoints.
+    pub fn run(&self) -> std::io::Result<Vec<u64>> {
+        signal::install_termination_flag();
+        let listener = TcpListener::bind(&self.shared.cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        *self.shared.bound.lock().unwrap() = Some(listener.local_addr()?);
+
+        let sched = Arc::clone(&self.shared.sched);
+        let sched_thread = std::thread::spawn(move || sched.run_loop());
+
+        loop {
+            if signal::termination_requested() && !self.shared.sched.is_draining() {
+                self.shared.sched.drain();
+            }
+            if self.shared.sched.is_draining() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let server = self.clone();
+                    std::thread::spawn(move || server.handle_connection(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(15));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: the scheduler loop exits once running slices have aborted
+        // at their checkpoints and requeued. Then persist the manifest so
+        // the next process resumes them.
+        let queued = sched_thread.join().unwrap_or_default();
+        self.persist_manifest();
+        Ok(queued)
+    }
+
+    fn handle_connection(&self, mut stream: TcpStream) {
+        let response = match read_request(&mut stream) {
+            Ok(req) => self.route(&req),
+            Err(HttpError::BodyTooLarge(n)) => {
+                plain_error(413, &format!("body of {n} bytes exceeds the upload limit"))
+            }
+            Err(HttpError::Malformed(what)) => plain_error(400, what),
+            Err(HttpError::Io(_)) => return, // client went away mid-request
+        };
+        response.send(&mut stream);
+    }
+
+    // ---------------------------------------------------------------
+    // Routing.
+
+    fn route(&self, req: &Request) -> Response {
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => Response::json(200, "{\"status\":\"ok\"}".into()),
+            ("GET", ["stats"]) => self.get_stats(),
+            ("POST", ["dbs"]) => self.post_db(req),
+            ("GET", ["dbs"]) => self.list_dbs(),
+            ("GET", ["dbs", name]) => self.get_db(name),
+            ("POST", ["jobs"]) => self.post_job(req),
+            ("GET", ["jobs"]) => self.list_jobs(),
+            ("GET", ["jobs", id]) => self.with_job(id, |job| self.job_status(&job)),
+            ("GET", ["jobs", id, "result"]) => self.with_job(id, |job| self.job_result(&job, req)),
+            ("POST", ["jobs", id, "cancel"]) | ("DELETE", ["jobs", id]) => {
+                self.with_job(id, |job| {
+                    job.cancel();
+                    self.job_status(&job)
+                })
+            }
+            ("GET", ["tenants"]) => self.get_tenants(),
+            // Scoped to this server's scheduler (not the process-global
+            // signal flag), so co-resident servers — tests, embedders —
+            // drain independently.
+            ("POST", ["admin", "drain"]) => {
+                self.shared.sched.drain();
+                Response::json(200, "{\"draining\":true}".into())
+            }
+            (_, ["healthz" | "stats" | "dbs" | "jobs" | "tenants", ..]) => {
+                plain_error(405, "method not allowed on this resource")
+            }
+            _ => plain_error(404, "no such resource"),
+        }
+    }
+
+    fn with_job(&self, id: &str, f: impl FnOnce(Arc<Job>) -> Response) -> Response {
+        match id.parse::<u64>().ok().and_then(|id| self.shared.sched.job(id)) {
+            Some(job) => f(job),
+            None => plain_error(404, "no such job"),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Databases.
+
+    fn post_db(&self, req: &Request) -> Response {
+        let Some(name) = req.param("name") else {
+            return plain_error(400, "missing required parameter: name");
+        };
+        let result = match req.param("attach") {
+            Some(path) => {
+                self.shared.registry.lock().unwrap().register_attach(name, Path::new(path))
+            }
+            None => self.shared.registry.lock().unwrap().register_upload(name, &req.body, true),
+        };
+        match result {
+            Ok(entry) => {
+                self.persist_manifest();
+                Response::json(201, db_json(&entry))
+            }
+            Err(RegisterError::Conflict(message)) => plain_error(409, &message),
+            Err(RegisterError::Disc(e)) => error_response(&e),
+        }
+    }
+
+    fn list_dbs(&self) -> Response {
+        let body: Vec<String> =
+            self.shared.registry.lock().unwrap().list().iter().map(|e| db_json(e)).collect();
+        Response::json(200, format!("[{}]", body.join(",")))
+    }
+
+    fn get_db(&self, name: &str) -> Response {
+        match self.shared.registry.lock().unwrap().get(name) {
+            Some(entry) => Response::json(200, db_json(&entry)),
+            None => plain_error(404, "no such database"),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Jobs.
+
+    fn post_job(&self, req: &Request) -> Response {
+        let Some(db_name) = req.param("db") else {
+            return plain_error(400, "missing required parameter: db");
+        };
+        let Some(db) = self.shared.registry.lock().unwrap().get(db_name) else {
+            return plain_error(404, "no such database");
+        };
+        let tenant = req.param("tenant").unwrap_or("default");
+        if !valid_name(tenant) {
+            return bad_param("tenant", "1-64 chars of [A-Za-z0-9._-]");
+        }
+        let algo = req.param("algo").unwrap_or("disc-all");
+        if !valid_algo(algo) {
+            return bad_param("algo", "one of disc-all, dynamic, parallel, auto");
+        }
+        let mode = req.param("mode").unwrap_or("all");
+        if !valid_mode(mode) {
+            return bad_param("mode", "one of all, closed, maximal");
+        }
+        // Threshold: `delta=COUNT` or `minsup=FRACTION` (CLI default 0.01),
+        // resolved to δ immediately — the cache key and checkpoint both
+        // speak resolved counts.
+        let delta = match (req.param("delta"), req.param("minsup")) {
+            (Some(_), Some(_)) => {
+                return bad_param("minsup", "give either minsup or delta, not both");
+            }
+            (Some(d), None) => match d.parse::<u64>() {
+                Ok(d) => d,
+                Err(_) => return bad_param("delta", "not a count"),
+            },
+            (None, fraction) => {
+                let f = match fraction.map(str::parse::<f64>).transpose() {
+                    Ok(f) => f.unwrap_or(0.01),
+                    Err(_) => return bad_param("minsup", "not a number"),
+                };
+                if !(0.0..=1.0).contains(&f) {
+                    return bad_param("minsup", "must be within [0, 1]");
+                }
+                MinSupport::Fraction(f).resolve(db.rows)
+            }
+        };
+        let max_ops = match parse_opt::<u64>(req, "max_ops") {
+            Ok(v) => v.or(self.shared.cfg.default_max_ops),
+            Err(r) => return r,
+        };
+        let max_patterns = match parse_opt::<usize>(req, "max_patterns") {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let deadline = match parse_opt::<u64>(req, "deadline_ms") {
+            Ok(v) => v.map(Duration::from_millis),
+            Err(r) => return r,
+        };
+
+        let spec = JobSpec {
+            id: self.shared.next_job.fetch_add(1, Ordering::SeqCst),
+            tenant: tenant.to_string(),
+            db: db_name.to_string(),
+            delta,
+            algo: algo.to_string(),
+            mode: mode.to_string(),
+            max_ops,
+            max_patterns,
+            deadline,
+            no_cache: req.flag("nocache"),
+        };
+
+        // Cache first: a repeat query is answered without any miner
+        // invocation (the `mine_invocations` counter attests to that).
+        let cached = if spec.no_cache {
+            None
+        } else {
+            self.shared.sched.cache.lock().unwrap().get(&CacheKey {
+                fingerprint: db.fingerprint,
+                delta: spec.delta,
+                algo: spec.algo.clone(),
+                mode: spec.mode.clone(),
+            })
+        };
+        let (status, job) = match cached {
+            Some(result) => {
+                let job = Arc::new(Job::from_cache(spec, Arc::clone(&result)));
+                self.shared.sched.persist_result(job.spec.id, &result);
+                (200, job)
+            }
+            None => (202, Arc::new(Job::new(spec, self.shared.cfg.scheduler.slice_ops))),
+        };
+        self.shared.sched.submit(Arc::clone(&job), db);
+        self.persist_manifest();
+        Response::json(status, self.job_status_json(&job))
+    }
+
+    fn list_jobs(&self) -> Response {
+        let body: Vec<String> =
+            self.shared.sched.list_jobs().iter().map(|j| self.job_status_json(j)).collect();
+        Response::json(200, format!("[{}]", body.join(",")))
+    }
+
+    fn job_status(&self, job: &Arc<Job>) -> Response {
+        Response::json(200, self.job_status_json(job))
+    }
+
+    fn job_status_json(&self, job: &Arc<Job>) -> String {
+        let snap = job.budget_snapshot();
+        let inner = job.inner.lock().unwrap();
+        let progress = match &inner.progress {
+            Some(p) => format!(
+                "{{\"done_partitions\":{},\"patterns\":{},\"ops\":{}}}",
+                p.done_partitions, p.patterns, p.ops
+            ),
+            None => "null".into(),
+        };
+        let error = match &inner.error {
+            Some(JobError { message, transient }) => {
+                format!("{{\"message\":\"{}\",\"transient\":{transient}}}", json_escape(message))
+            }
+            None => "null".into(),
+        };
+        let result_lines = match &inner.result {
+            Some(r) => r.lines.len().to_string(),
+            None => "null".into(),
+        };
+        format!(
+            "{{\"id\":{},\"tenant\":\"{}\",\"db\":\"{}\",\"delta\":{},\"algo\":\"{}\",\
+             \"mode\":\"{}\",\"state\":\"{}\",\"cached\":{},\"slices\":{},\"preemptions\":{},\
+             \"budget\":{{\"ops\":{},\"patterns\":{},\"elapsed_ms\":{},\"ops_remaining\":{},\
+             \"patterns_remaining\":{},\"deadline_remaining_ms\":{}}},\
+             \"progress\":{progress},\"result_lines\":{result_lines},\"error\":{error}}}",
+            job.spec.id,
+            json_escape(&job.spec.tenant),
+            json_escape(&job.spec.db),
+            job.spec.delta,
+            job.spec.algo,
+            job.spec.mode,
+            inner.state.name(),
+            inner.from_cache,
+            inner.slices,
+            inner.preemptions,
+            snap.ops,
+            snap.patterns,
+            snap.elapsed.as_millis(),
+            opt_json(snap.ops_remaining),
+            opt_json(snap.patterns_remaining),
+            opt_json(snap.deadline_remaining.map(|d| d.as_millis())),
+        )
+    }
+
+    fn job_result(&self, job: &Arc<Job>, req: &Request) -> Response {
+        let offset = match parse_opt::<usize>(req, "offset") {
+            Ok(v) => v.unwrap_or(0),
+            Err(r) => return r,
+        };
+        let limit = match parse_opt::<usize>(req, "limit") {
+            Ok(v) => v.unwrap_or(usize::MAX),
+            Err(r) => return r,
+        };
+        let min_length = match parse_opt::<usize>(req, "min_length") {
+            Ok(v) => v.unwrap_or(1),
+            Err(r) => return r,
+        };
+        let inner = job.inner.lock().unwrap();
+        match inner.state {
+            JobState::Done => {
+                let result = inner.result.as_ref().expect("done jobs have results");
+                Response::text(200, result.render(min_length, offset, limit))
+            }
+            JobState::Failed => {
+                let err = inner
+                    .error
+                    .clone()
+                    .unwrap_or(JobError { message: "failed".into(), transient: false });
+                // Ride the DiscError mapping so transient failures carry
+                // Retry-After exactly like every other 503.
+                error_response(&DiscError::Io {
+                    path: PathBuf::from(format!("jobs/{}", job.spec.id)),
+                    message: err.message,
+                    transient: err.transient,
+                })
+            }
+            state => plain_error(
+                409,
+                &format!("job is {}; results exist only once it is done", state.name()),
+            ),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Observability.
+
+    fn get_stats(&self) -> Response {
+        let (hits, misses, entries) = self.shared.sched.cache.lock().unwrap().stats();
+        let jobs: Vec<String> = self
+            .shared
+            .sched
+            .job_state_counts()
+            .iter()
+            .map(|(state, n)| format!("\"{state}\":{n}"))
+            .collect();
+        Response::json(
+            200,
+            format!(
+                "{{\"uptime_ms\":{},\"mine_invocations\":{},\"draining\":{},\
+                 \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"entries\":{entries}}},\
+                 \"jobs\":{{{}}}}}",
+                self.shared.started.elapsed().as_millis(),
+                self.shared.sched.mine_invocations.load(Ordering::Relaxed),
+                self.shared.sched.is_draining(),
+                jobs.join(","),
+            ),
+        )
+    }
+
+    fn get_tenants(&self) -> Response {
+        let body: Vec<String> = self
+            .shared
+            .sched
+            .tenant_spend()
+            .iter()
+            .map(|(tenant, s)| {
+                format!(
+                    "{{\"tenant\":\"{}\",\"jobs\":{},\"slices\":{},\"ops\":{},\"patterns\":{}}}",
+                    json_escape(tenant),
+                    s.jobs,
+                    s.slices,
+                    s.ops,
+                    s.patterns
+                )
+            })
+            .collect();
+        Response::json(200, format!("[{}]", body.join(",")))
+    }
+
+    // ---------------------------------------------------------------
+    // Persistence: manifest + per-job results.
+
+    fn manifest_path(&self) -> PathBuf {
+        self.shared.cfg.data_dir.join("manifest")
+    }
+
+    fn result_path(&self, id: u64) -> PathBuf {
+        self.shared.sched.job_dir(id).join("result.tsv")
+    }
+
+    /// Serializes registry + jobs + id counter to `manifest`, atomically.
+    pub fn persist_manifest(&self) {
+        let _guard = self.shared.manifest_lock.lock().unwrap();
+        let mut out = String::from("v1\n");
+        out.push_str(&format!("nextjob {}\n", self.shared.next_job.load(Ordering::SeqCst)));
+        for entry in self.shared.registry.lock().unwrap().list() {
+            match &entry.source {
+                DbSource::Upload => out.push_str(&format!("db {} upload\n", entry.name)),
+                DbSource::Attach(path) => out.push_str(&format!(
+                    "db {} attach {}\n",
+                    entry.name,
+                    percent_encode(&path.to_string_lossy())
+                )),
+            }
+        }
+        for job in self.shared.sched.list_jobs() {
+            let inner = job.inner.lock().unwrap();
+            // Running collapses to queued: by the time the manifest is
+            // written (post-drain), a running state means the process died
+            // un-drained; the checkpoint still resumes it.
+            let state = match inner.state {
+                JobState::Running => JobState::Queued,
+                s => s,
+            };
+            let s = &job.spec;
+            out.push_str(&format!(
+                "job {} {} {} {} {} {} {} {} {} {}\n",
+                s.id,
+                s.tenant,
+                s.db,
+                s.delta,
+                s.algo,
+                s.mode,
+                s.max_ops.map_or("-".into(), |v| v.to_string()),
+                s.max_patterns.map_or("-".into(), |v| v.to_string()),
+                u8::from(s.no_cache),
+                state.name(),
+            ));
+        }
+        let path = self.manifest_path();
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let tmp = path.with_extension("tmp");
+        let write = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(out.as_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, &path)
+        })();
+        if let Err(e) = write {
+            eprintln!("disc-server: cannot persist manifest: {e}");
+        }
+    }
+
+    /// Reloads the manifest a previous process wrote: databases re-register
+    /// from their persisted sources, queued jobs re-submit (their
+    /// checkpoints auto-resume), finished jobs reload their rendered
+    /// results. A database that no longer loads fails its dependent jobs
+    /// rather than the whole server.
+    fn load_manifest(&self) {
+        let Ok(text) = std::fs::read_to_string(self.manifest_path()) else {
+            return;
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some("v1") {
+            eprintln!("disc-server: unrecognized manifest version; starting fresh");
+            return;
+        }
+        for line in lines {
+            let fields: Vec<&str> = line.split(' ').collect();
+            match fields.as_slice() {
+                ["nextjob", n] => {
+                    if let Ok(n) = n.parse::<u64>() {
+                        self.shared.next_job.store(n, Ordering::SeqCst);
+                    }
+                }
+                ["db", name, "upload"] => {
+                    let path = self.shared.registry.lock().unwrap().upload_path(name);
+                    match std::fs::read(&path) {
+                        Ok(bytes) => {
+                            if let Err(e) = self
+                                .shared
+                                .registry
+                                .lock()
+                                .unwrap()
+                                .register_upload(name, &bytes, false)
+                            {
+                                eprintln!("disc-server: cannot reload db {name}: {e:?}");
+                            }
+                        }
+                        Err(e) => eprintln!("disc-server: cannot reload db {name}: {e}"),
+                    }
+                }
+                ["db", name, "attach", encoded] => {
+                    let Some(path) = crate::http::percent_decode(encoded) else {
+                        eprintln!("disc-server: bad attach path for db {name}");
+                        continue;
+                    };
+                    if let Err(e) =
+                        self.shared.registry.lock().unwrap().register_attach(name, Path::new(&path))
+                    {
+                        eprintln!("disc-server: cannot re-attach db {name}: {e:?}");
+                    }
+                }
+                ["job", id, tenant, db, delta, algo, mode, max_ops, max_patterns, no_cache, state] =>
+                {
+                    let (Ok(id), Ok(delta)) = (id.parse::<u64>(), delta.parse::<u64>()) else {
+                        continue;
+                    };
+                    let spec = JobSpec {
+                        id,
+                        tenant: tenant.to_string(),
+                        db: db.to_string(),
+                        delta,
+                        algo: algo.to_string(),
+                        mode: mode.to_string(),
+                        max_ops: max_ops.parse().ok(),
+                        max_patterns: max_patterns.parse().ok(),
+                        // Wall-clock deadlines do not survive a restart;
+                        // the drain already charged the job its slice.
+                        deadline: None,
+                        no_cache: *no_cache == "1",
+                    };
+                    self.reload_job(spec, state);
+                }
+                _ => eprintln!("disc-server: skipping unrecognized manifest line: {line}"),
+            }
+        }
+    }
+
+    fn reload_job(&self, spec: JobSpec, state: &str) {
+        let id = spec.id;
+        let Some(db) = self.shared.registry.lock().unwrap().get(&spec.db) else {
+            let job = Arc::new(Job::new(spec, 1));
+            {
+                let mut inner = job.inner.lock().unwrap();
+                inner.state = JobState::Failed;
+                inner.error = Some(JobError {
+                    message: "database did not survive the restart".into(),
+                    transient: false,
+                });
+            }
+            // Terminal from birth: submit() only queues non-terminal jobs,
+            // but it needs *a* db entry — record the job directly instead.
+            self.shared.sched.submit_terminal(job);
+            return;
+        };
+        match state {
+            "done" => {
+                let job = match self.load_result(id) {
+                    Some(result) => {
+                        // Warm the cache from the persisted result so a
+                        // repeat query after the restart is still served
+                        // without a miner invocation.
+                        if !spec.no_cache {
+                            self.shared.sched.cache.lock().unwrap().insert(
+                                CacheKey {
+                                    fingerprint: db.fingerprint,
+                                    delta: spec.delta,
+                                    algo: spec.algo.clone(),
+                                    mode: spec.mode.clone(),
+                                },
+                                Arc::clone(&result),
+                            );
+                        }
+                        Arc::new(Job::from_cache(spec, result))
+                    }
+                    None => {
+                        let job = Arc::new(Job::new(spec, 1));
+                        let mut inner = job.inner.lock().unwrap();
+                        inner.state = JobState::Failed;
+                        inner.error = Some(JobError {
+                            message: "result file did not survive the restart".into(),
+                            transient: false,
+                        });
+                        drop(inner);
+                        job
+                    }
+                };
+                self.shared.sched.submit(job, db);
+            }
+            "failed" | "cancelled" => {
+                let job = Arc::new(Job::new(spec, 1));
+                {
+                    let mut inner = job.inner.lock().unwrap();
+                    inner.state =
+                        if state == "failed" { JobState::Failed } else { JobState::Cancelled };
+                    if state == "failed" {
+                        inner.error = Some(JobError {
+                            message: "failed before the restart".into(),
+                            transient: false,
+                        });
+                    }
+                }
+                self.shared.sched.submit(job, db);
+            }
+            // queued (and anything unrecognized, conservatively): requeue;
+            // a checkpoint at jobs/<id>/mine.dscck resumes automatically.
+            _ => {
+                let job = Arc::new(Job::new(spec, self.shared.cfg.scheduler.slice_ops));
+                // Seed accumulated spend from the checkpoint, so the first
+                // slice's budget lands one increment above the re-charge
+                // instead of rediscovering the spend by doubling.
+                let ckpt = self.shared.sched.job_dir(id).join(disc_algo::CHECKPOINT_FILE);
+                if let Ok(p) = disc_core::peek_progress(&ckpt) {
+                    let mut inner = job.inner.lock().unwrap();
+                    inner.ops = p.ops;
+                    inner.patterns = p.patterns as usize;
+                    inner.progress = Some(p);
+                }
+                self.shared.sched.submit(job, db);
+            }
+        }
+    }
+
+    /// Loads a persisted `result.tsv` back into a [`RenderedResult`].
+    fn load_result(&self, id: u64) -> Option<Arc<RenderedResult>> {
+        let text = std::fs::read_to_string(self.result_path(id)).ok()?;
+        let mut lines = Vec::new();
+        for line in text.lines() {
+            let (support, pattern) = line.split_once('\t')?;
+            lines.push((support.parse::<u64>().ok()?, pattern.to_string()));
+        }
+        let total = lines.len();
+        Some(Arc::new(RenderedResult { lines, total_patterns: total }))
+    }
+}
+
+fn bad_param(name: &str, expectation: &str) -> Response {
+    // Parameter errors ride the Config variant so the status mapping (400,
+    // the exit-2 analogue) and the message format stay uniform.
+    error_response(&DiscError::Config { option: name.into(), reason: expectation.into() })
+}
+
+fn parse_opt<T: std::str::FromStr>(req: &Request, key: &str) -> Result<Option<T>, Response> {
+    match req.param(key) {
+        None => Ok(None),
+        Some(v) => match v.parse::<T>() {
+            Ok(v) => Ok(Some(v)),
+            Err(_) => Err(bad_param(key, "unparseable value")),
+        },
+    }
+}
+
+fn opt_json<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map_or("null".into(), |v| v.to_string())
+}
+
+fn db_json(entry: &crate::registry::DbEntry) -> String {
+    let source = match &entry.source {
+        DbSource::Upload => "\"upload\"".to_string(),
+        DbSource::Attach(path) => format!("\"attach:{}\"", json_escape(&path.to_string_lossy())),
+    };
+    format!(
+        "{{\"name\":\"{}\",\"fingerprint\":\"{:#018x}\",\"rows\":{},\"compacted\":{},\"source\":{source}}}",
+        json_escape(&entry.name),
+        entry.fingerprint,
+        entry.rows,
+        entry.mapping.is_some(),
+    )
+}
+
+/// Percent-encodes a string for the space-separated manifest: everything
+/// outside the visible-ASCII-minus-`%`-and-space set is `%XX`-escaped.
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        if (b'!'..=b'~').contains(&b) && b != b'%' {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}

@@ -1,0 +1,275 @@
+//! A minimal HTTP/1.1 layer over `std::net::TcpStream` — just enough for
+//! the mining API, hand-rolled so the server stays dependency-free like the
+//! rest of the workspace.
+//!
+//! Scope: one request per connection (`Connection: close` on every
+//! response), request line + headers + an optional `Content-Length` body,
+//! percent-decoded query parameters. Deliberately not supported: chunked
+//! request bodies, keep-alive, pipelining, TLS. Malformed input never
+//! panics — it surfaces as a typed [`HttpError`] the caller maps to a 4xx.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// The largest request body the server accepts (64 MiB) — uploads beyond
+/// this are refused with `413 Payload Too Large` before buffering.
+pub const MAX_BODY_BYTES: usize = 64 << 20;
+/// The largest request head (request line + headers) accepted.
+const MAX_HEAD_BYTES: usize = 64 << 10;
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The connection failed mid-request.
+    Io(std::io::Error),
+    /// The request line or headers were malformed.
+    Malformed(&'static str),
+    /// The declared body length exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+}
+
+/// A parsed request: method, decoded path, query parameters, body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, `DELETE`, ...
+    pub method: String,
+    /// The path component, before `?`, percent-decoded.
+    pub path: String,
+    /// Decoded `key=value` query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The last value of query parameter `key`, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether boolean-ish parameter `key` is set (present and not `0`/`false`).
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.param(key), Some(v) if v != "0" && v != "false")
+    }
+}
+
+/// Reads and parses one request from `stream`. Applies a read timeout so a
+/// stalled client cannot wedge a handler thread forever.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut head = Vec::with_capacity(1024);
+    let mut byte = [0u8; 1];
+    // Read byte-at-a-time until CRLF CRLF; the head is tiny and this keeps
+    // the body bytes (which follow immediately) out of any lookahead buffer.
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("request head too large"));
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(HttpError::Malformed("connection closed mid-head")),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or(HttpError::Malformed("missing method"))?.to_string();
+    let target = parts.next().ok_or(HttpError::Malformed("missing request target"))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::Malformed("not an HTTP/1.x request")),
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed("bad method"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header without colon"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+        }
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::Malformed("chunked bodies are not supported"));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(HttpError::Io)?;
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = percent_decode(raw_path).ok_or(HttpError::Malformed("bad path encoding"))?;
+    let mut query = Vec::new();
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let k = percent_decode(k).ok_or(HttpError::Malformed("bad query encoding"))?;
+        let v = percent_decode(v).ok_or(HttpError::Malformed("bad query encoding"))?;
+        query.push((k, v));
+    }
+    Ok(Request { method, path, query, body })
+}
+
+/// Decodes `%XX` escapes and `+`-as-space. `None` on truncated or
+/// non-hex escapes or non-UTF-8 results.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = hex_val(*bytes.get(i + 1)?)?;
+                let lo = hex_val(*bytes.get(i + 2)?)?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// A response under construction.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (`Retry-After`, ...), name/value.
+    pub headers: Vec<(&'static str, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response (the result stream uses this).
+    pub fn text(status: u16, body: Vec<u8>) -> Response {
+        Response { status, content_type: "text/plain; charset=utf-8", headers: Vec::new(), body }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.headers.push((name, value));
+        self
+    }
+
+    /// Serializes and writes the response. Write errors are swallowed — the
+    /// client is gone and there is nobody left to tell.
+    pub fn send(self, stream: &mut TcpStream) {
+        let reason = reason_phrase(self.status);
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(&self.body);
+        let _ = stream.flush();
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_roundtrips_common_cases() {
+        assert_eq!(percent_decode("plain").as_deref(), Some("plain"));
+        assert_eq!(percent_decode("a%2Fb%20c+d").as_deref(), Some("a/b c d"));
+        assert_eq!(percent_decode("%e2%82%ac").as_deref(), Some("€"));
+        assert!(percent_decode("%zz").is_none());
+        assert!(percent_decode("%2").is_none());
+        assert!(percent_decode("%ff").is_none(), "invalid UTF-8 is rejected");
+    }
+
+    #[test]
+    fn json_escaping_covers_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

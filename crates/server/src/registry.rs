@@ -1,0 +1,316 @@
+//! The database registry: named databases jobs mine against.
+//!
+//! Two registration paths, mirroring the CLI's two input worlds:
+//!
+//! * **upload** — the request body is a text database (`cid: (a, b)(c)`)
+//!   or a `DSCDB1` binary; the parsed database is persisted under the
+//!   server's data directory (as `DSCDB1`) so a restart reloads it
+//!   byte-identically;
+//! * **attach** — the request names a server-local path: a `.dscfd` flat
+//!   file, or a durable-store directory whose compacted `.dscfd` mirror is
+//!   used. A store mirror that is **stale** — appends recovered from the
+//!   WAL since the last compaction — is refused (409 at the API layer)
+//!   rather than silently mining fewer rows, exactly like
+//!   `disc-mine store mine --mmap`.
+//!
+//! Registration precomputes what every job on the database needs: the
+//! FNV-1a fingerprint (cache key, checkpoint validation), and the
+//! [`ItemMapping`] compaction the CLI applies before mining — so the
+//! server's results stay byte-identical to `disc-mine` on the same input.
+
+use disc_core::{
+    database_fingerprint, open_flat_file, peek_flat_file_fingerprint, DiscError, ItemMapping,
+    SequenceDatabase, SequenceStore, StoreConfig, Verify,
+};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Why a registration was refused. `Conflict` maps to 409, everything else
+/// flows through the [`crate::status`] `DiscError` mapping.
+#[derive(Debug)]
+pub enum RegisterError {
+    /// A name/state conflict: duplicate name, stale store mirror.
+    Conflict(String),
+    /// A data or IO failure from the underlying layers.
+    Disc(DiscError),
+}
+
+impl From<DiscError> for RegisterError {
+    fn from(e: DiscError) -> RegisterError {
+        RegisterError::Disc(e)
+    }
+}
+
+/// How a database entered the registry — recorded in the manifest so a
+/// restart can re-register it the same way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbSource {
+    /// Uploaded body, persisted at `dbs/<name>.dscdb`.
+    Upload,
+    /// Attached from a server-local path (flat file or store directory).
+    Attach(PathBuf),
+}
+
+/// A registered database plus everything precomputed at registration.
+pub struct DbEntry {
+    /// The registry name.
+    pub name: String,
+    /// The database, original item ids.
+    pub db: Arc<SequenceDatabase>,
+    /// The database the miners actually run on: compacted when the item-id
+    /// space is sparse enough to be worth it, otherwise the original.
+    /// Compaction preserves the row count, so δ resolution is unaffected.
+    pub mine_db: Arc<SequenceDatabase>,
+    /// `Some` when `mine_db` is compacted — mined patterns are translated
+    /// back through it, exactly like the CLI.
+    pub mapping: Option<ItemMapping>,
+    /// FNV-1a fingerprint of `db` — the cache-key component.
+    pub fingerprint: u64,
+    /// Customer count.
+    pub rows: usize,
+    /// Provenance.
+    pub source: DbSource,
+}
+
+impl DbEntry {
+    fn build(name: String, db: SequenceDatabase, source: DbSource) -> DbEntry {
+        let fingerprint = database_fingerprint(&db);
+        let rows = db.len();
+        let mapping = ItemMapping::analyze(&db);
+        let db = Arc::new(db);
+        let (mine_db, mapping) = if mapping.is_worthwhile() {
+            (Arc::new(mapping.remap_database(&db)), Some(mapping))
+        } else {
+            (Arc::clone(&db), None)
+        };
+        DbEntry { name, db, mine_db, mapping, fingerprint, rows, source }
+    }
+}
+
+/// The registry: name → entry, plus the persistence root.
+pub struct DbRegistry {
+    dbs_dir: PathBuf,
+    entries: HashMap<String, Arc<DbEntry>>,
+}
+
+/// Registry names are path- and manifest-safe by construction.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+        && !name.starts_with('.')
+}
+
+impl DbRegistry {
+    /// A registry persisting uploads under `dbs_dir` (created on demand).
+    pub fn new(dbs_dir: impl Into<PathBuf>) -> DbRegistry {
+        DbRegistry { dbs_dir: dbs_dir.into(), entries: HashMap::new() }
+    }
+
+    /// Where an upload named `name` is persisted.
+    pub fn upload_path(&self, name: &str) -> PathBuf {
+        self.dbs_dir.join(format!("{name}.dscdb"))
+    }
+
+    /// Registers an uploaded body (text or `DSCDB1`), persisting it for
+    /// restart. `persist` is off when reloading from the manifest (the
+    /// file already exists and re-writing it proves nothing).
+    pub fn register_upload(
+        &mut self,
+        name: &str,
+        body: &[u8],
+        persist: bool,
+    ) -> Result<Arc<DbEntry>, RegisterError> {
+        self.check_name_free(name)?;
+        let db = parse_database(body)?;
+        if persist {
+            std::fs::create_dir_all(&self.dbs_dir)
+                .map_err(|e| DiscError::from_io(&self.dbs_dir, &e))?;
+            let path = self.upload_path(name);
+            let bytes = disc_core::encode_database(&db);
+            std::fs::write(&path, &bytes).map_err(|e| DiscError::from_io(&path, &e))?;
+        }
+        let entry = Arc::new(DbEntry::build(name.to_string(), db, DbSource::Upload));
+        self.entries.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Registers a server-local path: a `.dscfd` flat file or a store
+    /// directory (via its compacted mirror, refusing a stale one).
+    pub fn register_attach(
+        &mut self,
+        name: &str,
+        path: &Path,
+    ) -> Result<Arc<DbEntry>, RegisterError> {
+        self.check_name_free(name)?;
+        let db = load_attached(path)?;
+        let entry =
+            Arc::new(DbEntry::build(name.to_string(), db, DbSource::Attach(path.to_path_buf())));
+        self.entries.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Looks up a database by name.
+    pub fn get(&self, name: &str) -> Option<Arc<DbEntry>> {
+        self.entries.get(name).cloned()
+    }
+
+    /// All entries, sorted by name for stable listings.
+    pub fn list(&self) -> Vec<Arc<DbEntry>> {
+        let mut all: Vec<_> = self.entries.values().cloned().collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    fn check_name_free(&self, name: &str) -> Result<(), RegisterError> {
+        if !valid_name(name) {
+            return Err(RegisterError::Disc(DiscError::Config {
+                option: "name".into(),
+                reason: "database names are 1-64 chars of [A-Za-z0-9._-], not starting with '.'"
+                    .into(),
+            }));
+        }
+        if self.entries.contains_key(name) {
+            return Err(RegisterError::Conflict(format!("database {name:?} already registered")));
+        }
+        Ok(())
+    }
+}
+
+/// Parses an uploaded body the way `disc-mine` loads a database file:
+/// `DSCDB1` by magic, text otherwise.
+fn parse_database(body: &[u8]) -> Result<SequenceDatabase, DiscError> {
+    if body.starts_with(b"DSCDB1\n") {
+        return Ok(disc_core::decode_database(body)?);
+    }
+    let text = std::str::from_utf8(body).map_err(|_| DiscError::Config {
+        option: "body".into(),
+        reason: "neither DSCDB1 binary nor UTF-8 text".into(),
+    })?;
+    Ok(SequenceDatabase::from_text(text)?)
+}
+
+/// Loads an attached path. Store directories go through the stale-mirror
+/// check; plain paths must be a flat file.
+fn load_attached(path: &Path) -> Result<SequenceDatabase, RegisterError> {
+    if path.is_dir() {
+        return load_store_mirror(path);
+    }
+    let contents = open_flat_file(path, Verify::Full)?;
+    Ok(materialize(&contents))
+}
+
+/// Opens a store directory and loads its compacted `.dscfd` mirror,
+/// refusing a mirror that is stale relative to the recovered rows.
+fn load_store_mirror(dir: &Path) -> Result<SequenceDatabase, RegisterError> {
+    let store = SequenceStore::open(dir, StoreConfig::default())
+        .map_err(|e| RegisterError::Disc(DiscError::Store(e)))?;
+    let live_fp = store.fingerprint();
+    let flat_path = store.flat_file_path();
+    store.close().map_err(|e| RegisterError::Disc(DiscError::Store(e)))?;
+    let mirror_fp = peek_flat_file_fingerprint(&flat_path).map_err(RegisterError::Disc)?;
+    if mirror_fp != live_fp {
+        return Err(RegisterError::Conflict(format!(
+            "flat mirror {} is stale (fingerprint {mirror_fp:#018x}, store {live_fp:#018x}); \
+             run `disc-mine store compact` first",
+            flat_path.display()
+        )));
+    }
+    let contents = open_flat_file(&flat_path, Verify::Full).map_err(RegisterError::Disc)?;
+    Ok(materialize(&contents))
+}
+
+/// Materializes a heap database from flat-file contents, restoring original
+/// item ids through the on-disk dictionary. Row order is preserved;
+/// customer ids are positional (the flat format does not store them — they
+/// do not affect mining or the rendered patterns).
+fn materialize(contents: &disc_core::FlatFileContents) -> SequenceDatabase {
+    SequenceDatabase::from_rows((0..contents.flat.len()).map(|i| {
+        let compact = contents.flat.row(i).to_sequence();
+        (disc_core::CustomerId(i as u64), contents.mapping.restore_sequence(&compact))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("disc-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn upload_roundtrips_both_formats_and_persists() {
+        let d = dir("upload");
+        let mut reg = DbRegistry::new(d.join("dbs"));
+        let text = "1: (a, e, g)(b)\n2: (b)(d, f)\n";
+        let entry = reg.register_upload("t1", text.as_bytes(), true).unwrap();
+        assert_eq!(entry.rows, 2);
+        let db = SequenceDatabase::from_text(text).unwrap();
+        assert_eq!(entry.fingerprint, database_fingerprint(&db));
+
+        // The persisted DSCDB1 reloads to the same fingerprint.
+        let bytes = std::fs::read(reg.upload_path("t1")).unwrap();
+        let mut reg2 = DbRegistry::new(d.join("dbs"));
+        let entry2 = reg2.register_upload("t1", &bytes, false).unwrap();
+        assert_eq!(entry2.fingerprint, entry.fingerprint);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn duplicate_and_invalid_names_are_refused() {
+        let d = dir("names");
+        let mut reg = DbRegistry::new(d.join("dbs"));
+        reg.register_upload("ok-name_1", b"1: (a)\n", false).unwrap();
+        assert!(matches!(
+            reg.register_upload("ok-name_1", b"1: (a)\n", false),
+            Err(RegisterError::Conflict(_))
+        ));
+        for bad in ["", "has space", "a/b", ".hidden", &"x".repeat(65)] {
+            assert!(
+                matches!(
+                    reg.register_upload(bad, b"1: (a)\n", false),
+                    Err(RegisterError::Disc(DiscError::Config { .. }))
+                ),
+                "name {bad:?} should be rejected"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn attach_flat_file_restores_original_items() {
+        let d = dir("attach");
+        let text = "1: (1000)(2000)\n2: (1000)\n";
+        let db = SequenceDatabase::from_text(text).unwrap();
+        let flat = d.join("db.dscfd");
+        disc_core::write_flat_file(&flat, &disc_core::encode_database_flat_file(&db)).unwrap();
+
+        let mut reg = DbRegistry::new(d.join("dbs"));
+        let entry = reg.register_attach("flat", &flat).unwrap();
+        assert_eq!(entry.rows, 2);
+        // Items come back in original (sparse) ids, so patterns rendered
+        // from this entry match a direct text mine.
+        let restored = entry.db.sequence(0).to_string();
+        assert_eq!(restored, "(1000)(2000)");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn attaching_a_missing_or_garbage_path_is_a_typed_error() {
+        let d = dir("badattach");
+        let mut reg = DbRegistry::new(d.join("dbs"));
+        assert!(matches!(
+            reg.register_attach("gone", &d.join("nope.dscfd")),
+            Err(RegisterError::Disc(_))
+        ));
+        let garbage = d.join("garbage.dscfd");
+        std::fs::write(&garbage, b"not a flat file at all").unwrap();
+        assert!(matches!(reg.register_attach("bad", &garbage), Err(RegisterError::Disc(_))));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -1,0 +1,110 @@
+//! [`DiscError`] → HTTP status mapping, in parity with the `disc-mine`
+//! exit-code contract.
+//!
+//! The CLI distinguishes four outcomes: `0` success, `2` usage error,
+//! `1` permanent failure, `75` (`EX_TEMPFAIL`) transient failure. The
+//! server maps the same classification onto HTTP:
+//!
+//! | exit code | meaning            | HTTP                              |
+//! |-----------|--------------------|-----------------------------------|
+//! | 0         | success            | 2xx                               |
+//! | 2         | usage error        | 400 Bad Request                   |
+//! | 1         | permanent failure  | 422 Unprocessable Entity          |
+//! | 75        | transient failure  | 503 Service Unavailable + Retry-After |
+//!
+//! Transience is decided by the same [`DiscError::is_transient`] predicate
+//! the CLI uses for exit 75, so a supervisor watching either interface sees
+//! one consistent retry contract.
+
+use crate::http::{json_escape, Response};
+use disc_core::DiscError;
+
+/// The `Retry-After` value (seconds) sent with every 503. Transient faults
+/// here are `EINTR`/`EAGAIN`-class: already retried with backoff once by
+/// the IO layer, so a short client-side pause is enough.
+pub const RETRY_AFTER_SECS: u32 = 1;
+
+/// The HTTP status for a [`DiscError`], per the table above.
+pub fn status_for(err: &DiscError) -> u16 {
+    if err.is_transient() {
+        return 503;
+    }
+    match err {
+        // A bad flag/option value is the HTTP analogue of the CLI's usage
+        // exit (2): the request itself is wrong, not the data it names.
+        DiscError::Config { .. } => 400,
+        // Malformed uploads and corrupt/mismatched on-disk state are
+        // permanent (exit 1): retrying the identical request cannot help,
+        // but the request was syntactically fine.
+        _ => 422,
+    }
+}
+
+/// Builds the error response for `err`: the mapped status, a JSON body
+/// carrying the rendered message and the transience flag, and
+/// `Retry-After` on 503s.
+pub fn error_response(err: &DiscError) -> Response {
+    let status = status_for(err);
+    let body = format!(
+        "{{\"error\":\"{}\",\"transient\":{}}}",
+        json_escape(&err.to_string()),
+        err.is_transient()
+    );
+    let resp = Response::json(status, body);
+    if status == 503 {
+        resp.with_header("Retry-After", RETRY_AFTER_SECS.to_string())
+    } else {
+        resp
+    }
+}
+
+/// A bare-message error response for failures that never came from a
+/// [`DiscError`] (unknown routes, bad parameters, conflicts).
+pub fn plain_error(status: u16, message: &str) -> Response {
+    Response::json(status, format!("{{\"error\":\"{}\"}}", json_escape(message)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disc_core::{CheckpointError, ParseError};
+    use std::path::PathBuf;
+
+    #[test]
+    fn transient_io_maps_to_503_with_retry_after() {
+        let err = DiscError::Io {
+            path: PathBuf::from("/x"),
+            message: "interrupted".into(),
+            transient: true,
+        };
+        assert_eq!(status_for(&err), 503);
+        let resp = error_response(&err);
+        assert!(resp.headers.iter().any(|(n, v)| *n == "Retry-After" && v == "1"));
+    }
+
+    #[test]
+    fn usage_class_errors_map_to_400() {
+        let err = DiscError::Config { option: "minsup".into(), reason: "not a number".into() };
+        assert_eq!(status_for(&err), 400);
+    }
+
+    #[test]
+    fn permanent_data_errors_map_to_422() {
+        assert_eq!(status_for(&DiscError::Parse(ParseError::UnexpectedEnd)), 422);
+        assert_eq!(
+            status_for(&DiscError::Io {
+                path: PathBuf::from("/x"),
+                message: "no space".into(),
+                transient: false,
+            }),
+            422
+        );
+        // A transient checkpoint IO error still rides the 503 path.
+        let err = DiscError::Checkpoint(CheckpointError::Io {
+            path: PathBuf::from("/x"),
+            message: "interrupted".into(),
+            transient: true,
+        });
+        assert_eq!(status_for(&err), 503);
+    }
+}

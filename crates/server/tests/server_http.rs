@@ -1,0 +1,367 @@
+//! End-to-end tests over a real TCP socket: a `Server` per test, driven by
+//! a hand-rolled HTTP/1.1 client, checked against direct library mining.
+//!
+//! The invariants under test are the serving contract:
+//!
+//! * a served result is **byte-identical** to `disc-mine` on the same
+//!   database and threshold, even when the job was preempted across many
+//!   slices or across a drain/restart;
+//! * a repeat query is served from the cache with **no miner invocation**;
+//! * cancellation settles the job without corrupting its peers;
+//! * two tenants make interleaved progress (fair round-robin);
+//! * malformed requests get typed 4xx responses, never a hang or a panic.
+
+use disc_algo::DiscAll;
+use disc_core::{MinSupport, SequenceDatabase, SequentialMiner};
+use disc_datagen::QuestConfig;
+use disc_server::{SchedulerConfig, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Harness.
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("disc-server-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn start(
+    data_dir: &Path,
+    slice_ops: u64,
+) -> (Server, SocketAddr, std::thread::JoinHandle<Vec<u64>>) {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: data_dir.to_path_buf(),
+        scheduler: SchedulerConfig { threads: 2, slice_ops, checkpoint_every: 1 },
+        cache_entries: 16,
+        default_max_ops: None,
+    };
+    let server = Server::new(cfg);
+    let runner = server.clone();
+    let handle = std::thread::spawn(move || runner.run().expect("server run"));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        if let Some(a) = server.local_addr() {
+            break a;
+        }
+        assert!(Instant::now() < deadline, "server never bound");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    (server, addr, handle)
+}
+
+/// One HTTP request over a fresh connection; returns (status, body).
+fn http(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).unwrap();
+    s.write_all(body).unwrap();
+    let mut resp = Vec::new();
+    s.read_to_end(&mut resp).unwrap();
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    let status: u16 = text.get(9..12).and_then(|s| s.parse().ok()).expect("status line");
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    http(addr, "GET", target, b"")
+}
+
+fn post(addr: SocketAddr, target: &str, body: &[u8]) -> (u16, String) {
+    http(addr, "POST", target, body)
+}
+
+fn drain(addr: SocketAddr, handle: std::thread::JoinHandle<Vec<u64>>) -> Vec<u64> {
+    let (status, _) = post(addr, "/admin/drain", b"");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread")
+}
+
+/// Polls `/jobs/{id}` until its state is terminal; returns the final state.
+fn wait_terminal(addr: SocketAddr, id: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = get(addr, &format!("/jobs/{id}"));
+        assert_eq!(status, 200, "{body}");
+        let state = field(&body, "state");
+        if state == "done" || state == "failed" || state == "cancelled" {
+            return state;
+        }
+        assert!(Instant::now() < deadline, "job {id} never settled: {body}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Extracts a `"key":"value"` or `"key":value` field from a flat JSON body.
+fn field(json: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":");
+    let rest =
+        &json[json.find(&needle).unwrap_or_else(|| panic!("{key} in {json}")) + needle.len()..];
+    let rest = rest.strip_prefix('"').unwrap_or(rest);
+    rest.split(['"', ',', '}']).next().unwrap().to_string()
+}
+
+/// The exact bytes `disc-mine` prints for this database and threshold.
+fn expected(db: &SequenceDatabase, delta: u64) -> String {
+    DiscAll::default()
+        .mine(db, MinSupport::Count(delta))
+        .iter()
+        .map(|(p, s)| format!("{s}\t{p}\n"))
+        .collect()
+}
+
+/// A database big enough that a small-slice job preempts many times.
+fn quest_db(seed: u64) -> SequenceDatabase {
+    QuestConfig::paper_table11()
+        .with_ncust(60)
+        .with_nitems(40)
+        .with_pools(40, 80)
+        .with_slen(8.0)
+        .with_seed(seed)
+        .generate()
+}
+
+// ---------------------------------------------------------------------
+// Tests.
+
+#[test]
+fn round_trip_is_byte_identical_to_direct_mining() {
+    let dir = temp_dir("roundtrip");
+    let (_server, addr, handle) = start(&dir, 1_000_000);
+    let db = quest_db(1);
+    let (status, body) = post(addr, "/dbs?name=q1", &disc_core::encode_database(&db));
+    assert_eq!(status, 201, "{body}");
+    assert_eq!(field(&body, "rows"), "60");
+
+    let (status, body) = post(addr, "/jobs?db=q1&delta=6&tenant=alice", b"");
+    assert!(status == 202 || status == 200, "{status} {body}");
+    assert_eq!(wait_terminal(addr, 1), "done");
+
+    let (status, served) = get(addr, "/jobs/1/result");
+    assert_eq!(status, 200);
+    let want = expected(&db, 6);
+    assert!(!want.is_empty(), "test database must produce patterns");
+    assert_eq!(served, want, "served bytes differ from direct mining");
+
+    // Pagination composes: offset/limit slice the same line stream.
+    let (_, page0) = get(addr, "/jobs/1/result?offset=0&limit=3");
+    let (_, page1) = get(addr, "/jobs/1/result?offset=3&limit=3");
+    let first6: String = want.lines().take(6).map(|l| format!("{l}\n")).collect();
+    assert_eq!(format!("{page0}{page1}"), first6);
+
+    // min_length filters exactly like `disc-mine --min-length`.
+    let (_, long_only) = get(addr, "/jobs/1/result?min_length=2");
+    assert!(long_only.lines().count() < want.lines().count());
+    assert!(long_only.lines().all(|l| want.contains(l)));
+
+    drain(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repeat_queries_hit_the_cache_without_mining() {
+    let dir = temp_dir("cache");
+    let (server, addr, handle) = start(&dir, 1_000_000);
+    let db = quest_db(2);
+    post(addr, "/dbs?name=q", &disc_core::encode_database(&db));
+
+    let (_, first) = post(addr, "/jobs?db=q&delta=8", b"");
+    assert_eq!(field(&first, "cached"), "false");
+    assert_eq!(wait_terminal(addr, 1), "done");
+    let invocations_after_first =
+        server.scheduler().mine_invocations.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(invocations_after_first >= 1);
+
+    // Same (db, δ, algo, mode): answered from the cache, born done.
+    let (status, second) = post(addr, "/jobs?db=q&delta=8", b"");
+    assert_eq!(status, 200, "cache hits answer immediately: {second}");
+    assert_eq!(field(&second, "cached"), "true");
+    assert_eq!(field(&second, "state"), "done");
+    assert_eq!(
+        server.scheduler().mine_invocations.load(std::sync::atomic::Ordering::Relaxed),
+        invocations_after_first,
+        "a cached hit must not invoke a miner"
+    );
+
+    // The cached job serves the same bytes as the mined one.
+    let (_, a) = get(addr, "/jobs/1/result");
+    let (_, b) = get(addr, "/jobs/2/result");
+    assert_eq!(a, b);
+
+    // A different threshold is a different key — mined, not served stale.
+    let (status, third) = post(addr, "/jobs?db=q&delta=20", b"");
+    assert_eq!(status, 202, "{third}");
+    assert_eq!(wait_terminal(addr, 3), "done");
+    let (_, stats) = get(addr, "/stats");
+    assert_eq!(field(&stats, "hits"), "1");
+
+    drain(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancellation_mid_run_settles_without_a_result() {
+    let dir = temp_dir("cancel");
+    // Tiny slices: the job is guaranteed to still be alive when the cancel
+    // arrives, and cancellation lands on a running or queued slice.
+    let (_server, addr, handle) = start(&dir, 50);
+    let db = quest_db(3);
+    post(addr, "/dbs?name=q", &disc_core::encode_database(&db));
+    post(addr, "/jobs?db=q&delta=4", b"");
+
+    let (status, body) = post(addr, "/jobs/1/cancel", b"");
+    assert_eq!(status, 200);
+    assert_eq!(field(&body, "state"), "cancelled");
+    assert_eq!(wait_terminal(addr, 1), "cancelled");
+
+    let (status, _) = get(addr, "/jobs/1/result");
+    assert_eq!(status, 409, "cancelled jobs have no result");
+
+    // Cancelling a terminal job is a no-op, not an error.
+    let (status, body) = http(addr, "DELETE", "/jobs/1", b"");
+    assert_eq!(status, 200);
+    assert_eq!(field(&body, "state"), "cancelled");
+
+    drain(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_tenants_share_the_pool_and_both_finish_identically() {
+    let dir = temp_dir("fairness");
+    let (_server, addr, handle) = start(&dir, 300);
+    let db = quest_db(4);
+    post(addr, "/dbs?name=q", &disc_core::encode_database(&db));
+
+    post(addr, "/jobs?db=q&delta=5&tenant=alice", b"");
+    post(addr, "/jobs?db=q&delta=6&tenant=bob&nocache=1", b"");
+    assert_eq!(wait_terminal(addr, 1), "done");
+    assert_eq!(wait_terminal(addr, 2), "done");
+
+    // Both results are byte-identical to direct mining despite slicing.
+    let (_, a) = get(addr, "/jobs/1/result");
+    let (_, b) = get(addr, "/jobs/2/result");
+    assert_eq!(a, expected(&db, 5));
+    assert_eq!(b, expected(&db, 6));
+
+    // Small slices on this database mean both jobs were preempted — the
+    // pool was genuinely shared, not run-to-completion in turn.
+    let (_, j1) = get(addr, "/jobs/1");
+    let (_, j2) = get(addr, "/jobs/2");
+    let p1: u32 = field(&j1, "preemptions").parse().unwrap();
+    let p2: u32 = field(&j2, "preemptions").parse().unwrap();
+    assert!(p1 > 0 && p2 > 0, "expected preemptions, got {p1} and {p2}");
+
+    // Both tenants' spend is on the books.
+    let (_, tenants) = get(addr, "/tenants");
+    assert!(tenants.contains("\"tenant\":\"alice\""), "{tenants}");
+    assert!(tenants.contains("\"tenant\":\"bob\""), "{tenants}");
+
+    drain(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_get_typed_rejections() {
+    let dir = temp_dir("malformed");
+    let (_server, addr, handle) = start(&dir, 1_000_000);
+
+    // Not HTTP at all.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+
+    // Unknown resource / wrong method.
+    assert_eq!(get(addr, "/nope").0, 404);
+    assert_eq!(http(addr, "PUT", "/jobs", b"").0, 405);
+    assert_eq!(get(addr, "/jobs/999").0, 404);
+    assert_eq!(get(addr, "/jobs/not-a-number").0, 404);
+
+    // Parameter validation: missing, unknown, unparseable.
+    assert_eq!(post(addr, "/jobs", b"").0, 400);
+    assert_eq!(post(addr, "/jobs?db=missing", b"").0, 404);
+    assert_eq!(post(addr, "/dbs", b"junk").0, 400, "missing name");
+    assert_eq!(post(addr, "/dbs?name=bad/name", b"1: (a)\n").0, 400);
+
+    let (status, _) = post(addr, "/dbs?name=ok", b"1: (a)(b)\n2: (a)\n");
+    assert_eq!(status, 201);
+    assert_eq!(post(addr, "/dbs?name=ok", b"1: (a)\n").0, 409, "duplicate name");
+    assert_eq!(post(addr, "/jobs?db=ok&algo=quantum", b"").0, 400);
+    assert_eq!(post(addr, "/jobs?db=ok&mode=sideways", b"").0, 400);
+    assert_eq!(post(addr, "/jobs?db=ok&delta=nope", b"").0, 400);
+    assert_eq!(post(addr, "/jobs?db=ok&minsup=7", b"").0, 400, "minsup over 1");
+    assert_eq!(post(addr, "/jobs?db=ok&minsup=0.5&delta=2", b"").0, 400, "both thresholds");
+
+    // A body that is neither DSCDB1 nor UTF-8 cannot be interpreted at all:
+    // a usage error (400). UTF-8 text that fails to parse as a database is
+    // well-formed but invalid data: 422, the exit-1 analogue.
+    assert_eq!(post(addr, "/dbs?name=garbage", &[0xFF, 0xFE, 0x00]).0, 400);
+    assert_eq!(post(addr, "/dbs?name=garbage", b"1: (((\n").0, 422);
+
+    drain(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_checkpoints_and_a_second_server_resumes_bit_identically() {
+    let dir = temp_dir("drainresume");
+    let db = quest_db(5);
+
+    // First server: a quick job that finishes, and a slow-sliced job that
+    // will still be mid-run at drain time.
+    let (_s1, addr, handle) = start(&dir, 120);
+    post(addr, "/dbs?name=q", &disc_core::encode_database(&db));
+    let (_, quick) = post(addr, "/jobs?db=q&delta=30", b"");
+    let quick_id: u64 = field(&quick, "id").parse().unwrap();
+    assert_eq!(wait_terminal(addr, quick_id), "done");
+    let (_, quick_bytes) = get(addr, &format!("/jobs/{quick_id}/result"));
+
+    let (_, slow) = post(addr, "/jobs?db=q&delta=4", b"");
+    let slow_id: u64 = field(&slow, "id").parse().unwrap();
+    // Let it spend at least one slice so a checkpoint exists, then drain.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (_, body) = get(addr, &format!("/jobs/{slow_id}"));
+        if field(&body, "state") == "done" {
+            panic!("slow job finished before drain; shrink slice_ops");
+        }
+        if field(&body, "progress") != "null" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no checkpoint appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let queued = drain(addr, handle);
+    assert!(queued.contains(&slow_id), "drained job left queued: {queued:?}");
+
+    // Second server over the same data dir: the finished job's result is
+    // still served, the interrupted one resumes from its checkpoint.
+    let (_s2, addr2, handle2) = start(&dir, 1_000_000);
+    let (status, body) = get(addr2, &format!("/jobs/{quick_id}/result"));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, quick_bytes, "pre-drain result must survive the restart");
+
+    assert_eq!(wait_terminal(addr2, slow_id), "done");
+    let (_, resumed) = get(addr2, &format!("/jobs/{slow_id}/result"));
+    assert_eq!(resumed, expected(&db, 4), "resumed result differs from direct mining");
+
+    // The reloaded results warmed the cache: a repeat of the pre-drain
+    // query is served without mining.
+    let (status, repeat) = post(addr2, "/jobs?db=q&delta=30", b"");
+    assert_eq!(status, 200, "{repeat}");
+    assert_eq!(field(&repeat, "cached"), "true");
+
+    drain(addr2, handle2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

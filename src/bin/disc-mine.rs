@@ -10,6 +10,8 @@
 //! disc-mine store compact --dir DIR
 //! disc-mine store fsck --dir DIR
 //! disc-mine store mine --dir DIR [--mmap] [mining flags as above]
+//! disc-mine serve --data-dir DIR [--addr HOST:PORT] [--threads N]
+//!           [--slice-ops N] [--cache-entries N]
 //! ```
 //!
 //! The database format is one customer per line: `cid: (a, b)(c)(a, d)` —
@@ -55,6 +57,7 @@ fn usage() -> ! {
          \t[--checkpoint-dir DIR] [--resume FILE.dscck]\n\
          or:    disc-mine pack <database.txt|.dscdb> <out.dscfd>\n\
          or:    disc-mine store <ingest|compact|fsck|mine> ... (see `disc-mine store --help`)\n\
+         or:    disc-mine serve --data-dir DIR ... (see `disc-mine serve --help`)\n\
          A .dscfd input is memory-mapped and mined zero-copy (disc-all,\n\
          dynamic, and parallel only); other inputs are loaded to the heap.\n\
          --checkpoint-dir writes durable snapshots at partition boundaries (and\n\
@@ -635,6 +638,83 @@ fn store_main(argv: Vec<String>) -> ! {
     }
 }
 
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: disc-mine serve --data-dir DIR [--addr HOST:PORT] [--threads N]\n\
+         \t[--slice-ops N] [--checkpoint-every N] [--cache-entries N]\n\
+         \t[--default-max-ops N]\n\
+         Starts the multi-tenant mining server. State (databases, job\n\
+         checkpoints, results, manifest) persists under --data-dir; SIGTERM\n\
+         drains gracefully — running jobs checkpoint at their next partition\n\
+         boundary and a restarted server resumes them bit-identically.\n\
+         Default addr is 127.0.0.1:7031; port 0 picks a free port (printed)."
+    );
+    exit(2);
+}
+
+fn serve_main(argv: Vec<String>) -> ! {
+    let mut cfg =
+        disc_miner::server::ServerConfig { addr: "127.0.0.1:7031".into(), ..Default::default() };
+    let mut data_dir: Option<String> = None;
+    let mut args = argv.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--data-dir" => data_dir = Some(args.next().unwrap_or_else(|| serve_usage())),
+            "--addr" => cfg.addr = args.next().unwrap_or_else(|| serve_usage()),
+            "--threads" => {
+                cfg.scheduler.threads =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage());
+            }
+            "--slice-ops" => {
+                cfg.scheduler.slice_ops =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage());
+            }
+            "--checkpoint-every" => {
+                cfg.scheduler.checkpoint_every =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage());
+            }
+            "--cache-entries" => {
+                cfg.cache_entries =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage());
+            }
+            "--default-max-ops" => {
+                cfg.default_max_ops =
+                    Some(args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage()));
+            }
+            _ => serve_usage(),
+        }
+    }
+    cfg.data_dir = PathBuf::from(data_dir.unwrap_or_else(|| serve_usage()));
+
+    let server = disc_miner::server::Server::new(cfg);
+    // Announce the bound address from a sidecar thread once run() binds —
+    // scripted clients (CI, benches) parse this line to find a port-0 pick.
+    let announce = server.clone();
+    std::thread::spawn(move || loop {
+        if let Some(addr) = announce.local_addr() {
+            println!("disc-server listening on {addr}");
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    });
+    match server.run() {
+        Ok(queued) => {
+            eprintln!("disc-server drained; {} job(s) left resumable", queued.len());
+            exit(0);
+        }
+        Err(e) => {
+            eprintln!("disc-server failed: {e}");
+            let transient = matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            );
+            exit(if transient { EXIT_TRANSIENT } else { 1 });
+        }
+    }
+}
+
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("store") {
@@ -642,6 +722,9 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("pack") {
         pack_main(argv.split_off(1));
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        serve_main(argv.split_off(1));
     }
     let args = parse_args(argv);
     if is_flat_file(&args.path) {
