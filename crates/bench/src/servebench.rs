@@ -124,6 +124,20 @@ fn run_job(addr: SocketAddr, target: &str) -> Duration {
     }
 }
 
+/// One hostile request: a declared `Content-Length` far over the body cap,
+/// with no body behind it. The server must answer 413 from the header
+/// alone; the returned duration is the full refusal round trip.
+fn rejected_413(addr: SocketAddr) -> Duration {
+    let start = Instant::now();
+    let mut s = TcpStream::connect(addr).expect("connect to bench server");
+    s.write_all(b"POST /dbs?name=hostile HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n")
+        .unwrap();
+    let mut resp = Vec::new();
+    s.read_to_end(&mut resp).unwrap();
+    assert!(resp.starts_with(b"HTTP/1.1 413"), "expected a prompt 413");
+    start.elapsed()
+}
+
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
     sorted_ms[idx.min(sorted_ms.len() - 1)]
@@ -203,9 +217,14 @@ pub fn run() -> Vec<ServeRun> {
     let server = Server::new(ServerConfig {
         addr: "127.0.0.1:0".into(),
         data_dir,
-        scheduler: SchedulerConfig { threads: 2, slice_ops: 2_000_000, checkpoint_every: 8 },
+        scheduler: SchedulerConfig {
+            threads: 2,
+            slice_ops: 2_000_000,
+            checkpoint_every: 8,
+            ..SchedulerConfig::default()
+        },
         cache_entries: 64,
-        default_max_ops: None,
+        ..ServerConfig::default()
     });
     let runner = server.clone();
     let handle = std::thread::spawn(move || runner.run().expect("bench server"));
@@ -255,6 +274,20 @@ pub fn run() -> Vec<ServeRun> {
         print_row(&r);
         rows.push(r);
     }
+
+    // Fast rejection: an over-cap declared Content-Length must be refused
+    // from the header alone, so shedding hostile uploads costs microseconds
+    // of parsing — never a buffer, never a miner invocation. This is the
+    // admission-control claim in ALGORITHM.md §17, measured.
+    let before = server.scheduler().mine_invocations.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let mut reject_ms: Vec<f64> = (0..50).map(|_| rejected_413(addr).as_secs_f64() * 1e3).collect();
+    let total = start.elapsed();
+    let extra = server.scheduler().mine_invocations.load(Ordering::Relaxed) - before;
+    assert_eq!(extra, 0, "rejections must not touch the miner");
+    let r = row("reject-413", total, &mut reject_ms, extra);
+    print_row(&r);
+    rows.push(r);
 
     let (status, _) = http(addr, "POST", "/admin/drain", b"");
     assert_eq!(status, 200);

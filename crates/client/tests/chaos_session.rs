@@ -1,0 +1,180 @@
+//! End-to-end chaos sessions: the retrying client against a live server
+//! with deterministic network faults injected on one or both sides.
+//!
+//! The invariant (ALGORITHM.md §17): under any seeded fault schedule the
+//! session either completes with output byte-identical to direct
+//! `disc-mine`, or fails with a typed transient error — never a corrupt
+//! result, never a hang.
+
+use disc_algo::DiscAll;
+use disc_client::{Client, ClientConfig, JobRequest};
+use disc_core::{MinSupport, RetryPolicy, SequenceDatabase, SequentialMiner};
+use disc_datagen::QuestConfig;
+use disc_server::chaos::ChaosConfig;
+use disc_server::{QuotaConfig, RateLimit, SchedulerConfig, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("disc-chaos-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn start(
+    data_dir: &Path,
+    chaos: Option<ChaosConfig>,
+    quotas: QuotaConfig,
+) -> (Server, SocketAddr, std::thread::JoinHandle<Vec<u64>>) {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: data_dir.to_path_buf(),
+        scheduler: SchedulerConfig {
+            threads: 2,
+            slice_ops: 50_000,
+            quotas,
+            ..SchedulerConfig::default()
+        },
+        cache_entries: 16,
+        chaos,
+        ..ServerConfig::default()
+    };
+    let server = Server::new(cfg);
+    let runner = server.clone();
+    let handle = std::thread::spawn(move || runner.run().expect("server run"));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        if let Some(a) = server.local_addr() {
+            break a;
+        }
+        assert!(Instant::now() < deadline, "server never bound");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    (server, addr, handle)
+}
+
+fn drain(addr: SocketAddr, handle: std::thread::JoinHandle<Vec<u64>>) {
+    let quiet = Client::new(ClientConfig { addr: addr.to_string(), ..ClientConfig::default() });
+    let _ = quiet.request("POST", "/admin/drain", b"");
+    handle.join().expect("server thread");
+}
+
+fn test_db(seed: u64) -> SequenceDatabase {
+    QuestConfig::paper_table11()
+        .with_ncust(60)
+        .with_nitems(40)
+        .with_pools(40, 80)
+        .with_slen(8.0)
+        .with_seed(seed)
+        .generate()
+}
+
+fn expected(db: &SequenceDatabase, delta: u64) -> Vec<u8> {
+    DiscAll::default()
+        .mine(db, MinSupport::Count(delta))
+        .iter()
+        .map(|(p, s)| format!("{s}\t{p}\n"))
+        .collect::<String>()
+        .into_bytes()
+}
+
+fn chaos_client(addr: SocketAddr, seed: u64) -> Client {
+    Client::new(ClientConfig {
+        addr: addr.to_string(),
+        retry: RetryPolicy {
+            max_attempts: 12,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(100),
+        },
+        chaos: Some(ChaosConfig::moderate(seed)),
+        ..ClientConfig::default()
+    })
+}
+
+#[test]
+fn chaotic_client_sessions_are_byte_identical_to_direct_mining() {
+    let dir = temp_dir("client-side");
+    let (_server, addr, handle) = start(&dir, None, QuotaConfig::default());
+
+    let db = test_db(11);
+    let encoded = disc_core::encode_database(&db);
+    let want = expected(&db, 8);
+
+    let mut total_faults = 0;
+    for seed in [1u64, 42, 0xD15C] {
+        let client = chaos_client(addr, seed);
+        client.upload_db("chaos", &encoded).expect("upload survives chaos");
+        let spec = JobRequest { db: "chaos".into(), delta: 8, ..JobRequest::default() };
+        let got = client.mine(&spec, Duration::from_secs(60)).expect("mine survives chaos");
+        assert_eq!(got, want, "seed {seed}: result diverged from direct mining");
+        total_faults += client.chaos_faults();
+    }
+    // The harness must actually have interfered — otherwise this test
+    // proves nothing about fault recovery.
+    assert!(total_faults > 0, "no faults injected across all seeds");
+
+    drain(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn server_side_chaos_still_yields_identical_results() {
+    let dir = temp_dir("server-side");
+    // The server profile: the request parser reads head bytes one at a
+    // time, so each byte is a fault roll — `light` keeps the per-request
+    // failure rate survivable while still firing every session.
+    let (_server, addr, handle) = start(&dir, Some(ChaosConfig::light(7)), QuotaConfig::default());
+
+    let db = test_db(13);
+    let want = expected(&db, 8);
+    let client = Client::new(ClientConfig {
+        addr: addr.to_string(),
+        retry: RetryPolicy {
+            max_attempts: 16,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(100),
+        },
+        ..ClientConfig::default()
+    });
+    client.upload_db("chaos", &disc_core::encode_database(&db)).expect("upload");
+    let spec = JobRequest { db: "chaos".into(), delta: 8, ..JobRequest::default() };
+    let got = client.mine(&spec, Duration::from_secs(60)).expect("mine");
+    assert_eq!(got, want, "server-side faults corrupted the result");
+
+    drain(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn client_backs_off_on_rate_429_and_eventually_succeeds() {
+    let dir = temp_dir("backoff");
+    let quotas = QuotaConfig {
+        // One token, fast refill: the second submission draws a 429 with
+        // Retry-After and must get through after backing off.
+        rate: Some(RateLimit { burst: 1, per_sec: 5.0 }),
+        ..QuotaConfig::default()
+    };
+    let (_server, addr, handle) = start(&dir, None, quotas);
+
+    let db = test_db(17);
+    let client = Client::new(ClientConfig { addr: addr.to_string(), ..ClientConfig::default() });
+    client.upload_db("q", &disc_core::encode_database(&db)).expect("upload");
+
+    // Burn the burst token, then submit again immediately: the client
+    // must see the 429, honor Retry-After, and succeed on a later try.
+    let spec = JobRequest { db: "q".into(), delta: 8, ..JobRequest::default() };
+    let first = client.submit_job(&spec).expect("first submission admitted");
+    let before = client.retries();
+    let second = client.submit_job(&spec).expect("client retries through the 429");
+    assert!(client.retries() > before, "the 429 must be absorbed by backing off, not surfaced");
+    // Identical spec → the result cache may return the same job id; both
+    // must reach a terminal state either way.
+    let deadline = Duration::from_secs(60);
+    assert_eq!(client.wait_terminal(first, deadline).expect("first settles"), "done");
+    assert_eq!(client.wait_terminal(second, deadline).expect("second settles"), "done");
+
+    drain(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}

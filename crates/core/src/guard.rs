@@ -56,6 +56,27 @@ pub fn is_transient_io_kind(kind: std::io::ErrorKind) -> bool {
     )
 }
 
+/// Whether an [`std::io::ErrorKind`] is **transient at the network layer**:
+/// the [`is_transient_io_kind`] class plus the socket failures a retrying
+/// client (or an accept loop) should absorb — peers resetting or aborting
+/// connections, half-written responses, and a listener that is momentarily
+/// refusing (e.g. across a server restart). A *local-file* writer must keep
+/// using [`is_transient_io_kind`]: a reset on a file path would be a bug
+/// worth surfacing, not retrying.
+pub fn is_transient_net_kind(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind;
+    is_transient_io_kind(kind)
+        || matches!(
+            kind,
+            ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::ConnectionRefused
+                | ErrorKind::BrokenPipe
+                | ErrorKind::NotConnected
+                | ErrorKind::UnexpectedEof
+        )
+}
+
 /// A bounded retry schedule with exponential, jittered backoff, shared by
 /// every durable writer in the workspace (WAL appends, checkpoint snapshots,
 /// store snapshot publication).
@@ -91,7 +112,15 @@ impl RetryPolicy {
     }
 
     /// The backoff before retry number `retry` (0-based), jittered into
-    /// `[50%, 100%]` of the exponential step by `salt`.
+    /// `[50%, 100%]` of the exponential step by `salt`. Public so callers
+    /// running their own retry loops (the HTTP client honors `Retry-After`
+    /// and response statuses, which [`retry_transient`] cannot see) still
+    /// sleep on the shared jittered schedule. Draw `salt` once per retried
+    /// operation from [`fresh_retry_salt`].
+    pub fn delay(&self, retry: u32, salt: u64) -> Duration {
+        self.backoff(retry, salt)
+    }
+
     fn backoff(&self, retry: u32, salt: u64) -> Duration {
         let step =
             self.base_delay.saturating_mul(1u32 << retry.min(16)).min(self.max_delay).as_nanos()
@@ -118,6 +147,13 @@ fn splitmix64(mut x: u64) -> u64 {
 /// concurrent writers back off on decorrelated schedules.
 static RETRY_SALT: AtomicU64 = AtomicU64::new(0x243F_6A88_85A3_08D3);
 
+/// Draws the next salt from the per-process jitter stream — the same stream
+/// [`retry_transient`] uses, for callers running their own retry loops with
+/// [`RetryPolicy::delay`].
+pub fn fresh_retry_salt() -> u64 {
+    RETRY_SALT.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+}
+
 /// Runs `op`, retrying **transient** IO failures (see
 /// [`is_transient_io_kind`]) up to `policy.max_attempts` total attempts with
 /// jittered exponential backoff. Permanent failures — and the final
@@ -127,7 +163,7 @@ pub fn retry_transient<T>(
     policy: RetryPolicy,
     mut op: impl FnMut() -> std::io::Result<T>,
 ) -> std::io::Result<T> {
-    let salt = RETRY_SALT.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    let salt = fresh_retry_salt();
     let mut retry = 0u32;
     loop {
         match op() {
@@ -1341,6 +1377,41 @@ mod tests {
             ErrorKind::UnexpectedEof,
         ] {
             assert!(!is_transient_io_kind(kind), "{kind:?} should be permanent");
+        }
+    }
+
+    #[test]
+    fn net_transient_classification_extends_the_io_class() {
+        use std::io::ErrorKind;
+        // Everything IO-transient is net-transient…
+        for kind in [ErrorKind::Interrupted, ErrorKind::WouldBlock, ErrorKind::TimedOut] {
+            assert!(is_transient_net_kind(kind));
+        }
+        // …plus the socket class…
+        for kind in [
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::ConnectionRefused,
+            ErrorKind::BrokenPipe,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert!(is_transient_net_kind(kind), "{kind:?} should be net-transient");
+            assert!(!is_transient_io_kind(kind), "{kind:?} must stay file-permanent");
+        }
+        // …while real data/permission failures stay permanent everywhere.
+        for kind in [ErrorKind::NotFound, ErrorKind::PermissionDenied, ErrorKind::InvalidData] {
+            assert!(!is_transient_net_kind(kind));
+        }
+    }
+
+    #[test]
+    fn public_delay_matches_the_internal_backoff_bounds() {
+        let policy = RetryPolicy::io_default();
+        for retry in 0..4 {
+            let d = policy.delay(retry, fresh_retry_salt());
+            let step = policy.base_delay.saturating_mul(1u32 << retry).min(policy.max_delay);
+            assert!(d <= step, "delay {d:?} exceeds the exponential step {step:?}");
+            assert!(d >= step / 2, "delay {d:?} under half the step {step:?}");
         }
     }
 

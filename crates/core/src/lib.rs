@@ -100,9 +100,9 @@ pub use flatfile::{
     FLAT_FILE_NAME,
 };
 pub use guard::{
-    is_transient_io_kind, retry_transient, run_guarded, AbortReason, BudgetSnapshot, CancelToken,
-    FallbackMiner, GuardStats, GuardedResult, MineGuard, MineOutcome, ResourceBudget, RetryPolicy,
-    SharedCounters, StageReport,
+    fresh_retry_salt, is_transient_io_kind, is_transient_net_kind, retry_transient, run_guarded,
+    AbortReason, BudgetSnapshot, CancelToken, FallbackMiner, GuardStats, GuardedResult, MineGuard,
+    MineOutcome, ResourceBudget, RetryPolicy, SharedCounters, StageReport,
 };
 #[cfg(any(test, feature = "fault-injection"))]
 pub use guard::{FaultPlan, IoFault, IoWriter};

@@ -1,11 +1,12 @@
-//! The server: TCP accept loop, request routing, manifest persistence,
-//! and graceful drain.
+//! The server: TCP accept loop, bounded handler pool, request routing,
+//! manifest persistence, and graceful drain.
 //!
 //! ## Endpoints
 //!
 //! | method & path            | action                                        |
 //! |--------------------------|-----------------------------------------------|
 //! | `GET /healthz`           | liveness                                      |
+//! | `GET /readyz`            | readiness (503 + `Retry-After` when draining or saturated) |
 //! | `GET /stats`             | cache/miner/job counters                      |
 //! | `POST /dbs?name=N`       | register database (body upload, or `attach=PATH`) |
 //! | `GET /dbs`, `GET /dbs/N` | list / inspect databases                      |
@@ -14,7 +15,22 @@
 //! | `GET /jobs/I/result`     | fetch result lines (`offset`/`limit`/`min_length`) |
 //! | `POST /jobs/I/cancel`, `DELETE /jobs/I` | cancel                         |
 //! | `GET /tenants`           | per-tenant spend                              |
+//! | `GET /admin/stats`       | overload snapshot (sheds, queue depth, quota denials) |
 //! | `POST /admin/drain`      | graceful drain (same path as SIGTERM)         |
+//!
+//! ## Admission
+//!
+//! No thread is ever spawned per connection: accepted sockets enter a
+//! bounded [`ConnQueue`] drained by a fixed pool of
+//! [`LimitsConfig::max_connections`] handler threads. A socket arriving at
+//! a full queue is shed with one 503 whose `Retry-After` is computed from
+//! the observed backlog ([`crate::limits::retry_after_secs`]) — never the
+//! old hardcoded `1`. Accepted sockets get read/write deadlines before any
+//! byte is parsed, so a slow-loris client costs one handler thread for at
+//! most one deadline (408), and per-request byte caps refuse oversized
+//! heads/bodies with 413 before buffering. Transient `accept()` failures
+//! (`EMFILE`/`EINTR`-class) are logged and retried with bounded backoff
+//! instead of killing the server. See `ALGORITHM.md` §17.
 //!
 //! ## Durability
 //!
@@ -30,14 +46,18 @@
 //! layer's guarantee.
 
 use crate::cache::{CacheKey, RenderedResult};
-use crate::http::{json_escape, read_request, HttpError, Request, Response};
+use crate::chaos::{ChaosConfig, ChaosLedger, ChaosStream};
+use crate::http::{json_escape, read_request, HttpError, Request, RequestLimits, Response};
 use crate::job::{Job, JobError, JobSpec, JobState};
+use crate::limits::{
+    is_transient_accept_error, retry_after_secs, AdmissionStats, ConnQueue, LimitsConfig,
+};
 use crate::registry::{valid_name, DbRegistry, DbSource, RegisterError};
 use crate::scheduler::{valid_algo, valid_mode, Scheduler, SchedulerConfig};
 use crate::signal;
-use crate::status::{error_response, plain_error};
-use disc_core::{DiscError, MinSupport};
-use std::io::Write as _;
+use crate::status::{error_response, plain_error, quota_response, shed_response};
+use disc_core::{DiscError, MinSupport, RetryPolicy};
+use std::io::{Read, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,13 +72,20 @@ pub struct ServerConfig {
     pub addr: String,
     /// Root of all persisted state.
     pub data_dir: PathBuf,
-    /// Scheduler tuning.
+    /// Scheduler tuning (including per-tenant quotas).
     pub scheduler: SchedulerConfig,
     /// Result-cache capacity, in entries.
     pub cache_entries: usize,
     /// Default per-job operations cap applied when a submission carries no
     /// `max_ops` — the per-tenant budget backstop.
     pub default_max_ops: Option<u64>,
+    /// Network admission limits: pool width, queue depth, byte caps,
+    /// deadlines.
+    pub limits: LimitsConfig,
+    /// When set, every accepted connection is wrapped in a seeded
+    /// [`ChaosStream`] — the deterministic network-fault harness. Test/CI
+    /// only; never set in production.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +96,8 @@ impl Default for ServerConfig {
             scheduler: SchedulerConfig::default(),
             cache_entries: 64,
             default_max_ops: None,
+            limits: LimitsConfig::default(),
+            chaos: None,
         }
     }
 }
@@ -83,6 +112,14 @@ struct Shared {
     /// Serializes manifest writes: concurrent submissions would otherwise
     /// race on the shared `manifest.tmp` staging name.
     manifest_lock: Mutex<()>,
+    /// The bounded accept queue feeding the handler pool.
+    queue: Arc<ConnQueue>,
+    /// Admission counters behind `GET /admin/stats`.
+    stats: AdmissionStats,
+    /// Fault counter when the chaos harness is active.
+    chaos_ledger: ChaosLedger,
+    /// Connections ever admitted — the per-connection chaos-seed ordinal.
+    conn_ordinal: AtomicU64,
 }
 
 /// The mining server. Cheap to clone (shared state behind an `Arc`);
@@ -103,6 +140,7 @@ impl Server {
             cfg.cache_entries,
         ));
         let registry = Mutex::new(DbRegistry::new(cfg.data_dir.join("dbs")));
+        let queue = Arc::new(ConnQueue::new(cfg.limits.queue_depth));
         let server = Server {
             shared: Arc::new(Shared {
                 cfg,
@@ -112,6 +150,10 @@ impl Server {
                 started: Instant::now(),
                 bound: Mutex::new(None),
                 manifest_lock: Mutex::new(()),
+                queue,
+                stats: AdmissionStats::default(),
+                chaos_ledger: ChaosLedger::default(),
+                conn_ordinal: AtomicU64::new(0),
             }),
         };
         server.load_manifest();
@@ -140,6 +182,25 @@ impl Server {
         let sched = Arc::clone(&self.shared.sched);
         let sched_thread = std::thread::spawn(move || sched.run_loop());
 
+        // The fixed handler pool: each worker blocks on the bounded queue
+        // and serves one connection at a time. Pool width — not arrival
+        // rate — bounds concurrent request handling.
+        let workers: Vec<_> = (0..self.shared.cfg.limits.max_connections.max(1))
+            .map(|_| {
+                let server = self.clone();
+                std::thread::spawn(move || {
+                    while let Some(stream) = server.shared.queue.pop() {
+                        server.handle_connection(stream);
+                    }
+                })
+            })
+            .collect();
+
+        // Transient accept() failures (EMFILE/EINTR-class) back off and
+        // retry with the guard layer's jittered policy instead of killing
+        // the listener; only a persistent non-transient failure is fatal.
+        let accept_retry = RetryPolicy::default();
+        let mut accept_failures: u32 = 0;
         loop {
             if signal::termination_requested() && !self.shared.sched.is_draining() {
                 self.shared.sched.drain();
@@ -149,35 +210,103 @@ impl Server {
             }
             match listener.accept() {
                 Ok((stream, _)) => {
-                    let server = self.clone();
-                    std::thread::spawn(move || server.handle_connection(stream));
+                    accept_failures = 0;
+                    self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.admit(stream);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(15));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if is_transient_accept_error(&e) => {
+                    self.shared.stats.accept_retries.fetch_add(1, Ordering::Relaxed);
+                    accept_failures = accept_failures.saturating_add(1);
+                    eprintln!(
+                        "disc-server: transient accept failure (attempt {accept_failures}): {e}"
+                    );
+                    // Bounded backoff: fd exhaustion clears as handlers
+                    // close connections, so waiting — not exiting — is
+                    // the right response.
+                    std::thread::sleep(
+                        accept_retry.delay(accept_failures.min(8), disc_core::fresh_retry_salt()),
+                    );
+                }
                 Err(e) => return Err(e),
             }
         }
 
-        // Drain: the scheduler loop exits once running slices have aborted
-        // at their checkpoints and requeued. Then persist the manifest so
-        // the next process resumes them.
+        // Drain: stop admitting, let the pool finish queued connections,
+        // then wait for the scheduler loop to checkpoint and requeue its
+        // running slices. Then persist the manifest so the next process
+        // resumes them.
+        self.shared.queue.shutdown();
+        for worker in workers {
+            let _ = worker.join();
+        }
         let queued = sched_thread.join().unwrap_or_default();
         self.persist_manifest();
         Ok(queued)
     }
 
+    /// Deadline-stamps an accepted socket and enqueues it for the pool, or
+    /// sheds it with a computed `Retry-After` when the queue is full.
+    fn admit(&self, stream: TcpStream) {
+        let limits = &self.shared.cfg.limits;
+        let _ = stream.set_read_timeout(Some(limits.read_timeout));
+        let _ = stream.set_write_timeout(Some(limits.write_timeout));
+        if let Err(mut rejected) = self.shared.queue.push(stream) {
+            self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            shed_response(self.current_retry_after()).send(&mut rejected);
+        }
+    }
+
+    /// The load-aware `Retry-After`: backlog is everything waiting (queued
+    /// connections + queued/running jobs), capacity is what retires it
+    /// concurrently (handler pool + mining pool).
+    fn current_retry_after(&self) -> u32 {
+        let backlog = self.shared.queue.depth() + self.shared.sched.load();
+        let capacity = self.shared.cfg.limits.max_connections + self.shared.sched.threads();
+        retry_after_secs(backlog, capacity)
+    }
+
     fn handle_connection(&self, mut stream: TcpStream) {
-        let response = match read_request(&mut stream) {
+        match self.shared.cfg.chaos {
+            Some(chaos) => {
+                let ordinal = self.shared.conn_ordinal.fetch_add(1, Ordering::Relaxed);
+                let mut wrapped = ChaosStream::new(stream, chaos, chaos.connection_seed(ordinal))
+                    .with_ledger(&self.shared.chaos_ledger);
+                self.handle_stream(&mut wrapped);
+            }
+            None => self.handle_stream(&mut stream),
+        }
+    }
+
+    /// Serves one request over any stream (bare socket or chaos-wrapped).
+    /// Every parse failure maps to a typed status; only a vanished peer
+    /// gets silence.
+    fn handle_stream<S: Read + std::io::Write>(&self, stream: &mut S) {
+        let request_limits = RequestLimits {
+            max_head_bytes: self.shared.cfg.limits.max_head_bytes,
+            max_body_bytes: self.shared.cfg.limits.max_body_bytes,
+        };
+        let response = match read_request(stream, &request_limits) {
             Ok(req) => self.route(&req),
             Err(HttpError::BodyTooLarge(n)) => {
+                self.shared.stats.too_large.fetch_add(1, Ordering::Relaxed);
                 plain_error(413, &format!("body of {n} bytes exceeds the upload limit"))
+            }
+            Err(HttpError::HeadTooLarge(n)) => {
+                self.shared.stats.too_large.fetch_add(1, Ordering::Relaxed);
+                plain_error(413, &format!("request head of {n}+ bytes exceeds the limit"))
+            }
+            Err(HttpError::Timeout) => {
+                self.shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                plain_error(408, "request not received within the read deadline")
             }
             Err(HttpError::Malformed(what)) => plain_error(400, what),
             Err(HttpError::Io(_)) => return, // client went away mid-request
         };
-        response.send(&mut stream);
+        response.send(stream);
     }
 
     // ---------------------------------------------------------------
@@ -187,7 +316,9 @@ impl Server {
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         match (req.method.as_str(), segments.as_slice()) {
             ("GET", ["healthz"]) => Response::json(200, "{\"status\":\"ok\"}".into()),
+            ("GET", ["readyz"]) => self.get_readyz(),
             ("GET", ["stats"]) => self.get_stats(),
+            ("GET", ["admin", "stats"]) => self.get_admin_stats(),
             ("POST", ["dbs"]) => self.post_db(req),
             ("GET", ["dbs"]) => self.list_dbs(),
             ("GET", ["dbs", name]) => self.get_db(name),
@@ -209,7 +340,7 @@ impl Server {
                 self.shared.sched.drain();
                 Response::json(200, "{\"draining\":true}".into())
             }
-            (_, ["healthz" | "stats" | "dbs" | "jobs" | "tenants", ..]) => {
+            (_, ["healthz" | "readyz" | "stats" | "dbs" | "jobs" | "tenants", ..]) => {
                 plain_error(405, "method not allowed on this resource")
             }
             _ => plain_error(404, "no such resource"),
@@ -272,6 +403,13 @@ impl Server {
         let tenant = req.param("tenant").unwrap_or("default");
         if !valid_name(tenant) {
             return bad_param("tenant", "1-64 chars of [A-Za-z0-9._-]");
+        }
+        // Quota gate before anything expensive — even the cache lookup.
+        // The refusal is typed (429, quota name in the body) so clients
+        // can tell "back off" from "budget spent".
+        if let Err(denial) = self.shared.sched.admit_job(tenant) {
+            self.shared.stats.quota_denials.fetch_add(1, Ordering::Relaxed);
+            return quota_response(&denial);
         }
         let algo = req.param("algo").unwrap_or("disc-all");
         if !valid_algo(algo) {
@@ -450,6 +588,66 @@ impl Server {
 
     // ---------------------------------------------------------------
     // Observability.
+
+    /// Readiness: 200 while accepting load, 503 + computed `Retry-After`
+    /// while draining or while the accept queue is saturated — the signal
+    /// a load balancer uses to route around this instance.
+    fn get_readyz(&self) -> Response {
+        let draining = self.shared.sched.is_draining();
+        let saturated = self.shared.queue.depth() >= self.shared.cfg.limits.queue_depth;
+        if draining || saturated {
+            let reason = if draining { "draining" } else { "saturated" };
+            let retry = self.current_retry_after();
+            return Response::json(
+                503,
+                format!("{{\"ready\":false,\"reason\":\"{reason}\",\"retry_after\":{retry}}}"),
+            )
+            .with_header("Retry-After", retry.to_string());
+        }
+        Response::json(200, "{\"ready\":true}".into())
+    }
+
+    /// The overload snapshot: admission counters, live queue depth, the
+    /// `Retry-After` a shed would advertise right now, chaos faults (when
+    /// the harness is active), and per-tenant spend.
+    fn get_admin_stats(&self) -> Response {
+        let s = &self.shared.stats;
+        let tenants: Vec<String> = self
+            .shared
+            .sched
+            .tenant_spend()
+            .iter()
+            .map(|(tenant, t)| {
+                format!(
+                    "{{\"tenant\":\"{}\",\"jobs\":{},\"ops\":{},\"patterns\":{}}}",
+                    json_escape(tenant),
+                    t.jobs,
+                    t.ops,
+                    t.patterns
+                )
+            })
+            .collect();
+        Response::json(
+            200,
+            format!(
+                "{{\"accepted\":{},\"shed\":{},\"too_large\":{},\"timeouts\":{},\
+                 \"quota_denials\":{},\"accept_retries\":{},\"queue_depth\":{},\
+                 \"scheduler_load\":{},\"retry_after_now\":{},\"chaos_faults\":{},\
+                 \"tenants\":[{}]}}",
+                s.accepted.load(Ordering::Relaxed),
+                s.shed.load(Ordering::Relaxed),
+                s.too_large.load(Ordering::Relaxed),
+                s.timeouts.load(Ordering::Relaxed),
+                s.quota_denials.load(Ordering::Relaxed),
+                s.accept_retries.load(Ordering::Relaxed),
+                self.shared.queue.depth(),
+                self.shared.sched.load(),
+                self.current_retry_after(),
+                self.shared.chaos_ledger.injected(),
+                tenants.join(","),
+            ),
+        )
+    }
 
     fn get_stats(&self) -> Response {
         let (hits, misses, entries) = self.shared.sched.cache.lock().unwrap().stats();

@@ -1,31 +1,65 @@
-//! A minimal HTTP/1.1 layer over `std::net::TcpStream` — just enough for
-//! the mining API, hand-rolled so the server stays dependency-free like the
-//! rest of the workspace.
+//! A minimal HTTP/1.1 layer over any `Read`/`Write` stream — just enough
+//! for the mining API, hand-rolled so the server stays dependency-free like
+//! the rest of the workspace.
 //!
 //! Scope: one request per connection (`Connection: close` on every
 //! response), request line + headers + an optional `Content-Length` body,
 //! percent-decoded query parameters. Deliberately not supported: chunked
 //! request bodies, keep-alive, pipelining, TLS. Malformed input never
 //! panics — it surfaces as a typed [`HttpError`] the caller maps to a 4xx.
+//!
+//! Parsing is generic over the stream (`Read` for requests, `Write` for
+//! responses) so the same code path runs over a bare `TcpStream` or a
+//! [`crate::chaos::ChaosStream`] wrapper; deadlines are the *socket's*
+//! (`set_read_timeout` at admission in `api.rs`) and surface here as
+//! [`HttpError::Timeout`] → 408. Size caps come from [`RequestLimits`] so
+//! admission control owns them: the head is bounded as it streams in, and
+//! an over-cap declared `Content-Length` is refused **before a single body
+//! byte is read or buffered** — a hostile declared length never drives an
+//! allocation.
 
-use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::io::{ErrorKind, Read, Write};
 use std::time::Duration;
 
-/// The largest request body the server accepts (64 MiB) — uploads beyond
-/// this are refused with `413 Payload Too Large` before buffering.
+/// The default largest request body the server accepts (64 MiB) — uploads
+/// beyond this are refused with `413 Payload Too Large` before buffering.
 pub const MAX_BODY_BYTES: usize = 64 << 20;
-/// The largest request head (request line + headers) accepted.
-const MAX_HEAD_BYTES: usize = 64 << 10;
+/// The default largest request head (request line + headers) accepted.
+pub const MAX_HEAD_BYTES: usize = 64 << 10;
+/// Body bytes are read in chunks of at most this, so even an accepted
+/// `Content-Length` never triggers one up-front allocation of the full
+/// declared size.
+const BODY_CHUNK: usize = 64 << 10;
+
+/// Per-request byte caps, owned by the server's
+/// [`crate::limits::LimitsConfig`] and threaded into [`read_request`].
+#[derive(Debug, Clone, Copy)]
+pub struct RequestLimits {
+    /// Cap on the request head (request line + headers) → 413 beyond.
+    pub max_head_bytes: usize,
+    /// Cap on the declared `Content-Length` → 413 beyond, checked before
+    /// any body byte is read.
+    pub max_body_bytes: usize,
+}
+
+impl Default for RequestLimits {
+    fn default() -> RequestLimits {
+        RequestLimits { max_head_bytes: MAX_HEAD_BYTES, max_body_bytes: MAX_BODY_BYTES }
+    }
+}
 
 /// Why a request could not be parsed.
 #[derive(Debug)]
 pub enum HttpError {
     /// The connection failed mid-request.
     Io(std::io::Error),
-    /// The request line or headers were malformed.
+    /// The socket's read deadline expired mid-request (slow-loris) → 408.
+    Timeout,
+    /// The request line or headers were malformed → 400.
     Malformed(&'static str),
-    /// The declared body length exceeds [`MAX_BODY_BYTES`].
+    /// The request head exceeded [`RequestLimits::max_head_bytes`] → 413.
+    HeadTooLarge(usize),
+    /// The declared body length exceeds [`RequestLimits::max_body_bytes`] → 413.
     BodyTooLarge(usize),
 }
 
@@ -54,22 +88,38 @@ impl Request {
     }
 }
 
-/// Reads and parses one request from `stream`. Applies a read timeout so a
-/// stalled client cannot wedge a handler thread forever.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+/// Whether an I/O error is the socket deadline expiring. `WouldBlock` is
+/// how Unix reports a timed-out blocking read with `SO_RCVTIMEO` set;
+/// Windows uses `TimedOut`.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn io_error(e: std::io::Error) -> HttpError {
+    if is_timeout(&e) {
+        HttpError::Timeout
+    } else {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads and parses one request from `stream`, enforcing the byte caps of
+/// `limits`. The caller owns the socket deadlines (`set_read_timeout`);
+/// their expiry surfaces as [`HttpError::Timeout`].
+pub fn read_request<S: Read>(stream: &mut S, limits: &RequestLimits) -> Result<Request, HttpError> {
     let mut head = Vec::with_capacity(1024);
     let mut byte = [0u8; 1];
     // Read byte-at-a-time until CRLF CRLF; the head is tiny and this keeps
     // the body bytes (which follow immediately) out of any lookahead buffer.
     while !head.ends_with(b"\r\n\r\n") {
-        if head.len() >= MAX_HEAD_BYTES {
-            return Err(HttpError::Malformed("request head too large"));
+        if head.len() >= limits.max_head_bytes {
+            return Err(HttpError::HeadTooLarge(head.len()));
         }
         match stream.read(&mut byte) {
             Ok(0) => return Err(HttpError::Malformed("connection closed mid-head")),
             Ok(_) => head.push(byte[0]),
-            Err(e) => return Err(HttpError::Io(e)),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_error(e)),
         }
     }
     let head = std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("non-UTF-8 head"))?;
@@ -104,11 +154,23 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
             return Err(HttpError::Malformed("chunked bodies are not supported"));
         }
     }
-    if content_length > MAX_BODY_BYTES {
+    if content_length > limits.max_body_bytes {
         return Err(HttpError::BodyTooLarge(content_length));
     }
-    let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body).map_err(HttpError::Io)?;
+    // Incremental body read: grow by bounded chunks so the declared length
+    // never sizes an allocation on its own, and short reads (chaos,
+    // fragmentation) are absorbed in the loop.
+    let mut body = Vec::with_capacity(content_length.min(BODY_CHUNK));
+    let mut chunk = [0u8; 4096];
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => return Err(HttpError::Malformed("connection closed mid-body")),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_error(e)),
+        }
+    }
 
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
@@ -197,7 +259,7 @@ impl Response {
 
     /// Serializes and writes the response. Write errors are swallowed — the
     /// client is gone and there is nobody left to tell.
-    pub fn send(self, stream: &mut TcpStream) {
+    pub fn send<W: Write>(self, stream: &mut W) {
         let reason = reason_phrase(self.status);
         let mut head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
@@ -227,13 +289,76 @@ fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Response",
     }
+}
+
+/// Parses the status line and headers of an HTTP/1.1 response and returns
+/// `(status, retry_after_secs, body)`. Shared with `disc-client`, which
+/// needs to read what [`Response::send`] writes back through a faulty
+/// stream — a short or garbled response is a typed error, never a panic.
+pub fn read_response<S: Read>(stream: &mut S) -> Result<(u16, Option<u32>, Vec<u8>), HttpError> {
+    let mut raw = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // `Connection: close` on every response: read to EOF, then split head
+    // from body — simpler and more chaos-tolerant than length tracking.
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(&chunk[..n]);
+                if raw.len() > (64 << 20) + (64 << 10) {
+                    return Err(HttpError::Malformed("oversized response"));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+    let head_end =
+        find_crlf_crlf(&raw).ok_or(HttpError::Malformed("response head never terminated"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or(HttpError::Malformed("empty response"))?;
+    let mut parts = status_line.split(' ');
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::Malformed("not an HTTP/1.x response")),
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(HttpError::Malformed("unparseable status code"))?;
+    let mut retry_after = None;
+    let mut content_length = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if name.eq_ignore_ascii_case("retry-after") {
+            retry_after = value.trim().parse().ok();
+        }
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse::<usize>().ok();
+        }
+    }
+    let body = raw[head_end + 4..].to_vec();
+    if let Some(len) = content_length {
+        if body.len() != len {
+            return Err(HttpError::Malformed("truncated response body"));
+        }
+    }
+    Ok((status, retry_after, body))
+}
+
+fn find_crlf_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -253,9 +378,20 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// A `Duration` helper for socket deadlines: `None` disables (0 means
+/// "no deadline" on the CLI).
+pub fn deadline_from_ms(ms: u64) -> Option<Duration> {
+    if ms == 0 {
+        None
+    } else {
+        Some(Duration::from_millis(ms))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Cursor;
 
     #[test]
     fn percent_decoding_roundtrips_common_cases() {
@@ -271,5 +407,84 @@ mod tests {
     fn json_escaping_covers_control_characters() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn oversized_declared_length_is_refused_before_reading_the_body() {
+        let limits = RequestLimits { max_head_bytes: 64 << 10, max_body_bytes: 16 };
+        // The declared length is absurd and the body bytes are absent: the
+        // parser must refuse from the header alone, without blocking on or
+        // buffering a single body byte.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n";
+        let mut stream = Cursor::new(raw.to_vec());
+        match read_request(&mut stream, &limits) {
+            Err(HttpError::BodyTooLarge(n)) => assert_eq!(n, 99_999_999_999usize),
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+        let consumed = stream.position() as usize;
+        assert_eq!(consumed, raw.len(), "head fully read, body never touched");
+    }
+
+    #[test]
+    fn oversized_head_is_a_typed_413_not_a_400() {
+        let limits = RequestLimits { max_head_bytes: 32, max_body_bytes: 16 };
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(100));
+        let mut stream = Cursor::new(raw.into_bytes());
+        assert!(matches!(read_request(&mut stream, &limits), Err(HttpError::HeadTooLarge(_))));
+    }
+
+    #[test]
+    fn body_reads_are_chunked_and_tolerate_short_reads() {
+        struct OneByte(Cursor<Vec<u8>>);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let take = buf.len().min(1);
+                self.0.read(&mut buf[..take])
+            }
+        }
+        let body = vec![b'z'; 300];
+        let mut raw =
+            format!("POST /u HTTP/1.1\r\nContent-Length: {}\r\n\r\n", body.len()).into_bytes();
+        raw.extend_from_slice(&body);
+        let mut stream = OneByte(Cursor::new(raw));
+        let req = read_request(&mut stream, &RequestLimits::default()).unwrap();
+        assert_eq!(req.body, body);
+    }
+
+    #[test]
+    fn timeout_kinds_surface_as_http_timeout() {
+        struct Stall;
+        impl Read for Stall {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "deadline"))
+            }
+        }
+        assert!(matches!(
+            read_request(&mut Stall, &RequestLimits::default()),
+            Err(HttpError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn responses_roundtrip_through_read_response() {
+        let resp = Response::json(429, "{\"error\":\"rate\"}".to_string())
+            .with_header("Retry-After", "7".to_string());
+        let mut wire = Vec::new();
+        resp.send(&mut wire);
+        let (status, retry_after, body) = read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(status, 429);
+        assert_eq!(retry_after, Some(7));
+        assert_eq!(body, b"{\"error\":\"rate\"}");
+    }
+
+    #[test]
+    fn truncated_response_bodies_are_typed_errors() {
+        let mut wire = Vec::new();
+        Response::text(200, b"full body".to_vec()).send(&mut wire);
+        wire.truncate(wire.len() - 3); // lose the tail mid-body
+        assert!(matches!(
+            read_response(&mut Cursor::new(wire)),
+            Err(HttpError::Malformed("truncated response body"))
+        ));
     }
 }

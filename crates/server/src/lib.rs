@@ -16,19 +16,29 @@
 //! * [`api`] — the [`Server`]: routing, manifest persistence,
 //!   and the graceful drain that checkpoints in-flight jobs so a restart
 //!   resumes them bit-identically;
+//! * [`limits`] — admission control: the bounded connection pool and
+//!   accept queue, per-request byte caps and deadlines, load-aware
+//!   `Retry-After`, and per-tenant quotas (token-bucket rates,
+//!   concurrency and cumulative-ops ceilings);
+//! * [`chaos`] — the deterministic network-fault harness: a seeded
+//!   [`ChaosStream`] wrapper injecting drops, partial transfers, stalls,
+//!   and resets, reproducibly per seed;
 //! * [`status`] — the `DiscError` → HTTP status mapping, kept in lockstep
 //!   with the CLI's exit-code contract;
 //! * [`signal`] — SIGTERM → drain flag, no libc dependency.
 //!
 //! See `ALGORITHM.md` §16 for the job lifecycle and the preemption-point
-//! argument, and the README's serving section for a curl walkthrough.
+//! argument, §17 for the overload model, and the README's serving section
+//! for a curl walkthrough.
 
 #![deny(unsafe_code)] // signal::sys carries the one module-scoped allow
 
 pub mod api;
 pub mod cache;
+pub mod chaos;
 pub mod http;
 pub mod job;
+pub mod limits;
 pub mod registry;
 pub mod scheduler;
 pub mod signal;
@@ -36,6 +46,8 @@ pub mod status;
 
 pub use api::{Server, ServerConfig};
 pub use cache::{CacheKey, RenderedResult, ResultCache};
+pub use chaos::{ChaosConfig, ChaosLedger, ChaosStream};
 pub use job::{Job, JobSpec, JobState};
+pub use limits::{LimitsConfig, QuotaConfig, QuotaDenial, RateLimit};
 pub use registry::{DbRegistry, RegisterError};
 pub use scheduler::{Scheduler, SchedulerConfig, TenantSpend};

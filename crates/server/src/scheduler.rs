@@ -34,6 +34,7 @@
 
 use crate::cache::{CacheKey, RenderedResult, ResultCache};
 use crate::job::{Job, JobError, JobState};
+use crate::limits::{QuotaConfig, QuotaDenial, TokenBucket};
 use crate::registry::DbEntry;
 use disc_algo::{DiscAll, DynamicDiscAll, ParallelDiscAll, Resumable};
 use disc_core::{
@@ -55,11 +56,18 @@ pub struct SchedulerConfig {
     pub slice_ops: u64,
     /// Checkpoint cadence inside a slice (`Resumable::with_every`).
     pub checkpoint_every: u64,
+    /// Per-tenant quota ceilings, enforced at job admission.
+    pub quotas: QuotaConfig,
 }
 
 impl Default for SchedulerConfig {
     fn default() -> SchedulerConfig {
-        SchedulerConfig { threads: 2, slice_ops: 2_000, checkpoint_every: 1 }
+        SchedulerConfig {
+            threads: 2,
+            slice_ops: 2_000,
+            checkpoint_every: 1,
+            quotas: QuotaConfig::default(),
+        }
     }
 }
 
@@ -99,6 +107,8 @@ pub struct Scheduler {
     jobs: Mutex<HashMap<u64, Arc<Job>>>,
     /// Per-tenant spend.
     tenants: Mutex<HashMap<String, TenantSpend>>,
+    /// Per-tenant token buckets (lazily created on first submission).
+    buckets: Mutex<HashMap<String, TokenBucket>>,
     /// The result cache.
     pub cache: Mutex<ResultCache>,
     /// Registered databases are resolved by the API layer; the scheduler
@@ -128,6 +138,7 @@ impl Scheduler {
             wake: Condvar::new(),
             jobs: Mutex::new(HashMap::new()),
             tenants: Mutex::new(HashMap::new()),
+            buckets: Mutex::new(HashMap::new()),
             cache: Mutex::new(ResultCache::new(cache_entries)),
             db_of_job: Mutex::new(HashMap::new()),
             mine_invocations: AtomicU64::new(0),
@@ -138,6 +149,66 @@ impl Scheduler {
     /// The checkpoint directory of job `id`.
     pub fn job_dir(&self, id: u64) -> PathBuf {
         self.jobs_dir.join(id.to_string())
+    }
+
+    /// Quota gate, checked by the API layer *before* a job (or even a
+    /// cache lookup) is admitted. Checks are ordered cheapest-first and
+    /// every refusal is typed so the 429 can say which ceiling tripped:
+    ///
+    /// 1. **rate** — the tenant's token bucket (one token per submission);
+    /// 2. **concurrency** — live (queued or running) jobs of this tenant;
+    /// 3. **cumulative ops** — the tenant's total charged operations.
+    ///
+    /// The rate bucket is charged even when the other checks then refuse:
+    /// a tenant hammering a tripped ceiling is exactly the traffic the
+    /// bucket exists to meter.
+    pub fn admit_job(&self, tenant: &str) -> Result<(), QuotaDenial> {
+        let quotas = &self.cfg.quotas;
+        if let Some(rate) = quotas.rate {
+            let mut buckets = self.buckets.lock().unwrap();
+            let bucket =
+                buckets.entry(tenant.to_string()).or_insert_with(|| TokenBucket::new(rate));
+            if let Err(retry_after) = bucket.try_take() {
+                return Err(QuotaDenial::Rate { retry_after });
+            }
+        }
+        if let Some(limit) = quotas.max_concurrent_jobs {
+            let live = self
+                .jobs
+                .lock()
+                .unwrap()
+                .values()
+                .filter(|j| {
+                    j.spec.tenant == tenant
+                        && matches!(
+                            j.inner.lock().unwrap().state,
+                            JobState::Queued | JobState::Running
+                        )
+                })
+                .count();
+            if live >= limit {
+                return Err(QuotaDenial::Concurrency { limit, live });
+            }
+        }
+        if let Some(limit) = quotas.max_cumulative_ops {
+            let spent = self.tenants.lock().unwrap().get(tenant).map_or(0, |s| s.ops);
+            if spent >= limit {
+                return Err(QuotaDenial::CumulativeOps { limit, spent });
+            }
+        }
+        Ok(())
+    }
+
+    /// Queued jobs + running slices right now — the scheduler's share of
+    /// the backlog behind the load-aware `Retry-After`.
+    pub fn load(&self) -> usize {
+        let state = self.state.lock().unwrap();
+        state.queue.len() + state.running
+    }
+
+    /// The executor pool width (capacity input to the shed estimate).
+    pub fn threads(&self) -> usize {
+        self.executor.threads()
     }
 
     /// Registers a job and, unless it is already terminal (cache hit),

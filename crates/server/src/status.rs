@@ -17,11 +17,14 @@
 //! one consistent retry contract.
 
 use crate::http::{json_escape, Response};
+use crate::limits::QuotaDenial;
 use disc_core::DiscError;
 
-/// The `Retry-After` value (seconds) sent with every 503. Transient faults
-/// here are `EINTR`/`EAGAIN`-class: already retried with backoff once by
-/// the IO layer, so a short client-side pause is enough.
+/// The fallback `Retry-After` value (seconds) for 503s that carry no load
+/// estimate. Transient faults here are `EINTR`/`EAGAIN`-class: already
+/// retried with backoff once by the IO layer, so a short client-side pause
+/// is enough. Load sheds compute a real value from the backlog instead —
+/// see [`crate::limits::retry_after_secs`] and [`shed_response`].
 pub const RETRY_AFTER_SECS: u32 = 1;
 
 /// The HTTP status for a [`DiscError`], per the table above.
@@ -62,6 +65,38 @@ pub fn error_response(err: &DiscError) -> Response {
 /// [`DiscError`] (unknown routes, bad parameters, conflicts).
 pub fn plain_error(status: u16, message: &str) -> Response {
     Response::json(status, format!("{{\"error\":\"{}\"}}", json_escape(message)))
+}
+
+/// The load-shed response: 503 with a `Retry-After` computed from the
+/// observed backlog (queued connections + queued/running jobs) instead of
+/// the hardcoded fallback — a saturated server tells clients to stay away
+/// longer than a momentarily busy one.
+pub fn shed_response(retry_after_secs: u32) -> Response {
+    Response::json(
+        503,
+        format!(
+            "{{\"error\":\"server overloaded\",\"transient\":true,\"retry_after\":{retry_after_secs}}}"
+        ),
+    )
+    .with_header("Retry-After", retry_after_secs.to_string())
+}
+
+/// The typed 429 for a quota refusal: the body names which quota tripped
+/// (`rate`, `concurrency`, `cumulative_ops`) so clients can distinguish
+/// "back off briefly" from "your budget is spent", and `Retry-After` is
+/// attached only where waiting actually helps.
+pub fn quota_response(denial: &QuotaDenial) -> Response {
+    let body = format!(
+        "{{\"error\":\"{}\",\"quota\":\"{}\",\"transient\":{}}}",
+        json_escape(&denial.message()),
+        denial.kind(),
+        denial.retry_after_secs().is_some(),
+    );
+    let resp = Response::json(429, body);
+    match denial.retry_after_secs() {
+        Some(secs) => resp.with_header("Retry-After", secs.to_string()),
+        None => resp,
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +141,31 @@ mod tests {
             transient: true,
         });
         assert_eq!(status_for(&err), 503);
+    }
+
+    #[test]
+    fn shed_responses_carry_the_computed_retry_after() {
+        let resp = shed_response(17);
+        assert_eq!(resp.status, 503);
+        assert!(resp.headers.iter().any(|(n, v)| *n == "Retry-After" && v == "17"));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"retry_after\":17"));
+        assert!(body.contains("\"transient\":true"));
+    }
+
+    #[test]
+    fn quota_responses_are_typed_per_denial() {
+        use std::time::Duration;
+        let resp = quota_response(&QuotaDenial::Rate { retry_after: Duration::from_secs(2) });
+        assert_eq!(resp.status, 429);
+        assert!(resp.headers.iter().any(|(n, v)| *n == "Retry-After" && v == "2"));
+        assert!(String::from_utf8(resp.body).unwrap().contains("\"quota\":\"rate\""));
+
+        let resp = quota_response(&QuotaDenial::CumulativeOps { limit: 5, spent: 9 });
+        assert_eq!(resp.status, 429);
+        assert!(resp.headers.iter().all(|(n, _)| *n != "Retry-After"), "spent budget: no retry");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"quota\":\"cumulative_ops\""));
+        assert!(body.contains("\"transient\":false"));
     }
 }

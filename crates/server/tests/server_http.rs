@@ -37,9 +37,9 @@ fn start(
     let cfg = ServerConfig {
         addr: "127.0.0.1:0".into(),
         data_dir: data_dir.to_path_buf(),
-        scheduler: SchedulerConfig { threads: 2, slice_ops, checkpoint_every: 1 },
+        scheduler: SchedulerConfig { threads: 2, slice_ops, ..SchedulerConfig::default() },
         cache_entries: 16,
-        default_max_ops: None,
+        ..ServerConfig::default()
     };
     let server = Server::new(cfg);
     let runner = server.clone();

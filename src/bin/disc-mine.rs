@@ -643,10 +643,20 @@ fn serve_usage() -> ! {
         "usage: disc-mine serve --data-dir DIR [--addr HOST:PORT] [--threads N]\n\
          \t[--slice-ops N] [--checkpoint-every N] [--cache-entries N]\n\
          \t[--default-max-ops N]\n\
+         \t[--max-connections N] [--queue-depth N] [--max-body-bytes N]\n\
+         \t[--max-head-bytes N] [--read-timeout-ms N] [--write-timeout-ms N]\n\
+         \t[--rate-limit BURST/PER_SEC] [--max-concurrent-jobs N]\n\
+         \t[--max-cumulative-ops N] [--chaos-seed SEED]\n\
          Starts the multi-tenant mining server. State (databases, job\n\
          checkpoints, results, manifest) persists under --data-dir; SIGTERM\n\
          drains gracefully — running jobs checkpoint at their next partition\n\
          boundary and a restarted server resumes them bit-identically.\n\
+         Admission: a fixed pool of --max-connections handler threads drains\n\
+         a --queue-depth accept queue; overflow is shed with 503 + a\n\
+         load-computed Retry-After. Oversized requests get 413, stalled\n\
+         clients 408 at the read deadline. Quota flags apply per tenant and\n\
+         refuse with typed 429s. --chaos-seed wraps every connection in the\n\
+         deterministic network-fault harness (testing only).\n\
          Default addr is 127.0.0.1:7031; port 0 picks a free port (printed)."
     );
     exit(2);
@@ -680,6 +690,55 @@ fn serve_main(argv: Vec<String>) -> ! {
             "--default-max-ops" => {
                 cfg.default_max_ops =
                     Some(args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage()));
+            }
+            "--max-connections" => {
+                cfg.limits.max_connections =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage());
+            }
+            "--queue-depth" => {
+                cfg.limits.queue_depth =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage());
+            }
+            "--max-body-bytes" => {
+                cfg.limits.max_body_bytes =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage());
+            }
+            "--max-head-bytes" => {
+                cfg.limits.max_head_bytes =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage());
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage());
+                cfg.limits.read_timeout = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage());
+                cfg.limits.write_timeout = std::time::Duration::from_millis(ms.max(1));
+            }
+            // BURST/PER_SEC, e.g. `5/2.5` = bursts of 5, 2.5 requests/s.
+            "--rate-limit" => {
+                let spec = args.next().unwrap_or_else(|| serve_usage());
+                let (burst, per_sec) = spec.split_once('/').unwrap_or_else(|| serve_usage());
+                cfg.scheduler.quotas.rate = Some(disc_miner::server::RateLimit {
+                    burst: burst.parse().ok().unwrap_or_else(|| serve_usage()),
+                    per_sec: per_sec.parse().ok().unwrap_or_else(|| serve_usage()),
+                });
+            }
+            "--max-concurrent-jobs" => {
+                cfg.scheduler.quotas.max_concurrent_jobs =
+                    Some(args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage()));
+            }
+            "--max-cumulative-ops" => {
+                cfg.scheduler.quotas.max_cumulative_ops =
+                    Some(args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage()));
+            }
+            "--chaos-seed" => {
+                let seed =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage());
+                cfg.chaos = Some(disc_miner::server::ChaosConfig::light(seed));
+                eprintln!("disc-server: CHAOS HARNESS ACTIVE (seed {seed}) — testing only");
             }
             _ => serve_usage(),
         }
