@@ -50,6 +50,11 @@ pub struct ClientConfig {
     pub max_retry_after: Duration,
     /// Socket read/write deadlines (the client-side slow-loris defense).
     pub io_timeout: Duration,
+    /// Cap on a response's total bytes (head + body). Exceeding it is a
+    /// fatal [`ClientError::Transport`] — retrying would download the
+    /// same oversized reply again — so size it above the largest result
+    /// you expect to fetch.
+    pub max_response_bytes: usize,
     /// When set, every outbound connection is wrapped in a seeded
     /// [`ChaosStream`] — the harness injects faults on the client side of
     /// the wire too.
@@ -67,6 +72,7 @@ impl Default for ClientConfig {
             },
             max_retry_after: Duration::from_secs(5),
             io_timeout: Duration::from_secs(10),
+            max_response_bytes: 256 << 20,
             chaos: None,
         }
     }
@@ -186,6 +192,10 @@ impl Client {
             if attempt > 0 {
                 self.retries.fetch_add(1, Ordering::Relaxed);
             }
+            // No retry follows the last attempt, so sleeping after its
+            // failure (server-advertised or backoff) would be pure added
+            // latency on the way to Exhausted.
+            let final_attempt = attempt + 1 == attempts;
             match self.attempt(method, target, body) {
                 Ok((status, retry_after, resp_body)) => {
                     let backoff = match status {
@@ -195,19 +205,23 @@ impl Client {
                     };
                     match backoff {
                         Some(secs) => {
-                            // The server computed how long to stay away;
-                            // honor it, bounded by our own cap.
-                            let wait =
-                                Duration::from_secs(u64::from(secs)).min(self.cfg.max_retry_after);
                             last = format!("HTTP {status}, told to retry after {secs}s");
-                            std::thread::sleep(wait);
+                            if !final_attempt {
+                                // The server computed how long to stay
+                                // away; honor it, bounded by our own cap.
+                                let wait = Duration::from_secs(u64::from(secs))
+                                    .min(self.cfg.max_retry_after);
+                                std::thread::sleep(wait);
+                            }
                         }
                         None => return Ok(Reply { status, body: resp_body }),
                     }
                 }
                 Err(TransportFault::Transient(what)) => {
                     last = what;
-                    std::thread::sleep(self.cfg.retry.delay(attempt + 1, fresh_retry_salt()));
+                    if !final_attempt {
+                        std::thread::sleep(self.cfg.retry.delay(attempt + 1, fresh_retry_salt()));
+                    }
                 }
                 Err(TransportFault::Fatal(what)) => return Err(ClientError::Transport(what)),
             }
@@ -256,10 +270,17 @@ impl Client {
         stream.write_all(head.as_bytes()).map_err(|e| classify("send head", &e))?;
         stream.write_all(body).map_err(|e| classify("send body", &e))?;
         stream.flush().map_err(|e| classify("flush", &e))?;
-        match read_response(stream) {
+        match read_response(stream, self.cfg.max_response_bytes) {
             Ok(reply) => Ok(reply),
             Err(HttpError::Io(e)) => Err(classify("read response", &e)),
             Err(HttpError::Timeout) => Err(TransportFault::Transient("response deadline".into())),
+            // Over the configured cap is a protocol disagreement, not a
+            // network fault: every retry would fetch the same oversized
+            // reply, so burn no attempts on it.
+            Err(HttpError::ResponseTooLarge(n)) => Err(TransportFault::Fatal(format!(
+                "response of {n}+ bytes exceeds the {} byte cap",
+                self.cfg.max_response_bytes
+            ))),
             // A garbled or truncated response means the connection died
             // mid-reply (chaos, resets): the request outcome is unknown,
             // and retrying is safe because submissions are idempotent.
@@ -465,5 +486,66 @@ mod tests {
         assert!(matches!(err, ClientError::Exhausted { attempts: 3, .. }), "{err}");
         assert!(err.is_transient());
         assert_eq!(client.retries(), 2, "two retries after the first attempt");
+    }
+
+    /// A stub server answering every connection with the same canned
+    /// response, then exiting after `conns` connections.
+    fn stub_server(response: Vec<u8>, conns: usize) -> (String, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            for stream in listener.incoming().take(conns) {
+                let Ok(mut s) = stream else { continue };
+                let mut buf = [0u8; 1024];
+                let _ = std::io::Read::read(&mut s, &mut buf);
+                let _ = std::io::Write::write_all(&mut s, &response);
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn final_attempt_skips_the_advertised_retry_after_sleep() {
+        // One attempt, a 503 advertising a 5 s Retry-After: before the
+        // fix the client slept those 5 s and then returned Exhausted
+        // anyway; now Exhausted must come back immediately.
+        let resp = b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\n\
+                     Content-Length: 0\r\nRetry-After: 5\r\nConnection: close\r\n\r\n"
+            .to_vec();
+        let (addr, handle) = stub_server(resp, 1);
+        let client = Client::new(ClientConfig {
+            addr,
+            retry: RetryPolicy {
+                max_attempts: 1,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(2),
+            },
+            ..ClientConfig::default()
+        });
+        let begun = Instant::now();
+        let err = client.request("GET", "/stats", b"").unwrap_err();
+        assert!(matches!(err, ClientError::Exhausted { attempts: 1, .. }), "{err}");
+        assert!(
+            begun.elapsed() < Duration::from_secs(2),
+            "no sleep may follow the final attempt (took {:?})",
+            begun.elapsed()
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn over_cap_response_is_fatal_not_retried_to_exhaustion() {
+        let mut resp = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\
+                         Content-Length: 4096\r\nConnection: close\r\n\r\n"
+            .to_vec();
+        resp.extend(std::iter::repeat(b'x').take(4096));
+        let (addr, handle) = stub_server(resp, 1);
+        let client =
+            Client::new(ClientConfig { addr, max_response_bytes: 1024, ..ClientConfig::default() });
+        let err = client.request("GET", "/jobs/1/result", b"").unwrap_err();
+        assert!(matches!(err, ClientError::Transport(_)), "over-cap must be fatal, got {err}");
+        assert!(!err.is_transient(), "a protocol disagreement is not transient");
+        assert_eq!(client.retries(), 0, "no retry may be burned on an oversized response");
+        handle.join().unwrap();
     }
 }

@@ -25,10 +25,14 @@
 //! [`LimitsConfig::max_connections`] handler threads. A socket arriving at
 //! a full queue is shed with one 503 whose `Retry-After` is computed from
 //! the observed backlog ([`crate::limits::retry_after_secs`]) — never the
-//! old hardcoded `1`. Accepted sockets get read/write deadlines before any
-//! byte is parsed, so a slow-loris client costs one handler thread for at
-//! most one deadline (408), and per-request byte caps refuse oversized
-//! heads/bodies with 413 before buffering. Transient `accept()` failures
+//! old hardcoded `1`. Accepted sockets get per-read deadlines before any
+//! byte is parsed, and the parser enforces an absolute per-request budget
+//! ([`crate::limits::LimitsConfig::request_deadline`]) on top — so a
+//! slow-loris client, whether fully silent or trickling bytes to renew
+//! the per-read timer, holds a handler thread for at most the request
+//! deadline plus one in-flight read before its 408. Per-request byte caps
+//! refuse oversized heads/bodies with 413 before buffering. Transient
+//! `accept()` failures
 //! (`EMFILE`/`EINTR`-class) are logged and retried with bounded backoff
 //! instead of killing the server. See `ALGORITHM.md` §17.
 //!
@@ -288,6 +292,7 @@ impl Server {
         let request_limits = RequestLimits {
             max_head_bytes: self.shared.cfg.limits.max_head_bytes,
             max_body_bytes: self.shared.cfg.limits.max_body_bytes,
+            request_deadline: self.shared.cfg.limits.request_deadline,
         };
         let response = match read_request(stream, &request_limits) {
             Ok(req) => self.route(&req),
@@ -304,6 +309,10 @@ impl Server {
                 plain_error(408, "request not received within the read deadline")
             }
             Err(HttpError::Malformed(what)) => plain_error(400, what),
+            // Response-side only (the client's read_response cap) — the
+            // request parser never produces it, but the error type is
+            // shared and the server must answer something, not panic.
+            Err(HttpError::ResponseTooLarge(_)) => plain_error(500, "unexpected parser state"),
             Err(HttpError::Io(_)) => return, // client went away mid-request
         };
         response.send(stream);
@@ -406,11 +415,18 @@ impl Server {
         }
         // Quota gate before anything expensive — even the cache lookup.
         // The refusal is typed (429, quota name in the body) so clients
-        // can tell "back off" from "budget spent".
-        if let Err(denial) = self.shared.sched.admit_job(tenant) {
-            self.shared.stats.quota_denials.fetch_add(1, Ordering::Relaxed);
-            return quota_response(&denial);
-        }
+        // can tell "back off" from "budget spent". The permit reserves
+        // the tenant's concurrency slot until submit() registers the job
+        // (it drops at the end of this function), so concurrent
+        // submissions cannot slip past the ceiling between check and
+        // insert.
+        let _permit = match self.shared.sched.admit_job(tenant) {
+            Ok(permit) => permit,
+            Err(denial) => {
+                self.shared.stats.quota_denials.fetch_add(1, Ordering::Relaxed);
+                return quota_response(&denial);
+            }
+        };
         let algo = req.param("algo").unwrap_or("disc-all");
         if !valid_algo(algo) {
             return bad_param("algo", "one of disc-all, dynamic, parallel, auto");
@@ -633,7 +649,7 @@ impl Server {
                 "{{\"accepted\":{},\"shed\":{},\"too_large\":{},\"timeouts\":{},\
                  \"quota_denials\":{},\"accept_retries\":{},\"queue_depth\":{},\
                  \"scheduler_load\":{},\"retry_after_now\":{},\"chaos_faults\":{},\
-                 \"tenants\":[{}]}}",
+                 \"tracked_buckets\":{},\"tenants\":[{}]}}",
                 s.accepted.load(Ordering::Relaxed),
                 s.shed.load(Ordering::Relaxed),
                 s.too_large.load(Ordering::Relaxed),
@@ -644,6 +660,7 @@ impl Server {
                 self.shared.sched.load(),
                 self.current_retry_after(),
                 self.shared.chaos_ledger.injected(),
+                self.shared.sched.tracked_buckets(),
                 tenants.join(","),
             ),
         )

@@ -10,22 +10,31 @@
 //!
 //! Parsing is generic over the stream (`Read` for requests, `Write` for
 //! responses) so the same code path runs over a bare `TcpStream` or a
-//! [`crate::chaos::ChaosStream`] wrapper; deadlines are the *socket's*
-//! (`set_read_timeout` at admission in `api.rs`) and surface here as
-//! [`HttpError::Timeout`] → 408. Size caps come from [`RequestLimits`] so
-//! admission control owns them: the head is bounded as it streams in, and
-//! an over-cap declared `Content-Length` is refused **before a single body
-//! byte is read or buffered** — a hostile declared length never drives an
-//! allocation.
+//! [`crate::chaos::ChaosStream`] wrapper. Deadlines are enforced at two
+//! scopes, both surfacing as [`HttpError::Timeout`] → 408: the *socket's*
+//! per-read deadline (`set_read_timeout` at admission in `api.rs`) bounds
+//! any single stalled read, and [`RequestLimits::request_deadline`] bounds
+//! the **whole request** — a per-read timeout alone is renewable, so a
+//! client trickling one byte just under it would otherwise hold a handler
+//! thread indefinitely; the absolute budget is checked before every read
+//! in both the head and body loops. Size caps come from [`RequestLimits`]
+//! so admission control owns them: the head is bounded as it streams in,
+//! and an over-cap declared `Content-Length` is refused **before a single
+//! body byte is read or buffered** — a hostile declared length never
+//! drives an allocation.
 
 use std::io::{ErrorKind, Read, Write};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The default largest request body the server accepts (64 MiB) — uploads
 /// beyond this are refused with `413 Payload Too Large` before buffering.
 pub const MAX_BODY_BYTES: usize = 64 << 20;
 /// The default largest request head (request line + headers) accepted.
 pub const MAX_HEAD_BYTES: usize = 64 << 10;
+/// The default absolute per-request deadline: total wall-clock time a
+/// request may spend being received, across *all* reads. Per-read socket
+/// timeouts bound a silent stall; this bounds a trickle.
+pub const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
 /// Body bytes are read in chunks of at most this, so even an accepted
 /// `Content-Length` never triggers one up-front allocation of the full
 /// declared size.
@@ -40,11 +49,23 @@ pub struct RequestLimits {
     /// Cap on the declared `Content-Length` → 413 beyond, checked before
     /// any body byte is read.
     pub max_body_bytes: usize,
+    /// Absolute budget for receiving the whole request (head + body),
+    /// checked before every read → 408 once exhausted. This is what
+    /// actually defeats a trickling slow-loris: the socket's per-read
+    /// timeout renews on every byte received, so without an absolute
+    /// deadline a 1-byte-per-interval client holds a handler thread for
+    /// up to `max_head_bytes × read_timeout`. With it, a handler is held
+    /// at most `request_deadline` plus one final in-flight read timeout.
+    pub request_deadline: Duration,
 }
 
 impl Default for RequestLimits {
     fn default() -> RequestLimits {
-        RequestLimits { max_head_bytes: MAX_HEAD_BYTES, max_body_bytes: MAX_BODY_BYTES }
+        RequestLimits {
+            max_head_bytes: MAX_HEAD_BYTES,
+            max_body_bytes: MAX_BODY_BYTES,
+            request_deadline: REQUEST_DEADLINE,
+        }
     }
 }
 
@@ -53,7 +74,9 @@ impl Default for RequestLimits {
 pub enum HttpError {
     /// The connection failed mid-request.
     Io(std::io::Error),
-    /// The socket's read deadline expired mid-request (slow-loris) → 408.
+    /// A deadline expired mid-request — either the socket's per-read
+    /// timeout (silent stall) or the absolute
+    /// [`RequestLimits::request_deadline`] (trickle) → 408.
     Timeout,
     /// The request line or headers were malformed → 400.
     Malformed(&'static str),
@@ -61,6 +84,10 @@ pub enum HttpError {
     HeadTooLarge(usize),
     /// The declared body length exceeds [`RequestLimits::max_body_bytes`] → 413.
     BodyTooLarge(usize),
+    /// A response exceeded the caller's byte cap (client side; see
+    /// [`read_response`]). A protocol-level fault, not a network one —
+    /// retrying would download the same oversized reply again.
+    ResponseTooLarge(usize),
 }
 
 /// A parsed request: method, decoded path, query parameters, body.
@@ -103,10 +130,16 @@ fn io_error(e: std::io::Error) -> HttpError {
     }
 }
 
-/// Reads and parses one request from `stream`, enforcing the byte caps of
-/// `limits`. The caller owns the socket deadlines (`set_read_timeout`);
-/// their expiry surfaces as [`HttpError::Timeout`].
+/// Reads and parses one request from `stream`, enforcing the byte caps
+/// and the absolute [`RequestLimits::request_deadline`] of `limits`. The
+/// caller owns the socket's per-read deadline (`set_read_timeout`); both
+/// kinds of expiry surface as [`HttpError::Timeout`].
 pub fn read_request<S: Read>(stream: &mut S, limits: &RequestLimits) -> Result<Request, HttpError> {
+    // The absolute budget starts when the handler starts reading (the
+    // moment this connection begins occupying a handler thread) and is
+    // checked before every read below, so progress — unlike the socket's
+    // per-read timeout — never renews it.
+    let deadline = Instant::now() + limits.request_deadline;
     let mut head = Vec::with_capacity(1024);
     let mut byte = [0u8; 1];
     // Read byte-at-a-time until CRLF CRLF; the head is tiny and this keeps
@@ -114,6 +147,9 @@ pub fn read_request<S: Read>(stream: &mut S, limits: &RequestLimits) -> Result<R
     while !head.ends_with(b"\r\n\r\n") {
         if head.len() >= limits.max_head_bytes {
             return Err(HttpError::HeadTooLarge(head.len()));
+        }
+        if Instant::now() >= deadline {
+            return Err(HttpError::Timeout);
         }
         match stream.read(&mut byte) {
             Ok(0) => return Err(HttpError::Malformed("connection closed mid-head")),
@@ -163,6 +199,11 @@ pub fn read_request<S: Read>(stream: &mut S, limits: &RequestLimits) -> Result<R
     let mut body = Vec::with_capacity(content_length.min(BODY_CHUNK));
     let mut chunk = [0u8; 4096];
     while body.len() < content_length {
+        // The body shares the request's absolute budget: a trickled body
+        // is the same slow-loris as a trickled head, just past the caps.
+        if Instant::now() >= deadline {
+            return Err(HttpError::Timeout);
+        }
         let want = (content_length - body.len()).min(chunk.len());
         match stream.read(&mut chunk[..want]) {
             Ok(0) => return Err(HttpError::Malformed("connection closed mid-body")),
@@ -304,7 +345,16 @@ fn reason_phrase(status: u16) -> &'static str {
 /// `(status, retry_after_secs, body)`. Shared with `disc-client`, which
 /// needs to read what [`Response::send`] writes back through a faulty
 /// stream — a short or garbled response is a typed error, never a panic.
-pub fn read_response<S: Read>(stream: &mut S) -> Result<(u16, Option<u32>, Vec<u8>), HttpError> {
+///
+/// `max_response_bytes` caps the total bytes read (head + body) — the
+/// caller owns it (the client plumbs its `ClientConfig` value) so a big
+/// legitimate result is not refused by a constant buried here. Exceeding
+/// it is [`HttpError::ResponseTooLarge`]: a protocol-level refusal the
+/// caller must treat as fatal, not a transient fault to retry.
+pub fn read_response<S: Read>(
+    stream: &mut S,
+    max_response_bytes: usize,
+) -> Result<(u16, Option<u32>, Vec<u8>), HttpError> {
     let mut raw = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     // `Connection: close` on every response: read to EOF, then split head
@@ -314,8 +364,8 @@ pub fn read_response<S: Read>(stream: &mut S) -> Result<(u16, Option<u32>, Vec<u
             Ok(0) => break,
             Ok(n) => {
                 raw.extend_from_slice(&chunk[..n]);
-                if raw.len() > (64 << 20) + (64 << 10) {
-                    return Err(HttpError::Malformed("oversized response"));
+                if raw.len() > max_response_bytes {
+                    return Err(HttpError::ResponseTooLarge(raw.len()));
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -411,7 +461,8 @@ mod tests {
 
     #[test]
     fn oversized_declared_length_is_refused_before_reading_the_body() {
-        let limits = RequestLimits { max_head_bytes: 64 << 10, max_body_bytes: 16 };
+        let limits =
+            RequestLimits { max_head_bytes: 64 << 10, max_body_bytes: 16, ..Default::default() };
         // The declared length is absurd and the body bytes are absent: the
         // parser must refuse from the header alone, without blocking on or
         // buffering a single body byte.
@@ -427,7 +478,7 @@ mod tests {
 
     #[test]
     fn oversized_head_is_a_typed_413_not_a_400() {
-        let limits = RequestLimits { max_head_bytes: 32, max_body_bytes: 16 };
+        let limits = RequestLimits { max_head_bytes: 32, max_body_bytes: 16, ..Default::default() };
         let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(100));
         let mut stream = Cursor::new(raw.into_bytes());
         assert!(matches!(read_request(&mut stream, &limits), Err(HttpError::HeadTooLarge(_))));
@@ -471,7 +522,7 @@ mod tests {
             .with_header("Retry-After", "7".to_string());
         let mut wire = Vec::new();
         resp.send(&mut wire);
-        let (status, retry_after, body) = read_response(&mut Cursor::new(wire)).unwrap();
+        let (status, retry_after, body) = read_response(&mut Cursor::new(wire), 64 << 20).unwrap();
         assert_eq!(status, 429);
         assert_eq!(retry_after, Some(7));
         assert_eq!(body, b"{\"error\":\"rate\"}");
@@ -483,8 +534,72 @@ mod tests {
         Response::text(200, b"full body".to_vec()).send(&mut wire);
         wire.truncate(wire.len() - 3); // lose the tail mid-body
         assert!(matches!(
-            read_response(&mut Cursor::new(wire)),
+            read_response(&mut Cursor::new(wire), 64 << 20),
             Err(HttpError::Malformed("truncated response body"))
         ));
+    }
+
+    #[test]
+    fn over_cap_responses_are_typed_too_large_not_malformed() {
+        let mut wire = Vec::new();
+        Response::text(200, vec![b'x'; 4096]).send(&mut wire);
+        assert!(matches!(
+            read_response(&mut Cursor::new(wire.clone()), 1024),
+            Err(HttpError::ResponseTooLarge(_))
+        ));
+        // The same bytes under a sufficient cap parse fine.
+        let (status, _, body) = read_response(&mut Cursor::new(wire), 64 << 10).unwrap();
+        assert_eq!((status, body.len()), (200, 4096));
+    }
+
+    #[test]
+    fn trickled_request_hits_the_absolute_deadline() {
+        // Each read yields one byte promptly — never a per-read timeout —
+        // and the head never terminates. Only the absolute request
+        // deadline can end this; without it the loop runs until the head
+        // cap after max_head_bytes reads.
+        struct Trickle;
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                std::thread::sleep(Duration::from_millis(1));
+                buf[0] = b'a';
+                Ok(1)
+            }
+        }
+        let limits = RequestLimits {
+            request_deadline: Duration::from_millis(30),
+            ..RequestLimits::default()
+        };
+        let begun = Instant::now();
+        assert!(matches!(read_request(&mut Trickle, &limits), Err(HttpError::Timeout)));
+        assert!(begun.elapsed() < Duration::from_secs(5), "deadline must fire promptly");
+    }
+
+    #[test]
+    fn trickled_body_hits_the_absolute_deadline_too() {
+        // A complete head followed by a body that trickles forever: the
+        // body loop shares the same absolute budget.
+        struct TrickleBody {
+            head: Cursor<Vec<u8>>,
+        }
+        impl Read for TrickleBody {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.head.read(&mut buf[..1]) {
+                    Ok(0) | Err(_) => {
+                        std::thread::sleep(Duration::from_millis(1));
+                        buf[0] = b'z';
+                        Ok(1)
+                    }
+                    Ok(n) => Ok(n),
+                }
+            }
+        }
+        let head = b"POST /u HTTP/1.1\r\nContent-Length: 999999\r\n\r\n".to_vec();
+        let mut stream = TrickleBody { head: Cursor::new(head) };
+        let limits = RequestLimits {
+            request_deadline: Duration::from_millis(30),
+            ..RequestLimits::default()
+        };
+        assert!(matches!(read_request(&mut stream, &limits), Err(HttpError::Timeout)));
     }
 }

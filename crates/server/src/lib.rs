@@ -50,4 +50,4 @@ pub use chaos::{ChaosConfig, ChaosLedger, ChaosStream};
 pub use job::{Job, JobSpec, JobState};
 pub use limits::{LimitsConfig, QuotaConfig, QuotaDenial, RateLimit};
 pub use registry::{DbRegistry, RegisterError};
-pub use scheduler::{Scheduler, SchedulerConfig, TenantSpend};
+pub use scheduler::{AdmissionPermit, Scheduler, SchedulerConfig, TenantSpend};

@@ -47,12 +47,21 @@ pub struct LimitsConfig {
     /// Largest accepted request body (`Content-Length`); a larger declared
     /// length is refused with 413 *before* any body byte is read.
     pub max_body_bytes: usize,
-    /// Per-connection read deadline: a client that stalls mid-request this
-    /// long gets 408 and the handler thread moves on.
+    /// Per-*read* deadline: a client that goes silent mid-request this
+    /// long gets 408 and the handler thread moves on. Renewable — every
+    /// received byte restarts it — which is why it cannot stand alone
+    /// (see `request_deadline`).
     pub read_timeout: Duration,
     /// Per-connection write deadline: a client that stops draining its
     /// response this long is abandoned.
     pub write_timeout: Duration,
+    /// Absolute per-request deadline: total wall-clock budget for
+    /// receiving one request (head + body), whatever mix of progress and
+    /// stalls. This is the trickle defense: a client feeding one byte just
+    /// under `read_timeout` renews the per-read deadline forever, but
+    /// trips this one after at most `request_deadline` (+ one in-flight
+    /// read) with a 408. Must be ≥ `read_timeout` to be meaningful.
+    pub request_deadline: Duration,
 }
 
 impl Default for LimitsConfig {
@@ -64,12 +73,26 @@ impl Default for LimitsConfig {
             max_body_bytes: 64 << 20,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
+            request_deadline: crate::http::REQUEST_DEADLINE,
         }
     }
 }
 
 /// Per-tenant quota ceilings, applied uniformly to every tenant. `None`
 /// disables the corresponding check.
+///
+/// ## Trust model
+///
+/// Tenant identity is the client-asserted `tenant` query parameter — the
+/// server performs no authentication. Quotas are therefore a **fairness
+/// and accounting mechanism for trusted tenants** (cooperating clients
+/// behind a frontend that authenticates and pins tenant names), not a
+/// security boundary: an adversary free to mint tenant names gets a fresh
+/// bucket and spend ledger per name. The server bounds the *memory* cost
+/// of such rotation — idle rate buckets are LRU-evicted beyond
+/// [`QuotaConfig::MAX_TRACKED_BUCKETS`] — but enforcing per-principal
+/// ceilings against hostile clients requires deriving the tenant from an
+/// authenticated source in front of this server.
 #[derive(Debug, Clone, Default)]
 pub struct QuotaConfig {
     /// Token-bucket request rate for job submissions.
@@ -79,6 +102,16 @@ pub struct QuotaConfig {
     /// Ceiling on a tenant's cumulative charged guard operations across
     /// all its finished slices — the long-horizon spend backstop.
     pub max_cumulative_ops: Option<u64>,
+}
+
+impl QuotaConfig {
+    /// Most token buckets tracked at once. Inserting a bucket for a fresh
+    /// tenant name beyond this evicts the least-recently-used one, so a
+    /// client rotating tenant names cannot grow the map without bound. An
+    /// evicted bucket resurrects full — acceptable under the trust model
+    /// above (rotation already defeats per-name metering; the cap exists
+    /// to bound memory, not to stop rotation).
+    pub const MAX_TRACKED_BUCKETS: usize = 1024;
 }
 
 /// A token-bucket rate: `burst` requests immediately, refilling at
@@ -126,6 +159,12 @@ impl TokenBucket {
             Duration::from_secs(3600)
         };
         Err(wait)
+    }
+
+    /// When this bucket was last touched by a submission — `try_take`
+    /// refreshes it, so it doubles as the LRU timestamp for eviction.
+    pub fn last_used(&self) -> Instant {
+        self.refilled
     }
 
     /// Tokens currently available (for the stats endpoint).

@@ -84,6 +84,32 @@ pub struct TenantSpend {
     pub slices: u64,
 }
 
+/// A granted admission, returned by [`Scheduler::admit_job`]. While alive
+/// it holds one reserved concurrency slot for its tenant (when that quota
+/// is configured), so the gap between passing the gate and the job landing
+/// in the scheduler's registry is closed against concurrent submissions.
+/// Dropping it — normally right after [`Scheduler::submit`], or on any
+/// error path in between — releases the reservation.
+pub struct AdmissionPermit<'a> {
+    sched: &'a Scheduler,
+    /// `Some` while a concurrency slot is reserved.
+    tenant: Option<String>,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(tenant) = self.tenant.take() {
+            let mut reserved = self.sched.reserved.lock().unwrap();
+            if let Some(n) = reserved.get_mut(&tenant) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    reserved.remove(&tenant);
+                }
+            }
+        }
+    }
+}
+
 struct SchedState {
     /// Queued job ids in arrival order (within-tenant FIFO).
     queue: Vec<u64>,
@@ -107,8 +133,13 @@ pub struct Scheduler {
     jobs: Mutex<HashMap<u64, Arc<Job>>>,
     /// Per-tenant spend.
     tenants: Mutex<HashMap<String, TenantSpend>>,
-    /// Per-tenant token buckets (lazily created on first submission).
+    /// Per-tenant token buckets (lazily created on first submission,
+    /// LRU-bounded at [`QuotaConfig::MAX_TRACKED_BUCKETS`]).
     buckets: Mutex<HashMap<String, TokenBucket>>,
+    /// Concurrency slots reserved by an [`AdmissionPermit`] but not yet
+    /// registered in `jobs` — the bridge that makes the concurrency check
+    /// atomic across the admit → submit window.
+    reserved: Mutex<HashMap<String, usize>>,
     /// The result cache.
     pub cache: Mutex<ResultCache>,
     /// Registered databases are resolved by the API layer; the scheduler
@@ -139,6 +170,7 @@ impl Scheduler {
             jobs: Mutex::new(HashMap::new()),
             tenants: Mutex::new(HashMap::new()),
             buckets: Mutex::new(HashMap::new()),
+            reserved: Mutex::new(HashMap::new()),
             cache: Mutex::new(ResultCache::new(cache_entries)),
             db_of_job: Mutex::new(HashMap::new()),
             mine_invocations: AtomicU64::new(0),
@@ -156,23 +188,49 @@ impl Scheduler {
     /// every refusal is typed so the 429 can say which ceiling tripped:
     ///
     /// 1. **rate** — the tenant's token bucket (one token per submission);
-    /// 2. **concurrency** — live (queued or running) jobs of this tenant;
+    /// 2. **concurrency** — live (queued or running) jobs of this tenant,
+    ///    plus slots already reserved by outstanding permits;
     /// 3. **cumulative ops** — the tenant's total charged operations.
     ///
     /// The rate bucket is charged even when the other checks then refuse:
     /// a tenant hammering a tripped ceiling is exactly the traffic the
     /// bucket exists to meter.
-    pub fn admit_job(&self, tenant: &str) -> Result<(), QuotaDenial> {
+    ///
+    /// On success the returned [`AdmissionPermit`] holds the tenant's
+    /// concurrency slot until it is dropped — the caller keeps it alive
+    /// across [`Scheduler::submit`] so concurrent submissions from one
+    /// tenant cannot all pass the gate between the count and the insert
+    /// (check-then-act). The count-plus-reserve happens under one lock;
+    /// the brief window where a just-submitted job is counted both live
+    /// and reserved errs conservative (a racing submission may see one
+    /// phantom slot), never over the ceiling.
+    pub fn admit_job(&self, tenant: &str) -> Result<AdmissionPermit<'_>, QuotaDenial> {
         let quotas = &self.cfg.quotas;
         if let Some(rate) = quotas.rate {
             let mut buckets = self.buckets.lock().unwrap();
+            if !buckets.contains_key(tenant) && buckets.len() >= QuotaConfig::MAX_TRACKED_BUCKETS {
+                // Bound the map against tenant-name rotation: evict the
+                // least-recently-used bucket (see the QuotaConfig trust
+                // model — this caps memory, it does not authenticate).
+                if let Some(lru) =
+                    buckets.iter().min_by_key(|(_, b)| b.last_used()).map(|(name, _)| name.clone())
+                {
+                    buckets.remove(&lru);
+                }
+            }
             let bucket =
                 buckets.entry(tenant.to_string()).or_insert_with(|| TokenBucket::new(rate));
             if let Err(retry_after) = bucket.try_take() {
                 return Err(QuotaDenial::Rate { retry_after });
             }
         }
+        let mut permit = AdmissionPermit { sched: self, tenant: None };
         if let Some(limit) = quotas.max_concurrent_jobs {
+            // One lock spans counting and reserving: a concurrent admit
+            // for the same tenant serializes here and sees this
+            // reservation, closing the admit → submit race.
+            let mut reserved = self.reserved.lock().unwrap();
+            let pending = reserved.get(tenant).copied().unwrap_or(0);
             let live = self
                 .jobs
                 .lock()
@@ -186,9 +244,11 @@ impl Scheduler {
                         )
                 })
                 .count();
-            if live >= limit {
-                return Err(QuotaDenial::Concurrency { limit, live });
+            if live + pending >= limit {
+                return Err(QuotaDenial::Concurrency { limit, live: live + pending });
             }
+            *reserved.entry(tenant.to_string()).or_insert(0) += 1;
+            permit.tenant = Some(tenant.to_string());
         }
         if let Some(limit) = quotas.max_cumulative_ops {
             let spent = self.tenants.lock().unwrap().get(tenant).map_or(0, |s| s.ops);
@@ -196,7 +256,12 @@ impl Scheduler {
                 return Err(QuotaDenial::CumulativeOps { limit, spent });
             }
         }
-        Ok(())
+        Ok(permit)
+    }
+
+    /// Token buckets currently tracked (stats; tests assert the LRU bound).
+    pub fn tracked_buckets(&self) -> usize {
+        self.buckets.lock().unwrap().len()
     }
 
     /// Queued jobs + running slices right now — the scheduler's share of
@@ -636,4 +701,50 @@ pub fn valid_algo(algo: &str) -> bool {
 /// The result projections the server accepts.
 pub fn valid_mode(mode: &str) -> bool {
     matches!(mode, "all" | "closed" | "maximal")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limits::RateLimit;
+
+    fn sched(quotas: QuotaConfig) -> Scheduler {
+        let cfg = SchedulerConfig { threads: 1, quotas, ..SchedulerConfig::default() };
+        let dir = std::env::temp_dir().join(format!("disc-sched-ut-{}", std::process::id()));
+        Scheduler::new(cfg, dir, 4)
+    }
+
+    #[test]
+    fn admission_permit_reserves_the_concurrency_slot_until_dropped() {
+        let s = sched(QuotaConfig { max_concurrent_jobs: Some(1), ..QuotaConfig::default() });
+        // No job is ever registered: the permit alone must hold the slot,
+        // exactly the admit → submit window the reservation closes.
+        let first = s.admit_job("t").expect("first admission fits the ceiling");
+        match s.admit_job("t") {
+            Err(QuotaDenial::Concurrency { limit: 1, live: 1 }) => {}
+            Err(other) => panic!("expected a concurrency denial, got {other:?}"),
+            Ok(_) => panic!("second admission must be denied while the permit lives"),
+        }
+        // Another tenant's slot is unaffected.
+        let _other = s.admit_job("u").expect("tenants reserve independently");
+        drop(first);
+        let _again = s.admit_job("t").expect("dropping the permit frees the slot");
+    }
+
+    #[test]
+    fn token_buckets_are_lru_bounded_under_tenant_rotation() {
+        let s = sched(QuotaConfig {
+            rate: Some(RateLimit { burst: 5, per_sec: 0.0 }),
+            ..QuotaConfig::default()
+        });
+        for i in 0..QuotaConfig::MAX_TRACKED_BUCKETS + 50 {
+            let _ = s.admit_job(&format!("rotating-{i}"));
+        }
+        assert!(
+            s.tracked_buckets() <= QuotaConfig::MAX_TRACKED_BUCKETS,
+            "rotating tenant names must not grow the bucket map without bound \
+             (got {})",
+            s.tracked_buckets()
+        );
+    }
 }

@@ -64,6 +64,7 @@ fn tight_limits() -> LimitsConfig {
         max_body_bytes: 4096,
         read_timeout: Duration::from_millis(300),
         write_timeout: Duration::from_secs(2),
+        request_deadline: Duration::from_secs(5),
     }
 }
 
@@ -238,6 +239,66 @@ fn slow_loris_gets_408_at_the_read_deadline() {
     assert!(
         elapsed >= Duration::from_millis(250) && elapsed < Duration::from_secs(5),
         "408 must arrive at the deadline, not before or much after (took {elapsed:?})"
+    );
+
+    // The freed handler serves the next request normally.
+    let (status, _) = http(addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+
+    http(addr, "POST", "/admin/drain", b"");
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trickling_loris_gets_408_at_the_absolute_request_deadline() {
+    let dir = temp_dir("trickle");
+    // Per-read deadline comfortably above the trickle interval: every
+    // byte the client sends renews it, so only the absolute request
+    // deadline can end this connection.
+    let limits = LimitsConfig {
+        read_timeout: Duration::from_millis(500),
+        request_deadline: Duration::from_millis(700),
+        ..tight_limits()
+    };
+    let (_server, addr, handle) = start(&dir, limits, QuotaConfig::default(), 1_000_000);
+
+    let begun = Instant::now();
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Feed one header byte every 150 ms — forever, as far as the head cap
+    // is concerned — while watching for the server's answer.
+    let mut resp = Vec::new();
+    let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nX-Slow: ");
+    loop {
+        std::thread::sleep(Duration::from_millis(150));
+        if s.write_all(b"a").is_err() {
+            break; // server already closed on us — go read what it said
+        }
+        assert!(
+            begun.elapsed() < Duration::from_secs(10),
+            "trickle was never cut off: the absolute deadline did not fire"
+        );
+        // Poll for an early response without blocking the trickle.
+        s.set_read_timeout(Some(Duration::from_millis(1))).unwrap();
+        let mut probe = [0u8; 1024];
+        match s.read(&mut probe) {
+            Ok(n) if n > 0 => {
+                resp.extend_from_slice(&probe[..n]);
+                break;
+            }
+            _ => {}
+        }
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    }
+    let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = s.read_to_end(&mut resp);
+    let text = String::from_utf8_lossy(&resp);
+    let elapsed = begun.elapsed();
+    assert!(text.starts_with("HTTP/1.1 408"), "expected 408 for the trickler, got: {text}");
+    assert!(
+        elapsed >= Duration::from_millis(600) && elapsed < Duration::from_secs(10),
+        "408 must arrive near the 700 ms absolute deadline (took {elapsed:?})"
     );
 
     // The freed handler serves the next request normally.

@@ -645,6 +645,7 @@ fn serve_usage() -> ! {
          \t[--default-max-ops N]\n\
          \t[--max-connections N] [--queue-depth N] [--max-body-bytes N]\n\
          \t[--max-head-bytes N] [--read-timeout-ms N] [--write-timeout-ms N]\n\
+         \t[--request-deadline-ms N]\n\
          \t[--rate-limit BURST/PER_SEC] [--max-concurrent-jobs N]\n\
          \t[--max-cumulative-ops N] [--chaos-seed SEED]\n\
          Starts the multi-tenant mining server. State (databases, job\n\
@@ -653,8 +654,12 @@ fn serve_usage() -> ! {
          boundary and a restarted server resumes them bit-identically.\n\
          Admission: a fixed pool of --max-connections handler threads drains\n\
          a --queue-depth accept queue; overflow is shed with 503 + a\n\
-         load-computed Retry-After. Oversized requests get 413, stalled\n\
-         clients 408 at the read deadline. Quota flags apply per tenant and\n\
+         load-computed Retry-After. Oversized requests get 413; stalled or\n\
+         trickling clients get 408 — per-read at --read-timeout-ms, and\n\
+         absolutely at --request-deadline-ms for the whole request, so a\n\
+         byte-at-a-time slow-loris cannot renew its deadline forever.\n\
+         Quota flags apply per tenant (the client-asserted tenant name —\n\
+         a fairness mechanism for trusted tenants, not authentication) and\n\
          refuse with typed 429s. --chaos-seed wraps every connection in the\n\
          deterministic network-fault harness (testing only).\n\
          Default addr is 127.0.0.1:7031; port 0 picks a free port (printed)."
@@ -716,6 +721,11 @@ fn serve_main(argv: Vec<String>) -> ! {
                 let ms: u64 =
                     args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage());
                 cfg.limits.write_timeout = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--request-deadline-ms" => {
+                let ms: u64 =
+                    args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| serve_usage());
+                cfg.limits.request_deadline = std::time::Duration::from_millis(ms.max(1));
             }
             // BURST/PER_SEC, e.g. `5/2.5` = bursts of 5, 2.5 requests/s.
             "--rate-limit" => {
